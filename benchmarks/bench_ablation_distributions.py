@@ -1,0 +1,22 @@
+"""Ablation: MVA's exponential-service assumption (§3.4, assumption 6).
+
+The simulator draws deterministic and lognormal (CV=1) service demands
+instead of exponential ones.  The processor-sharing CPU is insensitive to
+the distribution and the disk load is moderate, so predictions hold up.
+"""
+
+from conftest import run_once
+
+from repro.experiments import distribution_ablation
+
+
+def test_service_distribution_sensitivity(benchmark, settings):
+    rows = run_once(benchmark, lambda: distribution_ablation(settings))
+    print()
+    for row in rows:
+        print(
+            f"  {row.distribution:<14s} measured={row.measured_throughput:7.1f} "
+            f"predicted={row.predicted_throughput:7.1f} "
+            f"err={row.relative_error:.1%}"
+        )
+        assert row.relative_error < 0.10

@@ -1,0 +1,32 @@
+"""Ablation: load-balancer routing policy vs the model's static partition.
+
+The prototypes route each transaction to the least-loaded replica; the
+analytical model assumes a static equal split of clients ("perfect load
+balancing", §3.4).  Least-loaded routing cannot beat the static split on
+throughput (capacity is capacity) but shortens response times at high
+utilization — the main source of the response-time prediction error.
+"""
+
+from conftest import run_once
+
+from repro.experiments import lb_policy_ablation
+
+
+def test_lb_policy_vs_model(benchmark, settings):
+    rows = run_once(benchmark, lambda: lb_policy_ablation(settings))
+    print()
+    by_policy = {}
+    for row in rows:
+        by_policy[row.policy] = row
+        print(
+            f"  {row.policy:<13s} measured X={row.measured_throughput:7.1f} "
+            f"R={row.measured_response_time*1000:6.1f}ms | predicted "
+            f"X={row.predicted_throughput:7.1f} "
+            f"R={row.predicted_response_time*1000:6.1f}ms"
+        )
+    # Throughput is routing-insensitive (within a few percent).
+    throughputs = [r.measured_throughput for r in rows]
+    assert max(throughputs) < 1.10 * min(throughputs)
+    # Least-loaded routing achieves the best (or tied) response time.
+    best = by_policy["least-loaded"].measured_response_time
+    assert best <= by_policy["random"].measured_response_time * 1.02

@@ -1,0 +1,37 @@
+"""Extension benchmark: failover behaviour of the multi-master system.
+
+Beyond the paper's evaluation: crash 1 of 4 replicas mid-run.  The
+degraded-phase throughput should match the model's N-1 prediction — i.e.
+the standalone-profiling methodology also predicts *degraded-mode*
+capacity, which is what an operator sizing for fault tolerance needs.
+"""
+
+from conftest import run_once
+
+from repro.experiments import failover_experiment
+from repro.workloads import tpcw
+
+
+def test_failover_degraded_capacity_predicted(benchmark, settings):
+    result = run_once(
+        benchmark,
+        lambda: failover_experiment(
+            tpcw.SHOPPING,
+            design="multi-master",
+            replicas=4,
+            settings=settings,
+            phase_length=30.0,
+        ),
+    )
+    print("\n" + result.to_text())
+    # The dip is real and roughly one replica's worth of capacity.
+    assert 0.10 < result.dip_fraction < 0.40
+    # The N and N-1 predictions call both plateaus within 10%.
+    assert abs(result.before - result.predicted_healthy) < (
+        0.10 * result.predicted_healthy
+    )
+    assert abs(result.during - result.predicted_degraded) < (
+        0.10 * result.predicted_degraded
+    )
+    # Full recovery after the replica returns and catches up.
+    assert result.recovered

@@ -1,0 +1,26 @@
+"""Extension benchmark: open vs closed arrivals ([Schroeder 2006], §3.1).
+
+Validates the paper's choice of the closed-loop client model: at matched
+loads below the knee the two agree, while past capacity the open queue
+diverges and the closed system degrades gracefully.
+"""
+
+from conftest import run_once
+
+from repro.experiments import open_vs_closed
+from repro.workloads import tpcw
+
+
+def test_open_vs_closed_arrivals(benchmark, settings):
+    result = run_once(benchmark, lambda: open_vs_closed(tpcw.SHOPPING, settings))
+    print("\n" + result.to_text())
+    rows = {round(row.load_fraction, 2): row for row in result.rows}
+
+    # Light load: both models agree within ~50 ms.
+    light = rows[0.5]
+    assert abs(light.open_response - light.closed_response) < 0.05
+
+    # Overload: the open queue diverges, the closed loop self-throttles.
+    overload = rows[1.1]
+    assert overload.open_response > 3.0 * overload.closed_response
+    assert overload.closed_response < 1.0  # bounded by the population

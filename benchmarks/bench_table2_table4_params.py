@@ -1,0 +1,23 @@
+"""Tables 2 and 4: benchmark workload parameters (inputs of the study)."""
+
+from conftest import run_once
+
+from repro.experiments import table2, table4
+
+
+def test_table2_tpcw_parameters(benchmark):
+    table = run_once(benchmark, table2)
+    print("\n" + table.to_text())
+    rows = {row.mix: row for row in table.rows}
+    assert rows["browsing"].read_fraction == 0.95
+    assert rows["shopping"].write_fraction == 0.20
+    assert rows["ordering"].clients_per_replica == 50
+
+
+def test_table4_rubis_parameters(benchmark):
+    table = run_once(benchmark, table4)
+    print("\n" + table.to_text())
+    rows = {row.mix: row for row in table.rows}
+    assert rows["browsing"].write_fraction == 0.0
+    assert rows["bidding"].write_fraction == 0.20
+    assert all(row.think_time_ms == 1000.0 for row in table.rows)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (table or figure) end to end:
+standalone profiling -> analytical prediction -> discrete-event measurement
+-> comparison.  ``pytest-benchmark`` times the regeneration; the assertions
+check the *shape* of the reproduced result against the paper (who wins, by
+roughly what factor, where crossovers fall).
+
+Profiling reports and validation sweeps are cached per process, so figure
+pairs sharing runs (6/7, 8/9, 10/11, 12/13) pay for their sweep once —
+the first benchmark of each pair carries the cost.
+
+Set ``REPRO_BENCH_FAST=1`` to run a cut-down sweep (fewer replica counts,
+shorter windows) for smoke-testing the harness itself.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.settings import ExperimentSettings
+
+
+def _settings() -> ExperimentSettings:
+    if os.environ.get("REPRO_BENCH_FAST"):
+        return ExperimentSettings.fast()
+    # Longer windows than the defaults: saturated single-master points need
+    # the measurement window to dwarf the multi-second write response times,
+    # or the committed mix is transiently read-biased.
+    return ExperimentSettings(
+        replica_counts=(1, 2, 4, 6, 8, 16),
+        sim_warmup=25.0,
+        sim_duration=90.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """Experiment fidelity used by every benchmark in the session."""
+    return _settings()
+
+
+@pytest.fixture(scope="session")
+def fast_mode() -> bool:
+    """Whether the cut-down sweep is active (loosens shape assertions)."""
+    return bool(os.environ.get("REPRO_BENCH_FAST"))
+
+
+def run_once(benchmark, fn):
+    """Time *fn* exactly once (experiments are deterministic and heavy)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+"""Abort-rate study: how conflicts scale with replication (§6.3.3).
+
+TPC-W and RUBiS barely conflict (A1 well below 0.1%), so this example
+recreates the paper's Figure 14 setup: a high-conflict "heap table" is
+grafted onto TPC-W shopping and sized to hit chosen standalone abort rates.
+The multi-master model then predicts how those aborts grow with the replica
+count, and the simulator measures the real growth.
+
+Run:  python examples/abort_study.py
+"""
+
+from repro import simulate, workloads
+from repro.models import predict_multimaster
+from repro.profiling import profile_standalone
+from repro.workloads import heap_table_spec
+
+REPLICA_COUNTS = (1, 4, 8, 16)
+TARGET_A1 = (0.0024, 0.0053, 0.0090)  # the paper's §6.3.3 targets
+
+
+def main() -> None:
+    base = workloads.get_workload("tpcw/shopping")
+    print("calibrating against the standalone operating point ...")
+    base_report = profile_standalone(base)
+    l1 = base_report.profile.update_response_time
+    update_rate = (
+        base_report.standalone_throughput
+        * base_report.profile.mix.write_fraction
+    )
+    print(f"  L(1) = {l1*1000:.1f} ms, W = {update_rate:.1f} updates/s\n")
+
+    for target in TARGET_A1:
+        spec = heap_table_spec(target, l1, update_rate, base=base)
+        profile = profile_standalone(spec).profile
+        print(f"heap table sized for A1 = {target:.2%} "
+              f"(DbUpdateSize = {spec.conflict.db_update_size}, "
+              f"measured A1 = {profile.abort_rate:.2%})")
+        print(f"  {'N':>3s} {'measured AN':>12s} {'predicted AN':>13s}")
+        for n in REPLICA_COUNTS:
+            config = spec.replication_config(n)
+            predicted = predict_multimaster(profile, config).abort_rate
+            measured = simulate(
+                spec, config, design="multi-master",
+                warmup=10.0, duration=60.0,
+            ).abort_rate
+            print(f"  {n:>3d} {measured:>11.2%} {predicted:>12.2%}")
+        print()
+
+    print("observations (matching the paper):")
+    print("  * the abort probability grows superlinearly with N — the")
+    print("    conflict window widens as queueing and staleness grow;")
+    print("  * the model captures the trend but under-estimates at high")
+    print("    rates (its conflict window lags one MVA iteration, §4.1.1);")
+    print("  * abort rates this high (10-30%) are far beyond what an")
+    print("    application would tolerate — the paper uses them purely to")
+    print("    stress the model.")
+
+
+if __name__ == "__main__":
+    main()

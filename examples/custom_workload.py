@@ -1,0 +1,82 @@
+"""Bring your own workload: model a custom application end to end.
+
+The built-in TPC-W/RUBiS specs are just data.  This example defines a new
+workload — a ticket-booking service with 10% updates and disk-heavy reads —
+runs the whole pipeline on it, and uses the snapshot-isolated database
+engine directly to show what the substrate underneath the simulator does.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.core.params import ConflictProfile, WorkloadMix
+from repro.core.errors import TransactionAborted
+from repro.models import predict_curve
+from repro.profiling import profile_standalone
+from repro.sidb import SIDatabase
+from repro.workloads import WorkloadSpec, demands_ms
+
+
+def build_workload() -> WorkloadSpec:
+    """A ticket-booking service: searches are disk-heavy, bookings short."""
+    return WorkloadSpec(
+        benchmark="tickets",
+        mix_name="booking",
+        mix=WorkloadMix(read_fraction=0.90, write_fraction=0.10),
+        demands=demands_ms(
+            read_cpu=18.0, read_disk=22.0,       # catalogue searches
+            write_cpu=9.0, write_disk=6.0,       # seat reservations
+            writeset_cpu=2.5, writeset_disk=2.0,  # replicated reservation
+        ),
+        clients_per_replica=35,
+        think_time=1.0,
+        # 5,000 bookable seats; each booking touches 2 rows (seat + order).
+        conflict=ConflictProfile(db_update_size=5_000,
+                                 updates_per_transaction=2),
+        writeset_bytes=180,
+        description="ticket booking: 90% searches, 10% reservations",
+    )
+
+
+def demo_snapshot_isolation() -> None:
+    """The concurrency model the whole study rests on, in five lines."""
+    db = SIDatabase({("seat", 12): "free"})
+    alice, bob = db.begin(), db.begin()
+    alice.write(("seat", 12), "alice")
+    bob.write(("seat", 12), "bob")
+    db.commit(alice)  # first committer wins
+    try:
+        db.commit(bob)
+    except TransactionAborted as exc:
+        print(f"  second writer aborted as required: {exc}")
+
+
+def main() -> None:
+    spec = build_workload()
+    print(f"workload: {spec.name} — {spec.description}\n")
+
+    print("snapshot isolation under the hood:")
+    demo_snapshot_isolation()
+
+    print("\nprofiling the standalone database ...")
+    profile = profile_standalone(spec).profile
+    print(f"  measured mix: {profile.mix.read_fraction:.0%} reads, "
+          f"A1 = {profile.abort_rate:.3%}")
+
+    counts = (1, 2, 4, 8, 16)
+    print("\npredicted scalability:")
+    mm = predict_curve("multi-master", profile,
+                       spec.replication_config(1), counts)
+    sm = predict_curve("single-master", profile,
+                       spec.replication_config(1), counts)
+    print(f"  {'N':>3s} {'multi-master':>14s} {'single-master':>14s}")
+    for n in counts:
+        print(f"  {n:>3d} {mm.point_at(n).throughput:>10.1f} tps "
+              f"{sm.point_at(n).throughput:>10.1f} tps")
+
+    ratio = (mm.point_at(16).throughput / sm.point_at(16).throughput)
+    print(f"\nat 16 replicas multi-master delivers {ratio:.2f}x the "
+          "single-master throughput for this mix.")
+
+
+if __name__ == "__main__":
+    main()

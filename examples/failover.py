@@ -1,0 +1,57 @@
+"""Failover: what happens to throughput when a replica crashes?
+
+The paper motivates replication with fault tolerance but evaluates only
+steady-state performance.  This extension crashes one multi-master replica
+mid-run and shows that the *same analytical model* predicts the degraded
+plateau: the during-outage throughput is simply the N-1 replica prediction.
+
+Run:  python examples/failover.py
+"""
+
+from repro.experiments import ExperimentSettings, failover_experiment
+from repro.workloads import get_workload
+
+
+def sparkline(values, width=60) -> str:
+    """Render a throughput timeline as an ASCII strip chart."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    top = max(values) or 1.0
+    step = max(1, len(values) // width)
+    sampled = [
+        sum(values[i:i + step]) / len(values[i:i + step])
+        for i in range(0, len(values), step)
+    ]
+    return "".join(
+        blocks[min(len(blocks) - 1, int(v / top * (len(blocks) - 1)))]
+        for v in sampled
+    )
+
+
+def main() -> None:
+    spec = get_workload("tpcw/shopping")
+    settings = ExperimentSettings(sim_warmup=10.0)
+    result = failover_experiment(
+        spec,
+        design="multi-master",
+        replicas=4,
+        fault_replica=1,
+        settings=settings,
+        phase_length=30.0,
+    )
+    print(result.to_text())
+    print()
+    print("committed throughput per second (fault in the middle third):")
+    print(f"  [{sparkline(result.timeline)}]")
+    print()
+    print(f"the outage cost {result.dip_fraction:.0%} of throughput — close "
+          "to the 1/4 of capacity one of four replicas represents; the "
+          "model's N-1 prediction called the degraded plateau to "
+          f"{abs(result.during - result.predicted_degraded) / result.during:.1%}.")
+    print("recovery includes the catch-up burst while the returning replica "
+          "applies the writesets it missed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Regenerate every paper artifact and dump the results to a text report.
+
+Thin wrapper over :func:`repro.experiments.full_report`; used to populate
+EXPERIMENTS.md and to calibrate the benchmark assertions.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ExperimentSettings, full_report
+
+
+def main() -> int:
+    fast = "--fast" in sys.argv
+    settings = ExperimentSettings.fast() if fast else ExperimentSettings()
+    report = full_report(
+        settings, progress=lambda line: print(line, file=sys.stderr)
+    )
+    with open("results_full.txt", "w") as handle:
+        handle.write(report)
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""repro — reproduction of "Predicting Replicated Database Scalability from
+Standalone Database Profiling" (Elnikety, Dropsho, Cecchet, Zwaenepoel;
+EuroSys 2009).
+
+The library has two independent halves that the experiments compare:
+
+* **prediction** (:mod:`repro.models` on :mod:`repro.queueing`): analytical
+  MVA-based models that consume only standalone measurements;
+* **measurement** (:mod:`repro.simulator` on :mod:`repro.sidb`): a
+  discrete-event simulation of the paper's prototype multi-master and
+  single-master systems, from which the standalone measurements are taken
+  by :mod:`repro.profiling`.
+
+Typical use::
+
+    from repro import profiling, models, workloads
+
+    spec = workloads.get_workload("tpcw/shopping")
+    report = profiling.profile_standalone(spec)
+    prediction = models.predict_multimaster(
+        report.profile, spec.replication_config(replicas=8)
+    )
+    print(prediction.throughput, prediction.response_time)
+"""
+
+from . import core, models, profiling, queueing, sidb, simulator, workloads
+from .core import (
+    ConflictProfile,
+    OperatingPoint,
+    Prediction,
+    ReplicationConfig,
+    ResourceDemand,
+    ScalabilityCurve,
+    ServiceDemands,
+    StandaloneProfile,
+    WorkloadMix,
+)
+from .models import (
+    predict,
+    predict_curve,
+    predict_multimaster,
+    predict_singlemaster,
+    predict_standalone,
+)
+from .profiling import profile_standalone
+from .simulator import measure_curve, simulate
+from .workloads import get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConflictProfile",
+    "OperatingPoint",
+    "Prediction",
+    "ReplicationConfig",
+    "ResourceDemand",
+    "ScalabilityCurve",
+    "ServiceDemands",
+    "StandaloneProfile",
+    "WorkloadMix",
+    "__version__",
+    "core",
+    "get_workload",
+    "measure_curve",
+    "models",
+    "predict",
+    "predict_curve",
+    "predict_multimaster",
+    "predict_singlemaster",
+    "predict_standalone",
+    "profile_standalone",
+    "profiling",
+    "queueing",
+    "sidb",
+    "simulate",
+    "simulator",
+    "workload_names",
+]

@@ -1,0 +1,252 @@
+"""Command-line interface: profile, predict, simulate, and reproduce.
+
+Examples::
+
+    repro workloads
+    repro profile tpcw/shopping
+    repro predict tpcw/shopping --design multi-master --replicas 1 2 4 8 16
+    repro simulate tpcw/shopping --design single-master --replicas 8
+    repro figure figure6 --fast
+    repro table table3 --fast
+    repro validate --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import experiments
+from .core.rng import DEFAULT_SEED
+from .core.units import to_ms
+from .models.api import DESIGNS, predict
+from .simulator.runner import simulate
+from .workloads import get_workload, workload_names
+
+_FIGURES = {
+    f"figure{i}": getattr(experiments, f"figure{i}") for i in range(6, 15)
+}
+_TABLES = {
+    "table2": lambda settings: experiments.table2(),
+    "table3": experiments.table3,
+    "table4": lambda settings: experiments.table4(),
+    "table5": experiments.table5,
+}
+
+
+def _settings(args) -> experiments.ExperimentSettings:
+    if getattr(args, "fast", False):
+        return experiments.ExperimentSettings.fast()
+    return experiments.ExperimentSettings()
+
+
+def _cmd_workloads(args) -> int:
+    for name in workload_names():
+        spec = get_workload(name)
+        print(f"{name:<18s} Pr={spec.mix.read_fraction:.0%} "
+              f"C={spec.clients_per_replica} — {spec.description}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .profiling import profile_standalone
+
+    spec = get_workload(args.workload)
+    report = profile_standalone(spec, seed=args.seed)
+    profile = report.profile
+    print(f"workload: {report.workload}")
+    print(f"  Pr/Pw measured: {profile.mix.read_fraction:.3f} / "
+          f"{profile.mix.write_fraction:.3f}")
+    for klass in ("read", "write", "writeset"):
+        demand = profile.demands.get(klass)
+        print(f"  {klass:<9s} cpu {to_ms(demand.cpu):7.2f} ms   "
+              f"disk {to_ms(demand.disk):7.2f} ms")
+    print(f"  L(1) = {to_ms(profile.update_response_time):.1f} ms, "
+          f"A1 = {profile.abort_rate:.4%}")
+    print(f"  standalone: {report.standalone_throughput:.1f} tps @ "
+          f"{to_ms(report.standalone_response_time):.0f} ms")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    spec = get_workload(args.workload)
+    settings = _settings(args)
+    profile = experiments.get_profile(spec, settings)
+    print(f"{args.workload} on {args.design} (predicted from standalone profile)")
+    print(f"  {'N':>3s} {'throughput':>12s} {'response':>10s} {'aborts':>8s}")
+    for n in args.replicas:
+        prediction = predict(args.design, profile, spec.replication_config(n))
+        print(f"  {n:>3d} {prediction.throughput:>8.1f} tps "
+              f"{to_ms(prediction.response_time):>7.1f} ms "
+              f"{prediction.abort_rate:>7.3%}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    spec = get_workload(args.workload)
+    print(f"{args.workload} on {args.design} (discrete-event simulation)")
+    print(f"  {'N':>3s} {'throughput':>12s} {'response':>10s} {'aborts':>8s}")
+    for n in args.replicas:
+        result = simulate(
+            spec,
+            spec.replication_config(n),
+            design=args.design,
+            seed=args.seed,
+            warmup=args.warmup,
+            duration=args.duration,
+        )
+        print(f"  {n:>3d} {result.throughput:>8.1f} tps "
+              f"{to_ms(result.response_time):>7.1f} ms "
+              f"{result.abort_rate:>7.3%}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    runner = _FIGURES[args.name]
+    result = runner(_settings(args))
+    print(result.to_text())
+    return 0
+
+
+def _cmd_table(args) -> int:
+    runner = _TABLES[args.name]
+    result = runner(_settings(args))
+    print(result.to_text())
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    import sys
+
+    settings = _settings(args)
+    report = experiments.full_report(
+        settings, progress=lambda line: print(line, file=sys.stderr)
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from .models.planning import plan_deployment
+
+    spec = get_workload(args.workload)
+    settings = _settings(args)
+    profile = experiments.get_profile(spec, settings)
+    plan = plan_deployment(
+        profile,
+        spec.replication_config(1),
+        target_throughput=args.target,
+        max_response_time=args.max_response,
+        headroom=args.headroom,
+    )
+    if plan is None:
+        print(f"no deployment meets {args.target:.0f} tps"
+              + (f" at <= {args.max_response*1000:.0f} ms"
+                 if args.max_response else ""))
+        return 1
+    print(f"{args.workload}: {plan.design} with {plan.replicas} replicas")
+    print(f"  predicted {plan.predicted_throughput:.1f} tps at "
+          f"{to_ms(plan.predicted_response_time):.0f} ms "
+          f"(load factor {plan.load_factor:.0%})")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    settings = _settings(args)
+    result = experiments.error_margin(settings)
+    print(result.to_text())
+    threshold = 0.15
+    if result.mean_throughput_error <= threshold:
+        print(f"PASS: mean error {result.mean_throughput_error:.1%} <= "
+              f"{threshold:.0%} (paper's claim)")
+        return 0
+    print(f"FAIL: mean error {result.mean_throughput_error:.1%} > {threshold:.0%}")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Predict replicated-database scalability from standalone "
+        "profiling (EuroSys 2009 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list built-in workloads").set_defaults(
+        func=_cmd_workloads
+    )
+
+    p = sub.add_parser("profile", help="profile a workload on the standalone sim")
+    p.add_argument("workload")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("predict", help="predict replicated performance")
+    p.add_argument("workload")
+    p.add_argument("--design", choices=DESIGNS, default="multi-master")
+    p.add_argument("--replicas", type=int, nargs="+", default=[1, 2, 4, 8, 16])
+    p.add_argument("--fast", action="store_true",
+                   help="use fast profiling settings")
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("simulate", help="measure replicated performance")
+    p.add_argument("workload")
+    p.add_argument("--design",
+                   choices=("standalone",) + tuple(DESIGNS),
+                   default="multi-master")
+    p.add_argument("--replicas", type=int, nargs="+", default=[1, 2, 4, 8])
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--warmup", type=float, default=10.0)
+    p.add_argument("--duration", type=float, default=60.0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("name", choices=sorted(_FIGURES))
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("name", choices=sorted(_TABLES))
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("validate", help="check the <=15%% error-margin claim")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser(
+        "reproduce", help="regenerate every table and figure into one report"
+    )
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--out", default=None, help="write the report to a file")
+    p.set_defaults(func=_cmd_reproduce)
+
+    p = sub.add_parser("plan", help="size a deployment for a target load")
+    p.add_argument("workload")
+    p.add_argument("--target", type=float, required=True,
+                   help="target throughput (tps)")
+    p.add_argument("--max-response", type=float, default=None,
+                   help="latency SLA in seconds")
+    p.add_argument("--headroom", type=float, default=0.1)
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=_cmd_plan)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

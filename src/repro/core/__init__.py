@@ -1,0 +1,63 @@
+"""Core types shared across the repro library: parameters, results, errors."""
+
+from .errors import (
+    ConfigurationError,
+    ConvergenceError,
+    ProfilingError,
+    ReproError,
+    SimulationError,
+    TransactionAborted,
+)
+from .params import (
+    CPU,
+    DISK,
+    RESOURCES,
+    ConflictProfile,
+    ReplicationConfig,
+    ResourceDemand,
+    ServiceDemands,
+    StandaloneProfile,
+    WorkloadMix,
+    replica_sweep,
+)
+from .results import (
+    OperatingPoint,
+    Prediction,
+    ReplicaBreakdown,
+    ScalabilityCurve,
+    ValidationPoint,
+    ValidationSeries,
+    relative_error,
+)
+from .units import MS, US, ms, to_ms, us
+
+__all__ = [
+    "CPU",
+    "DISK",
+    "MS",
+    "RESOURCES",
+    "US",
+    "ConfigurationError",
+    "ConflictProfile",
+    "ConvergenceError",
+    "OperatingPoint",
+    "Prediction",
+    "ProfilingError",
+    "ReplicaBreakdown",
+    "ReplicationConfig",
+    "ReproError",
+    "ResourceDemand",
+    "ScalabilityCurve",
+    "ServiceDemands",
+    "SimulationError",
+    "StandaloneProfile",
+    "TransactionAborted",
+    "ValidationPoint",
+    "ValidationSeries",
+    "WorkloadMix",
+    "ms",
+    "relative_error",
+    "replica_sweep",
+    "to_ms",
+    "us",
+]

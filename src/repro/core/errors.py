@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+one base class.  Subclasses distinguish configuration problems (bad inputs)
+from solver problems (a model that failed to converge) and from simulator
+problems (an inconsistent discrete-event state, which indicates a bug).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An input parameter is missing, out of range, or inconsistent."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver (MVA fixed point, balancing loop) did not converge."""
+
+    def __init__(self, message: str, iterations: int = 0) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class TransactionAborted(ReproError):
+    """A snapshot-isolation transaction was aborted by conflict detection.
+
+    Raised by :mod:`repro.sidb` when a commit fails certification under the
+    first-committer-wins rule.  Carries the conflicting keys so callers (and
+    tests) can inspect why the abort happened.
+    """
+
+    def __init__(self, txn_id: int, conflicting_keys=()):
+        keys = sorted(conflicting_keys)
+        preview = ", ".join(repr(k) for k in keys[:5])
+        if len(keys) > 5:
+            preview += ", ..."
+        super().__init__(
+            f"transaction {txn_id} aborted: write-write conflict on [{preview}]"
+        )
+        self.txn_id = txn_id
+        self.conflicting_keys = frozenset(keys)
+
+
+class ProfilingError(ReproError, RuntimeError):
+    """A profiling run produced measurements that cannot be used."""

@@ -1,0 +1,271 @@
+"""Parameter types shared by the analytical models, profiler, and simulator.
+
+These dataclasses mirror the symbols of Table 1 in the paper:
+
+========================  =====================================================
+Paper symbol              Field here
+========================  =====================================================
+``Pr`` / ``Pw``           :attr:`WorkloadMix.read_fraction` / ``write_fraction``
+``rc`` / ``wc`` / ``ws``  :class:`ServiceDemands` (per-resource, in seconds)
+``A1``                    :attr:`StandaloneProfile.abort_rate`
+``L(1)``                  :attr:`StandaloneProfile.update_response_time`
+``N``                     :attr:`ReplicationConfig.replicas`
+``C``                     :attr:`ReplicationConfig.clients_per_replica`
+``Z``                     :attr:`ReplicationConfig.think_time`
+``U``                     :attr:`ConflictProfile.updates_per_transaction`
+``DbUpdateSize``          :attr:`ConflictProfile.db_update_size`
+========================  =====================================================
+
+All times are in **seconds** (see :mod:`repro.core.units`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from .errors import ConfigurationError
+
+#: Resource names used throughout the library.  The paper models the CPU and
+#: the disk of each replica as the two queueing resources.
+CPU = "cpu"
+DISK = "disk"
+RESOURCES: Tuple[str, str] = (CPU, DISK)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class ResourceDemand:
+    """Service demand of one transaction class at the CPU and disk (seconds).
+
+    A demand of zero is allowed (e.g. RUBiS browsing has no update class).
+    """
+
+    cpu: float = 0.0
+    disk: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.cpu >= 0.0, f"cpu demand must be >= 0, got {self.cpu}")
+        _require(self.disk >= 0.0, f"disk demand must be >= 0, got {self.disk}")
+
+    @property
+    def total(self) -> float:
+        """Sum of demands across resources (a lower bound on response time)."""
+        return self.cpu + self.disk
+
+    def get(self, resource: str) -> float:
+        """Return the demand at *resource* (``"cpu"`` or ``"disk"``)."""
+        if resource == CPU:
+            return self.cpu
+        if resource == DISK:
+            return self.disk
+        raise ConfigurationError(f"unknown resource {resource!r}")
+
+    def scaled(self, factor: float) -> "ResourceDemand":
+        """Return a copy with both demands multiplied by *factor*."""
+        _require(factor >= 0.0, f"scale factor must be >= 0, got {factor}")
+        return ResourceDemand(cpu=self.cpu * factor, disk=self.disk * factor)
+
+    def plus(self, other: "ResourceDemand") -> "ResourceDemand":
+        """Return the element-wise sum of two demands."""
+        return ResourceDemand(cpu=self.cpu + other.cpu, disk=self.disk + other.disk)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return ``{"cpu": ..., "disk": ...}``."""
+        return {CPU: self.cpu, DISK: self.disk}
+
+
+@dataclass(frozen=True)
+class ServiceDemands:
+    """Per-class service demands: read-only (rc), update (wc), writeset (ws)."""
+
+    read: ResourceDemand = field(default_factory=ResourceDemand)
+    write: ResourceDemand = field(default_factory=ResourceDemand)
+    writeset: ResourceDemand = field(default_factory=ResourceDemand)
+
+    def get(self, klass: str) -> ResourceDemand:
+        """Return demands for a class name: ``read``, ``write``, ``writeset``."""
+        try:
+            return getattr(self, klass)
+        except AttributeError:
+            raise ConfigurationError(f"unknown transaction class {klass!r}") from None
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Nested dict form, convenient for reports and JSON output."""
+        return {
+            "read": self.read.as_dict(),
+            "write": self.write.as_dict(),
+            "writeset": self.writeset.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Fractions of read-only (Pr) and update (Pw) transactions.
+
+    The two fractions must sum to 1 (within floating-point tolerance).
+    """
+
+    read_fraction: float
+    write_fraction: float
+
+    def __post_init__(self) -> None:
+        _require(
+            0.0 <= self.read_fraction <= 1.0,
+            f"read fraction must be in [0, 1], got {self.read_fraction}",
+        )
+        _require(
+            0.0 <= self.write_fraction <= 1.0,
+            f"write fraction must be in [0, 1], got {self.write_fraction}",
+        )
+        total = self.read_fraction + self.write_fraction
+        _require(
+            abs(total - 1.0) < 1e-9,
+            f"Pr + Pw must equal 1, got {self.read_fraction} + "
+            f"{self.write_fraction} = {total}",
+        )
+
+    @classmethod
+    def from_write_fraction(cls, write_fraction: float) -> "WorkloadMix":
+        """Build a mix from Pw alone (Pr = 1 - Pw)."""
+        return cls(read_fraction=1.0 - write_fraction, write_fraction=write_fraction)
+
+    @property
+    def read_only(self) -> bool:
+        """True when the workload contains no update transactions."""
+        return self.write_fraction == 0.0
+
+    @property
+    def write_to_read_ratio(self) -> float:
+        """Pw / Pr; raises for a write-only workload."""
+        _require(self.read_fraction > 0.0, "workload has no read-only transactions")
+        return self.write_fraction / self.read_fraction
+
+
+@dataclass(frozen=True)
+class ConflictProfile:
+    """Parameters of the uniform conflict model of Section 3.3.1.
+
+    ``db_update_size`` is the number of rows that update transactions may
+    modify; each update transaction modifies ``updates_per_transaction``
+    uniformly chosen rows.  The probability that one update operation
+    conflicts with one concurrent update operation is
+    ``p = 1 / db_update_size``.
+    """
+
+    db_update_size: int
+    updates_per_transaction: int
+
+    def __post_init__(self) -> None:
+        _require(self.db_update_size >= 1, "DbUpdateSize must be >= 1")
+        _require(self.updates_per_transaction >= 1, "U must be >= 1")
+        _require(
+            self.updates_per_transaction <= self.db_update_size,
+            "U cannot exceed DbUpdateSize",
+        )
+
+    @property
+    def p(self) -> float:
+        """Per-operation conflict probability, ``1 / DbUpdateSize``."""
+        return 1.0 / self.db_update_size
+
+
+@dataclass(frozen=True)
+class StandaloneProfile:
+    """Everything the models need, measured on a standalone database (§4).
+
+    This is the output of :mod:`repro.profiling` and the input of
+    :mod:`repro.models`.  The point of the paper is that this profile is
+    sufficient to predict replicated performance.
+    """
+
+    mix: WorkloadMix
+    demands: ServiceDemands
+    #: A1 — probability that an update transaction aborts on the standalone
+    #: database (0 for read-only workloads).
+    abort_rate: float = 0.0
+    #: L(1) — mean response time of update transactions on the standalone
+    #: database (its conflict window), in seconds.
+    update_response_time: float = 0.0
+    #: W — committed update transactions per second at the profiled
+    #: standalone operating point.  Optional: when present, the
+    #: single-master model scales the abort exposure by the *predicted*
+    #: system update throughput instead of assuming the master commits
+    #: ``N*W`` (which over-states conflicts once the master saturates).
+    update_rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.abort_rate < 1.0, "A1 must be in [0, 1)")
+        _require(
+            self.update_rate is None or self.update_rate >= 0.0,
+            "update rate must be non-negative",
+        )
+        _require(
+            self.update_response_time >= 0.0, "L(1) must be non-negative"
+        )
+        if self.mix.write_fraction > 0.0:
+            _require(
+                self.update_response_time > 0.0,
+                "workloads with updates need a positive L(1)",
+            )
+
+    def replace(self, **changes) -> "StandaloneProfile":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Deployment parameters for a replicated run (§3.1, §6.1)."""
+
+    #: N — number of replicas (for single-master: 1 master + N-1 slaves).
+    replicas: int
+    #: C — number of closed-loop clients per replica; the system serves
+    #: ``replicas * clients_per_replica`` clients in total.
+    clients_per_replica: int
+    #: Z — mean client think time in seconds (the paper uses 1.0 s effective).
+    think_time: float = 1.0
+    #: Combined load-balancer and network delay (the paper assumes 1 ms).
+    load_balancer_delay: float = 0.001
+    #: Certification delay for the multi-master design (the paper uses 12 ms).
+    certifier_delay: float = 0.012
+    #: Multiprogramming level: the maximum number of client transactions a
+    #: database executes concurrently (the application-server connection
+    #: pool in the paper's testbed).  Clients beyond it queue for admission
+    #: *before* receiving a snapshot, which bounds the conflict window of an
+    #: overloaded server.  ``None`` disables admission control.
+    max_concurrency: Optional[int] = 32
+
+    def __post_init__(self) -> None:
+        _require(self.replicas >= 1, f"need at least 1 replica, got {self.replicas}")
+        _require(
+            self.clients_per_replica >= 1,
+            f"need at least 1 client per replica, got {self.clients_per_replica}",
+        )
+        _require(self.think_time >= 0.0, "think time must be non-negative")
+        _require(self.load_balancer_delay >= 0.0, "LB delay must be non-negative")
+        _require(self.certifier_delay >= 0.0, "certifier delay must be non-negative")
+        _require(
+            self.max_concurrency is None or self.max_concurrency >= 1,
+            "max_concurrency must be >= 1 (or None for no admission control)",
+        )
+
+    @property
+    def total_clients(self) -> int:
+        """N * C — the closed-loop population of the whole system."""
+        return self.replicas * self.clients_per_replica
+
+    def with_replicas(self, replicas: int) -> "ReplicationConfig":
+        """Return a copy targeting a different replica count."""
+        return dataclasses.replace(self, replicas=replicas)
+
+
+def replica_sweep(config: ReplicationConfig, replica_counts: Iterable[int]):
+    """Yield copies of *config* for each replica count in *replica_counts*."""
+    for n in replica_counts:
+        yield config.with_replicas(n)

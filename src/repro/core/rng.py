@@ -1,0 +1,92 @@
+"""Deterministic random-number utilities for the simulator and workloads.
+
+Every stochastic component takes an explicit seed so experiments are
+reproducible run-to-run.  ``spawn`` derives independent child streams from a
+parent seed, so adding a new random consumer never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator, Sequence
+
+import numpy as np
+
+#: Default seed used by experiments when none is given.
+DEFAULT_SEED = 20090401  # EuroSys 2009, April 1 — the paper's presentation day.
+
+
+def make_rng(seed: int = DEFAULT_SEED) -> np.random.Generator:
+    """Create a :class:`numpy.random.Generator` from an integer seed."""
+    return np.random.default_rng(seed)
+
+
+def _stable_hash(value: object) -> int:
+    """Hash *value* identically in every process.
+
+    Python's built-in ``hash`` is salted per process (PYTHONHASHSEED), which
+    would make derived streams — and therefore whole experiments —
+    unreproducible across runs.
+    """
+    digest = hashlib.sha256(str(value).encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+def spawn(seed: int, *path: object) -> np.random.Generator:
+    """Derive an independent generator for a named component.
+
+    ``spawn(seed, "replica", 3, "cpu")`` always yields the same stream for
+    the same (seed, path) pair — in every process — and streams with
+    different paths are statistically independent.
+    """
+    entropy = [seed] + [_stable_hash(p) for p in path]
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+def exponential(rng: np.random.Generator, mean: float) -> float:
+    """Draw one exponential sample with the given *mean* (0 mean -> 0)."""
+    if mean <= 0.0:
+        return 0.0
+    return float(rng.exponential(mean))
+
+
+def choice_index(rng: np.random.Generator, weights: Sequence[float]) -> int:
+    """Pick an index with probability proportional to *weights*."""
+    total = float(sum(weights))
+    if total <= 0.0:
+        raise ValueError("weights must have a positive sum")
+    u = rng.random() * total
+    acc = 0.0
+    for i, w in enumerate(weights):
+        acc += w
+        if u < acc:
+            return i
+    return len(weights) - 1
+
+
+def sample_rows(
+    rng: np.random.Generator, db_update_size: int, count: int
+) -> frozenset:
+    """Sample *count* distinct row ids uniformly from [0, db_update_size).
+
+    Models the paper's uniform-update assumption (§3.4, assumption 4): each
+    update transaction modifies U uniformly chosen rows with no hotspot.
+    """
+    if count > db_update_size:
+        raise ValueError("cannot sample more rows than DbUpdateSize")
+    if count * 4 >= db_update_size:
+        # Dense case: a permutation draw is cheaper than rejection sampling.
+        return frozenset(
+            int(r) for r in rng.choice(db_update_size, size=count, replace=False)
+        )
+    rows = set()
+    while len(rows) < count:
+        rows.add(int(rng.integers(0, db_update_size)))
+    return frozenset(rows)
+
+
+def seeds(seed: int, count: int) -> Iterator[int]:
+    """Yield *count* distinct derived seeds from a parent seed."""
+    ss = np.random.SeedSequence(seed)
+    for child in ss.spawn(count):
+        yield int(child.generate_state(1)[0])

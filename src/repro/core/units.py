@@ -1,0 +1,34 @@
+"""Time-unit helpers.
+
+The whole library works in **seconds** internally.  The paper reports service
+demands and delays in milliseconds, so these helpers keep conversions explicit
+and greppable instead of scattering ``/ 1000.0`` across the code base.
+"""
+
+from __future__ import annotations
+
+#: Seconds per millisecond.
+MS = 1e-3
+
+#: Seconds per microsecond.
+US = 1e-6
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds (``ms(12) == 0.012``)."""
+    return value * MS
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds (``to_ms(0.012) == 12.0``)."""
+    return seconds / MS
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * US
+
+
+def per_second(rate_per_ms: float) -> float:
+    """Convert a per-millisecond rate to a per-second rate."""
+    return rate_per_ms / MS

@@ -1,0 +1,85 @@
+"""Experiment harness: regenerate every table and figure of §6."""
+
+from .ablations import (
+    conflict_window_ablation,
+    distribution_ablation,
+    lb_policy_ablation,
+    mva_ablation,
+)
+from .context import clear_cache, get_profile, get_profiling_report
+from .failover import FailoverResult, failover_experiment
+from .figures import (
+    AbortCurve,
+    Figure14Result,
+    FigureResult,
+    clear_sweep_cache,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    validation_sweep,
+)
+from .sensitivity import (
+    CertifierCapacityResult,
+    DelaySensitivityResult,
+    ErrorMarginResult,
+    certifier_capacity,
+    certifier_delay_sensitivity,
+    error_margin,
+    lb_delay_sensitivity,
+)
+from .openloop import OpenClosedResult, open_vs_closed
+from .report import FIGURE_RUNNERS, full_report, summary_table
+from .settings import PAPER_REPLICA_COUNTS, ExperimentSettings
+from .tables import DemandTable, ParameterTable, table2, table3, table4, table5
+
+__all__ = [
+    "AbortCurve",
+    "CertifierCapacityResult",
+    "DelaySensitivityResult",
+    "DemandTable",
+    "ErrorMarginResult",
+    "ExperimentSettings",
+    "FailoverResult",
+    "failover_experiment",
+    "Figure14Result",
+    "FigureResult",
+    "PAPER_REPLICA_COUNTS",
+    "ParameterTable",
+    "certifier_capacity",
+    "certifier_delay_sensitivity",
+    "clear_cache",
+    "clear_sweep_cache",
+    "conflict_window_ablation",
+    "distribution_ablation",
+    "error_margin",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "full_report",
+    "FIGURE_RUNNERS",
+    "summary_table",
+    "get_profile",
+    "get_profiling_report",
+    "lb_policy_ablation",
+    "lb_delay_sensitivity",
+    "mva_ablation",
+    "open_vs_closed",
+    "OpenClosedResult",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "validation_sweep",
+]

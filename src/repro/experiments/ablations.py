@@ -1,0 +1,214 @@
+"""Ablations for the design choices called out in DESIGN.md.
+
+* :func:`mva_ablation` — exact MVA vs Schweitzer's approximation at the
+  populations the experiments use.
+* :func:`conflict_window_ablation` — the paper's one-step-lag conflict
+  window vs a converged per-population fixed point (§4.1.1 notes the lag
+  "slightly underestimates the abort probability").
+* :func:`distribution_ablation` — MVA assumes exponential service demands
+  (§3.4 assumption 6); the simulator can draw deterministic or lognormal
+  demands instead to probe how much the prediction error moves.
+* :func:`lb_policy_ablation` — the prototypes route to the least-loaded
+  replica while the model statically partitions clients (§3.4 assumption
+  6, "perfect load balancing").  Least-loaded routing outperforms static
+  partitioning at high utilization, which is why measured response times
+  can undercut predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.params import CPU, DISK
+from ..models.demands import standalone_demand
+from ..models.multimaster import (
+    CW_FIXED_POINT,
+    CW_ONE_STEP_LAG,
+    MultiMasterOptions,
+    predict_multimaster,
+)
+from ..queueing.mva import approximate_mva, solve_mva
+from ..queueing.network import ClosedNetwork, queueing_center
+from ..simulator.runner import simulate
+from ..workloads import tpcw
+from .context import get_profile
+from .figures import MULTI_MASTER
+from .settings import ExperimentSettings
+
+
+@dataclass(frozen=True)
+class MVAAblationRow:
+    """Exact vs approximate MVA at one population."""
+
+    population: int
+    exact_throughput: float
+    approximate_throughput: float
+
+    @property
+    def relative_error(self) -> float:
+        """Approximation error relative to the exact solution."""
+        return (
+            abs(self.approximate_throughput - self.exact_throughput)
+            / self.exact_throughput
+        )
+
+
+def mva_ablation(
+    populations: Sequence[int] = (1, 5, 10, 20, 40, 80, 200),
+) -> List[MVAAblationRow]:
+    """Compare exact MVA against Schweitzer on the TPC-W shopping network."""
+    spec = tpcw.SHOPPING
+    demand = standalone_demand(spec.demands, spec.mix, abort_rate=0.0)
+    network = ClosedNetwork(
+        centers=(
+            queueing_center(CPU, demand.cpu),
+            queueing_center(DISK, demand.disk),
+        ),
+        think_time=spec.think_time,
+    )
+    rows = []
+    for n in populations:
+        exact = solve_mva(network, n).throughput
+        approx = approximate_mva(network, n).throughput
+        rows.append(
+            MVAAblationRow(
+                population=n,
+                exact_throughput=exact,
+                approximate_throughput=approx,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class ConflictWindowAblationRow:
+    """Predicted abort rate under the two conflict-window schemes."""
+
+    replicas: int
+    one_step_lag_abort: float
+    fixed_point_abort: float
+
+
+def conflict_window_ablation(
+    settings: ExperimentSettings = ExperimentSettings(),
+    replica_counts: Sequence[int] = (2, 4, 8, 16),
+) -> List[ConflictWindowAblationRow]:
+    """One-step-lag (paper) vs converged conflict-window fixed point."""
+    spec = tpcw.SHOPPING
+    profile = get_profile(spec, settings)
+    rows = []
+    for n in replica_counts:
+        config = spec.replication_config(n)
+        lag = predict_multimaster(
+            profile, config, options=MultiMasterOptions(cw_mode=CW_ONE_STEP_LAG)
+        ).abort_rate
+        fp = predict_multimaster(
+            profile, config, options=MultiMasterOptions(cw_mode=CW_FIXED_POINT)
+        ).abort_rate
+        rows.append(
+            ConflictWindowAblationRow(
+                replicas=n, one_step_lag_abort=lag, fixed_point_abort=fp
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class DistributionAblationRow:
+    """Prediction error when the simulator draws non-exponential demands."""
+
+    distribution: str
+    measured_throughput: float
+    predicted_throughput: float
+
+    @property
+    def relative_error(self) -> float:
+        """Prediction error against this distribution's measurement."""
+        return (
+            abs(self.predicted_throughput - self.measured_throughput)
+            / self.measured_throughput
+        )
+
+
+@dataclass(frozen=True)
+class LBPolicyAblationRow:
+    """Measured performance under one load-balancer routing policy."""
+
+    policy: str
+    measured_throughput: float
+    measured_response_time: float
+    predicted_throughput: float
+    predicted_response_time: float
+
+
+def lb_policy_ablation(
+    settings: ExperimentSettings = ExperimentSettings(),
+    replicas: int = 8,
+    policies: Sequence[str] = ("least-loaded", "pinned", "random"),
+) -> List[LBPolicyAblationRow]:
+    """Compare LB routing policies against the model's static partition."""
+    spec = tpcw.SHOPPING
+    profile = get_profile(spec, settings)
+    config = spec.replication_config(
+        replicas,
+        load_balancer_delay=settings.load_balancer_delay,
+        certifier_delay=settings.certifier_delay,
+    )
+    prediction = predict_multimaster(profile, config)
+    rows = []
+    for policy in policies:
+        result = simulate(
+            spec,
+            config,
+            design=MULTI_MASTER,
+            seed=settings.seed,
+            warmup=settings.sim_warmup,
+            duration=settings.sim_duration,
+            lb_policy=policy,
+        )
+        rows.append(
+            LBPolicyAblationRow(
+                policy=policy,
+                measured_throughput=result.throughput,
+                measured_response_time=result.response_time,
+                predicted_throughput=prediction.throughput,
+                predicted_response_time=prediction.response_time,
+            )
+        )
+    return rows
+
+
+def distribution_ablation(
+    settings: ExperimentSettings = ExperimentSettings(),
+    replicas: int = 4,
+    distributions: Sequence[str] = ("exponential", "deterministic", "lognormal"),
+) -> List[DistributionAblationRow]:
+    """Probe MVA's exponential-service assumption (§3.4, assumption 6)."""
+    spec = tpcw.SHOPPING
+    profile = get_profile(spec, settings)
+    config = spec.replication_config(
+        replicas,
+        load_balancer_delay=settings.load_balancer_delay,
+        certifier_delay=settings.certifier_delay,
+    )
+    predicted = predict_multimaster(profile, config).throughput
+    rows = []
+    for distribution in distributions:
+        measured = simulate(
+            spec,
+            config,
+            design=MULTI_MASTER,
+            seed=settings.seed,
+            warmup=settings.sim_warmup,
+            duration=settings.sim_duration,
+            distribution=distribution,
+        ).throughput
+        rows.append(
+            DistributionAblationRow(
+                distribution=distribution,
+                measured_throughput=measured,
+                predicted_throughput=predicted,
+            )
+        )
+    return rows

@@ -1,0 +1,61 @@
+"""Shared profiling context: measure once, predict many times.
+
+Every figure needs the standalone profile of its workloads.  Profiling is
+the expensive step (four simulation runs per workload), so results are
+cached per (workload, settings) within the process — mirroring how the
+paper measures the standalone system once and reuses the numbers for every
+prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.params import StandaloneProfile
+from ..profiling.profiler import ProfilingReport, profile_standalone
+from ..workloads.spec import WorkloadSpec
+from .settings import ExperimentSettings
+
+_cache: Dict[Tuple, ProfilingReport] = {}
+
+
+def _cache_key(spec: WorkloadSpec, settings: ExperimentSettings) -> Tuple:
+    conflict = spec.conflict
+    return (
+        spec.name,
+        None if conflict is None else (conflict.db_update_size,
+                                       conflict.updates_per_transaction),
+        settings.seed,
+        settings.profile_duration,
+        settings.profile_mixed_duration,
+    )
+
+
+def get_profiling_report(
+    spec: WorkloadSpec, settings: ExperimentSettings
+) -> ProfilingReport:
+    """Profile *spec* on the standalone simulator (cached)."""
+    key = _cache_key(spec, settings)
+    if key not in _cache:
+        _cache[key] = profile_standalone(
+            spec,
+            seed=settings.seed,
+            replay_duration=settings.profile_duration,
+            mixed_duration=settings.profile_mixed_duration,
+        )
+    return _cache[key]
+
+
+def get_profile(spec: WorkloadSpec, settings: ExperimentSettings) -> StandaloneProfile:
+    """The measured standalone profile for *spec* (cached)."""
+    return get_profiling_report(spec, settings).profile
+
+
+def clear_cache() -> None:
+    """Drop all cached profiles (tests use this for isolation)."""
+    _cache.clear()
+
+
+def cache_size() -> int:
+    """Number of cached profiling reports."""
+    return len(_cache)

@@ -1,0 +1,132 @@
+"""Failover experiment: throughput through a replica crash and recovery.
+
+An extension beyond the paper's evaluation (the paper motivates replication
+with fault tolerance but measures only steady state): crash one replica
+mid-run, watch the committed throughput dip while the survivors absorb the
+load, and watch the recovery — including the multi-master catch-up burst
+while the returning replica applies the writesets it missed.
+
+The analytical model supplies the reference lines: the steady-state
+prediction for N replicas (before/after) and for N-1 replicas scaled to the
+same client population bound (during).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.errors import ConfigurationError
+from ..models.api import predict as model_predict
+from ..simulator.faults import ReplicaFault
+from ..simulator.runner import simulate
+from ..workloads.spec import WorkloadSpec
+from .context import get_profile
+from .settings import ExperimentSettings
+
+
+@dataclass(frozen=True)
+class FailoverResult:
+    """Measured throughput phases around one replica fault."""
+
+    design: str
+    replicas: int
+    fault: ReplicaFault
+    #: Mean committed tps before / during / after the outage.
+    before: float
+    during: float
+    after: float
+    #: Steady-state model predictions with N and N-1 replicas.
+    predicted_healthy: float
+    predicted_degraded: float
+    #: Per-second committed throughput over the measurement window.
+    timeline: Sequence[float]
+
+    @property
+    def dip_fraction(self) -> float:
+        """Fractional throughput lost while the replica was down."""
+        if self.before <= 0:
+            raise ConfigurationError("no pre-fault throughput measured")
+        return max(0.0, 1.0 - self.during / self.before)
+
+    @property
+    def recovered(self) -> bool:
+        """True when post-recovery throughput is within 10% of pre-fault."""
+        return self.after >= 0.9 * self.before
+
+    def to_text(self) -> str:
+        """Render a small report."""
+        lines = [
+            f"failover: {self.design}, N={self.replicas}, replica "
+            f"{self.fault.replica_index} down "
+            f"[{self.fault.start:.0f}s, {self.fault.end:.0f}s)",
+            f"  before {self.before:7.1f} tps   (model N:   "
+            f"{self.predicted_healthy:7.1f} tps)",
+            f"  during {self.during:7.1f} tps   (model N-1: "
+            f"{self.predicted_degraded:7.1f} tps)",
+            f"  after  {self.after:7.1f} tps   -> "
+            f"{'recovered' if self.recovered else 'NOT recovered'}",
+        ]
+        return "\n".join(lines)
+
+
+def failover_experiment(
+    spec: WorkloadSpec,
+    design: str = "multi-master",
+    replicas: int = 4,
+    fault_replica: int = 1,
+    settings: ExperimentSettings = ExperimentSettings(),
+    phase_length: float = 30.0,
+) -> FailoverResult:
+    """Crash one replica for *phase_length* seconds mid-run and measure.
+
+    The run has three equal phases: healthy, degraded, recovered.  Phase
+    means skip 5 s of settling after each transition.
+    """
+    if replicas < 2:
+        raise ConfigurationError("failover needs at least 2 replicas")
+    warmup = settings.sim_warmup
+    duration = 3 * phase_length
+    fault = ReplicaFault(
+        replica_index=fault_replica,
+        start=warmup + phase_length,
+        downtime=phase_length,
+    )
+    config = spec.replication_config(
+        replicas,
+        load_balancer_delay=settings.load_balancer_delay,
+        certifier_delay=settings.certifier_delay,
+    )
+    result = simulate(
+        spec,
+        config,
+        design=design,
+        seed=settings.seed,
+        warmup=warmup,
+        duration=duration,
+        faults=[fault],
+    )
+    timeline = list(result.throughput_timeline)
+
+    def phase_mean(start: float, end: float) -> float:
+        lo, hi = int(start) + 5, int(end)
+        values = timeline[lo:hi]
+        return sum(values) / len(values) if values else 0.0
+
+    profile = get_profile(spec, settings)
+    healthy = model_predict(design, profile, config).throughput
+    degraded = model_predict(
+        design, profile, config.with_replicas(replicas - 1)
+    ).throughput
+
+    return FailoverResult(
+        design=design,
+        replicas=replicas,
+        fault=fault,
+        before=phase_mean(0, phase_length),
+        during=phase_mean(phase_length, 2 * phase_length),
+        after=phase_mean(2 * phase_length, 3 * phase_length),
+        predicted_healthy=healthy,
+        predicted_degraded=degraded,
+        timeline=tuple(timeline),
+    )

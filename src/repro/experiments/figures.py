@@ -1,0 +1,326 @@
+"""Reproduction of Figures 6-14: predicted vs measured scalability curves.
+
+Each ``figureN`` function regenerates the corresponding paper artifact:
+
+====== ====================================================== =============
+Figure Contents                                                Runner
+====== ====================================================== =============
+6      TPC-W throughput, multi-master, 3 mixes, N=1..16       :func:`figure6`
+7      TPC-W response time, multi-master                      :func:`figure7`
+8      TPC-W throughput, single-master                        :func:`figure8`
+9      TPC-W response time, single-master                     :func:`figure9`
+10     RUBiS throughput, multi-master                         :func:`figure10`
+11     RUBiS response time, multi-master                      :func:`figure11`
+12     RUBiS throughput, single-master                        :func:`figure12`
+13     RUBiS response time, single-master                     :func:`figure13`
+14     Multi-master abort probability at elevated A1          :func:`figure14`
+====== ====================================================== =============
+
+The *measured* side is the discrete-event simulation of the prototypes; the
+*predicted* side is the analytical model fed only by standalone profiling.
+Sweeps are cached per (benchmark, design, settings), so figure pairs that
+share runs (6/7, 8/9, 10/11, 12/13) cost one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.results import (
+    OperatingPoint,
+    ValidationPoint,
+    ValidationSeries,
+)
+from ..core.units import to_ms
+from ..models.api import predict as model_predict
+from ..models.multimaster import predict_multimaster
+from ..simulator.runner import simulate
+from ..workloads import microbench, rubis, tpcw
+from ..workloads.spec import WorkloadSpec
+from .context import get_profile, get_profiling_report
+from .settings import ExperimentSettings
+
+MULTI_MASTER = "multi-master"
+SINGLE_MASTER = "single-master"
+
+_BENCHMARKS: Dict[str, Dict[str, WorkloadSpec]] = {
+    "tpcw": dict(tpcw.MIXES),
+    "rubis": dict(rubis.MIXES),
+}
+
+_sweep_cache: Dict[Tuple, Dict[str, ValidationSeries]] = {}
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """One reproduced figure: a family of predicted-vs-measured curves."""
+
+    figure_id: str
+    title: str
+    #: Which operating-point field the figure plots.
+    metric: str  # "throughput" | "response_time"
+    #: Mix name -> validation series (one curve pair per mix).
+    series: Dict[str, ValidationSeries]
+
+    def max_error(self) -> float:
+        """Worst relative error of the plotted metric across all curves."""
+        errors = []
+        for validation in self.series.values():
+            for row in validation.rows:
+                if self.metric == "throughput":
+                    errors.append(row.throughput_error)
+                else:
+                    errors.append(row.response_time_error)
+        return max(errors)
+
+    def to_text(self) -> str:
+        """Render the figure as a paper-style text table."""
+        lines = [f"{self.figure_id}: {self.title}"]
+        unit = "tps" if self.metric == "throughput" else "ms"
+        for mix, validation in self.series.items():
+            lines.append(f"  [{mix}]")
+            lines.append(
+                f"    {'N':>3s} {'measured':>12s} {'predicted':>12s} {'err%':>7s}"
+            )
+            for row in validation.rows:
+                measured, predicted = _metric_values(self.metric, row)
+                err = abs(predicted - measured) / measured * 100.0
+                lines.append(
+                    f"    {row.replicas:>3d} {measured:>10.1f} {unit} "
+                    f"{predicted:>9.1f} {unit} {err:>6.1f}%"
+                )
+        return "\n".join(lines)
+
+
+def _metric_values(metric: str, row: ValidationPoint) -> Tuple[float, float]:
+    if metric == "throughput":
+        return row.measured.throughput, row.predicted.throughput
+    return to_ms(row.measured.response_time), to_ms(row.predicted.response_time)
+
+
+def validation_sweep(
+    benchmark: str,
+    design: str,
+    settings: ExperimentSettings,
+) -> Dict[str, ValidationSeries]:
+    """Predicted and measured curves for every mix of *benchmark* (cached)."""
+    key = (benchmark, design, settings)
+    if key in _sweep_cache:
+        return _sweep_cache[key]
+    result: Dict[str, ValidationSeries] = {}
+    for mix_name, spec in _BENCHMARKS[benchmark].items():
+        result[mix_name] = _validate_mix(spec, design, settings)
+    _sweep_cache[key] = result
+    return result
+
+
+def _validate_mix(
+    spec: WorkloadSpec, design: str, settings: ExperimentSettings
+) -> ValidationSeries:
+    profile = get_profile(spec, settings)
+    rows: List[ValidationPoint] = []
+    for n in settings.replica_counts:
+        config = spec.replication_config(
+            n,
+            load_balancer_delay=settings.load_balancer_delay,
+            certifier_delay=settings.certifier_delay,
+        )
+        predicted = model_predict(design, profile, config).point
+        measured = simulate(
+            spec,
+            config,
+            design=design,
+            seed=settings.seed,
+            warmup=settings.sim_warmup,
+            duration=settings.sim_duration,
+        ).point
+        rows.append(
+            ValidationPoint(replicas=n, predicted=predicted, measured=measured)
+        )
+    return ValidationSeries(label=f"{spec.name} {design}", rows=rows)
+
+
+def clear_sweep_cache() -> None:
+    """Drop cached sweeps (tests use this for isolation)."""
+    _sweep_cache.clear()
+
+
+# ---------------------------------------------------------------------------
+# Figures 6-13
+# ---------------------------------------------------------------------------
+
+
+def _figure(
+    figure_id: str,
+    title: str,
+    benchmark: str,
+    design: str,
+    metric: str,
+    settings: ExperimentSettings,
+) -> FigureResult:
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        metric=metric,
+        series=validation_sweep(benchmark, design, settings),
+    )
+
+
+def figure6(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+    """TPC-W throughput on the multi-master system."""
+    return _figure(
+        "figure6", "TPC-W throughput on MM system", "tpcw",
+        MULTI_MASTER, "throughput", settings,
+    )
+
+
+def figure7(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+    """TPC-W response time on the multi-master system."""
+    return _figure(
+        "figure7", "TPC-W response time on MM system", "tpcw",
+        MULTI_MASTER, "response_time", settings,
+    )
+
+
+def figure8(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+    """TPC-W throughput on the single-master system."""
+    return _figure(
+        "figure8", "TPC-W throughput on SM system", "tpcw",
+        SINGLE_MASTER, "throughput", settings,
+    )
+
+
+def figure9(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+    """TPC-W response time on the single-master system."""
+    return _figure(
+        "figure9", "TPC-W response time on SM system", "tpcw",
+        SINGLE_MASTER, "response_time", settings,
+    )
+
+
+def figure10(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+    """RUBiS throughput on the multi-master system."""
+    return _figure(
+        "figure10", "RUBiS throughput on MM system", "rubis",
+        MULTI_MASTER, "throughput", settings,
+    )
+
+
+def figure11(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+    """RUBiS response time on the multi-master system."""
+    return _figure(
+        "figure11", "RUBiS response time on MM system", "rubis",
+        MULTI_MASTER, "response_time", settings,
+    )
+
+
+def figure12(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+    """RUBiS throughput on the single-master system."""
+    return _figure(
+        "figure12", "RUBiS throughput on SM system", "rubis",
+        SINGLE_MASTER, "throughput", settings,
+    )
+
+
+def figure13(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+    """RUBiS response time on the single-master system."""
+    return _figure(
+        "figure13", "RUBiS response time on SM system", "rubis",
+        SINGLE_MASTER, "response_time", settings,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: abort probability under artificially raised conflict rates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbortCurve:
+    """One Figure-14 curve: abort probability vs N at a fixed A1."""
+
+    target_a1: float
+    measured_a1: float
+    replica_counts: Sequence[int]
+    measured: Sequence[float]
+    predicted: Sequence[float]
+
+
+@dataclass(frozen=True)
+class Figure14Result:
+    """All Figure-14 curves."""
+
+    curves: Sequence[AbortCurve]
+
+    def to_text(self) -> str:
+        """Render as a paper-style text table."""
+        lines = ["figure14: TPC-W shopping MM abort probabilities"]
+        for curve in self.curves:
+            lines.append(
+                f"  [A1 target={curve.target_a1:.2%} "
+                f"measured={curve.measured_a1:.2%}]"
+            )
+            lines.append(f"    {'N':>3s} {'measured AN':>12s} {'predicted AN':>13s}")
+            for n, m, p in zip(curve.replica_counts, curve.measured, curve.predicted):
+                lines.append(f"    {n:>3d} {m:>11.2%} {p:>12.2%}")
+        return "\n".join(lines)
+
+
+def figure14(
+    settings: ExperimentSettings = ExperimentSettings(),
+    abort_rates: Sequence[float] = microbench.FIGURE14_ABORT_RATES,
+) -> Figure14Result:
+    """Multi-master abort probability with an injected high-conflict table.
+
+    Following §6.3.3: the conflict footprint of TPC-W shopping is shrunk
+    (the "heap table") until the standalone abort rate A1 reaches each
+    target; the model then predicts AN from the *measured* A1 while the
+    simulator measures AN directly.
+    """
+    base = tpcw.SHOPPING
+    base_report = get_profiling_report(base, settings)
+    base_profile = base_report.profile
+    update_rate = (
+        base_report.standalone_throughput * base_profile.mix.write_fraction
+    )
+
+    curves: List[AbortCurve] = []
+    for target in abort_rates:
+        spec = microbench.heap_table_spec(
+            target,
+            update_response_time=base_profile.update_response_time,
+            update_rate=update_rate,
+            base=base,
+        )
+        report = get_profiling_report(spec, settings)
+        profile = report.profile
+        measured_an: List[float] = []
+        predicted_an: List[float] = []
+        for n in settings.replica_counts:
+            config = spec.replication_config(
+                n,
+                load_balancer_delay=settings.load_balancer_delay,
+                certifier_delay=settings.certifier_delay,
+            )
+            predicted_an.append(predict_multimaster(profile, config).abort_rate)
+            measured_an.append(
+                simulate(
+                    spec,
+                    config,
+                    design=MULTI_MASTER,
+                    seed=settings.seed,
+                    warmup=settings.sim_warmup,
+                    duration=settings.sim_duration,
+                ).abort_rate
+            )
+        curves.append(
+            AbortCurve(
+                target_a1=target,
+                measured_a1=profile.abort_rate,
+                replica_counts=tuple(settings.replica_counts),
+                measured=tuple(measured_an),
+                predicted=tuple(predicted_an),
+            )
+        )
+    return Figure14Result(curves=tuple(curves))

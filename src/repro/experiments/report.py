@@ -1,0 +1,111 @@
+"""Full reproduction reports: regenerate every artifact into one document.
+
+:func:`full_report` runs Tables 2-5, Figures 6-14, the §6.3 sensitivity
+analyses, and the ablations, and renders them as one text report — the
+program behind ``repro reproduce`` and ``scripts/run_all_experiments.py``.
+:func:`summary_table` condenses the validation into the per-series error
+table of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from . import ablations, figures, sensitivity, tables
+from .settings import ExperimentSettings
+
+#: The figure runners in paper order.
+FIGURE_RUNNERS = tuple(
+    getattr(figures, f"figure{i}") for i in range(6, 14)
+)
+
+
+def summary_table(settings: ExperimentSettings) -> str:
+    """The §6.2 error-margin summary as a text table."""
+    return sensitivity.error_margin(settings).to_text()
+
+
+def full_report(
+    settings: Optional[ExperimentSettings] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> str:
+    """Regenerate every paper artifact; returns the combined text report.
+
+    *progress* (if given) receives one line per completed artifact, for
+    long-running invocations that want a heartbeat.
+    """
+    settings = settings or ExperimentSettings()
+    started = time.time()
+    sections: List[str] = []
+
+    def note(name: str) -> None:
+        if progress is not None:
+            progress(f"[{time.time() - started:6.0f}s] {name} done")
+
+    sections.append(tables.table2().to_text())
+    sections.append(tables.table4().to_text())
+    note("tables 2/4")
+
+    for runner, name in ((tables.table3, "table3"), (tables.table5, "table5")):
+        table = runner(settings)
+        sections.append(table.to_text())
+        sections.append(
+            f"  -> max profiling error {table.max_relative_error():.2%}"
+        )
+        note(name)
+
+    for runner in FIGURE_RUNNERS:
+        figure = runner(settings)
+        sections.append(figure.to_text())
+        sections.append(
+            f"  -> max {figure.metric} error {figure.max_error():.1%}"
+        )
+        note(figure.__name__)
+
+    fig14 = figures.figure14(settings)
+    sections.append(fig14.to_text())
+    note("figure14")
+
+    sections.append(sensitivity.lb_delay_sensitivity(settings).to_text())
+    sections.append(sensitivity.certifier_delay_sensitivity(settings).to_text())
+    sections.append(sensitivity.certifier_capacity().to_text())
+    sections.append(summary_table(settings))
+    note("sensitivity")
+
+    sections.append(_ablation_section(settings))
+    note("ablations")
+
+    return "\n\n".join(sections)
+
+
+def _ablation_section(settings: ExperimentSettings) -> str:
+    lines: List[str] = ["mva ablation (exact vs Schweitzer):"]
+    for row in ablations.mva_ablation():
+        lines.append(
+            f"  n={row.population:>4d} exact={row.exact_throughput:8.2f} "
+            f"schweitzer={row.approximate_throughput:8.2f} "
+            f"err={row.relative_error:.2%}"
+        )
+    lines.append("conflict-window ablation (one-step lag vs fixed point):")
+    for row in ablations.conflict_window_ablation(settings):
+        lines.append(
+            f"  N={row.replicas:>2d} lag={row.one_step_lag_abort:.4%} "
+            f"fixed={row.fixed_point_abort:.4%}"
+        )
+    lines.append("service-distribution ablation (MM, N=4):")
+    for row in ablations.distribution_ablation(settings):
+        lines.append(
+            f"  {row.distribution:<14s} measured={row.measured_throughput:7.1f} "
+            f"predicted={row.predicted_throughput:7.1f} "
+            f"err={row.relative_error:.1%}"
+        )
+    lines.append("lb-policy ablation (MM, N=8):")
+    for row in ablations.lb_policy_ablation(settings):
+        lines.append(
+            f"  {row.policy:<13s} measured X={row.measured_throughput:7.1f} "
+            f"R={row.measured_response_time * 1000:6.1f}ms | predicted "
+            f"X={row.predicted_throughput:7.1f} "
+            f"R={row.predicted_response_time * 1000:6.1f}ms"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Experiment configuration shared by all figure/table runners.
+
+The paper measures 15-minute steady-state windows on real hardware; the
+simulated equivalents below are shorter but still collect thousands of
+transactions per point.  ``ExperimentSettings.fast()`` is used by the test
+suite; benchmarks default to ``ExperimentSettings()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from ..core.rng import DEFAULT_SEED
+
+#: Replica counts the paper sweeps (x-axis of Figures 6-13).
+PAPER_REPLICA_COUNTS: Tuple[int, ...] = (1, 2, 4, 6, 8, 12, 16)
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs controlling experiment fidelity vs runtime."""
+
+    replica_counts: Tuple[int, ...] = PAPER_REPLICA_COUNTS
+    seed: int = DEFAULT_SEED
+    #: Simulated warm-up discarded before measurement (paper: 600 s).
+    sim_warmup: float = 10.0
+    #: Simulated measurement window (paper: 900 s).
+    sim_duration: float = 60.0
+    #: Replay duration for each profiling stage (§4).
+    profile_duration: float = 120.0
+    #: Mixed-run duration for L(1)/A1 measurement.
+    profile_mixed_duration: float = 120.0
+    #: Load-balancer + network delay (§6.3.1).
+    load_balancer_delay: float = 0.001
+    #: Certification delay (§6.3.2).
+    certifier_delay: float = 0.012
+
+    @classmethod
+    def fast(cls) -> "ExperimentSettings":
+        """Cheap settings for CI: fewer points, shorter windows."""
+        return cls(
+            replica_counts=(1, 4, 8),
+            sim_warmup=4.0,
+            sim_duration=16.0,
+            profile_duration=40.0,
+            profile_mixed_duration=40.0,
+        )
+
+    def with_replica_counts(self, counts: Tuple[int, ...]) -> "ExperimentSettings":
+        """Return a copy sweeping different replica counts."""
+        return replace(self, replica_counts=tuple(counts))

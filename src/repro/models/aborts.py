@@ -1,0 +1,141 @@
+"""Abort-rate algebra of Section 3.3 of the paper.
+
+Under snapshot isolation an update transaction aborts iff one of its ``U``
+row updates conflicts with an update of a *concurrent* committed
+transaction.  With uniform updates over ``DbUpdateSize`` rows
+(``p = 1/DbUpdateSize``), a conflict window ``L`` and a system-wide update
+commit rate ``W``:
+
+    Success = (1 - p) ** (L * W * U**2)
+    Abort   = 1 - Success
+
+The key modelling trick (§3.3.2) is that the replicated abort rate relates
+to the standalone one through the ratio of conflict-window exposure, so the
+conflict parameters ``p`` and ``U`` cancel:
+
+    (1 - AN)  = (1 - A1) ** (N * CW(N) / L(1))      (multi-master)
+    (1 - A'N) = (1 - A1) ** (N * L_master / L(1))   (single-master master)
+
+which lets the models predict replicated abort rates from the standalone
+measurement ``A1`` alone.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.errors import ConfigurationError
+from ..core.params import ConflictProfile
+
+
+def success_probability(
+    conflict: ConflictProfile, conflict_window: float, update_rate: float
+) -> float:
+    """Probability that an update transaction commits (§3.3.1).
+
+    ``conflict_window`` is the interval during which the transaction is
+    vulnerable (seconds); ``update_rate`` is the rate of *committed* update
+    transactions it competes with (per second).
+    """
+    if conflict_window < 0:
+        raise ConfigurationError("conflict window must be non-negative")
+    if update_rate < 0:
+        raise ConfigurationError("update rate must be non-negative")
+    exponent = conflict_window * update_rate * conflict.updates_per_transaction**2
+    return (1.0 - conflict.p) ** exponent
+
+
+def standalone_abort_rate(
+    conflict: ConflictProfile, update_response_time: float, update_rate: float
+) -> float:
+    """A1 — abort probability on a standalone database (§3.3.1).
+
+    ``update_response_time`` is L(1); ``update_rate`` is W, the committed
+    update transactions per second on the standalone system.
+    """
+    return 1.0 - success_probability(conflict, update_response_time, update_rate)
+
+
+def scale_abort_rate(a1: float, exposure_ratio: float) -> float:
+    """Scale a standalone abort rate by a conflict-window exposure ratio.
+
+    Computes ``1 - (1 - a1) ** exposure_ratio`` in a numerically stable way
+    (`a1` is typically well below 1%, so we work with ``log1p``).
+    """
+    if not 0.0 <= a1 < 1.0:
+        raise ConfigurationError(f"A1 must be in [0, 1), got {a1}")
+    if exposure_ratio < 0.0:
+        raise ConfigurationError("exposure ratio must be non-negative")
+    if a1 == 0.0:
+        return 0.0
+    scaled = -math.expm1(exposure_ratio * math.log1p(-a1))
+    # Mathematically the result is < 1; keep it strictly below 1 under
+    # floating-point rounding so retry inflation (1/(1-A)) stays finite.
+    return min(scaled, 1.0 - 1e-12)
+
+
+def multimaster_abort_rate(
+    a1: float, replicas: int, conflict_window: float, standalone_window: float
+) -> float:
+    """AN — abort probability in an N-replica multi-master system (§3.3.2).
+
+    ``(1 - AN) = (1 - A1) ** (N * CW(N) / L(1))``.
+    """
+    if replicas < 1:
+        raise ConfigurationError("replicas must be >= 1")
+    if standalone_window <= 0.0:
+        if a1 == 0.0:
+            return 0.0
+        raise ConfigurationError("L(1) must be positive when A1 > 0")
+    return scale_abort_rate(a1, replicas * conflict_window / standalone_window)
+
+
+def master_abort_rate(
+    a1: float, replicas: int, master_latency: float, standalone_window: float
+) -> float:
+    """A'N — abort probability at the master of a single-master system.
+
+    The master resolves all conflicts locally like a standalone database but
+    sees ``N`` times the update rate, and its conflict window is the update
+    execution time *on the master* (§3.3.3, §2):
+    ``(1 - A'N) = (1 - A1) ** (N * L_master / L(1))``.
+    """
+    if replicas < 1:
+        raise ConfigurationError("replicas must be >= 1")
+    if standalone_window <= 0.0:
+        if a1 == 0.0:
+            return 0.0
+        raise ConfigurationError("L(1) must be positive when A1 > 0")
+    return scale_abort_rate(a1, replicas * master_latency / standalone_window)
+
+
+def retry_inflation(abort_rate: float) -> float:
+    """Work multiplier from retried aborts: ``1 / (1 - A)`` (§3.3.1).
+
+    To commit W update transactions, ``W / (1 - A)`` must be submitted.
+    """
+    if not 0.0 <= abort_rate < 1.0:
+        raise ConfigurationError(f"abort rate must be in [0, 1), got {abort_rate}")
+    return 1.0 / (1.0 - abort_rate)
+
+
+def db_update_size_for_abort_rate(
+    target_a1: float,
+    updates_per_transaction: int,
+    update_response_time: float,
+    update_rate: float,
+) -> int:
+    """Invert the A1 formula: the DbUpdateSize that yields *target_a1*.
+
+    Used by the Figure 14 experiment, which injects a heap table sized to
+    produce standalone abort rates of 0.24%, 0.53% and 0.90%.
+    """
+    if not 0.0 < target_a1 < 1.0:
+        raise ConfigurationError("target A1 must be in (0, 1)")
+    if update_response_time <= 0.0 or update_rate <= 0.0:
+        raise ConfigurationError("L(1) and W must be positive")
+    exponent = update_response_time * update_rate * updates_per_transaction**2
+    # Solve (1-p)^exponent = 1 - target  =>  p = 1 - (1-target)^(1/exponent)
+    p = -math.expm1(math.log1p(-target_a1) / exponent)
+    size = max(updates_per_transaction, int(round(1.0 / p)))
+    return size

@@ -1,0 +1,107 @@
+"""High-level prediction API.
+
+This is the public entry point a capacity planner uses: feed it a
+:class:`~repro.core.params.StandaloneProfile` (measured with
+:mod:`repro.profiling`) and a deployment plan, get back throughput and
+response-time predictions for any replica count — without deploying the
+replicated system, which is the paper's headline capability.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+from ..core.params import ReplicationConfig, StandaloneProfile
+from ..core.results import Prediction, ScalabilityCurve
+from .multimaster import MultiMasterOptions, predict_multimaster
+from .singlemaster import SingleMasterOptions, predict_singlemaster
+from .standalone import predict_standalone
+
+#: Replicated system designs supported by the models.
+MULTI_MASTER = "multi-master"
+SINGLE_MASTER = "single-master"
+DESIGNS = (MULTI_MASTER, SINGLE_MASTER)
+
+
+def predict(
+    design: str,
+    profile: StandaloneProfile,
+    config: ReplicationConfig,
+    *,
+    mm_options: Optional[MultiMasterOptions] = None,
+    sm_options: Optional[SingleMasterOptions] = None,
+) -> Prediction:
+    """Predict performance of *design* ("multi-master" or "single-master")."""
+    if design == MULTI_MASTER:
+        return predict_multimaster(profile, config, options=mm_options)
+    if design == SINGLE_MASTER:
+        return predict_singlemaster(profile, config, options=sm_options)
+    raise ConfigurationError(f"unknown design {design!r}; expected one of {DESIGNS}")
+
+
+def predict_curve(
+    design: str,
+    profile: StandaloneProfile,
+    config: ReplicationConfig,
+    replica_counts: Sequence[int],
+    *,
+    mm_options: Optional[MultiMasterOptions] = None,
+    sm_options: Optional[SingleMasterOptions] = None,
+) -> ScalabilityCurve:
+    """Predict a whole scalability curve across *replica_counts*."""
+    counts = list(replica_counts)
+    if not counts:
+        raise ConfigurationError("replica_counts must not be empty")
+    points = []
+    for n in counts:
+        prediction = predict(
+            design,
+            profile,
+            config.with_replicas(n),
+            mm_options=mm_options,
+            sm_options=sm_options,
+        )
+        points.append(prediction.point)
+    return ScalabilityCurve(
+        label=f"{design} (predicted)", replica_counts=counts, points=points
+    )
+
+
+def compare_designs(
+    profile: StandaloneProfile,
+    config: ReplicationConfig,
+    replica_counts: Iterable[int],
+) -> dict:
+    """Predict both designs side by side (capacity-planning helper).
+
+    Returns ``{design: ScalabilityCurve}`` so a planner can see, e.g., where
+    the single-master design saturates while multi-master keeps scaling.
+    """
+    counts = list(replica_counts)
+    return {
+        design: predict_curve(design, profile, config, counts)
+        for design in DESIGNS
+    }
+
+
+def replicas_for_throughput(
+    design: str,
+    profile: StandaloneProfile,
+    config: ReplicationConfig,
+    target_throughput: float,
+    max_replicas: int = 64,
+) -> Optional[int]:
+    """Smallest replica count whose predicted throughput meets the target.
+
+    Returns ``None`` when the design cannot reach the target within
+    *max_replicas* (e.g. a saturated single-master system) — the dynamic
+    provisioning use case from the paper's introduction.
+    """
+    if target_throughput <= 0:
+        raise ConfigurationError("target throughput must be positive")
+    for n in range(1, max_replicas + 1):
+        prediction = predict(design, profile, config.with_replicas(n))
+        if prediction.throughput >= target_throughput:
+            return n
+    return None

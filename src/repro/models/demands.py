@@ -1,0 +1,117 @@
+"""Service-demand equations of Section 3.3.
+
+Each function returns the **mix-average demand of one transaction** at one
+resource, combining read work, (retry-inflated) update work, and writeset
+application work according to the system design:
+
+* standalone (§3.3.1):     ``D(1)   = Pr*rc + Pw*wc/(1-A1)``
+* multi-master (§3.3.2):   ``DMM(N) = Pr*rc + Pw*wc/(1-AN) + (N-1)*Pw*ws``
+* SM master (§3.3.3):      per update, ``wc/(1-A'N)``; with extra reads E the
+  master demand mixes reads and updates by their throughput shares.
+* SM slave (§3.3.3):       per read, ``rc + ws * (applied writesets per read)``
+  which reduces to ``rc + (N-1)*(Pw/Pr)*ws`` when no reads execute on the
+  master.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ConfigurationError
+from ..core.params import ResourceDemand, ServiceDemands, WorkloadMix
+from .aborts import retry_inflation
+
+
+def standalone_demand(
+    demands: ServiceDemands, mix: WorkloadMix, abort_rate: float
+) -> ResourceDemand:
+    """D(1): mix-average standalone demand with retried aborts (§3.3.1)."""
+    inflation = retry_inflation(abort_rate) if mix.write_fraction > 0.0 else 1.0
+    return ResourceDemand(
+        cpu=mix.read_fraction * demands.read.cpu
+        + mix.write_fraction * demands.write.cpu * inflation,
+        disk=mix.read_fraction * demands.read.disk
+        + mix.write_fraction * demands.write.disk * inflation,
+    )
+
+
+def multimaster_demand(
+    demands: ServiceDemands,
+    mix: WorkloadMix,
+    replicas: int,
+    abort_rate: float,
+) -> ResourceDemand:
+    """DMM(N): per-transaction demand at a multi-master replica (§3.3.2).
+
+    Each replica serves its local mix plus ``(N-1) * Pw`` propagated
+    writesets per local transaction; local update attempts are inflated by
+    retries (propagated writesets never abort).
+    """
+    if replicas < 1:
+        raise ConfigurationError("replicas must be >= 1")
+    inflation = retry_inflation(abort_rate) if mix.write_fraction > 0.0 else 1.0
+    remote = (replicas - 1) * mix.write_fraction
+    return ResourceDemand(
+        cpu=mix.read_fraction * demands.read.cpu
+        + mix.write_fraction * demands.write.cpu * inflation
+        + remote * demands.writeset.cpu,
+        disk=mix.read_fraction * demands.read.disk
+        + mix.write_fraction * demands.write.disk * inflation
+        + remote * demands.writeset.disk,
+    )
+
+
+def master_update_demand(
+    demands: ServiceDemands, abort_rate: float
+) -> ResourceDemand:
+    """Per committed update transaction at the SM master: ``wc/(1-A'N)``."""
+    return demands.write.scaled(retry_inflation(abort_rate))
+
+
+def master_mixed_demand(
+    demands: ServiceDemands,
+    abort_rate: float,
+    update_rate: float,
+    extra_read_rate: float,
+) -> ResourceDemand:
+    """Mix-average master demand when it also serves E extra reads (§3.3.3).
+
+    ``D_master = E/(E+NW) * rc + NW/(E+NW) * wc/(1-A'N)`` with throughput
+    shares taken from the current balancing iterate.
+    """
+    total = update_rate + extra_read_rate
+    if total <= 0.0:
+        raise ConfigurationError("master serves no transactions")
+    read_share = extra_read_rate / total
+    write_share = update_rate / total
+    inflated = master_update_demand(demands, abort_rate)
+    return ResourceDemand(
+        cpu=read_share * demands.read.cpu + write_share * inflated.cpu,
+        disk=read_share * demands.read.disk + write_share * inflated.disk,
+    )
+
+
+def slave_demand(
+    demands: ServiceDemands,
+    mix: WorkloadMix,
+    replicas: int,
+    writesets_per_read: float = None,
+) -> ResourceDemand:
+    """Per committed read transaction at an SM slave (§3.3.3).
+
+    Each slave applies *all* system writesets; folding that work into the
+    read demand gives ``rc + ws * writesets_per_read``.  When
+    ``writesets_per_read`` is not supplied it defaults to the balanced-load
+    value ``(N-1) * Pw / Pr`` from the paper (each slave serves
+    ``N*R/(N-1)`` reads and applies ``N*W`` writesets).
+    """
+    if replicas < 2:
+        raise ConfigurationError("a single-master system with slaves needs N >= 2")
+    if writesets_per_read is None:
+        if mix.read_fraction <= 0.0:
+            raise ConfigurationError("slave demand undefined for write-only mixes")
+        writesets_per_read = (replicas - 1) * mix.write_fraction / mix.read_fraction
+    if writesets_per_read < 0.0:
+        raise ConfigurationError("writesets_per_read must be non-negative")
+    return ResourceDemand(
+        cpu=demands.read.cpu + demands.writeset.cpu * writesets_per_read,
+        disk=demands.read.disk + demands.writeset.disk * writesets_per_read,
+    )

@@ -1,0 +1,188 @@
+"""Analytical model of the multi-master replicated database (§3.2.1, §3.3.2).
+
+One replica is modelled as a closed separable network (Figure 1 of the
+paper): CPU and disk are queueing centers; the load balancer and the
+certifier are delay centers; clients think for ``Z`` seconds between
+transactions.  All ``N`` replicas are identical under perfect load
+balancing, so the model solves one replica with ``C`` clients and scales
+throughput by ``N``.
+
+The subtlety is the **conflict-window fixed point**: the per-transaction
+demand depends on the abort rate ``AN``, which depends on the conflict
+window ``CW(N)``, which depends on residence times, which depend on the
+demand.  Following §4.1.1 we drive the exact MVA recurrence one client at a
+time and seed iteration ``i+1`` with the conflict window observed at
+iteration ``i``.  An optional mode iterates each population step to a
+converged fixed point instead (ablation; the paper notes the one-step lag
+"slightly underestimates the abort probability").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import ConfigurationError, ConvergenceError
+from ..core.params import (
+    CPU,
+    DISK,
+    ReplicationConfig,
+    StandaloneProfile,
+)
+from ..core.results import OperatingPoint, Prediction, ReplicaBreakdown
+from ..queueing.mva import MVAStepper
+from ..queueing.network import ClosedNetwork, delay_center, queueing_center
+from .aborts import multimaster_abort_rate
+from .demands import multimaster_demand
+
+#: Name of the load-balancer delay center.
+LB = "load_balancer"
+#: Name of the certifier delay center.
+CERTIFIER = "certifier"
+
+#: How the conflict window is updated across MVA iterations.
+CW_ONE_STEP_LAG = "one_step_lag"  # the paper's scheme (§4.1.1)
+CW_FIXED_POINT = "fixed_point"  # converged fixed point per population step
+_CW_MODES = (CW_ONE_STEP_LAG, CW_FIXED_POINT)
+
+
+@dataclass(frozen=True)
+class MultiMasterOptions:
+    """Tuning knobs for the multi-master solver."""
+
+    #: Conflict-window update scheme; see module docstring.
+    cw_mode: str = CW_ONE_STEP_LAG
+    #: Convergence tolerance on AN for the fixed-point mode.
+    tolerance: float = 1e-10
+    #: Iteration cap for the fixed-point mode.
+    max_fixed_point_iterations: int = 200
+
+    def __post_init__(self) -> None:
+        if self.cw_mode not in _CW_MODES:
+            raise ConfigurationError(
+                f"cw_mode must be one of {_CW_MODES}, got {self.cw_mode!r}"
+            )
+
+
+def _build_network(config: ReplicationConfig, write_fraction: float) -> ClosedNetwork:
+    return ClosedNetwork(
+        centers=(
+            queueing_center(CPU, 0.0),
+            queueing_center(DISK, 0.0),
+            delay_center(LB, config.load_balancer_delay),
+            # Only update transactions visit the certifier, so its
+            # per-transaction demand carries a visit ratio of Pw.
+            delay_center(CERTIFIER, write_fraction * config.certifier_delay),
+        ),
+        think_time=config.think_time,
+    )
+
+
+def predict_multimaster(
+    profile: StandaloneProfile,
+    config: ReplicationConfig,
+    options: Optional[MultiMasterOptions] = None,
+) -> Prediction:
+    """Predict throughput/response time of an N-replica multi-master system.
+
+    Inputs are purely standalone measurements (*profile*) plus deployment
+    parameters (*config*), per the paper's headline claim.
+    """
+    options = options or MultiMasterOptions()
+    mix = profile.mix
+    demands = profile.demands
+    n = config.replicas
+
+    network = _build_network(config, mix.write_fraction)
+    stepper = MVAStepper(network)
+
+    # Initial conflict window: the standalone window plus certification,
+    # evaluated before any queueing builds up.
+    abort_rate = 0.0
+    conflict_window = profile.update_response_time + config.certifier_delay
+    if mix.write_fraction > 0.0:
+        abort_rate = multimaster_abort_rate(
+            profile.abort_rate, n, conflict_window, profile.update_response_time
+        )
+
+    solution = None
+    for _ in range(config.clients_per_replica):
+        demand = multimaster_demand(demands, mix, n, abort_rate)
+        stepper.set_demands({CPU: demand.cpu, DISK: demand.disk})
+        solution = stepper.step()
+        if mix.write_fraction > 0.0:
+            conflict_window, abort_rate = _update_conflict_state(
+                profile, config, solution, options, abort_rate
+            )
+
+    assert solution is not None
+    system_throughput = n * solution.throughput
+    point = OperatingPoint(
+        throughput=system_throughput,
+        response_time=solution.response_time,
+        abort_rate=abort_rate,
+        utilization=dict(solution.utilization),
+    )
+    breakdown = ReplicaBreakdown(
+        role="replica",
+        throughput=solution.throughput,
+        clients=float(config.clients_per_replica),
+        utilization=dict(solution.utilization),
+        residence_times=dict(solution.residence_times),
+    )
+    return Prediction(
+        replicas=n,
+        point=point,
+        conflict_window=conflict_window if mix.write_fraction > 0.0 else 0.0,
+        breakdown=(breakdown,),
+    )
+
+
+def _update_conflict_state(profile, config, solution, options, abort_rate):
+    """Recompute (CW, AN) from the latest MVA solution."""
+    if options.cw_mode == CW_ONE_STEP_LAG:
+        cw = _conflict_window(profile, config, solution, abort_rate)
+        an = multimaster_abort_rate(
+            profile.abort_rate, config.replicas, cw, profile.update_response_time
+        )
+        return cw, an
+
+    # Fixed-point mode: iterate CW -> AN -> update-demand residence until
+    # the abort rate stabilises for this population.
+    an = abort_rate
+    cw = _conflict_window(profile, config, solution, an)
+    for iteration in range(options.max_fixed_point_iterations):
+        new_an = multimaster_abort_rate(
+            profile.abort_rate, config.replicas, cw, profile.update_response_time
+        )
+        new_cw = _conflict_window(profile, config, solution, new_an)
+        if abs(new_an - an) < options.tolerance:
+            return new_cw, new_an
+        an, cw = new_an, new_cw
+    raise ConvergenceError(
+        "conflict-window fixed point did not converge",
+        iterations=options.max_fixed_point_iterations,
+    )
+
+
+def _conflict_window(profile, config, solution, abort_rate) -> float:
+    """CW = update-transaction CPU + disk residence + certification (§4.1.1).
+
+    Residence times are evaluated for the *update class* via the arrival
+    theorem: an arriving update waits behind the mix-average queue but
+    receives its own (retry-inflated) service demand.  The queue an
+    executing transaction shares the server with is capped at the
+    multiprogramming level: clients beyond it wait for admission *before*
+    taking their snapshot, so they do not extend the conflict window.
+    """
+    from .demands import master_update_demand  # local import to avoid cycle noise
+
+    update_demand = master_update_demand(profile.demands, abort_rate)
+    queue_cap = (
+        None if config.max_concurrency is None else config.max_concurrency - 1
+    )
+    residence = solution.residence_seen_by(
+        {CPU: update_demand.cpu, DISK: update_demand.disk},
+        queue_cap=queue_cap,
+    )
+    return residence + config.certifier_delay

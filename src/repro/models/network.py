@@ -1,0 +1,118 @@
+"""Network-bandwidth budgets for update propagation (§6.3.1).
+
+The paper verifies that the LAN is never the bottleneck: gigabit links
+carry 275-byte writesets, and "the maximum bandwidth to/from the certifier
+in the most demanding run is less than 1 Mbit/s, orders of magnitude lower
+than the available bandwidth".  These helpers reproduce that arithmetic for
+any predicted operating point, so capacity planners can check the
+LAN-deployment assumption (§3.4, assumption 7) before trusting the models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+
+#: Gigabit Ethernet, the paper's interconnect (§6.1), in bits per second.
+GIGABIT = 1_000_000_000.0
+
+#: Protocol overhead per writeset message (headers, framing, version info).
+_MESSAGE_OVERHEAD_BYTES = 60
+
+
+@dataclass(frozen=True)
+class NetworkBudget:
+    """Bandwidth demands of one replicated operating point."""
+
+    #: Committed update transactions per second, system wide.
+    update_throughput: float
+    replicas: int
+    writeset_bytes: int
+    link_bits_per_second: float = GIGABIT
+
+    def __post_init__(self) -> None:
+        if self.update_throughput < 0:
+            raise ConfigurationError("update throughput must be >= 0")
+        if self.replicas < 1:
+            raise ConfigurationError("replicas must be >= 1")
+        if self.writeset_bytes < 0:
+            raise ConfigurationError("writeset size must be >= 0")
+        if self.link_bits_per_second <= 0:
+            raise ConfigurationError("link speed must be positive")
+
+    @property
+    def message_bits(self) -> float:
+        """Wire size of one writeset message in bits."""
+        return 8.0 * (self.writeset_bytes + _MESSAGE_OVERHEAD_BYTES)
+
+    @property
+    def certifier_ingress_bits_per_second(self) -> float:
+        """Traffic into the certifier: every update's writeset, once."""
+        return self.update_throughput * self.message_bits
+
+    @property
+    def certifier_egress_bits_per_second(self) -> float:
+        """Traffic out of the certifier: each writeset to N-1 other replicas.
+
+        (The origin replica already holds its own updates.)
+        """
+        return (
+            self.update_throughput * (self.replicas - 1) * self.message_bits
+        )
+
+    @property
+    def per_replica_ingress_bits_per_second(self) -> float:
+        """Propagation traffic into one replica (remote writesets)."""
+        if self.replicas == 1:
+            return 0.0
+        # Each replica receives the writesets of all others; with perfect
+        # balancing that is (N-1)/N of the system update rate.
+        share = (self.replicas - 1) / self.replicas
+        return self.update_throughput * share * self.message_bits
+
+    @property
+    def certifier_link_utilization(self) -> float:
+        """Busiest certifier direction as a fraction of link capacity."""
+        busiest = max(
+            self.certifier_ingress_bits_per_second,
+            self.certifier_egress_bits_per_second,
+        )
+        return busiest / self.link_bits_per_second
+
+    @property
+    def lan_assumption_holds(self) -> bool:
+        """True when propagation uses under 1% of the link (§6.3.1 regime)."""
+        return self.certifier_link_utilization < 0.01
+
+    def to_text(self) -> str:
+        """Render the budget."""
+        return (
+            f"network budget: {self.update_throughput:.0f} updates/s x "
+            f"{self.writeset_bytes} B over {self.replicas} replicas -> "
+            f"certifier in {self.certifier_ingress_bits_per_second/1e6:.2f} "
+            f"Mbit/s, out {self.certifier_egress_bits_per_second/1e6:.2f} "
+            f"Mbit/s ({self.certifier_link_utilization:.3%} of link)"
+        )
+
+
+def budget_for_prediction(
+    prediction,
+    write_fraction: float,
+    writeset_bytes: int,
+    link_bits_per_second: float = GIGABIT,
+) -> NetworkBudget:
+    """Build a budget from a model prediction.
+
+    ``prediction`` is a :class:`~repro.core.results.Prediction`;
+    ``write_fraction`` is the workload's Pw (committed updates =
+    ``Pw * throughput``).
+    """
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigurationError("write fraction must be in [0, 1]")
+    return NetworkBudget(
+        update_throughput=write_fraction * prediction.throughput,
+        replicas=prediction.replicas,
+        writeset_bytes=writeset_bytes,
+        link_bits_per_second=link_bits_per_second,
+    )

@@ -1,0 +1,198 @@
+"""Capacity planning and dynamic provisioning on top of the predictors.
+
+The paper's introduction names two consumers for its models: *capacity
+planning* and *dynamic service provisioning* in data centers whose load
+follows diurnal cycles.  This module implements both:
+
+* :func:`replicas_for_response_time` — smallest deployment meeting a
+  latency SLA;
+* :func:`plan_deployment` — pick a design and size for a joint
+  throughput + latency target, with head-room;
+* :func:`provisioning_schedule` — replica counts per period for a load
+  forecast (the diurnal-cycle use case), plus how many replica-hours the
+  predictions save against static peak provisioning.
+
+Everything here consumes only a :class:`~repro.core.params.StandaloneProfile`
+— the point of the paper is that no replicated measurements are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.params import ReplicationConfig, StandaloneProfile
+from .api import DESIGNS, predict
+
+
+def replicas_for_response_time(
+    design: str,
+    profile: StandaloneProfile,
+    config: ReplicationConfig,
+    max_response_time: float,
+    max_replicas: int = 64,
+) -> Optional[int]:
+    """Smallest replica count whose predicted response time meets the SLA.
+
+    Returns ``None`` when no deployment up to *max_replicas* meets it
+    (e.g. the SLA is below the zero-load service time, or a saturated
+    single-master system whose latency grows with N).
+    """
+    if max_response_time <= 0:
+        raise ConfigurationError("max response time must be positive")
+    for n in range(1, max_replicas + 1):
+        prediction = predict(design, profile, config.with_replicas(n))
+        if prediction.response_time <= max_response_time:
+            return n
+    return None
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """A sized deployment meeting throughput and latency targets."""
+
+    design: str
+    replicas: int
+    predicted_throughput: float
+    predicted_response_time: float
+    #: Fraction of predicted capacity the target consumes (<= 1).
+    load_factor: float
+
+
+def plan_deployment(
+    profile: StandaloneProfile,
+    config: ReplicationConfig,
+    target_throughput: float,
+    max_response_time: Optional[float] = None,
+    designs: Sequence[str] = DESIGNS,
+    headroom: float = 0.0,
+    max_replicas: int = 64,
+) -> Optional[DeploymentPlan]:
+    """Choose the cheapest (fewest replicas) deployment meeting the targets.
+
+    ``headroom`` over-provisions capacity by the given fraction (0.2 keeps
+    20% spare).  Ties between designs break toward fewer replicas, then
+    toward multi-master (the more scalable design).
+    """
+    if target_throughput <= 0:
+        raise ConfigurationError("target throughput must be positive")
+    if not 0.0 <= headroom < 1.0:
+        raise ConfigurationError("headroom must be in [0, 1)")
+    required = target_throughput / (1.0 - headroom)
+
+    best: Optional[DeploymentPlan] = None
+    for design in designs:
+        for n in range(1, max_replicas + 1):
+            prediction = predict(design, profile, config.with_replicas(n))
+            if prediction.throughput < required:
+                continue
+            if (
+                max_response_time is not None
+                and prediction.response_time > max_response_time
+            ):
+                continue
+            plan = DeploymentPlan(
+                design=design,
+                replicas=n,
+                predicted_throughput=prediction.throughput,
+                predicted_response_time=prediction.response_time,
+                load_factor=target_throughput / prediction.throughput,
+            )
+            if best is None or plan.replicas < best.replicas:
+                best = plan
+            break  # smallest n for this design found
+    return best
+
+
+@dataclass(frozen=True)
+class ProvisioningSchedule:
+    """Replica counts per forecast period."""
+
+    design: str
+    #: (period label, offered load tps, replicas) per period.
+    periods: Tuple[Tuple[str, float, int], ...]
+    #: Replicas a static deployment would need for the peak period.
+    static_replicas: int
+
+    @property
+    def replica_periods(self) -> int:
+        """Total replica-periods the dynamic schedule uses."""
+        return sum(replicas for _, _, replicas in self.periods)
+
+    @property
+    def static_replica_periods(self) -> int:
+        """Replica-periods under static peak provisioning."""
+        return self.static_replicas * len(self.periods)
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of replica-periods saved vs static provisioning."""
+        static = self.static_replica_periods
+        if static == 0:
+            return 0.0
+        return 1.0 - self.replica_periods / static
+
+    def to_text(self) -> str:
+        """Render the schedule."""
+        lines = [f"provisioning schedule ({self.design}):"]
+        for label, load, replicas in self.periods:
+            bar = "#" * replicas
+            lines.append(f"  {label:>8s} {load:8.1f} tps -> {replicas:2d} {bar}")
+        lines.append(
+            f"  dynamic {self.replica_periods} replica-periods vs static "
+            f"{self.static_replica_periods} "
+            f"({self.savings_fraction:.0%} saved)"
+        )
+        return "\n".join(lines)
+
+
+def provisioning_schedule(
+    design: str,
+    profile: StandaloneProfile,
+    config: ReplicationConfig,
+    load_forecast: Sequence[Tuple[str, float]],
+    headroom: float = 0.1,
+    max_replicas: int = 64,
+) -> ProvisioningSchedule:
+    """Size the system per forecast period (the diurnal-cycle use case).
+
+    *load_forecast* is a sequence of ``(period label, offered tps)`` pairs.
+    Raises when any period's load is unreachable for this design — the
+    signal to switch designs or shard.
+    """
+    if not load_forecast:
+        raise ConfigurationError("load forecast must not be empty")
+    if not 0.0 <= headroom < 1.0:
+        raise ConfigurationError("headroom must be in [0, 1)")
+
+    # Predictions are monotone-ish in N but sizing each period is cheap;
+    # cache by target bucket via the per-design capacity curve.
+    capacities: List[float] = []  # capacities[n-1] = predicted tps at n
+    def capacity(n: int) -> float:
+        while len(capacities) < n:
+            prediction = predict(
+                design, profile, config.with_replicas(len(capacities) + 1)
+            )
+            capacities.append(prediction.throughput)
+        return capacities[n - 1]
+
+    def size_for(load: float) -> int:
+        required = load / (1.0 - headroom)
+        for n in range(1, max_replicas + 1):
+            if capacity(n) >= required:
+                return n
+        raise ConfigurationError(
+            f"{design} cannot serve {load:.1f} tps (+{headroom:.0%} headroom) "
+            f"within {max_replicas} replicas"
+        )
+
+    periods = tuple(
+        (label, load, size_for(load)) for label, load in load_forecast
+    )
+    peak = max(load for _, load in load_forecast)
+    return ProvisioningSchedule(
+        design=design,
+        periods=periods,
+        static_replicas=size_for(peak),
+    )

@@ -1,0 +1,71 @@
+"""Analytical model of the standalone (non-replicated) database.
+
+This is the N=1 baseline of every scalability curve and the reference the
+profiler validates against.  The standalone database is a closed network of
+the CPU and disk with ``C`` clients and think time ``Z`` (§3.3.1); no load
+balancer, no certifier.
+"""
+
+from __future__ import annotations
+
+from ..core.params import (
+    CPU,
+    DISK,
+    ReplicationConfig,
+    StandaloneProfile,
+)
+from ..core.results import OperatingPoint, Prediction, ReplicaBreakdown
+from ..queueing.mva import solve_mva
+from ..queueing.network import ClosedNetwork, queueing_center
+from .demands import standalone_demand
+
+
+def predict_standalone(
+    profile: StandaloneProfile,
+    clients: int,
+    think_time: float = 1.0,
+) -> Prediction:
+    """Predict standalone throughput and response time for *clients* users.
+
+    The abort rate used is the measured standalone rate A1 from *profile*;
+    retried update work inflates the update demand by ``1/(1-A1)``.
+    """
+    demand = standalone_demand(profile.demands, profile.mix, profile.abort_rate)
+    network = ClosedNetwork(
+        centers=(
+            queueing_center(CPU, demand.cpu),
+            queueing_center(DISK, demand.disk),
+        ),
+        think_time=think_time,
+    )
+    solution = solve_mva(network, clients)
+    point = OperatingPoint(
+        throughput=solution.throughput,
+        response_time=solution.response_time,
+        abort_rate=profile.abort_rate if profile.mix.write_fraction > 0 else 0.0,
+        utilization=dict(solution.utilization),
+    )
+    breakdown = ReplicaBreakdown(
+        role="standalone",
+        throughput=solution.throughput,
+        clients=float(clients),
+        utilization=dict(solution.utilization),
+        residence_times=dict(solution.residence_times),
+    )
+    return Prediction(
+        replicas=1,
+        point=point,
+        conflict_window=profile.update_response_time,
+        breakdown=(breakdown,),
+    )
+
+
+def predict_standalone_from_config(
+    profile: StandaloneProfile, config: ReplicationConfig
+) -> Prediction:
+    """Standalone prediction using the client/think settings of *config*."""
+    return predict_standalone(
+        profile,
+        clients=config.clients_per_replica,
+        think_time=config.think_time,
+    )

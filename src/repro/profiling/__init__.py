@@ -1,0 +1,29 @@
+"""Standalone-database profiling: the §4 parameter-estimation pipeline."""
+
+from .log import (
+    READ_ONLY,
+    UPDATE,
+    LogRecord,
+    TransactionLog,
+    capture_log,
+    extract_writesets,
+)
+from .profiler import (
+    ProfilingReport,
+    measure_class_demand,
+    measure_service_demands,
+    profile_standalone,
+)
+
+__all__ = [
+    "LogRecord",
+    "ProfilingReport",
+    "READ_ONLY",
+    "TransactionLog",
+    "UPDATE",
+    "capture_log",
+    "extract_writesets",
+    "measure_class_demand",
+    "measure_service_demands",
+    "profile_standalone",
+]

@@ -1,0 +1,459 @@
+"""Exact Mean Value Analysis (MVA) for closed queueing networks.
+
+This module implements the standard algorithms the paper relies on
+[Lazowska 1984]:
+
+* :class:`MVAStepper` — exact single-class MVA, advanced one customer at a
+  time.  The multi-master model needs this incremental form because the
+  paper re-estimates the conflict window (and hence the service demands)
+  *between MVA iterations* ("we approximate CW(N) at iteration i+1 by the
+  sum of CPU, disk residence time and certification time at iteration i",
+  §4.1.1).
+* :func:`solve_mva` — convenience wrapper with linear interpolation for
+  fractional populations (the single-master balancing algorithm produces
+  non-integer client counts such as ``Pr*C*N/(N-1)``).
+* :func:`solve_mva_multiclass` — exact multiclass MVA over the full
+  population lattice, used by the single-master model when the master
+  serves both update transactions and extra read-only transactions.
+* :func:`approximate_mva` — Schweitzer's fixed-point approximation, kept as
+  an ablation to show exact MVA is worth it at these population sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError, ConvergenceError
+from .network import Center, CenterKind, ClosedNetwork, MulticlassNetwork
+
+
+@dataclass(frozen=True)
+class MVASolution:
+    """Steady-state metrics of a single-class closed network.
+
+    ``response_time`` covers the service centers only (think time excluded),
+    matching how the paper reports client-perceived latency.
+    """
+
+    population: float
+    throughput: float
+    response_time: float
+    residence_times: Dict[str, float] = field(default_factory=dict)
+    queue_lengths: Dict[str, float] = field(default_factory=dict)
+    #: Queue length an arriving customer sees (the arrival theorem: the
+    #: network state with one customer removed).  Used to derive
+    #: class-specific residence times such as the conflict window.
+    arrival_queue_lengths: Dict[str, float] = field(default_factory=dict)
+    utilization: Dict[str, float] = field(default_factory=dict)
+
+    def residence_seen_by(
+        self,
+        demands: Mapping[str, float],
+        queue_cap: Optional[float] = None,
+    ) -> float:
+        """Residence time of a tagged customer with custom *demands*.
+
+        By the arrival theorem a customer arriving at queueing center *k*
+        waits for the ``Q_k(n-1)`` customers already there and then receives
+        its own service.  This lets us evaluate the residence time of a
+        specific transaction class (e.g. update transactions, whose demand
+        is ``wc`` rather than the mix average) in a network solved with
+        mix-average demands.
+
+        ``queue_cap`` bounds the queue an arrival can share the server with,
+        modelling admission control: under a multiprogramming level of M, a
+        transaction *executes* alongside at most M-1 others, so its
+        execution time (and hence its conflict window) is bounded even when
+        the closed-loop population piles up in the admission queue.
+        """
+        total = 0.0
+        for name, demand in demands.items():
+            if name not in self.arrival_queue_lengths:
+                raise ConfigurationError(f"unknown center {name!r}")
+            queue = self.arrival_queue_lengths[name]
+            if queue_cap is not None:
+                queue = min(queue, queue_cap)
+            total += demand * (1.0 + queue)
+        return total
+
+
+class MVAStepper:
+    """Exact MVA advanced one customer at a time with mutable demands.
+
+    Usage::
+
+        stepper = MVAStepper(network)
+        for _ in range(population):
+            stepper.set_demands({"cpu": new_cpu_demand})   # optional
+            solution = stepper.step()
+
+    Each :meth:`step` adds one customer and returns the exact solution **if
+    the demands had been constant at their current values** — which is the
+    approximation the paper makes when it lets the conflict window evolve
+    with the iteration number.
+    """
+
+    def __init__(self, network: ClosedNetwork) -> None:
+        self._network = network
+        self._centers: List[Center] = list(network.centers)
+        self._think_time = network.think_time
+        self._queue: Dict[str, float] = {c.name: 0.0 for c in self._centers}
+        self._population = 0
+        self._demands: Dict[str, float] = {c.name: c.demand for c in self._centers}
+
+    @property
+    def population(self) -> int:
+        """Number of customers added so far."""
+        return self._population
+
+    @property
+    def demands(self) -> Dict[str, float]:
+        """Current per-center demands (a copy)."""
+        return dict(self._demands)
+
+    def set_demands(self, demands: Mapping[str, float]) -> None:
+        """Replace the demands of the named centers before the next step."""
+        for name, demand in demands.items():
+            if name not in self._demands:
+                raise ConfigurationError(f"unknown center {name!r}")
+            if demand < 0.0:
+                raise ConfigurationError(
+                    f"center {name!r} given negative demand {demand}"
+                )
+            self._demands[name] = demand
+
+    def step(self) -> MVASolution:
+        """Add one customer and return the resulting network solution."""
+        arrival_queue = dict(self._queue)
+        self._population += 1
+        n = self._population
+
+        residence: Dict[str, float] = {}
+        for center in self._centers:
+            demand = self._demands[center.name]
+            if center.kind is CenterKind.QUEUEING:
+                residence[center.name] = demand * (1.0 + arrival_queue[center.name])
+            else:
+                residence[center.name] = demand
+
+        total_residence = sum(residence.values())
+        throughput = n / (self._think_time + total_residence)
+
+        queue = {name: throughput * r for name, r in residence.items()}
+        self._queue = queue
+
+        utilization = {
+            c.name: min(1.0, throughput * self._demands[c.name])
+            for c in self._centers
+            if c.kind is CenterKind.QUEUEING
+        }
+        return MVASolution(
+            population=float(n),
+            throughput=throughput,
+            response_time=total_residence,
+            residence_times=residence,
+            queue_lengths=queue,
+            arrival_queue_lengths=arrival_queue,
+            utilization=utilization,
+        )
+
+
+def _solve_integer(network: ClosedNetwork, population: int) -> MVASolution:
+    if population == 0:
+        zero = {c.name: 0.0 for c in network.centers}
+        return MVASolution(
+            population=0.0,
+            throughput=0.0,
+            response_time=0.0,
+            residence_times=dict(zero),
+            queue_lengths=dict(zero),
+            arrival_queue_lengths=dict(zero),
+            utilization={
+                c.name: 0.0
+                for c in network.centers
+                if c.kind is CenterKind.QUEUEING
+            },
+        )
+    stepper = MVAStepper(network)
+    solution: Optional[MVASolution] = None
+    for _ in range(population):
+        solution = stepper.step()
+    assert solution is not None
+    return solution
+
+
+def _interpolate(low: MVASolution, high: MVASolution, frac: float) -> MVASolution:
+    def mix(a: float, b: float) -> float:
+        return a + (b - a) * frac
+
+    def mix_map(a: Dict[str, float], b: Dict[str, float]) -> Dict[str, float]:
+        return {k: mix(a[k], b[k]) for k in a}
+
+    return MVASolution(
+        population=mix(low.population, high.population),
+        throughput=mix(low.throughput, high.throughput),
+        response_time=mix(low.response_time, high.response_time),
+        residence_times=mix_map(low.residence_times, high.residence_times),
+        queue_lengths=mix_map(low.queue_lengths, high.queue_lengths),
+        arrival_queue_lengths=mix_map(
+            low.arrival_queue_lengths, high.arrival_queue_lengths
+        ),
+        utilization=mix_map(low.utilization, high.utilization),
+    )
+
+
+def solve_mva(network: ClosedNetwork, population: float) -> MVASolution:
+    """Solve a single-class closed network exactly.
+
+    Integer populations use the exact recurrence; fractional populations are
+    linearly interpolated between the two neighbouring integer solutions
+    (needed by the single-master balancing algorithm, whose per-slave client
+    counts are generally not integers).
+    """
+    if population < 0:
+        raise ConfigurationError(f"population must be >= 0, got {population}")
+    floor = int(population)
+    if floor == population:
+        return _solve_integer(network, floor)
+    low = _solve_integer(network, floor)
+    high = _solve_integer(network, floor + 1)
+    return _interpolate(low, high, population - floor)
+
+
+def approximate_mva(
+    network: ClosedNetwork,
+    population: float,
+    tolerance: float = 1e-10,
+    max_iterations: int = 100_000,
+) -> MVASolution:
+    """Schweitzer's approximate MVA (fixed point on queue lengths).
+
+    Provided as an ablation: at the population sizes of the paper's
+    experiments (tens of clients per replica) the exact algorithm is cheap,
+    and the benchmark ``bench_ablation_mva`` quantifies the approximation
+    error.  For ``population == 0`` returns the empty-network solution.
+    """
+    if population < 0:
+        raise ConfigurationError(f"population must be >= 0, got {population}")
+    if population == 0:
+        return _solve_integer(network, 0)
+
+    centers = list(network.centers)
+    queueing = [c for c in centers if c.kind is CenterKind.QUEUEING]
+    n = float(population)
+    # Initial guess: customers spread evenly over queueing centers.
+    queue: Dict[str, float] = {
+        c.name: n / max(1, len(queueing)) for c in queueing
+    }
+    throughput = 0.0
+    residence: Dict[str, float] = {}
+    for iteration in range(max_iterations):
+        residence = {}
+        for center in centers:
+            if center.kind is CenterKind.QUEUEING:
+                # Schweitzer: an arrival sees (n-1)/n of the time-average queue.
+                seen = queue[center.name] * (n - 1.0) / n
+                residence[center.name] = center.demand * (1.0 + seen)
+            else:
+                residence[center.name] = center.demand
+        total = sum(residence.values())
+        throughput = n / (network.think_time + total)
+        new_queue = {c.name: throughput * residence[c.name] for c in queueing}
+        delta = max(
+            (abs(new_queue[k] - queue[k]) for k in queue), default=0.0
+        )
+        queue = new_queue
+        if delta < tolerance:
+            break
+    else:
+        raise ConvergenceError(
+            "Schweitzer approximation did not converge", iterations=max_iterations
+        )
+
+    arrival = {c.name: queue.get(c.name, 0.0) * (n - 1.0) / n for c in centers}
+    queue_all = {
+        c.name: queue.get(c.name, throughput * residence[c.name]) for c in centers
+    }
+    utilization = {
+        c.name: min(1.0, throughput * c.demand) for c in queueing
+    }
+    return MVASolution(
+        population=n,
+        throughput=throughput,
+        response_time=sum(residence.values()),
+        residence_times=residence,
+        queue_lengths=queue_all,
+        arrival_queue_lengths=arrival,
+        utilization=utilization,
+    )
+
+
+@dataclass(frozen=True)
+class MulticlassSolution:
+    """Per-class metrics of a multiclass closed network."""
+
+    populations: Dict[str, float]
+    throughputs: Dict[str, float]
+    response_times: Dict[str, float]
+    residence_times: Dict[str, Dict[str, float]]
+    queue_lengths: Dict[str, float]
+    utilization: Dict[str, float]
+
+    @property
+    def total_throughput(self) -> float:
+        """Sum of class throughputs."""
+        return sum(self.throughputs.values())
+
+
+def solve_mva_multiclass(
+    network: MulticlassNetwork, populations: Mapping[str, float]
+) -> MulticlassSolution:
+    """Exact multiclass MVA over the full population lattice.
+
+    Fractional per-class populations are handled by multilinear
+    interpolation over the neighbouring integer lattice points.  Complexity
+    is the product of the class populations; the single-master balancing
+    algorithm only ever needs two classes with a few hundred customers each,
+    which solves in well under a second.
+    """
+    classes = network.classes
+    unknown = set(populations) - set(classes)
+    if unknown:
+        raise ConfigurationError(f"unknown classes {sorted(unknown)}")
+    pops = [float(populations.get(k, 0.0)) for k in classes]
+    if any(p < 0 for p in pops):
+        raise ConfigurationError("populations must be non-negative")
+
+    floors = [int(p) for p in pops]
+    fracs = [p - f for p, f in zip(pops, floors)]
+    if all(f == 0.0 for f in fracs):
+        return _solve_multiclass_integer(network, dict(zip(classes, floors)))
+
+    # Multilinear interpolation over the corners of the fractional cell.
+    corners: List[Tuple[float, MulticlassSolution]] = []
+    for offsets in itertools.product(
+        *[[0, 1] if frac > 0.0 else [0] for frac in fracs]
+    ):
+        weight = 1.0
+        corner_pop = {}
+        for klass, floor, frac, off in zip(classes, floors, fracs, offsets):
+            weight *= frac if off else (1.0 - frac if frac > 0.0 else 1.0)
+            corner_pop[klass] = floor + off
+        if weight == 0.0:
+            continue
+        corners.append((weight, _solve_multiclass_integer(network, corner_pop)))
+
+    return _blend_multiclass(classes, network, pops, corners)
+
+
+def _blend_multiclass(
+    classes: Sequence[str],
+    network: MulticlassNetwork,
+    pops: Sequence[float],
+    corners: Sequence[Tuple[float, MulticlassSolution]],
+) -> MulticlassSolution:
+    names = [c.name for c in network.centers]
+
+    def blend(getter) -> float:
+        return sum(w * getter(sol) for w, sol in corners)
+
+    throughputs = {k: blend(lambda s, k=k: s.throughputs[k]) for k in classes}
+    response = {k: blend(lambda s, k=k: s.response_times[k]) for k in classes}
+    residence = {
+        k: {
+            name: blend(lambda s, k=k, name=name: s.residence_times[k][name])
+            for name in names
+        }
+        for k in classes
+    }
+    queues = {name: blend(lambda s, name=name: s.queue_lengths[name]) for name in names}
+    util = {name: blend(lambda s, name=name: s.utilization[name]) for name in names}
+    return MulticlassSolution(
+        populations=dict(zip(classes, pops)),
+        throughputs=throughputs,
+        response_times=response,
+        residence_times=residence,
+        queue_lengths=queues,
+        utilization=util,
+    )
+
+
+def _solve_multiclass_integer(
+    network: MulticlassNetwork, populations: Mapping[str, int]
+) -> MulticlassSolution:
+    classes = network.classes
+    centers = list(network.centers)
+    n_centers = len(centers)
+    demands = {k: list(network.demands[k]) for k in classes}
+    think = {k: network.think_times[k] for k in classes}
+    target = tuple(int(populations.get(k, 0)) for k in classes)
+
+    # Dynamic program over the population lattice.  queue[state][k] is the
+    # mean queue length at center k with population vector `state`.
+    zero_state = tuple(0 for _ in classes)
+    queue: Dict[Tuple[int, ...], List[float]] = {zero_state: [0.0] * n_centers}
+    ranges = [range(t + 1) for t in target]
+
+    last_throughputs = {k: 0.0 for k in classes}
+    last_residence = {k: [0.0] * n_centers for k in classes}
+
+    # Iterate lattice points in an order where all predecessors are ready.
+    for state in itertools.product(*ranges):
+        if state == zero_state:
+            continue
+        residences: Dict[str, List[float]] = {}
+        throughputs: Dict[str, float] = {}
+        q_now = [0.0] * n_centers
+        for ci, klass in enumerate(classes):
+            if state[ci] == 0:
+                continue
+            prev = list(state)
+            prev[ci] -= 1
+            prev_queue = queue[tuple(prev)]
+            r_class = [0.0] * n_centers
+            for k, center in enumerate(centers):
+                d = demands[klass][k]
+                if center.kind is CenterKind.QUEUEING:
+                    r_class[k] = d * (1.0 + prev_queue[k])
+                else:
+                    r_class[k] = d
+            total = sum(r_class)
+            x = state[ci] / (think[klass] + total) if (think[klass] + total) else 0.0
+            residences[klass] = r_class
+            throughputs[klass] = x
+            for k in range(n_centers):
+                q_now[k] += x * r_class[k]
+        queue[tuple(state)] = q_now
+        if tuple(state) == target:
+            last_throughputs.update(throughputs)
+            for klass, r_class in residences.items():
+                last_residence[klass] = r_class
+
+    names = [c.name for c in centers]
+    residence_out = {
+        k: dict(zip(names, last_residence[k])) for k in classes
+    }
+    response_out = {k: sum(last_residence[k]) for k in classes}
+    queue_out = dict(zip(names, queue[target]))
+    util_out = {}
+    for k_idx, center in enumerate(centers):
+        if center.kind is CenterKind.QUEUEING:
+            util_out[center.name] = min(
+                1.0,
+                sum(
+                    last_throughputs[klass] * demands[klass][k_idx]
+                    for klass in classes
+                ),
+            )
+        else:
+            util_out[center.name] = 0.0
+    return MulticlassSolution(
+        populations={k: float(populations.get(k, 0)) for k in classes},
+        throughputs=dict(last_throughputs),
+        response_times=response_out,
+        residence_times=residence_out,
+        queue_lengths=queue_out,
+        utilization=util_out,
+    )

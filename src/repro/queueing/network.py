@@ -1,0 +1,146 @@
+"""Closed queueing-network descriptions.
+
+The paper models each database replica as a **closed separable queueing
+network** (Figures 1 and 2): the CPU and disk are queueing service centers,
+while the client think time, load-balancer/network delay, and certification
+latency are delay centers (no queueing).  This module defines the network
+vocabulary; :mod:`repro.queueing.mva` solves the networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Sequence
+
+from ..core.errors import ConfigurationError
+
+
+class CenterKind(Enum):
+    """How a center reacts to load."""
+
+    #: A single-server queueing center: residence time grows with the queue.
+    QUEUEING = "queueing"
+    #: A pure delay (infinite-server) center: residence time is constant.
+    DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class Center:
+    """One service center with a per-visit service demand (seconds).
+
+    ``demand`` is the *total* service demand of one transaction at this
+    center (visit count times per-visit service time), following the
+    operational convention of Lazowska et al. [Lazowska 1984].
+    """
+
+    name: str
+    kind: CenterKind
+    demand: float
+
+    def __post_init__(self) -> None:
+        if self.demand < 0.0:
+            raise ConfigurationError(
+                f"center {self.name!r} has negative demand {self.demand}"
+            )
+
+    def with_demand(self, demand: float) -> "Center":
+        """Return a copy of this center with a different demand."""
+        return Center(name=self.name, kind=self.kind, demand=demand)
+
+
+def queueing_center(name: str, demand: float) -> Center:
+    """Convenience constructor for a queueing center."""
+    return Center(name=name, kind=CenterKind.QUEUEING, demand=demand)
+
+
+def delay_center(name: str, demand: float) -> Center:
+    """Convenience constructor for a delay center."""
+    return Center(name=name, kind=CenterKind.DELAY, demand=demand)
+
+
+@dataclass(frozen=True)
+class ClosedNetwork:
+    """A single-class closed network: centers plus a client think time."""
+
+    centers: Sequence[Center]
+    think_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.think_time < 0.0:
+            raise ConfigurationError("think time must be non-negative")
+        names = [c.name for c in self.centers]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(f"duplicate center names in {names}")
+        if not self.centers:
+            raise ConfigurationError("network needs at least one center")
+
+    @property
+    def total_demand(self) -> float:
+        """Sum of demands over all centers (minimum possible response time)."""
+        return sum(c.demand for c in self.centers)
+
+    @property
+    def bottleneck(self) -> Center:
+        """The queueing center with the largest demand.
+
+        Falls back to the largest delay center for pure-delay networks.
+        """
+        queueing = [c for c in self.centers if c.kind is CenterKind.QUEUEING]
+        pool = queueing if queueing else list(self.centers)
+        return max(pool, key=lambda c: c.demand)
+
+    def demands(self) -> Dict[str, float]:
+        """Mapping of center name to demand."""
+        return {c.name: c.demand for c in self.centers}
+
+    def with_demands(self, demands: Dict[str, float]) -> "ClosedNetwork":
+        """Return a copy with the demands of named centers replaced."""
+        unknown = set(demands) - {c.name for c in self.centers}
+        if unknown:
+            raise ConfigurationError(f"unknown centers {sorted(unknown)}")
+        centers: List[Center] = [
+            c.with_demand(demands.get(c.name, c.demand)) for c in self.centers
+        ]
+        return ClosedNetwork(centers=centers, think_time=self.think_time)
+
+
+@dataclass(frozen=True)
+class MulticlassNetwork:
+    """A closed network with several customer classes.
+
+    ``demands[class_name][center_index]`` gives the demand of that class at
+    each center; every class visits the same ordered center list (possibly
+    with zero demand).  Each class has its own think time and population.
+    """
+
+    centers: Sequence[Center]
+    demands: Dict[str, Sequence[float]]
+    think_times: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.centers:
+            raise ConfigurationError("network needs at least one center")
+        names = [c.name for c in self.centers]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(f"duplicate center names in {names}")
+        if set(self.demands) != set(self.think_times):
+            raise ConfigurationError(
+                "demands and think_times must cover the same classes"
+            )
+        for klass, row in self.demands.items():
+            if len(row) != len(self.centers):
+                raise ConfigurationError(
+                    f"class {klass!r} has {len(row)} demands for "
+                    f"{len(self.centers)} centers"
+                )
+            if any(d < 0.0 for d in row):
+                raise ConfigurationError(f"class {klass!r} has a negative demand")
+        for klass, z in self.think_times.items():
+            if z < 0.0:
+                raise ConfigurationError(f"class {klass!r} has a negative think time")
+
+    @property
+    def classes(self) -> List[str]:
+        """Class names in sorted order (deterministic iteration)."""
+        return sorted(self.demands)

@@ -1,0 +1,21 @@
+"""An in-memory snapshot-isolated (SI/GSI) database engine (§2 of the paper)."""
+
+from .certifier import CertificationOutcome, Certifier
+from .engine import SIDatabase
+from .tables import Catalog, Table, TableSchema
+from .transaction import Transaction, TransactionStatus
+from .versionstore import VersionedStore
+from .writeset import Writeset
+
+__all__ = [
+    "CertificationOutcome",
+    "Certifier",
+    "Catalog",
+    "SIDatabase",
+    "Table",
+    "TableSchema",
+    "Transaction",
+    "TransactionStatus",
+    "VersionedStore",
+    "Writeset",
+]

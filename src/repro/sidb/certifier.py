@@ -1,0 +1,130 @@
+"""Certification: system-wide write-write conflict detection (§2, §5.1).
+
+The certifier is a lightweight stateful service.  It keeps the writesets of
+recently committed update transactions together with their commit versions.
+To certify a transaction it compares the transaction's writeset against the
+writesets of every transaction that committed *after* the snapshot the
+transaction read from; any key overlap is a write-write conflict and the
+transaction must abort (first-committer-wins).
+
+The same logic certifies commits on a standalone/master database, where the
+"service" is the local concurrency-control subsystem.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, FrozenSet, Optional, Set, Tuple
+
+from ..core.errors import ConfigurationError
+from .writeset import Writeset
+
+
+@dataclass(frozen=True)
+class CertificationOutcome:
+    """Result of certifying one writeset."""
+
+    committed: bool
+    #: Commit version assigned on success; -1 on abort.
+    commit_version: int
+    #: Keys that conflicted on failure (empty on success).
+    conflicting_keys: FrozenSet[object] = frozenset()
+
+
+class Certifier:
+    """Detects write-write conflicts and assigns global commit versions.
+
+    The history is pruned in two ways:
+
+    * :meth:`observe_snapshot` lets the caller report the oldest snapshot
+      still in use, allowing exact pruning;
+    * ``max_history`` bounds memory regardless (certifying against a
+      snapshot older than the retained history conservatively aborts, which
+      never violates safety — only liveness of very stale transactions).
+    """
+
+    def __init__(self, max_history: int = 100_000) -> None:
+        if max_history < 1:
+            raise ConfigurationError("max_history must be >= 1")
+        self._history: Deque[Tuple[int, FrozenSet[object]]] = deque()
+        self._max_history = max_history
+        self._next_version = 1
+        self._oldest_retained = 1
+        # Statistics (§6.3.2 sensitivity analysis reads these).
+        self.certifications = 0
+        self.commits = 0
+        self.aborts = 0
+
+    @property
+    def latest_version(self) -> int:
+        """The most recently assigned commit version."""
+        return self._next_version - 1
+
+    def certify(self, writeset: Writeset) -> CertificationOutcome:
+        """Certify *writeset* against transactions concurrent with it."""
+        self.certifications += 1
+        snapshot = writeset.snapshot_version
+        if snapshot >= self._next_version:
+            raise ConfigurationError(
+                f"snapshot {snapshot} is newer than the latest commit "
+                f"{self.latest_version}"
+            )
+        conflicts = self._find_conflicts(snapshot, writeset.keys)
+        if conflicts:
+            self.aborts += 1
+            return CertificationOutcome(
+                committed=False,
+                commit_version=-1,
+                conflicting_keys=frozenset(conflicts),
+            )
+        version = self._next_version
+        self._next_version += 1
+        self._history.append((version, writeset.keys))
+        self._trim()
+        self.commits += 1
+        return CertificationOutcome(committed=True, commit_version=version)
+
+    def _find_conflicts(
+        self, snapshot: int, keys: FrozenSet[object]
+    ) -> Set[object]:
+        if snapshot + 1 < self._oldest_retained:
+            # History needed for an exact answer was pruned; conservatively
+            # report a conflict on every key (forces a retry with a fresher
+            # snapshot — safe, and only possible for extremely stale reads).
+            return set(keys)
+        conflicts: Set[object] = set()
+        # History is version-ordered; scan newest-first and stop at the
+        # snapshot boundary.
+        for version, committed_keys in reversed(self._history):
+            if version <= snapshot:
+                break
+            overlap = keys & committed_keys
+            conflicts.update(overlap)
+        return conflicts
+
+    def observe_snapshot(self, oldest_active_snapshot: int) -> None:
+        """Prune history that no active snapshot can conflict with."""
+        while self._history and self._history[0][0] <= oldest_active_snapshot:
+            self._popleft()
+
+    def _trim(self) -> None:
+        while len(self._history) > self._max_history:
+            self._popleft()
+
+    def _popleft(self) -> None:
+        version, _ = self._history.popleft()
+        self._oldest_retained = version + 1
+
+    @property
+    def abort_fraction(self) -> float:
+        """Observed abort fraction over all certifications so far."""
+        if self.certifications == 0:
+            return 0.0
+        return self.aborts / self.certifications
+
+    def reset_statistics(self) -> None:
+        """Zero the counters (used at the end of a warm-up period)."""
+        self.certifications = 0
+        self.commits = 0
+        self.aborts = 0

@@ -1,0 +1,179 @@
+"""A standalone snapshot-isolated database engine.
+
+Ties together the version store, transactions, and the certification logic
+into the concurrency-control model of §2:
+
+* ``begin()`` hands out a snapshot of the latest committed state;
+* read-only transactions always commit;
+* an update transaction commits iff none of its written keys were written
+  by a transaction that committed after its snapshot (first-committer-wins,
+  enforced by the shared :class:`~repro.sidb.certifier.Certifier` logic);
+* a commit installs a new version and returns the writeset, which replicated
+  deployments propagate to other replicas.
+
+This engine is *functional*, not timed: the discrete-event simulator charges
+CPU/disk costs around these calls, and the profiler replays captured logs
+against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..core.errors import ConfigurationError, TransactionAborted
+from .certifier import Certifier
+from .transaction import Transaction, TransactionStatus
+from .versionstore import VersionedStore
+from .writeset import Writeset
+
+
+class SIDatabase:
+    """An in-memory database running (generalized) snapshot isolation."""
+
+    def __init__(
+        self,
+        initial: Optional[Dict[object, object]] = None,
+        certifier: Optional[Certifier] = None,
+    ) -> None:
+        self._store = VersionedStore(initial)
+        self._certifier = certifier or Certifier()
+        self._next_txn_id = 1
+        self._active: Set[int] = set()
+        self._snapshots: Dict[int, int] = {}
+        # Statistics.
+        self.read_only_commits = 0
+        self.update_commits = 0
+        self.update_aborts = 0
+
+    @property
+    def store(self) -> VersionedStore:
+        """The underlying version store (read-mostly; tests inspect it)."""
+        return self._store
+
+    @property
+    def certifier(self) -> Certifier:
+        """The conflict-detection service used by the commit path."""
+        return self._certifier
+
+    @property
+    def latest_version(self) -> int:
+        """Newest committed version visible to new snapshots."""
+        return self._store.latest_version
+
+    def begin(self, snapshot_version: Optional[int] = None) -> Transaction:
+        """Start a transaction.
+
+        By default the snapshot is the latest committed version (plain SI).
+        Replicated callers pass an explicit, possibly older, version to model
+        GSI's locally-latest snapshots.
+        """
+        if snapshot_version is None:
+            snapshot_version = self._store.latest_version
+        if snapshot_version > self._store.latest_version:
+            raise ConfigurationError(
+                f"snapshot {snapshot_version} is in the future "
+                f"(latest is {self._store.latest_version})"
+            )
+        txn = Transaction(self._next_txn_id, self._store, snapshot_version)
+        self._next_txn_id += 1
+        self._active.add(txn.txn_id)
+        self._snapshots[txn.txn_id] = snapshot_version
+        return txn
+
+    def commit(self, txn: Transaction) -> Optional[Writeset]:
+        """Commit *txn*; returns its writeset (None for read-only).
+
+        Raises :class:`TransactionAborted` on a write-write conflict.  The
+        transaction object is finalised either way.
+        """
+        if txn.status is not TransactionStatus.ACTIVE:
+            raise ConfigurationError(
+                f"cannot commit transaction {txn.txn_id}: {txn.status.value}"
+            )
+        self._finish(txn.txn_id)
+        writeset = txn.writeset()
+        if writeset is None:
+            txn.mark_committed(txn.snapshot_version)
+            self.read_only_commits += 1
+            return None
+
+        outcome = self._certifier.certify(writeset)
+        if not outcome.committed:
+            txn.mark_aborted()
+            self.update_aborts += 1
+            raise TransactionAborted(txn.txn_id, outcome.conflicting_keys)
+
+        self._store.install(outcome.commit_version, writeset.as_dict)
+        txn.mark_committed(outcome.commit_version)
+        self.update_commits += 1
+        self._prune()
+        return writeset.committed(outcome.commit_version)
+
+    def abort(self, txn: Transaction) -> None:
+        """Abort *txn* voluntarily (client-side rollback)."""
+        if txn.status is not TransactionStatus.ACTIVE:
+            raise ConfigurationError(
+                f"cannot abort transaction {txn.txn_id}: {txn.status.value}"
+            )
+        self._finish(txn.txn_id)
+        txn.mark_aborted()
+
+    def apply_writeset(self, writeset: Writeset) -> None:
+        """Apply a remotely-certified writeset (replica update propagation).
+
+        The writeset must already carry its global commit version; versions
+        must arrive in order, which the propagation channel guarantees.
+        """
+        if writeset.commit_version <= 0:
+            raise ConfigurationError("writeset has no commit version")
+        self._store.install(writeset.commit_version, writeset.as_dict)
+
+    def run(self, operations) -> Optional[Writeset]:
+        """Execute a whole transaction from an operation list and commit it.
+
+        *operations* is an iterable of ``("read", key)`` / ``("write", key,
+        value)`` tuples — the shape produced by the workload log replayer.
+        """
+        txn = self.begin()
+        for op in operations:
+            if op[0] == "read":
+                txn.get(op[1])
+            elif op[0] == "write":
+                txn.write(op[1], op[2])
+            else:
+                self.abort(txn)
+                raise ConfigurationError(f"unknown operation {op[0]!r}")
+        return self.commit(txn)
+
+    def oldest_active_snapshot(self) -> int:
+        """Oldest snapshot still held by an active transaction."""
+        if not self._snapshots:
+            return self._store.latest_version
+        return min(self._snapshots.values())
+
+    def _finish(self, txn_id: int) -> None:
+        self._active.discard(txn_id)
+        self._snapshots.pop(txn_id, None)
+
+    def _prune(self) -> None:
+        oldest = self.oldest_active_snapshot()
+        self._certifier.observe_snapshot(oldest - 1 if oldest > 0 else 0)
+
+    def vacuum(self) -> int:
+        """Garbage-collect versions invisible to every active snapshot."""
+        return self._store.vacuum(self.oldest_active_snapshot())
+
+    @property
+    def measured_abort_rate(self) -> float:
+        """Observed update abort fraction: aborts / (aborts + commits)."""
+        attempts = self.update_commits + self.update_aborts
+        if attempts == 0:
+            return 0.0
+        return self.update_aborts / attempts
+
+    def reset_statistics(self) -> None:
+        """Zero the commit/abort counters (end of warm-up)."""
+        self.read_only_commits = 0
+        self.update_commits = 0
+        self.update_aborts = 0
+        self._certifier.reset_statistics()

@@ -1,0 +1,268 @@
+"""A relational layer over the snapshot-isolated engine.
+
+The raw engine stores opaque key/value pairs; real e-commerce workloads
+(TPC-W's bookstore, RUBiS's auctions) think in tables with schemas and
+secondary lookups.  This module provides both:
+
+* :class:`TableSchema` — column names, a primary key, optional indexed
+  columns;
+* :class:`Table` — typed row operations (insert/get/update/delete/scan)
+  executed *inside* a snapshot-isolated transaction, with secondary indexes
+  maintained transactionally (index rows are ordinary versioned keys, so
+  index reads see the same snapshot as row reads).
+
+Conflict granularity remains one row (§2: "the granularity of conflict
+detection is typically a row in a database table"): index maintenance
+writes index *entry* keys, so two inserts indexing the same value conflict
+only if the schema declares the index ``unique``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from .engine import SIDatabase
+from .transaction import Transaction
+
+#: Key-space tags (first tuple element) used by the relational layer.
+_ROW = "row"
+_INDEX = "idx"
+_UNIQUE = "uidx"
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of one table: columns, primary key, secondary indexes."""
+
+    name: str
+    columns: Tuple[str, ...]
+    primary_key: str
+    #: Columns with non-unique secondary indexes.
+    indexes: Tuple[str, ...] = ()
+    #: Columns with unique secondary indexes.
+    unique_indexes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("table name must not be empty")
+        if len(set(self.columns)) != len(self.columns):
+            raise ConfigurationError(f"duplicate columns in {self.columns}")
+        if self.primary_key not in self.columns:
+            raise ConfigurationError(
+                f"primary key {self.primary_key!r} is not a column"
+            )
+        for col in self.indexes + self.unique_indexes:
+            if col not in self.columns:
+                raise ConfigurationError(f"indexed column {col!r} is not a column")
+            if col == self.primary_key:
+                raise ConfigurationError(
+                    "the primary key is implicitly indexed; do not re-index it"
+                )
+        overlap = set(self.indexes) & set(self.unique_indexes)
+        if overlap:
+            raise ConfigurationError(
+                f"columns {sorted(overlap)} are both unique and non-unique"
+            )
+
+    def validate_row(self, row: Dict[str, object]) -> None:
+        """Check a row dict matches the schema exactly."""
+        if set(row) != set(self.columns):
+            raise ConfigurationError(
+                f"row columns {sorted(row)} do not match schema "
+                f"{sorted(self.columns)}"
+            )
+
+
+class Table:
+    """Typed operations on one table within snapshot-isolated transactions.
+
+    All methods take the :class:`~repro.sidb.transaction.Transaction` to
+    operate in; the caller owns begin/commit so multi-table transactions
+    compose naturally::
+
+        txn = db.begin()
+        items.update(txn, item_id, stock=stock - 1)
+        orders.insert(txn, {...})
+        db.commit(txn)
+    """
+
+    def __init__(self, database: SIDatabase, schema: TableSchema) -> None:
+        self._db = database
+        self.schema = schema
+
+    # -- key construction ------------------------------------------------
+
+    def _row_key(self, pk: object) -> Tuple:
+        return (_ROW, self.schema.name, pk)
+
+    def _index_key(self, column: str, value: object, pk: object) -> Tuple:
+        return (_INDEX, self.schema.name, column, value, pk)
+
+    def _unique_key(self, column: str, value: object) -> Tuple:
+        return (_UNIQUE, self.schema.name, column, value)
+
+    # -- operations --------------------------------------------------------
+
+    def insert(self, txn: Transaction, row: Dict[str, object]) -> None:
+        """Insert *row*; fails if the primary key already exists."""
+        self.schema.validate_row(row)
+        pk = row[self.schema.primary_key]
+        if txn.get(self._row_key(pk)) is not None:
+            raise ConfigurationError(
+                f"{self.schema.name}: duplicate primary key {pk!r}"
+            )
+        txn.write(self._row_key(pk), dict(row))
+        self._write_index_entries(txn, row, pk)
+
+    def get(self, txn: Transaction, pk: object) -> Optional[Dict[str, object]]:
+        """Fetch a row by primary key (None when absent at this snapshot)."""
+        value = txn.get(self._row_key(pk))
+        return dict(value) if value is not None else None
+
+    def update(self, txn: Transaction, pk: object, **changes: object) -> None:
+        """Update columns of an existing row."""
+        current = txn.get(self._row_key(pk))
+        if current is None:
+            raise ConfigurationError(
+                f"{self.schema.name}: no row with primary key {pk!r}"
+            )
+        unknown = set(changes) - set(self.schema.columns)
+        if unknown:
+            raise ConfigurationError(f"unknown columns {sorted(unknown)}")
+        if self.schema.primary_key in changes:
+            raise ConfigurationError("cannot change the primary key; "
+                                     "delete and re-insert instead")
+        updated = dict(current)
+        self._remove_index_entries(txn, current, pk, touched=set(changes))
+        updated.update(changes)
+        txn.write(self._row_key(pk), updated)
+        self._write_index_entries(txn, updated, pk, touched=set(changes))
+
+    def delete(self, txn: Transaction, pk: object) -> None:
+        """Delete a row (tombstones the row and its index entries)."""
+        current = txn.get(self._row_key(pk))
+        if current is None:
+            raise ConfigurationError(
+                f"{self.schema.name}: no row with primary key {pk!r}"
+            )
+        self._remove_index_entries(txn, current, pk)
+        txn.write(self._row_key(pk), None)
+
+    def lookup(
+        self, txn: Transaction, column: str, value: object
+    ) -> List[Dict[str, object]]:
+        """Fetch the rows whose indexed *column* equals *value*."""
+        if column in self.schema.unique_indexes:
+            pk = txn.get(self._unique_key(column, value))
+            if pk is None:
+                return []
+            row = self.get(txn, pk)
+            return [row] if row is not None else []
+        if column not in self.schema.indexes:
+            raise ConfigurationError(
+                f"{self.schema.name}.{column} is not indexed"
+            )
+        rows: List[Dict[str, object]] = []
+        for key in self._scan_index_keys(txn, column, value):
+            pk = key[-1]
+            row = self.get(txn, pk)
+            if row is not None:
+                rows.append(row)
+        return rows
+
+    def scan(self, txn: Transaction) -> Iterator[Dict[str, object]]:
+        """Iterate every live row visible to the transaction's snapshot.
+
+        A full scan over the key space — adequate for the library's test
+        and example scales, documented as O(all keys ever written).
+        """
+        store = self._db.store
+        for key in list(store.keys()):
+            if (
+                isinstance(key, tuple)
+                and len(key) == 3
+                and key[0] == _ROW
+                and key[1] == self.schema.name
+            ):
+                value = txn.get(key)
+                if value is not None:
+                    yield dict(value)
+
+    def count(self, txn: Transaction) -> int:
+        """Number of live rows at the transaction's snapshot."""
+        return sum(1 for _ in self.scan(txn))
+
+    # -- index maintenance -------------------------------------------------
+
+    def _write_index_entries(
+        self, txn: Transaction, row: Dict[str, object], pk: object,
+        touched: Optional[set] = None,
+    ) -> None:
+        for column in self.schema.indexes:
+            if touched is None or column in touched:
+                txn.write(self._index_key(column, row[column], pk), True)
+        for column in self.schema.unique_indexes:
+            if touched is not None and column not in touched:
+                continue
+            key = self._unique_key(column, row[column])
+            existing = txn.get(key)
+            if existing is not None and existing != pk:
+                raise ConfigurationError(
+                    f"{self.schema.name}.{column}: unique value "
+                    f"{row[column]!r} already taken by {existing!r}"
+                )
+            txn.write(key, pk)
+
+    def _remove_index_entries(
+        self, txn: Transaction, row: Dict[str, object], pk: object,
+        touched: Optional[set] = None,
+    ) -> None:
+        for column in self.schema.indexes:
+            if touched is None or column in touched:
+                txn.write(self._index_key(column, row[column], pk), None)
+        for column in self.schema.unique_indexes:
+            if touched is None or column in touched:
+                txn.write(self._unique_key(column, row[column]), None)
+
+    def _scan_index_keys(self, txn, column: str, value: object) -> Iterator[Tuple]:
+        store = self._db.store
+        prefix = (_INDEX, self.schema.name, column, value)
+        for key in list(store.keys()):
+            if (
+                isinstance(key, tuple)
+                and len(key) == 5
+                and key[:4] == prefix
+                and txn.get(key) is not None
+            ):
+                yield key
+
+
+class Catalog:
+    """A named collection of tables over one database."""
+
+    def __init__(self, database: SIDatabase) -> None:
+        self.database = database
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Register a table; names must be unique."""
+        if schema.name in self._tables:
+            raise ConfigurationError(f"table {schema.name!r} already exists")
+        table = Table(self.database, schema)
+        self._tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no table {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Sorted table names."""
+        return sorted(self._tables)

@@ -1,0 +1,124 @@
+"""Multi-version storage: the heart of snapshot isolation.
+
+Every committed update transaction installs a new *version* of the rows it
+wrote; readers address the store through a snapshot version and see, for
+each key, the newest value whose version does not exceed the snapshot
+(§2 of the paper: "When a transaction begins, it receives a logical copy,
+called snapshot, of the database").
+
+Versions are dense integers assigned by the commit path (the engine for a
+standalone database, the certifier for a replicated one).  Version 0 is the
+initial database state.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+
+#: Sentinel for "key was never written".
+_MISSING = object()
+
+
+class VersionedStore:
+    """An in-memory multi-version key/value store.
+
+    Keys are arbitrary hashables (the library uses ``(table, row_id)``
+    tuples); values are arbitrary objects.  The store keeps the full version
+    chain per key until :meth:`vacuum` trims versions older than the oldest
+    active snapshot — the space-for-concurrency trade SI makes (§2).
+    """
+
+    def __init__(self, initial: Optional[Dict[object, object]] = None) -> None:
+        # key -> parallel lists of (versions, values), versions ascending.
+        self._versions: Dict[object, List[int]] = {}
+        self._values: Dict[object, List[object]] = {}
+        self._latest_version = 0
+        if initial:
+            for key, value in initial.items():
+                self._versions[key] = [0]
+                self._values[key] = [value]
+
+    @property
+    def latest_version(self) -> int:
+        """The newest committed version number."""
+        return self._latest_version
+
+    def read(self, key: object, version: int) -> object:
+        """Return the value of *key* visible at snapshot *version*.
+
+        Raises :class:`KeyError` when the key does not exist at that
+        snapshot (never written, or written only by later versions).
+        """
+        versions = self._versions.get(key)
+        if not versions:
+            raise KeyError(key)
+        index = bisect_right(versions, version) - 1
+        if index < 0:
+            raise KeyError(key)
+        return self._values[key][index]
+
+    def get(self, key: object, version: int, default: object = None) -> object:
+        """Like :meth:`read` but returning *default* instead of raising."""
+        try:
+            return self.read(key, version)
+        except KeyError:
+            return default
+
+    def contains(self, key: object, version: int) -> bool:
+        """True when *key* is visible at snapshot *version*."""
+        return self.get(key, version, _MISSING) is not _MISSING
+
+    def install(self, version: int, writes: Dict[object, object]) -> None:
+        """Install the writes of a committed transaction at *version*.
+
+        Versions must be installed in increasing order (the commit path
+        serialises them); installing out of order is a bug.
+        """
+        if version <= self._latest_version:
+            raise ConfigurationError(
+                f"version {version} not newer than latest {self._latest_version}"
+            )
+        for key, value in writes.items():
+            self._versions.setdefault(key, []).append(version)
+            self._values.setdefault(key, []).append(value)
+        self._latest_version = version
+
+    def version_of(self, key: object) -> Optional[int]:
+        """Version of the newest committed write to *key* (None if never)."""
+        versions = self._versions.get(key)
+        return versions[-1] if versions else None
+
+    def keys(self) -> Iterator[object]:
+        """Iterate over all keys ever written."""
+        return iter(self._versions)
+
+    def version_count(self, key: object) -> int:
+        """Number of retained versions of *key* (for space diagnostics)."""
+        return len(self._versions.get(key, ()))
+
+    def vacuum(self, oldest_active_snapshot: int) -> int:
+        """Drop versions no snapshot can see anymore; return versions freed.
+
+        For each key we must keep the newest version <= the oldest active
+        snapshot (it is still visible) and everything newer.
+        """
+        freed = 0
+        for key, versions in self._versions.items():
+            keep_from = bisect_right(versions, oldest_active_snapshot) - 1
+            if keep_from > 0:
+                freed += keep_from
+                self._versions[key] = versions[keep_from:]
+                self._values[key] = self._values[key][keep_from:]
+        return freed
+
+    def snapshot_view(self, version: int) -> Dict[object, object]:
+        """Materialise the full database state at *version* (tests/debugging)."""
+        view: Dict[object, object] = {}
+        for key in self._versions:
+            value = self.get(key, version, _MISSING)
+            if value is not _MISSING:
+                view[key] = value
+        return view

@@ -1,0 +1,184 @@
+"""A small discrete-event simulation kernel.
+
+Processes are Python generators that yield *effects*; the kernel resumes a
+process when its current effect completes.  Two effects exist:
+
+* :class:`Timeout` — resume after a fixed simulated delay (think times,
+  network and certification latencies);
+* :class:`Service` — resume after a resource (CPU, disk) has performed a
+  given amount of work for this process, including any queueing imposed by
+  the resource's scheduling discipline.
+
+Sub-activities compose with ``yield from``, so a transaction's life cycle
+reads top-to-bottom in the system assemblies.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+from ..core.errors import SimulationError
+
+#: Type alias for simulator processes.
+Process = Generator
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it fires."""
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable, args: tuple) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self.cancelled = True
+
+
+class Environment:
+    """Event loop: a time-ordered heap of callbacks."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable, *args) -> EventHandle:
+        """Run ``callback(*args)`` after *delay* seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        handle = EventHandle(self._now + delay, callback, args)
+        self._sequence += 1
+        heapq.heappush(self._heap, (handle.time, self._sequence, handle))
+        return handle
+
+    def run_until(self, end_time: float) -> None:
+        """Process events until simulated time reaches *end_time*."""
+        if end_time < self._now:
+            raise SimulationError("end_time is in the past")
+        while self._heap and self._heap[0][0] <= end_time:
+            time, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if time < self._now:
+                raise SimulationError("event heap went backwards in time")
+            self._now = time
+            handle.callback(*handle.args)
+        self._now = end_time
+
+    def start(self, process: Process) -> None:
+        """Begin driving a generator process."""
+        self._resume(process, None)
+
+    def _resume(self, process: Process, value: Any) -> None:
+        try:
+            effect = process.send(value)
+        except StopIteration:
+            return
+        if not isinstance(effect, _Effect):
+            raise SimulationError(
+                f"process yielded {effect!r}; expected Timeout or Service"
+            )
+        effect.apply(self, process)
+
+
+class _Effect:
+    """Base class for things a process may yield."""
+
+    def apply(self, env: Environment, process: Process) -> None:
+        raise NotImplementedError
+
+
+class Timeout(_Effect):
+    """Suspend the process for a fixed simulated duration."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+
+    def apply(self, env: Environment, process: Process) -> None:
+        env.schedule(self.delay, env._resume, process, None)
+
+
+class Service(_Effect):
+    """Suspend the process until *resource* completes *work* seconds for it."""
+
+    __slots__ = ("resource", "work")
+
+    def __init__(self, resource, work: float) -> None:
+        if work < 0:
+            raise SimulationError(f"negative service demand {work}")
+        self.resource = resource
+        self.work = work
+
+    def apply(self, env: Environment, process: Process) -> None:
+        self.resource.submit(self.work, lambda: env._resume(process, None))
+
+
+class Semaphore:
+    """A counting semaphore with a FIFO waiter queue.
+
+    Models admission control: the database executes at most ``capacity``
+    client transactions concurrently (the connection-pool /
+    multiprogramming limit); excess clients wait *before* the transaction
+    begins, i.e. before it receives a snapshot.
+    """
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError(f"semaphore capacity must be >= 1, got {capacity}")
+        self._env = env
+        self.capacity = capacity
+        self._available = capacity
+        self._waiters: List[Callable] = []
+
+    @property
+    def in_use(self) -> int:
+        """Slots currently held."""
+        return self.capacity - self._available
+
+    @property
+    def waiting(self) -> int:
+        """Processes queued for admission."""
+        return len(self._waiters)
+
+    def _acquire(self, resume: Callable) -> None:
+        if self._available > 0:
+            self._available -= 1
+            self._env.schedule(0.0, resume)
+        else:
+            self._waiters.append(resume)
+
+    def release(self) -> None:
+        """Return a slot, admitting the longest-waiting process if any."""
+        if self._waiters:
+            self._env.schedule(0.0, self._waiters.pop(0))
+        else:
+            if self._available >= self.capacity:
+                raise SimulationError("semaphore released more than acquired")
+            self._available += 1
+
+
+class Acquire(_Effect):
+    """Suspend the process until it is granted a slot of *semaphore*."""
+
+    __slots__ = ("semaphore",)
+
+    def __init__(self, semaphore: Semaphore) -> None:
+        self.semaphore = semaphore
+
+    def apply(self, env: Environment, process: Process) -> None:
+        self.semaphore._acquire(lambda: env._resume(process, None))

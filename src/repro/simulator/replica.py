@@ -1,0 +1,148 @@
+"""A simulated database replica: CPU + disk + writeset applier.
+
+The replica charges transaction work to a processor-sharing CPU and a FIFO
+disk.  Propagated writesets are applied concurrently (as the Tashkent proxy
+does over parallel connections), but the ``applied_version`` watermark —
+the version of the local snapshot new transactions receive (GSI, §2) —
+advances contiguously, so snapshot staleness *emerges* from propagation
+and application latency rather than being assumed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+from ..core.errors import SimulationError
+from .des import Environment, Service, Timeout
+from .resources import FIFOResource, ProcessorSharingResource
+from .sampling import WorkloadSampler
+
+
+class SimReplica:
+    """One replica's timed resources and replication state."""
+
+    def __init__(self, env: Environment, name: str, sampler: WorkloadSampler) -> None:
+        self._env = env
+        self.name = name
+        self._sampler = sampler
+        self.cpu = ProcessorSharingResource(env, f"{name}.cpu")
+        self.disk = FIFOResource(env, f"{name}.disk")
+        #: Highest contiguously applied global commit version.
+        self.applied_version = 0
+        #: Number of client transactions currently resident (LB routing).
+        self.active = 0
+        # Versions whose application finished but whose predecessors have
+        # not: the applied_version watermark only advances contiguously.
+        self._completed_out_of_order: List[int] = []
+        #: Highest version ever enqueued (sanity checking).
+        self._enqueued_version = 0
+        #: Writesets applied (for propagation-load diagnostics).
+        self.writesets_applied = 0
+        #: Admission-control semaphore (set by the system assembly; ``None``
+        #: means unlimited concurrency).
+        self.admission = None
+        #: Load-balancer availability (failure injection flips this).
+        self._available = True
+        #: Writesets received while down, applied in bulk on recovery.
+        self._deferred: List[Tuple[int, bool]] = []
+
+    # ------------------------------------------------------------------
+    # Transaction execution (generators composed by the system assemblies)
+    # ------------------------------------------------------------------
+
+    def serve_read(self):
+        """Charge one read-only transaction's CPU and disk work."""
+        yield Service(self.cpu, self._sampler.read_cpu())
+        yield Service(self.disk, self._sampler.read_disk())
+
+    def serve_update_attempt(self):
+        """Charge one update attempt's local execution work."""
+        yield Service(self.cpu, self._sampler.update_cpu())
+        yield Service(self.disk, self._sampler.update_disk())
+
+    def serve_writeset_inline(self):
+        """Charge one writeset application in the caller's context.
+
+        Used by the profiler's writeset-replay run (§4.1.1); regular
+        propagation goes through :meth:`enqueue_writeset` instead.
+        """
+        yield Service(self.cpu, self._sampler.writeset_cpu())
+        yield Service(self.disk, self._sampler.writeset_disk())
+
+    # ------------------------------------------------------------------
+    # Update propagation
+    # ------------------------------------------------------------------
+
+    def enqueue_writeset(self, commit_version: int, charged: bool = True) -> None:
+        """Start applying a committed writeset at this replica.
+
+        Writesets are applied **concurrently** (the Tashkent proxy applies
+        non-conflicting writesets over parallel connections); the replica's
+        ``applied_version`` watermark still only advances contiguously, so
+        new snapshots never expose a gap.  ``charged=False`` marks a
+        transaction that committed locally: its effects are already in the
+        local database, so only the version bookkeeping advances (at zero
+        resource cost).
+        """
+        if commit_version <= self._enqueued_version:
+            raise SimulationError(
+                f"{self.name}: writeset {commit_version} arrived out of order "
+                f"(latest is {self._enqueued_version})"
+            )
+        self._enqueued_version = commit_version
+        if not self._available:
+            # The replica is down: its proxy queues the writeset; the
+            # backlog is applied on recovery (catch-up).
+            self._deferred.append((commit_version, charged))
+            return
+        if charged:
+            self._env.start(self._apply_one(commit_version))
+        else:
+            self._mark_applied(commit_version)
+
+    def _apply_one(self, commit_version: int):
+        """Apply one writeset, charging CPU and disk work."""
+        yield Service(self.cpu, self._sampler.writeset_cpu())
+        yield Service(self.disk, self._sampler.writeset_disk())
+        self.writesets_applied += 1
+        self._mark_applied(commit_version)
+
+    def _mark_applied(self, commit_version: int) -> None:
+        heapq.heappush(self._completed_out_of_order, commit_version)
+        while (
+            self._completed_out_of_order
+            and self._completed_out_of_order[0] == self.applied_version + 1
+        ):
+            heapq.heappop(self._completed_out_of_order)
+            self.applied_version += 1
+
+    @property
+    def apply_backlog(self) -> int:
+        """Writesets whose application has not yet advanced the watermark."""
+        return self._enqueued_version - self.applied_version
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    @property
+    def available(self) -> bool:
+        """Whether the load balancer may route new transactions here."""
+        return self._available
+
+    @available.setter
+    def available(self, value: bool) -> None:
+        came_back = value and not self._available
+        self._available = value
+        if came_back:
+            self._flush_deferred()
+
+    def _flush_deferred(self) -> None:
+        """Start catch-up on the writesets missed while down."""
+        deferred, self._deferred = self._deferred, []
+        for commit_version, charged in deferred:
+            if charged:
+                self._env.start(self._apply_one(commit_version))
+            else:
+                self._mark_applied(commit_version)

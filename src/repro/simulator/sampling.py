@@ -1,0 +1,130 @@
+"""Stochastic transaction generation for the simulator.
+
+Transactions are drawn from a :class:`~repro.workloads.spec.WorkloadSpec`:
+the class (read-only vs update) is Bernoulli(Pw); per-attempt service times
+at the CPU and disk are exponentially distributed around the ground-truth
+mean demands (MVA's service-distribution assumption, probed by ablations);
+update transactions touch ``U`` uniformly chosen rows of the updatable set.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Optional
+
+import numpy as np
+
+from ..core import rng as rng_util
+from ..core.errors import ConfigurationError
+from ..sidb.writeset import Writeset
+from ..workloads.spec import WorkloadSpec
+
+#: Global transaction-id source for the whole process; ids only need to be
+#: unique within a run, monotonicity is convenient for traces.
+_txn_ids = itertools.count(1)
+
+#: Service-time distributions supported by the sampler (ablation §3.4/6).
+EXPONENTIAL = "exponential"
+DETERMINISTIC = "deterministic"
+LOGNORMAL = "lognormal"
+DISTRIBUTIONS = (EXPONENTIAL, DETERMINISTIC, LOGNORMAL)
+
+#: Coefficient of variation used for the lognormal ablation.
+_LOGNORMAL_CV = 1.0
+
+
+def next_txn_id() -> int:
+    """Allocate a fresh transaction id."""
+    return next(_txn_ids)
+
+
+class WorkloadSampler:
+    """Draws transaction classes, service times, and conflict footprints."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        rng: np.random.Generator,
+        distribution: str = EXPONENTIAL,
+    ) -> None:
+        if distribution not in DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"distribution must be one of {DISTRIBUTIONS}, got {distribution!r}"
+            )
+        self._spec = spec
+        self._rng = rng
+        self._distribution = distribution
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        """The workload being sampled."""
+        return self._spec
+
+    def next_is_update(self) -> bool:
+        """Decide the class of the next transaction (Bernoulli(Pw))."""
+        pw = self._spec.mix.write_fraction
+        if pw <= 0.0:
+            return False
+        return bool(self._rng.random() < pw)
+
+    def think_time(self) -> float:
+        """One exponential think-time draw (closed-loop model, §3.1)."""
+        return rng_util.exponential(self._rng, self._spec.think_time)
+
+    def _draw(self, mean: float) -> float:
+        if mean <= 0.0:
+            return 0.0
+        if self._distribution == EXPONENTIAL:
+            return float(self._rng.exponential(mean))
+        if self._distribution == DETERMINISTIC:
+            return mean
+        # Lognormal with the configured coefficient of variation.
+        sigma2 = np.log(1.0 + _LOGNORMAL_CV**2)
+        mu = np.log(mean) - sigma2 / 2.0
+        return float(self._rng.lognormal(mean=mu, sigma=np.sqrt(sigma2)))
+
+    # Per-attempt service-time draws -----------------------------------
+
+    def read_cpu(self) -> float:
+        """CPU time of one read-only transaction."""
+        return self._draw(self._spec.demands.read.cpu)
+
+    def read_disk(self) -> float:
+        """Disk time of one read-only transaction."""
+        return self._draw(self._spec.demands.read.disk)
+
+    def update_cpu(self) -> float:
+        """CPU time of one update-transaction attempt."""
+        return self._draw(self._spec.demands.write.cpu)
+
+    def update_disk(self) -> float:
+        """Disk time of one update-transaction attempt."""
+        return self._draw(self._spec.demands.write.disk)
+
+    def writeset_cpu(self) -> float:
+        """CPU time to apply one propagated writeset."""
+        return self._draw(self._spec.demands.writeset.cpu)
+
+    def writeset_disk(self) -> float:
+        """Disk time to apply one propagated writeset."""
+        return self._draw(self._spec.demands.writeset.disk)
+
+    # Conflict footprint -------------------------------------------------
+
+    def sample_writeset(self, snapshot_version: int) -> Writeset:
+        """Build the writeset of one update attempt.
+
+        Each attempt (including retries) re-samples its rows, modelling the
+        re-execution of the transaction logic against fresh data.
+        """
+        conflict = self._spec.conflict
+        if conflict is None:
+            raise ConfigurationError(
+                f"workload {self._spec.name} has no conflict profile"
+            )
+        rows = rng_util.sample_rows(
+            self._rng, conflict.db_update_size, conflict.updates_per_transaction
+        )
+        txn_id = next_txn_id()
+        writes = {("updatable", row): txn_id for row in rows}
+        return Writeset.from_dict(txn_id, snapshot_version, writes)

@@ -1,0 +1,369 @@
+"""Simulated replicated-database systems (the prototypes of §5).
+
+Three assemblies share the client loop:
+
+* :class:`StandaloneSystem` — one database, no middleware.  This is what
+  the profiler measures.
+* :class:`MultiMasterSystem` — Figure 4: load balancer, N replicas each
+  executing reads and updates, and a certifier detecting system-wide
+  write-write conflicts and driving update propagation (Tashkent-style).
+* :class:`SingleMasterSystem` — Figure 5: the master executes all updates
+  and propagates writesets to the slaves; read-only transactions go to the
+  least-loaded replica, master included (Ganymed-style).
+
+Clients follow the closed-loop model of §3.1: think (exponential), submit,
+wait for the response; aborted update transactions are retried immediately
+by the (simulated) application server, as the paper's Java servlets do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import rng as rng_util
+from ..core.errors import SimulationError
+from ..core.params import ReplicationConfig
+from ..sidb.certifier import Certifier
+from ..workloads.spec import WorkloadSpec
+from .des import Acquire, Environment, Semaphore, Timeout
+from .replica import SimReplica
+from .sampling import WorkloadSampler
+from .stats import MetricsCollector
+
+#: Safety valve: a transaction aborting this many times in a row indicates a
+#: mis-configured conflict model rather than normal contention.
+MAX_RETRIES = 10_000
+
+#: Load-balancer routing policies.  The paper's prototypes route to the
+#: least-loaded replica; "pinned" statically partitions clients over
+#: replicas (the analytical model's view); "random" picks uniformly.
+LEAST_LOADED = "least-loaded"
+PINNED = "pinned"
+RANDOM = "random"
+LB_POLICIES = (LEAST_LOADED, PINNED, RANDOM)
+
+
+class _BaseSystem:
+    """Shared plumbing: replicas, samplers, metric wiring, client loop."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: WorkloadSpec,
+        config: ReplicationConfig,
+        seed: int,
+        metrics: MetricsCollector,
+        distribution: str = "exponential",
+        lb_policy: str = LEAST_LOADED,
+    ) -> None:
+        if lb_policy not in LB_POLICIES:
+            raise SimulationError(
+                f"unknown lb_policy {lb_policy!r}; one of {LB_POLICIES}"
+            )
+        self.env = env
+        self.spec = spec
+        self.config = config
+        self.metrics = metrics
+        self._seed = seed
+        self._distribution = distribution
+        self.lb_policy = lb_policy
+        self._lb_rng = rng_util.spawn(seed, "load-balancer")
+        self.replicas: List[SimReplica] = []
+
+    def _make_replica(self, name: str, path: object) -> SimReplica:
+        sampler = WorkloadSampler(
+            self.spec,
+            rng_util.spawn(self._seed, "replica", path),
+            distribution=self._distribution,
+        )
+        replica = SimReplica(self.env, name, sampler)
+        # Admission control: the connection pool bounds how many client
+        # transactions execute concurrently (config.max_concurrency).
+        if self.config.max_concurrency is not None:
+            replica.admission = Semaphore(self.env, self.config.max_concurrency)
+        else:
+            replica.admission = None
+        self.metrics.watch_resource(f"{name}.cpu", replica.cpu)
+        self.metrics.watch_resource(f"{name}.disk", replica.disk)
+        self.replicas.append(replica)
+        return replica
+
+    def _admit(self, replica: SimReplica):
+        """Wait for an execution slot at *replica* (no-op without a limit)."""
+        if replica.admission is not None:
+            yield Acquire(replica.admission)
+
+    def _release(self, replica: SimReplica) -> None:
+        if replica.admission is not None:
+            replica.admission.release()
+
+    def start_clients(self, count: int) -> None:
+        """Launch *count* closed-loop client processes."""
+        for client_id in range(count):
+            sampler = WorkloadSampler(
+                self.spec,
+                rng_util.spawn(self._seed, "client", client_id),
+                distribution=self._distribution,
+            )
+            self.env.start(self._client_loop(client_id, sampler))
+
+    def start_open_arrivals(self, rate: float) -> None:
+        """Launch an open-loop Poisson arrival stream of *rate* tps.
+
+        Open arrivals do not wait for responses (no think-time feedback):
+        past the capacity knee the resident population — and response time
+        — grows without bound, the contrast with the closed-loop model that
+        [Schroeder 2006] warns about and §3.1 adopts deliberately.
+        """
+        if rate <= 0:
+            raise SimulationError(f"arrival rate must be positive, got {rate}")
+        self.env.start(self._arrival_process(rate))
+
+    def _arrival_process(self, rate: float):
+        arrival_rng = rng_util.spawn(self._seed, "open-arrivals")
+        sampler = WorkloadSampler(
+            self.spec,
+            rng_util.spawn(self._seed, "open-client"),
+            distribution=self._distribution,
+        )
+        sequence = 0
+        while True:
+            yield Timeout(float(arrival_rng.exponential(1.0 / rate)))
+            sequence += 1
+            self.env.start(self._one_shot(sequence, sampler))
+
+    def _one_shot(self, sequence: int, sampler: WorkloadSampler):
+        is_update = sampler.next_is_update()
+        started = self.env.now
+        aborts = yield from self.execute(sampler, is_update, sequence)
+        self.metrics.record_commit(
+            is_update, self.env.now - started, aborts, now=self.env.now
+        )
+
+    def _client_loop(self, client_id: int, sampler: WorkloadSampler):
+        while True:
+            yield Timeout(sampler.think_time())
+            is_update = sampler.next_is_update()
+            started = self.env.now
+            aborts = yield from self.execute(sampler, is_update, client_id)
+            self.metrics.record_commit(
+                is_update, self.env.now - started, aborts, now=self.env.now
+            )
+
+    def execute(self, sampler: WorkloadSampler, is_update: bool, client_id: int):
+        """Run one transaction to commit; returns the abort (retry) count."""
+        raise NotImplementedError
+
+    def route(self, candidates: List[SimReplica], client_id: int) -> SimReplica:
+        """Pick an *available* replica according to the LB policy."""
+        alive = [r for r in candidates if r.available]
+        if not alive:
+            # Total outage: keep routing so clients block on queues rather
+            # than deadlocking the closed loop.
+            alive = list(candidates)
+        if self.lb_policy == PINNED:
+            return alive[client_id % len(alive)]
+        if self.lb_policy == RANDOM:
+            return alive[int(self._lb_rng.integers(0, len(alive)))]
+        return min(alive, key=lambda r: (r.active, r.name))
+
+
+class StandaloneSystem(_BaseSystem):
+    """A single snapshot-isolated database with directly attached clients."""
+
+    def __init__(self, env, spec, config, seed, metrics,
+                 distribution="exponential", lb_policy=LEAST_LOADED):
+        super().__init__(env, spec, config, seed, metrics, distribution,
+                         lb_policy)
+        self.database = self._make_replica("standalone", 0)
+        self.certifier = Certifier()
+        self._active_snapshots: Dict[int, int] = {}
+        self._snapshot_token = 0
+
+    def execute(self, sampler: WorkloadSampler, is_update: bool, client_id: int = 0):
+        replica = self.database
+        replica.active += 1
+        aborts = 0
+        yield from self._admit(replica)
+        try:
+            if not is_update:
+                yield from replica.serve_read()
+                return aborts
+            for _ in range(MAX_RETRIES):
+                # The snapshot is taken at begin; the conflict window is the
+                # full execution time on the standalone database (§2).
+                snapshot = self.certifier.latest_version
+                token = self._register_snapshot(snapshot)
+                try:
+                    yield from replica.serve_update_attempt()
+                    writeset = sampler.sample_writeset(snapshot)
+                    self.metrics.record_certification()
+                    outcome = self.certifier.certify(writeset)
+                finally:
+                    self._release_snapshot(token)
+                if outcome.committed:
+                    return aborts
+                aborts += 1
+            raise SimulationError("standalone update exceeded retry limit")
+        finally:
+            self._release(replica)
+            replica.active -= 1
+
+    def _register_snapshot(self, snapshot: int) -> int:
+        self._snapshot_token += 1
+        self._active_snapshots[self._snapshot_token] = snapshot
+        return self._snapshot_token
+
+    def _release_snapshot(self, token: int) -> None:
+        self._active_snapshots.pop(token, None)
+        floor = min(
+            self._active_snapshots.values(),
+            default=self.certifier.latest_version,
+        )
+        self.certifier.observe_snapshot(max(0, floor))
+
+
+class MultiMasterSystem(_BaseSystem):
+    """Figure 4: N symmetric replicas behind a load balancer + certifier."""
+
+    def __init__(self, env, spec, config, seed, metrics,
+                 distribution="exponential", lb_policy=LEAST_LOADED):
+        super().__init__(env, spec, config, seed, metrics, distribution,
+                         lb_policy)
+        for index in range(config.replicas):
+            self._make_replica(f"replica{index}", index)
+        self.certifier = Certifier()
+        self._active_snapshots: Dict[int, int] = {}
+        self._snapshot_token = 0
+
+    def execute(self, sampler: WorkloadSampler, is_update: bool, client_id: int = 0):
+        yield Timeout(self.config.load_balancer_delay)
+        replica = self.route(self.replicas, client_id)
+        replica.active += 1
+        aborts = 0
+        yield from self._admit(replica)
+        try:
+            if not is_update:
+                # Read-only transactions execute entirely locally and always
+                # commit (§2: GSI read-only transactions never abort).
+                yield from replica.serve_read()
+                return aborts
+            for _ in range(MAX_RETRIES):
+                snapshot = replica.applied_version
+                self.metrics.record_snapshot_age(
+                    self.certifier.latest_version - snapshot
+                )
+                token = self._register_snapshot(snapshot)
+                try:
+                    yield from replica.serve_update_attempt()
+                    writeset = sampler.sample_writeset(snapshot)
+                    self.metrics.record_certification()
+                    # The certifier orders and checks the writeset on
+                    # arrival; the response (and update propagation) reach
+                    # the replicas one certification delay later (§6.3.2).
+                    outcome = self.certifier.certify(writeset)
+                    yield Timeout(self.config.certifier_delay)
+                finally:
+                    self._release_snapshot(token)
+                if outcome.committed:
+                    self._propagate(outcome.commit_version, origin=replica)
+                    return aborts
+                aborts += 1
+            raise SimulationError("multi-master update exceeded retry limit")
+        finally:
+            self._release(replica)
+            replica.active -= 1
+
+    def _propagate(self, commit_version: int, origin: SimReplica) -> None:
+        for replica in self.replicas:
+            replica.enqueue_writeset(commit_version, charged=replica is not origin)
+
+    def _register_snapshot(self, snapshot: int) -> int:
+        self._snapshot_token += 1
+        self._active_snapshots[self._snapshot_token] = snapshot
+        return self._snapshot_token
+
+    def _release_snapshot(self, token: int) -> None:
+        self._active_snapshots.pop(token, None)
+        # Future transactions take their snapshot from a replica's applied
+        # version, which can lag the certifier; pruning must keep history
+        # back to the most-lagging replica as well as all active snapshots.
+        lagging = min(replica.applied_version for replica in self.replicas)
+        floor = min(
+            min(self._active_snapshots.values(), default=lagging),
+            lagging,
+        )
+        self.certifier.observe_snapshot(max(0, floor))
+
+
+class SingleMasterSystem(_BaseSystem):
+    """Figure 5: one master for updates, N-1 slaves for reads."""
+
+    def __init__(self, env, spec, config, seed, metrics,
+                 distribution="exponential", lb_policy=LEAST_LOADED):
+        super().__init__(env, spec, config, seed, metrics, distribution,
+                         lb_policy)
+        self.master = self._make_replica("master", "master")
+        self.slaves = [
+            self._make_replica(f"slave{index}", index)
+            for index in range(config.replicas - 1)
+        ]
+        self.certifier = Certifier()
+        self._active_snapshots: Dict[int, int] = {}
+        self._snapshot_token = 0
+
+    def execute(self, sampler: WorkloadSampler, is_update: bool, client_id: int = 0):
+        yield Timeout(self.config.load_balancer_delay)
+        if not is_update:
+            replica = self.route(self.replicas, client_id)
+            replica.active += 1
+            yield from self._admit(replica)
+            try:
+                yield from replica.serve_read()
+                return 0
+            finally:
+                self._release(replica)
+                replica.active -= 1
+
+        self.master.active += 1
+        aborts = 0
+        yield from self._admit(self.master)
+        try:
+            for _ in range(MAX_RETRIES):
+                # The master runs plain SI: the snapshot is its latest
+                # committed version, and the conflict window is the
+                # execution time on the master (§2).
+                snapshot = self.certifier.latest_version
+                token = self._register_snapshot(snapshot)
+                try:
+                    yield from self.master.serve_update_attempt()
+                    writeset = sampler.sample_writeset(snapshot)
+                    self.metrics.record_certification()
+                    outcome = self.certifier.certify(writeset)
+                finally:
+                    self._release_snapshot(token)
+                if outcome.committed:
+                    self.master.enqueue_writeset(
+                        outcome.commit_version, charged=False
+                    )
+                    for slave in self.slaves:
+                        slave.enqueue_writeset(outcome.commit_version, charged=True)
+                    return aborts
+                aborts += 1
+            raise SimulationError("single-master update exceeded retry limit")
+        finally:
+            self._release(self.master)
+            self.master.active -= 1
+
+    def _register_snapshot(self, snapshot: int) -> int:
+        self._snapshot_token += 1
+        self._active_snapshots[self._snapshot_token] = snapshot
+        return self._snapshot_token
+
+    def _release_snapshot(self, token: int) -> None:
+        self._active_snapshots.pop(token, None)
+        floor = min(
+            self._active_snapshots.values(),
+            default=self.certifier.latest_version,
+        )
+        self.certifier.observe_snapshot(max(0, floor))

@@ -1,0 +1,19 @@
+"""Benchmark workload definitions: TPC-W, RUBiS, and the §6.3.3 microbenchmark."""
+
+from . import rubis, tpcw
+from .microbench import FIGURE14_ABORT_RATES, figure14_specs, heap_table_spec
+from .registry import all_workloads, get_workload, workload_names
+from .spec import WorkloadSpec, demands_ms
+
+__all__ = [
+    "FIGURE14_ABORT_RATES",
+    "WorkloadSpec",
+    "all_workloads",
+    "demands_ms",
+    "figure14_specs",
+    "get_workload",
+    "heap_table_spec",
+    "rubis",
+    "tpcw",
+    "workload_names",
+]

@@ -1,0 +1,35 @@
+"""Registry of all built-in workload specifications."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from . import rubis, tpcw
+from .spec import WorkloadSpec
+
+
+def all_workloads() -> Dict[str, WorkloadSpec]:
+    """Every built-in workload keyed by its qualified name."""
+    catalog: Dict[str, WorkloadSpec] = {}
+    for spec in list(tpcw.MIXES.values()) + list(rubis.MIXES.values()):
+        catalog[spec.name] = spec
+    return catalog
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload by qualified name, e.g. ``tpcw/shopping``.
+
+    Also accepts ``benchmark mix`` split across a space or colon.
+    """
+    normalised = name.replace(":", "/").replace(" ", "/")
+    catalog = all_workloads()
+    if normalised in catalog:
+        return catalog[normalised]
+    raise KeyError(
+        f"unknown workload {name!r}; choose from {sorted(catalog)}"
+    )
+
+
+def workload_names() -> List[str]:
+    """Sorted qualified names of all built-in workloads."""
+    return sorted(all_workloads())

@@ -1,0 +1,140 @@
+"""Workload specifications.
+
+A :class:`WorkloadSpec` bundles everything the simulator and the models need
+to know about a benchmark mix: the transaction fractions (Table 2/4 of the
+paper), the *ground-truth* mean service demands the simulated database
+exhibits (Table 3/5), the conflict footprint of update transactions, and
+the closed-loop client settings.
+
+The ground-truth demands parameterise the **simulator**.  The analytical
+models never see them directly — they consume a
+:class:`~repro.core.params.StandaloneProfile` measured by the profiler on a
+standalone simulated run, mirroring the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.params import (
+    ConflictProfile,
+    ReplicationConfig,
+    ResourceDemand,
+    ServiceDemands,
+    StandaloneProfile,
+    WorkloadMix,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A benchmark workload mix, fully parameterised."""
+
+    #: Benchmark name, e.g. ``"tpcw"``.
+    benchmark: str
+    #: Mix name, e.g. ``"shopping"``.
+    mix_name: str
+    #: Pr / Pw fractions (Table 2 / Table 4).
+    mix: WorkloadMix
+    #: Ground-truth mean service demands (Table 3 / Table 5), seconds.
+    demands: ServiceDemands
+    #: C — closed-loop clients per replica (Table 2 / Table 4).
+    clients_per_replica: int
+    #: Z — effective think time in seconds (the paper uses 1.0 s).
+    think_time: float
+    #: Conflict footprint of update transactions (DbUpdateSize, U).
+    conflict: Optional[ConflictProfile] = None
+    #: Average propagated writeset size in bytes (§6.1).
+    writeset_bytes: int = 0
+    #: Database size in MB (documentation / §6.1 reporting only).
+    database_size_mb: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.clients_per_replica < 1:
+            raise ConfigurationError("clients_per_replica must be >= 1")
+        if self.think_time < 0:
+            raise ConfigurationError("think time must be non-negative")
+        if self.mix.write_fraction > 0.0 and self.conflict is None:
+            raise ConfigurationError(
+                f"{self.name}: update mixes need a ConflictProfile"
+            )
+
+    @property
+    def name(self) -> str:
+        """Fully qualified name, e.g. ``tpcw/shopping``."""
+        return f"{self.benchmark}/{self.mix_name}"
+
+    @property
+    def has_updates(self) -> bool:
+        """True when the mix contains update transactions."""
+        return self.mix.write_fraction > 0.0
+
+    def replication_config(
+        self,
+        replicas: int,
+        load_balancer_delay: float = 0.001,
+        certifier_delay: float = 0.012,
+    ) -> ReplicationConfig:
+        """Deployment configuration for this workload at *replicas* replicas."""
+        return ReplicationConfig(
+            replicas=replicas,
+            clients_per_replica=self.clients_per_replica,
+            think_time=self.think_time,
+            load_balancer_delay=load_balancer_delay,
+            certifier_delay=certifier_delay,
+        )
+
+    def ground_truth_profile(
+        self, abort_rate: float = 0.0, update_response_time: Optional[float] = None
+    ) -> StandaloneProfile:
+        """A profile built from the ground-truth demands.
+
+        Useful for tests that want to bypass the measurement step; real
+        experiments use :func:`repro.profiling.profile_standalone` instead.
+        ``update_response_time`` defaults to the zero-load update latency
+        (wc summed over resources), a lower bound on L(1).
+        """
+        if update_response_time is None:
+            update_response_time = self.demands.write.total
+        if not self.has_updates:
+            update_response_time = 0.0
+        return StandaloneProfile(
+            mix=self.mix,
+            demands=self.demands,
+            abort_rate=abort_rate,
+            update_response_time=update_response_time,
+        )
+
+    def with_conflict(self, conflict: ConflictProfile) -> "WorkloadSpec":
+        """Return a copy with a different conflict footprint (Figure 14)."""
+        return dataclasses.replace(self, conflict=conflict)
+
+    def with_mix_name(self, mix_name: str) -> "WorkloadSpec":
+        """Return a copy renamed (used by derived microbenchmarks)."""
+        return dataclasses.replace(self, mix_name=mix_name)
+
+    def with_demands(self, demands: ServiceDemands) -> "WorkloadSpec":
+        """Return a copy with different ground-truth demands (ablations)."""
+        return dataclasses.replace(self, demands=demands)
+
+
+def demands_ms(
+    read_cpu: float,
+    read_disk: float,
+    write_cpu: float = 0.0,
+    write_disk: float = 0.0,
+    writeset_cpu: float = 0.0,
+    writeset_disk: float = 0.0,
+) -> ServiceDemands:
+    """Build :class:`ServiceDemands` from millisecond values (Tables 3/5)."""
+    from ..core.units import ms
+
+    return ServiceDemands(
+        read=ResourceDemand(cpu=ms(read_cpu), disk=ms(read_disk)),
+        write=ResourceDemand(cpu=ms(write_cpu), disk=ms(write_disk)),
+        writeset=ResourceDemand(cpu=ms(writeset_cpu), disk=ms(writeset_disk)),
+    )

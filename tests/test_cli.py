@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_workloads_subcommand_parses(self):
+        args = build_parser().parse_args(["workloads"])
+        assert args.command == "workloads"
+
+    def test_predict_defaults(self):
+        args = build_parser().parse_args(["predict", "tpcw/shopping"])
+        assert args.design == "multi-master"
+        assert args.replicas == [1, 2, 4, 8, 16]
+
+    def test_figure_choices_cover_6_to_14(self):
+        for i in range(6, 15):
+            args = build_parser().parse_args(["figure", f"figure{i}", "--fast"])
+            assert args.name == f"figure{i}"
+
+    def test_invalid_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "figure99"])
+
+    def test_table_choices(self):
+        for name in ("table2", "table3", "table4", "table5"):
+            args = build_parser().parse_args(["table", name])
+            assert args.name == name
+
+    def test_plan_requires_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "tpcw/shopping"])
+
+    def test_plan_parses_options(self):
+        args = build_parser().parse_args(
+            ["plan", "tpcw/shopping", "--target", "100", "--headroom", "0.2"]
+        )
+        assert args.target == 100.0
+        assert args.headroom == 0.2
+
+    def test_reproduce_parses_out(self):
+        args = build_parser().parse_args(["reproduce", "--fast", "--out", "x.txt"])
+        assert args.out == "x.txt"
+
+
+class TestCommands:
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "tpcw/shopping" in out
+        assert "rubis/bidding" in out
+
+    def test_table2_renders(self, capsys):
+        assert main(["table", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "TPC-W parameters" in out
+
+    def test_table4_renders(self, capsys):
+        assert main(["table", "table4"]) == 0
+        assert "RUBiS" in capsys.readouterr().out
+
+    def test_simulate_standalone_smoke(self, capsys):
+        code = main([
+            "simulate", "tpcw/shopping", "--design", "standalone",
+            "--replicas", "1", "--warmup", "2", "--duration", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tps" in out
+
+    def test_plan_smoke(self, capsys):
+        code = main(["plan", "tpcw/shopping", "--target", "50", "--fast"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replicas" in out
+
+    def test_plan_unreachable_target_fails(self, capsys):
+        code = main([
+            "plan", "rubis/bidding", "--target", "100000", "--fast",
+        ])
+        assert code == 1
+        assert "no deployment" in capsys.readouterr().out

@@ -1,0 +1,207 @@
+"""Unit tests for repro.core.params."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import (
+    CPU,
+    DISK,
+    ConflictProfile,
+    ReplicationConfig,
+    ResourceDemand,
+    ServiceDemands,
+    StandaloneProfile,
+    WorkloadMix,
+    replica_sweep,
+)
+
+
+class TestResourceDemand:
+    def test_total_sums_resources(self):
+        demand = ResourceDemand(cpu=0.03, disk=0.01)
+        assert demand.total == pytest.approx(0.04)
+
+    def test_defaults_to_zero(self):
+        assert ResourceDemand().total == 0.0
+
+    def test_get_by_resource_name(self):
+        demand = ResourceDemand(cpu=0.03, disk=0.01)
+        assert demand.get(CPU) == 0.03
+        assert demand.get(DISK) == 0.01
+
+    def test_get_unknown_resource_raises(self):
+        with pytest.raises(ConfigurationError):
+            ResourceDemand().get("gpu")
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResourceDemand(cpu=-0.001)
+
+    def test_negative_disk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResourceDemand(disk=-1.0)
+
+    def test_scaled_multiplies_both(self):
+        demand = ResourceDemand(cpu=0.02, disk=0.01).scaled(2.0)
+        assert demand.cpu == pytest.approx(0.04)
+        assert demand.disk == pytest.approx(0.02)
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ConfigurationError):
+            ResourceDemand(cpu=0.02).scaled(-1.0)
+
+    def test_plus_adds_elementwise(self):
+        total = ResourceDemand(cpu=0.02, disk=0.01).plus(
+            ResourceDemand(cpu=0.01, disk=0.03)
+        )
+        assert total.cpu == pytest.approx(0.03)
+        assert total.disk == pytest.approx(0.04)
+
+    def test_as_dict_round_trip(self):
+        demand = ResourceDemand(cpu=0.02, disk=0.01)
+        assert demand.as_dict() == {CPU: 0.02, DISK: 0.01}
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ResourceDemand().cpu = 1.0
+
+
+class TestServiceDemands:
+    def test_get_by_class(self, simple_demands):
+        assert simple_demands.get("read").cpu == pytest.approx(0.040)
+        assert simple_demands.get("write").disk == pytest.approx(0.006)
+        assert simple_demands.get("writeset").cpu == pytest.approx(0.003)
+
+    def test_get_unknown_class_raises(self, simple_demands):
+        with pytest.raises(ConfigurationError):
+            simple_demands.get("scan")
+
+    def test_as_dict_structure(self, simple_demands):
+        nested = simple_demands.as_dict()
+        assert set(nested) == {"read", "write", "writeset"}
+        assert nested["read"][CPU] == pytest.approx(0.040)
+
+    def test_defaults_are_zero_demands(self):
+        demands = ServiceDemands()
+        assert demands.write.total == 0.0
+        assert demands.writeset.total == 0.0
+
+
+class TestWorkloadMix:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadMix(read_fraction=0.5, write_fraction=0.6)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadMix(read_fraction=1.5, write_fraction=-0.5)
+
+    def test_from_write_fraction(self):
+        mix = WorkloadMix.from_write_fraction(0.2)
+        assert mix.read_fraction == pytest.approx(0.8)
+
+    def test_read_only_detection(self):
+        assert WorkloadMix(read_fraction=1.0, write_fraction=0.0).read_only
+        assert not WorkloadMix(read_fraction=0.8, write_fraction=0.2).read_only
+
+    def test_write_to_read_ratio(self):
+        mix = WorkloadMix(read_fraction=0.8, write_fraction=0.2)
+        assert mix.write_to_read_ratio == pytest.approx(0.25)
+
+    def test_write_to_read_ratio_write_only_raises(self):
+        mix = WorkloadMix(read_fraction=0.0, write_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            mix.write_to_read_ratio
+
+
+class TestConflictProfile:
+    def test_p_is_reciprocal_of_size(self):
+        assert ConflictProfile(10_000, 3).p == pytest.approx(1e-4)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            ConflictProfile(0, 1)
+
+    def test_rejects_zero_updates(self):
+        with pytest.raises(ConfigurationError):
+            ConflictProfile(100, 0)
+
+    def test_rejects_updates_exceeding_size(self):
+        with pytest.raises(ConfigurationError):
+            ConflictProfile(db_update_size=2, updates_per_transaction=3)
+
+
+class TestStandaloneProfile:
+    def test_valid_profile(self, simple_profile):
+        assert simple_profile.abort_rate == pytest.approx(0.001)
+
+    def test_abort_rate_must_be_below_one(self, simple_mix, simple_demands):
+        with pytest.raises(ConfigurationError):
+            StandaloneProfile(
+                mix=simple_mix,
+                demands=simple_demands,
+                abort_rate=1.0,
+                update_response_time=0.05,
+            )
+
+    def test_updates_require_positive_l1(self, simple_mix, simple_demands):
+        with pytest.raises(ConfigurationError):
+            StandaloneProfile(
+                mix=simple_mix, demands=simple_demands, update_response_time=0.0
+            )
+
+    def test_read_only_profile_allows_zero_l1(self, simple_demands):
+        profile = StandaloneProfile(
+            mix=WorkloadMix(read_fraction=1.0, write_fraction=0.0),
+            demands=simple_demands,
+        )
+        assert profile.update_response_time == 0.0
+
+    def test_replace_changes_field(self, simple_profile):
+        updated = simple_profile.replace(abort_rate=0.01)
+        assert updated.abort_rate == pytest.approx(0.01)
+        assert simple_profile.abort_rate == pytest.approx(0.001)
+
+
+class TestReplicationConfig:
+    def test_total_clients(self):
+        config = ReplicationConfig(replicas=4, clients_per_replica=25)
+        assert config.total_clients == 100
+
+    def test_with_replicas_preserves_other_fields(self):
+        config = ReplicationConfig(replicas=2, clients_per_replica=10,
+                                   think_time=0.5)
+        updated = config.with_replicas(8)
+        assert updated.replicas == 8
+        assert updated.think_time == 0.5
+        assert config.replicas == 2
+
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(replicas=0, clients_per_replica=10)
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(replicas=1, clients_per_replica=0)
+
+    def test_rejects_negative_delays(self):
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(replicas=1, clients_per_replica=1,
+                              load_balancer_delay=-0.001)
+
+    def test_rejects_zero_max_concurrency(self):
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(replicas=1, clients_per_replica=1,
+                              max_concurrency=0)
+
+    def test_unlimited_concurrency_allowed(self):
+        config = ReplicationConfig(replicas=1, clients_per_replica=1,
+                                   max_concurrency=None)
+        assert config.max_concurrency is None
+
+    def test_replica_sweep_yields_each_count(self):
+        config = ReplicationConfig(replicas=1, clients_per_replica=10)
+        counts = [c.replicas for c in replica_sweep(config, (1, 2, 4))]
+        assert counts == [1, 2, 4]

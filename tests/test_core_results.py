@@ -1,0 +1,149 @@
+"""Unit tests for repro.core.results."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.results import (
+    OperatingPoint,
+    ScalabilityCurve,
+    ValidationPoint,
+    ValidationSeries,
+    relative_error,
+)
+
+
+def point(throughput=100.0, response=0.2, abort=0.01):
+    return OperatingPoint(
+        throughput=throughput, response_time=response, abort_rate=abort
+    )
+
+
+class TestOperatingPoint:
+    def test_valid(self):
+        p = point()
+        assert p.throughput == 100.0
+
+    def test_rejects_negative_throughput(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(throughput=-1.0, response_time=0.1)
+
+    def test_rejects_negative_response(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(throughput=1.0, response_time=-0.1)
+
+    def test_rejects_abort_rate_above_one(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(throughput=1.0, response_time=0.1, abort_rate=1.5)
+
+
+class TestScalabilityCurve:
+    def make(self):
+        return ScalabilityCurve(
+            label="test",
+            replica_counts=(1, 2, 4),
+            points=(point(50), point(95), point(180)),
+        )
+
+    def test_throughputs_in_order(self):
+        assert self.make().throughputs == [50, 95, 180]
+
+    def test_response_times(self):
+        assert self.make().response_times == [0.2, 0.2, 0.2]
+
+    def test_point_at_known_count(self):
+        assert self.make().point_at(2).throughput == 95
+
+    def test_point_at_unknown_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.make().point_at(3)
+
+    def test_speedup_relative_to_first(self):
+        speedup = self.make().speedup()
+        assert speedup[0] == pytest.approx(1.0)
+        assert speedup[2] == pytest.approx(3.6)
+
+    def test_peak_returns_best_replica_count(self):
+        curve = ScalabilityCurve(
+            label="peaky",
+            replica_counts=(1, 2, 4, 8),
+            points=(point(50), point(90), point(120), point(110)),
+        )
+        assert curve.peak() == 4
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScalabilityCurve(label="bad", replica_counts=(1, 2), points=(point(),))
+
+    def test_non_increasing_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScalabilityCurve(
+                label="bad",
+                replica_counts=(2, 1),
+                points=(point(), point()),
+            )
+
+    def test_duplicate_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScalabilityCurve(
+                label="bad",
+                replica_counts=(1, 1),
+                points=(point(), point()),
+            )
+
+
+class TestRelativeError:
+    def test_symmetric_magnitude(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(90, 100) == pytest.approx(0.1)
+
+    def test_zero_measured_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_error(1.0, 0.0)
+
+
+class TestValidationSeries:
+    def make(self):
+        rows = [
+            ValidationPoint(replicas=1, predicted=point(100), measured=point(110)),
+            ValidationPoint(replicas=2, predicted=point(210), measured=point(200)),
+        ]
+        return ValidationSeries(label="series", rows=rows)
+
+    def test_throughput_error_per_row(self):
+        series = self.make()
+        assert series.rows[0].throughput_error == pytest.approx(10 / 110)
+        assert series.rows[1].throughput_error == pytest.approx(10 / 200)
+
+    def test_max_error(self):
+        assert self.make().max_throughput_error() == pytest.approx(10 / 110)
+
+    def test_mean_error(self):
+        series = self.make()
+        expected = (10 / 110 + 10 / 200) / 2
+        assert series.mean_throughput_error() == pytest.approx(expected)
+
+    def test_response_time_error(self):
+        rows = [
+            ValidationPoint(
+                replicas=1,
+                predicted=point(response=0.25),
+                measured=point(response=0.2),
+            )
+        ]
+        series = ValidationSeries(label="rt", rows=rows)
+        assert series.max_response_time_error() == pytest.approx(0.25)
+
+    def test_curve_extraction_round_trip(self):
+        series = self.make()
+        predicted = series.predicted_curve()
+        measured = series.measured_curve()
+        assert predicted.throughputs == [100, 210]
+        assert measured.throughputs == [110, 200]
+        assert list(predicted.replica_counts) == [1, 2]
+
+    def test_empty_series_statistics_raise(self):
+        series = ValidationSeries(label="empty", rows=())
+        with pytest.raises(ConfigurationError):
+            series.max_throughput_error()
+        with pytest.raises(ConfigurationError):
+            series.mean_throughput_error()

@@ -1,0 +1,89 @@
+"""Unit tests for repro.core.units and repro.core.rng."""
+
+import numpy as np
+import pytest
+
+from repro.core import rng as rng_util
+from repro.core.units import MS, US, ms, per_second, to_ms, us
+
+
+class TestUnits:
+    def test_ms_round_trip(self):
+        assert to_ms(ms(12.5)) == pytest.approx(12.5)
+
+    def test_ms_value(self):
+        assert ms(1000) == pytest.approx(1.0)
+
+    def test_us_value(self):
+        assert us(1000) == pytest.approx(0.001)
+
+    def test_constants(self):
+        assert MS == pytest.approx(1e-3)
+        assert US == pytest.approx(1e-6)
+
+    def test_per_second(self):
+        assert per_second(0.5) == pytest.approx(500.0)
+
+
+class TestRng:
+    def test_make_rng_is_deterministic(self):
+        a = rng_util.make_rng(42).random(5)
+        b = rng_util.make_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_spawn_same_path_same_stream(self):
+        a = rng_util.spawn(7, "client", 3).random(4)
+        b = rng_util.spawn(7, "client", 3).random(4)
+        assert np.allclose(a, b)
+
+    def test_spawn_different_paths_differ(self):
+        a = rng_util.spawn(7, "client", 3).random(4)
+        b = rng_util.spawn(7, "client", 4).random(4)
+        assert not np.allclose(a, b)
+
+    def test_spawn_different_seeds_differ(self):
+        a = rng_util.spawn(7, "x").random(4)
+        b = rng_util.spawn(8, "x").random(4)
+        assert not np.allclose(a, b)
+
+    def test_exponential_zero_mean_is_zero(self):
+        assert rng_util.exponential(rng_util.make_rng(), 0.0) == 0.0
+
+    def test_exponential_mean_approximately_right(self):
+        rng = rng_util.make_rng(1)
+        samples = [rng_util.exponential(rng, 0.25) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(0.25, rel=0.05)
+
+    def test_choice_index_respects_weights(self):
+        rng = rng_util.make_rng(2)
+        picks = [rng_util.choice_index(rng, [1.0, 3.0]) for _ in range(10_000)]
+        assert np.mean(picks) == pytest.approx(0.75, abs=0.02)
+
+    def test_choice_index_rejects_zero_weights(self):
+        with pytest.raises(ValueError):
+            rng_util.choice_index(rng_util.make_rng(), [0.0, 0.0])
+
+    def test_sample_rows_count_and_range(self):
+        rows = rng_util.sample_rows(rng_util.make_rng(3), 100, 5)
+        assert len(rows) == 5
+        assert all(0 <= r < 100 for r in rows)
+
+    def test_sample_rows_distinct(self):
+        rows = rng_util.sample_rows(rng_util.make_rng(4), 10, 10)
+        assert rows == frozenset(range(10))
+
+    def test_sample_rows_too_many_raises(self):
+        with pytest.raises(ValueError):
+            rng_util.sample_rows(rng_util.make_rng(), 3, 4)
+
+    def test_sample_rows_dense_path(self):
+        # count*4 >= size exercises the permutation branch
+        rows = rng_util.sample_rows(rng_util.make_rng(5), 12, 4)
+        assert len(rows) == 4
+
+    def test_seeds_are_distinct(self):
+        values = list(rng_util.seeds(11, 20))
+        assert len(set(values)) == 20
+
+    def test_seeds_deterministic(self):
+        assert list(rng_util.seeds(11, 5)) == list(rng_util.seeds(11, 5))

@@ -1,0 +1,44 @@
+"""Tests for the report assembly (cheap structural checks only —
+``full_report`` itself is exercised end to end by the benchmark suite and
+``scripts/run_all_experiments.py``)."""
+
+import pytest
+
+from repro.experiments import FIGURE_RUNNERS
+from repro.experiments.report import _ablation_section
+from repro.experiments.settings import ExperimentSettings
+
+
+class TestReportStructure:
+    def test_figure_runners_cover_6_to_13(self):
+        names = [runner.__name__ for runner in FIGURE_RUNNERS]
+        assert names == [f"figure{i}" for i in range(6, 14)]
+
+    def test_ablation_section_renders(self, tiny_settings):
+        text = _ablation_section(tiny_settings)
+        assert "mva ablation" in text
+        assert "conflict-window ablation" in text
+        assert "lb-policy ablation" in text
+        # Every MVA row printed.
+        assert text.count("schweitzer=") >= 5
+
+
+class TestWorkloadSpecHelpers:
+    def test_with_demands_swaps_ground_truth(self, shopping_spec):
+        from repro.workloads.spec import demands_ms
+
+        new = demands_ms(read_cpu=1.0, read_disk=1.0, write_cpu=1.0,
+                         write_disk=1.0, writeset_cpu=1.0, writeset_disk=1.0)
+        spec = shopping_spec.with_demands(new)
+        assert spec.demands is new
+        assert shopping_spec.demands is not new
+
+    def test_with_mix_name_renames(self, shopping_spec):
+        spec = shopping_spec.with_mix_name("stress")
+        assert spec.name == "tpcw/stress"
+        assert shopping_spec.name == "tpcw/shopping"
+
+    def test_ground_truth_profile_read_only(self, rubis_browsing_spec):
+        profile = rubis_browsing_spec.ground_truth_profile()
+        assert profile.update_response_time == 0.0
+        assert profile.abort_rate == 0.0

@@ -1,0 +1,118 @@
+"""End-to-end integration tests: the paper's full pipeline in miniature.
+
+These run the complete methodology — profile a standalone simulated
+database, predict replicated performance with the analytical models, then
+measure the replicated simulators — and assert the predictions land within
+a coarse tolerance (the full-fidelity check is the benchmark suite).
+"""
+
+import pytest
+
+from repro.core.results import relative_error
+from repro.experiments.context import get_profiling_report
+from repro.models.multimaster import predict_multimaster
+from repro.models.singlemaster import predict_singlemaster
+from repro.simulator.runner import MULTI_MASTER, SINGLE_MASTER, simulate
+
+
+@pytest.fixture(scope="module")
+def shopping_report(shopping_spec, tiny_settings):
+    return get_profiling_report(shopping_spec, tiny_settings)
+
+
+class TestPredictionAccuracy:
+    @pytest.mark.parametrize("replicas", [1, 4])
+    def test_multimaster_throughput_within_tolerance(
+        self, shopping_spec, shopping_report, replicas
+    ):
+        profile = shopping_report.profile
+        config = shopping_spec.replication_config(replicas)
+        predicted = predict_multimaster(profile, config).throughput
+        measured = simulate(
+            shopping_spec, config, design=MULTI_MASTER,
+            seed=101, warmup=3.0, duration=15.0,
+        ).throughput
+        assert relative_error(predicted, measured) < 0.15
+
+    @pytest.mark.parametrize("replicas", [1, 4])
+    def test_singlemaster_throughput_within_tolerance(
+        self, shopping_spec, shopping_report, replicas
+    ):
+        profile = shopping_report.profile
+        config = shopping_spec.replication_config(replicas)
+        predicted = predict_singlemaster(profile, config).throughput
+        measured = simulate(
+            shopping_spec, config, design=SINGLE_MASTER,
+            seed=102, warmup=3.0, duration=15.0,
+        ).throughput
+        assert relative_error(predicted, measured) < 0.15
+
+    def test_response_time_same_ballpark(
+        self, shopping_spec, shopping_report
+    ):
+        profile = shopping_report.profile
+        config = shopping_spec.replication_config(4)
+        predicted = predict_multimaster(profile, config).response_time
+        measured = simulate(
+            shopping_spec, config, design=MULTI_MASTER,
+            seed=103, warmup=3.0, duration=15.0,
+        ).response_time
+        assert relative_error(predicted, measured) < 0.35
+
+
+class TestScalabilityShapes:
+    def test_mm_scales_further_than_sm_on_write_heavy_mix(
+        self, ordering_spec, tiny_settings
+    ):
+        """The paper's headline qualitative result (Figures 6 vs 8)."""
+        report = get_profiling_report(ordering_spec, tiny_settings)
+        profile = report.profile
+        mm16 = predict_multimaster(
+            profile, ordering_spec.replication_config(16)
+        ).throughput
+        sm16 = predict_singlemaster(
+            profile, ordering_spec.replication_config(16)
+        ).throughput
+        assert mm16 > 1.5 * sm16
+
+    def test_sm_saturates_on_ordering_mix(self, ordering_spec, tiny_settings):
+        """Figure 8: SM ordering saturates around 4 replicas."""
+        report = get_profiling_report(ordering_spec, tiny_settings)
+        profile = report.profile
+        x4 = predict_singlemaster(
+            profile, ordering_spec.replication_config(4)
+        ).throughput
+        x16 = predict_singlemaster(
+            profile, ordering_spec.replication_config(16)
+        ).throughput
+        assert x16 < 1.2 * x4
+
+    def test_browsing_mm_speedup_near_linear(
+        self, browsing_spec, tiny_settings
+    ):
+        """Figure 6: browsing speedup ~15.7x at 16 replicas."""
+        report = get_profiling_report(browsing_spec, tiny_settings)
+        profile = report.profile
+        x1 = predict_multimaster(
+            profile, browsing_spec.replication_config(1)
+        ).throughput
+        x16 = predict_multimaster(
+            profile, browsing_spec.replication_config(16)
+        ).throughput
+        assert x16 / x1 > 13.0
+
+    def test_abort_rate_prediction_order_of_magnitude(
+        self, shopping_spec, shopping_report
+    ):
+        """Model AN and simulated AN agree within ~3x (the paper's model
+        'slightly underestimates' AN; Figure 14 shows the same bias)."""
+        profile = shopping_report.profile
+        config = shopping_spec.replication_config(8)
+        predicted = predict_multimaster(profile, config).abort_rate
+        measured = simulate(
+            shopping_spec, config, design=MULTI_MASTER,
+            seed=104, warmup=3.0, duration=20.0,
+        ).abort_rate
+        assert predicted > 0
+        assert measured > 0
+        assert predicted == pytest.approx(measured, rel=3.0)

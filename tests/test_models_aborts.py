@@ -1,0 +1,176 @@
+"""Unit tests for the abort-rate algebra of §3.3."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import ConflictProfile
+from repro.models.aborts import (
+    db_update_size_for_abort_rate,
+    master_abort_rate,
+    multimaster_abort_rate,
+    retry_inflation,
+    scale_abort_rate,
+    standalone_abort_rate,
+    success_probability,
+)
+
+
+class TestSuccessProbability:
+    def test_matches_closed_form(self, simple_conflict):
+        # Success = (1-p)^(L * W * U^2)
+        value = success_probability(simple_conflict, 0.05, 10.0)
+        expected = (1 - 1e-4) ** (0.05 * 10.0 * 9)
+        assert value == pytest.approx(expected)
+
+    def test_zero_window_always_succeeds(self, simple_conflict):
+        assert success_probability(simple_conflict, 0.0, 100.0) == 1.0
+
+    def test_zero_rate_always_succeeds(self, simple_conflict):
+        assert success_probability(simple_conflict, 10.0, 0.0) == 1.0
+
+    def test_monotone_decreasing_in_window(self, simple_conflict):
+        values = [
+            success_probability(simple_conflict, w, 10.0)
+            for w in (0.01, 0.1, 1.0, 10.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_negative_window_rejected(self, simple_conflict):
+        with pytest.raises(ConfigurationError):
+            success_probability(simple_conflict, -1.0, 1.0)
+
+
+class TestStandaloneAbortRate:
+    def test_complement_of_success(self, simple_conflict):
+        a1 = standalone_abort_rate(simple_conflict, 0.05, 10.0)
+        success = success_probability(simple_conflict, 0.05, 10.0)
+        assert a1 == pytest.approx(1.0 - success)
+
+    def test_small_for_paper_parameters(self, simple_conflict):
+        # TPC-W-like: L(1)=50 ms, W=6 tps, U=3, DbUpdateSize=10k
+        a1 = standalone_abort_rate(simple_conflict, 0.05, 6.0)
+        assert a1 < 0.001  # the paper reports A1 < 0.023%
+
+
+class TestScaleAbortRate:
+    def test_identity_at_ratio_one(self):
+        assert scale_abort_rate(0.01, 1.0) == pytest.approx(0.01)
+
+    def test_zero_abort_stays_zero(self):
+        assert scale_abort_rate(0.0, 100.0) == 0.0
+
+    def test_zero_ratio_gives_zero(self):
+        assert scale_abort_rate(0.5, 0.0) == 0.0
+
+    def test_matches_power_formula(self):
+        a1, ratio = 0.02, 7.5
+        expected = 1.0 - (1.0 - a1) ** ratio
+        assert scale_abort_rate(a1, ratio) == pytest.approx(expected)
+
+    def test_monotone_in_ratio(self):
+        values = [scale_abort_rate(0.01, r) for r in (0.5, 1, 2, 4, 16)]
+        assert values == sorted(values)
+
+    def test_stays_below_one(self):
+        assert scale_abort_rate(0.5, 1000.0) < 1.0
+
+    def test_rejects_abort_of_one(self):
+        with pytest.raises(ConfigurationError):
+            scale_abort_rate(1.0, 2.0)
+
+    def test_rejects_negative_ratio(self):
+        with pytest.raises(ConfigurationError):
+            scale_abort_rate(0.1, -1.0)
+
+    def test_numerically_stable_for_tiny_abort_rates(self):
+        # 1-(1-a)^r ~= r*a for tiny a; naive powers would lose precision.
+        a1 = 1e-12
+        assert scale_abort_rate(a1, 10.0) == pytest.approx(1e-11, rel=1e-6)
+
+
+class TestReplicatedAbortRates:
+    def test_multimaster_formula(self):
+        # (1-AN) = (1-A1)^(N*CW/L1)
+        an = multimaster_abort_rate(0.005, 8, conflict_window=0.1,
+                                    standalone_window=0.05)
+        expected = 1 - (1 - 0.005) ** (8 * 0.1 / 0.05)
+        assert an == pytest.approx(expected)
+
+    def test_multimaster_n1_same_window_is_a1(self):
+        assert multimaster_abort_rate(0.01, 1, 0.05, 0.05) == pytest.approx(0.01)
+
+    def test_multimaster_grows_with_n(self):
+        values = [
+            multimaster_abort_rate(0.005, n, 0.08, 0.05) for n in (1, 2, 4, 8, 16)
+        ]
+        assert values == sorted(values)
+
+    def test_master_formula(self):
+        an = master_abort_rate(0.005, 8, master_latency=0.03,
+                               standalone_window=0.05)
+        expected = 1 - (1 - 0.005) ** (8 * 0.03 / 0.05)
+        assert an == pytest.approx(expected)
+
+    def test_zero_a1_short_circuits(self):
+        assert multimaster_abort_rate(0.0, 16, 1.0, 0.0) == 0.0
+        assert master_abort_rate(0.0, 16, 1.0, 0.0) == 0.0
+
+    def test_positive_a1_needs_positive_l1(self):
+        with pytest.raises(ConfigurationError):
+            multimaster_abort_rate(0.01, 2, 0.1, 0.0)
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            multimaster_abort_rate(0.01, 0, 0.1, 0.05)
+        with pytest.raises(ConfigurationError):
+            master_abort_rate(0.01, 0, 0.1, 0.05)
+
+
+class TestRetryInflation:
+    def test_no_aborts_no_inflation(self):
+        assert retry_inflation(0.0) == 1.0
+
+    def test_matches_reciprocal(self):
+        assert retry_inflation(0.2) == pytest.approx(1.25)
+
+    def test_rejects_one(self):
+        with pytest.raises(ConfigurationError):
+            retry_inflation(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            retry_inflation(-0.1)
+
+
+class TestInverseCalibration:
+    def test_round_trip_through_abort_formula(self):
+        # Figure 14 calibration: find DbUpdateSize for a target A1, then
+        # verify the forward formula reproduces the target.
+        target = 0.0053
+        size = db_update_size_for_abort_rate(
+            target, updates_per_transaction=3,
+            update_response_time=0.05, update_rate=6.0,
+        )
+        conflict = ConflictProfile(db_update_size=size,
+                                   updates_per_transaction=3)
+        achieved = standalone_abort_rate(conflict, 0.05, 6.0)
+        assert achieved == pytest.approx(target, rel=0.05)
+
+    def test_higher_target_needs_smaller_table(self):
+        sizes = [
+            db_update_size_for_abort_rate(a1, 3, 0.05, 6.0)
+            for a1 in (0.0024, 0.0053, 0.0090)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_rejects_target_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            db_update_size_for_abort_rate(0.0, 3, 0.05, 6.0)
+        with pytest.raises(ConfigurationError):
+            db_update_size_for_abort_rate(1.0, 3, 0.05, 6.0)
+
+    def test_rejects_zero_operating_point(self):
+        with pytest.raises(ConfigurationError):
+            db_update_size_for_abort_rate(0.01, 3, 0.0, 6.0)

@@ -1,0 +1,129 @@
+"""Unit tests for the top-level prediction API."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.models.api import (
+    MULTI_MASTER,
+    SINGLE_MASTER,
+    compare_designs,
+    predict,
+    predict_curve,
+    replicas_for_throughput,
+)
+from repro.models.standalone import (
+    predict_standalone,
+    predict_standalone_from_config,
+)
+
+
+class TestPredictDispatch:
+    def test_multimaster_design(self, simple_profile, simple_config):
+        prediction = predict(MULTI_MASTER, simple_profile, simple_config)
+        assert prediction.replicas == 4
+
+    def test_singlemaster_design(self, simple_profile, simple_config):
+        prediction = predict(SINGLE_MASTER, simple_profile, simple_config)
+        assert prediction.replicas == 4
+
+    def test_unknown_design_rejected(self, simple_profile, simple_config):
+        with pytest.raises(ConfigurationError):
+            predict("tri-master", simple_profile, simple_config)
+
+
+class TestPredictCurve:
+    def test_curve_covers_requested_counts(self, simple_profile, simple_config):
+        curve = predict_curve(
+            MULTI_MASTER, simple_profile, simple_config, (1, 2, 4)
+        )
+        assert list(curve.replica_counts) == [1, 2, 4]
+        assert len(curve.points) == 3
+
+    def test_empty_counts_rejected(self, simple_profile, simple_config):
+        with pytest.raises(ConfigurationError):
+            predict_curve(MULTI_MASTER, simple_profile, simple_config, ())
+
+    def test_curve_throughput_monotone_for_mm(self, simple_profile, simple_config):
+        curve = predict_curve(
+            MULTI_MASTER, simple_profile, simple_config, (1, 2, 4, 8)
+        )
+        assert curve.throughputs == sorted(curve.throughputs)
+
+
+class TestCompareDesigns:
+    def test_returns_both_designs(self, simple_profile, simple_config):
+        result = compare_designs(simple_profile, simple_config, (1, 2))
+        assert set(result) == {MULTI_MASTER, SINGLE_MASTER}
+
+    def test_mm_beats_sm_for_write_heavy_at_scale(self, simple_demands):
+        from repro.core.params import StandaloneProfile, WorkloadMix
+
+        profile = StandaloneProfile(
+            mix=WorkloadMix(read_fraction=0.5, write_fraction=0.5),
+            demands=simple_demands,
+            abort_rate=0.0005,
+            update_response_time=0.05,
+        )
+        from repro.core.params import ReplicationConfig
+
+        config = ReplicationConfig(replicas=1, clients_per_replica=50)
+        result = compare_designs(profile, config, (16,))
+        mm = result[MULTI_MASTER].point_at(16).throughput
+        sm = result[SINGLE_MASTER].point_at(16).throughput
+        assert mm > sm
+
+
+class TestReplicasForThroughput:
+    def test_finds_minimum_replicas(self, simple_profile, simple_config):
+        x1 = predict(MULTI_MASTER, simple_profile,
+                     simple_config.with_replicas(1)).throughput
+        target = 2.5 * x1
+        n = replicas_for_throughput(
+            MULTI_MASTER, simple_profile, simple_config, target
+        )
+        assert n is not None
+        assert predict(
+            MULTI_MASTER, simple_profile, simple_config.with_replicas(n)
+        ).throughput >= target
+        if n > 1:
+            assert predict(
+                MULTI_MASTER, simple_profile, simple_config.with_replicas(n - 1)
+            ).throughput < target
+
+    def test_unreachable_target_returns_none(self, simple_profile, simple_config):
+        n = replicas_for_throughput(
+            SINGLE_MASTER, simple_profile, simple_config, 1e9, max_replicas=4
+        )
+        assert n is None
+
+    def test_rejects_nonpositive_target(self, simple_profile, simple_config):
+        with pytest.raises(ConfigurationError):
+            replicas_for_throughput(
+                MULTI_MASTER, simple_profile, simple_config, 0.0
+            )
+
+
+class TestStandaloneModel:
+    def test_throughput_bounded_by_capacity(self, simple_profile):
+        prediction = predict_standalone(simple_profile, clients=500)
+        demand_cpu = 0.8 * 0.040 + 0.2 * 0.012 / (1 - 0.001)
+        assert prediction.throughput <= 1.0 / demand_cpu + 1e-9
+
+    def test_light_load_throughput(self, simple_profile):
+        prediction = predict_standalone(simple_profile, clients=1, think_time=1.0)
+        assert prediction.throughput == pytest.approx(
+            1.0 / (1.0 + prediction.response_time), rel=1e-9
+        )
+
+    def test_from_config_uses_config_fields(self, simple_profile, simple_config):
+        a = predict_standalone_from_config(simple_profile, simple_config)
+        b = predict_standalone(
+            simple_profile,
+            clients=simple_config.clients_per_replica,
+            think_time=simple_config.think_time,
+        )
+        assert a.throughput == pytest.approx(b.throughput)
+
+    def test_breakdown_role(self, simple_profile):
+        prediction = predict_standalone(simple_profile, clients=10)
+        assert prediction.breakdown[0].role == "standalone"

@@ -1,0 +1,129 @@
+"""Unit tests for the service-demand equations of §3.3."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import WorkloadMix
+from repro.models.demands import (
+    master_mixed_demand,
+    master_update_demand,
+    multimaster_demand,
+    slave_demand,
+    standalone_demand,
+)
+
+
+class TestStandaloneDemand:
+    def test_matches_paper_equation(self, simple_demands, simple_mix):
+        # D(1) = Pr*rc + Pw*wc/(1-A1)
+        demand = standalone_demand(simple_demands, simple_mix, abort_rate=0.1)
+        assert demand.cpu == pytest.approx(0.8 * 0.040 + 0.2 * 0.012 / 0.9)
+        assert demand.disk == pytest.approx(0.8 * 0.015 + 0.2 * 0.006 / 0.9)
+
+    def test_zero_abort_rate(self, simple_demands, simple_mix):
+        demand = standalone_demand(simple_demands, simple_mix, abort_rate=0.0)
+        assert demand.cpu == pytest.approx(0.8 * 0.040 + 0.2 * 0.012)
+
+    def test_read_only_mix_ignores_write_demand(self, simple_demands):
+        mix = WorkloadMix(read_fraction=1.0, write_fraction=0.0)
+        demand = standalone_demand(simple_demands, mix, abort_rate=0.0)
+        assert demand.cpu == pytest.approx(0.040)
+        assert demand.disk == pytest.approx(0.015)
+
+
+class TestMultimasterDemand:
+    def test_matches_paper_equation(self, simple_demands, simple_mix):
+        # DMM(N) = Pr*rc + Pw*wc/(1-AN) + (N-1)*Pw*ws
+        n, an = 8, 0.05
+        demand = multimaster_demand(simple_demands, simple_mix, n, an)
+        expected_cpu = 0.8 * 0.040 + 0.2 * 0.012 / 0.95 + 7 * 0.2 * 0.003
+        assert demand.cpu == pytest.approx(expected_cpu)
+
+    def test_n1_equals_standalone(self, simple_demands, simple_mix):
+        mm = multimaster_demand(simple_demands, simple_mix, 1, 0.02)
+        sa = standalone_demand(simple_demands, simple_mix, 0.02)
+        assert mm.cpu == pytest.approx(sa.cpu)
+        assert mm.disk == pytest.approx(sa.disk)
+
+    def test_demand_grows_with_replicas(self, simple_demands, simple_mix):
+        demands = [
+            multimaster_demand(simple_demands, simple_mix, n, 0.0).cpu
+            for n in (1, 2, 4, 8, 16)
+        ]
+        assert demands == sorted(demands)
+
+    def test_writeset_load_linear_in_replicas(self, simple_demands, simple_mix):
+        d2 = multimaster_demand(simple_demands, simple_mix, 2, 0.0).cpu
+        d3 = multimaster_demand(simple_demands, simple_mix, 3, 0.0).cpu
+        d4 = multimaster_demand(simple_demands, simple_mix, 4, 0.0).cpu
+        assert d3 - d2 == pytest.approx(d4 - d3)
+        assert d3 - d2 == pytest.approx(0.2 * 0.003)
+
+    def test_read_only_mix_has_no_replication_overhead(self, simple_demands):
+        mix = WorkloadMix(read_fraction=1.0, write_fraction=0.0)
+        d1 = multimaster_demand(simple_demands, mix, 1, 0.0)
+        d16 = multimaster_demand(simple_demands, mix, 16, 0.0)
+        assert d1.cpu == pytest.approx(d16.cpu)
+
+    def test_rejects_zero_replicas(self, simple_demands, simple_mix):
+        with pytest.raises(ConfigurationError):
+            multimaster_demand(simple_demands, simple_mix, 0, 0.0)
+
+
+class TestMasterDemands:
+    def test_update_demand_inflated_by_retries(self, simple_demands):
+        demand = master_update_demand(simple_demands, abort_rate=0.2)
+        assert demand.cpu == pytest.approx(0.012 / 0.8)
+        assert demand.disk == pytest.approx(0.006 / 0.8)
+
+    def test_mixed_demand_shares_by_throughput(self, simple_demands):
+        # E = update rate -> 50/50 split.
+        demand = master_mixed_demand(
+            simple_demands, abort_rate=0.0, update_rate=10.0, extra_read_rate=10.0
+        )
+        assert demand.cpu == pytest.approx(0.5 * 0.040 + 0.5 * 0.012)
+
+    def test_mixed_demand_no_reads_is_update_demand(self, simple_demands):
+        demand = master_mixed_demand(
+            simple_demands, abort_rate=0.1, update_rate=5.0, extra_read_rate=0.0
+        )
+        assert demand.cpu == pytest.approx(0.012 / 0.9)
+
+    def test_mixed_demand_rejects_idle_master(self, simple_demands):
+        with pytest.raises(ConfigurationError):
+            master_mixed_demand(simple_demands, 0.0, 0.0, 0.0)
+
+
+class TestSlaveDemand:
+    def test_default_matches_paper_equation(self, simple_demands, simple_mix):
+        # D_slave = rc + (N-1) * (Pw/Pr) * ws
+        n = 5
+        demand = slave_demand(simple_demands, simple_mix, n)
+        wspr = 4 * 0.2 / 0.8
+        assert demand.cpu == pytest.approx(0.040 + wspr * 0.003)
+        assert demand.disk == pytest.approx(0.015 + wspr * 0.002)
+
+    def test_explicit_writesets_per_read(self, simple_demands, simple_mix):
+        demand = slave_demand(
+            simple_demands, simple_mix, 3, writesets_per_read=2.0
+        )
+        assert demand.cpu == pytest.approx(0.040 + 2.0 * 0.003)
+
+    def test_zero_writesets_is_pure_read(self, simple_demands, simple_mix):
+        demand = slave_demand(
+            simple_demands, simple_mix, 3, writesets_per_read=0.0
+        )
+        assert demand.cpu == pytest.approx(0.040)
+
+    def test_requires_at_least_two_replicas(self, simple_demands, simple_mix):
+        with pytest.raises(ConfigurationError):
+            slave_demand(simple_demands, simple_mix, 1)
+
+    def test_rejects_negative_writesets_per_read(self, simple_demands, simple_mix):
+        with pytest.raises(ConfigurationError):
+            slave_demand(simple_demands, simple_mix, 3, writesets_per_read=-1.0)
+
+    def test_write_only_mix_rejected_without_override(self, simple_demands):
+        mix = WorkloadMix(read_fraction=0.0, write_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            slave_demand(simple_demands, mix, 3)

@@ -1,0 +1,186 @@
+"""Unit tests for the multi-master analytical model."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import ReplicationConfig, StandaloneProfile, WorkloadMix
+from repro.models.multimaster import (
+    CW_FIXED_POINT,
+    CW_ONE_STEP_LAG,
+    MultiMasterOptions,
+    predict_multimaster,
+)
+from repro.models.standalone import predict_standalone
+
+
+def config(n, clients=20, **kwargs):
+    return ReplicationConfig(replicas=n, clients_per_replica=clients, **kwargs)
+
+
+class TestMultiMasterBasics:
+    def test_throughput_positive(self, simple_profile):
+        prediction = predict_multimaster(simple_profile, config(4))
+        assert prediction.throughput > 0
+
+    def test_replica_count_echoed(self, simple_profile):
+        assert predict_multimaster(simple_profile, config(8)).replicas == 8
+
+    def test_n1_close_to_standalone_plus_middleware(self, simple_profile):
+        mm = predict_multimaster(
+            simple_profile,
+            config(1, load_balancer_delay=0.0, certifier_delay=0.0),
+        )
+        standalone = predict_standalone(simple_profile, clients=20)
+        # Without middleware delays the MM model at N=1 is the standalone
+        # model (abort-rate feedback differs only in the third decimal).
+        assert mm.throughput == pytest.approx(standalone.throughput, rel=0.02)
+
+    def test_throughput_increases_with_replicas(self, simple_profile):
+        values = [
+            predict_multimaster(simple_profile, config(n)).throughput
+            for n in (1, 2, 4, 8)
+        ]
+        assert values == sorted(values)
+
+    def test_speedup_sublinear_with_updates(self, simple_profile):
+        x1 = predict_multimaster(simple_profile, config(1)).throughput
+        x8 = predict_multimaster(simple_profile, config(8)).throughput
+        assert x8 < 8 * x1
+
+    def test_read_only_workload_scales_linearly(self, simple_demands):
+        profile = StandaloneProfile(
+            mix=WorkloadMix(read_fraction=1.0, write_fraction=0.0),
+            demands=simple_demands,
+        )
+        x1 = predict_multimaster(profile, config(1)).throughput
+        x8 = predict_multimaster(profile, config(8)).throughput
+        assert x8 == pytest.approx(8 * x1, rel=1e-9)
+
+    def test_read_only_has_zero_aborts_and_window(self, simple_demands):
+        profile = StandaloneProfile(
+            mix=WorkloadMix(read_fraction=1.0, write_fraction=0.0),
+            demands=simple_demands,
+        )
+        prediction = predict_multimaster(profile, config(4))
+        assert prediction.abort_rate == 0.0
+        assert prediction.conflict_window == 0.0
+
+
+class TestAbortBehaviour:
+    def test_abort_rate_grows_with_replicas(self, simple_profile):
+        values = [
+            predict_multimaster(simple_profile, config(n)).abort_rate
+            for n in (1, 2, 4, 8, 16)
+        ]
+        assert values == sorted(values)
+
+    def test_conflict_window_at_least_certification(self, simple_profile):
+        prediction = predict_multimaster(simple_profile, config(4))
+        assert prediction.conflict_window >= 0.012
+
+    def test_zero_a1_predicts_zero_an(self, simple_profile):
+        profile = simple_profile.replace(abort_rate=0.0)
+        prediction = predict_multimaster(profile, config(16))
+        assert prediction.abort_rate == 0.0
+
+    def test_higher_a1_higher_an(self, simple_profile):
+        low = predict_multimaster(
+            simple_profile.replace(abort_rate=0.001), config(8)
+        ).abort_rate
+        high = predict_multimaster(
+            simple_profile.replace(abort_rate=0.01), config(8)
+        ).abort_rate
+        assert high > low
+
+    def test_fixed_point_mode_at_least_one_step_lag(self, simple_profile):
+        profile = simple_profile.replace(abort_rate=0.01)
+        lag = predict_multimaster(
+            profile, config(8),
+            options=MultiMasterOptions(cw_mode=CW_ONE_STEP_LAG),
+        ).abort_rate
+        fp = predict_multimaster(
+            profile, config(8),
+            options=MultiMasterOptions(cw_mode=CW_FIXED_POINT),
+        ).abort_rate
+        # The paper notes the one-step lag slightly under-estimates AN.
+        assert fp >= lag * 0.99
+
+    def test_invalid_cw_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiMasterOptions(cw_mode="psychic")
+
+
+class TestMiddlewareDelays:
+    def test_certifier_delay_only_affects_updates(self, simple_demands):
+        read_only = StandaloneProfile(
+            mix=WorkloadMix(read_fraction=1.0, write_fraction=0.0),
+            demands=simple_demands,
+        )
+        fast = predict_multimaster(
+            read_only, config(2, certifier_delay=0.0)
+        ).throughput
+        slow = predict_multimaster(
+            read_only, config(2, certifier_delay=0.5)
+        ).throughput
+        assert fast == pytest.approx(slow)
+
+    def test_certifier_delay_slows_update_mixes(self, simple_profile):
+        fast = predict_multimaster(
+            simple_profile, config(2, certifier_delay=0.0)
+        ).response_time
+        slow = predict_multimaster(
+            simple_profile, config(2, certifier_delay=0.1)
+        ).response_time
+        assert slow > fast
+
+    def test_lb_delay_increases_response(self, simple_profile):
+        fast = predict_multimaster(
+            simple_profile, config(2, load_balancer_delay=0.0)
+        ).response_time
+        slow = predict_multimaster(
+            simple_profile, config(2, load_balancer_delay=0.05)
+        ).response_time
+        # The delay center adds 50 ms of residence, minus the queueing
+        # relief from the slightly lower throughput it induces.
+        assert 0.03 <= slow - fast <= 0.05 + 1e-9
+
+    def test_unlimited_concurrency_allowed(self, simple_profile):
+        prediction = predict_multimaster(
+            simple_profile, config(4, max_concurrency=None)
+        )
+        assert prediction.throughput > 0
+
+    def test_mpl_caps_conflict_window(self, simple_profile):
+        # Saturated replica: small MPL bounds CW, large MPL lets it grow.
+        cfg_small = config(8, clients=60, max_concurrency=4)
+        cfg_large = config(8, clients=60, max_concurrency=1000)
+        small = predict_multimaster(simple_profile, cfg_small).conflict_window
+        large = predict_multimaster(simple_profile, cfg_large).conflict_window
+        assert small <= large
+
+
+class TestDiagnostics:
+    def test_breakdown_has_one_replica_entry(self, simple_profile):
+        prediction = predict_multimaster(simple_profile, config(4))
+        assert len(prediction.breakdown) == 1
+        assert prediction.breakdown[0].role == "replica"
+
+    def test_system_throughput_is_n_times_replica(self, simple_profile):
+        prediction = predict_multimaster(simple_profile, config(4))
+        assert prediction.throughput == pytest.approx(
+            4 * prediction.breakdown[0].throughput
+        )
+
+    def test_utilization_reported_and_bounded(self, simple_profile):
+        prediction = predict_multimaster(simple_profile, config(4, clients=100))
+        assert 0 < prediction.point.utilization["cpu"] <= 1.0
+
+    def test_interactive_response_time_consistency(self, simple_profile):
+        # X = C / (Z + R) per replica.
+        cfg = config(4)
+        prediction = predict_multimaster(simple_profile, cfg)
+        per_replica = prediction.throughput / 4
+        implied = cfg.clients_per_replica / (
+            cfg.think_time + prediction.response_time
+        )
+        assert per_replica == pytest.approx(implied, rel=1e-6)

@@ -1,0 +1,88 @@
+"""Tests for the §6.3.1 network-bandwidth budget."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.models.network import GIGABIT, NetworkBudget, budget_for_prediction
+from repro.models.multimaster import predict_multimaster
+
+
+def make(updates=150.0, replicas=16, writeset=275):
+    return NetworkBudget(
+        update_throughput=updates, replicas=replicas, writeset_bytes=writeset
+    )
+
+
+class TestNetworkBudget:
+    def test_paper_arithmetic_under_one_mbit(self):
+        # §6.3.1: the most demanding run (ordering MM) sends ~150 writesets
+        # per second to the certifier — well under 1 Mbit/s.
+        budget = make(updates=150.0)
+        assert budget.certifier_ingress_bits_per_second < 1_000_000
+
+    def test_lan_assumption_holds_at_paper_loads(self):
+        assert make().lan_assumption_holds
+
+    def test_egress_scales_with_replicas(self):
+        small = make(replicas=2).certifier_egress_bits_per_second
+        large = make(replicas=16).certifier_egress_bits_per_second
+        assert large == pytest.approx(15.0 * small)
+
+    def test_single_replica_has_no_propagation(self):
+        budget = make(replicas=1)
+        assert budget.certifier_egress_bits_per_second == 0.0
+        assert budget.per_replica_ingress_bits_per_second == 0.0
+
+    def test_per_replica_ingress_below_certifier_egress(self):
+        budget = make(replicas=8)
+        assert (
+            budget.per_replica_ingress_bits_per_second
+            < budget.certifier_egress_bits_per_second
+        )
+
+    def test_utilization_uses_busiest_direction(self):
+        budget = make(replicas=16)
+        assert budget.certifier_link_utilization == pytest.approx(
+            budget.certifier_egress_bits_per_second / GIGABIT
+        )
+
+    def test_read_only_workload_needs_no_bandwidth(self):
+        budget = make(updates=0.0)
+        assert budget.certifier_ingress_bits_per_second == 0.0
+        assert budget.lan_assumption_holds
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkBudget(update_throughput=-1, replicas=1, writeset_bytes=10)
+        with pytest.raises(ConfigurationError):
+            NetworkBudget(update_throughput=1, replicas=0, writeset_bytes=10)
+        with pytest.raises(ConfigurationError):
+            NetworkBudget(update_throughput=1, replicas=1, writeset_bytes=10,
+                          link_bits_per_second=0)
+
+    def test_to_text(self):
+        assert "Mbit/s" in make().to_text()
+
+
+class TestBudgetFromPrediction:
+    def test_end_to_end_with_model(self, shopping_spec, shopping_profile):
+        prediction = predict_multimaster(
+            shopping_profile, shopping_spec.replication_config(16)
+        )
+        budget = budget_for_prediction(
+            prediction,
+            write_fraction=shopping_spec.mix.write_fraction,
+            writeset_bytes=shopping_spec.writeset_bytes,
+        )
+        # TPC-W shopping at 16 replicas stays deep inside the LAN regime.
+        assert budget.lan_assumption_holds
+        assert budget.update_throughput == pytest.approx(
+            0.2 * prediction.throughput
+        )
+
+    def test_rejects_bad_write_fraction(self, shopping_spec, shopping_profile):
+        prediction = predict_multimaster(
+            shopping_profile, shopping_spec.replication_config(2)
+        )
+        with pytest.raises(ConfigurationError):
+            budget_for_prediction(prediction, 1.5, 275)

@@ -1,0 +1,163 @@
+"""Tests for the capacity-planning and provisioning helpers."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.models.api import MULTI_MASTER, SINGLE_MASTER, predict
+from repro.models.planning import (
+    plan_deployment,
+    provisioning_schedule,
+    replicas_for_response_time,
+)
+
+
+class TestReplicasForResponseTime:
+    def test_finds_minimum(self, simple_profile, simple_config):
+        # Pick an SLA between the N=1 and a larger deployment's latency.
+        r1 = predict(MULTI_MASTER, simple_profile,
+                     simple_config.with_replicas(1)).response_time
+        n = replicas_for_response_time(
+            MULTI_MASTER, simple_profile, simple_config,
+            max_response_time=r1 * 1.5,
+        )
+        assert n == 1
+
+    def test_unreachable_sla_returns_none(self, simple_profile, simple_config):
+        n = replicas_for_response_time(
+            MULTI_MASTER, simple_profile, simple_config,
+            max_response_time=1e-6, max_replicas=4,
+        )
+        assert n is None
+
+    def test_rejects_nonpositive_sla(self, simple_profile, simple_config):
+        with pytest.raises(ConfigurationError):
+            replicas_for_response_time(
+                MULTI_MASTER, simple_profile, simple_config, 0.0
+            )
+
+
+class TestPlanDeployment:
+    def test_meets_throughput_target(self, simple_profile, simple_config):
+        x1 = predict(MULTI_MASTER, simple_profile,
+                     simple_config.with_replicas(1)).throughput
+        plan = plan_deployment(simple_profile, simple_config,
+                               target_throughput=3 * x1)
+        assert plan is not None
+        assert plan.predicted_throughput >= 3 * x1
+        assert plan.load_factor <= 1.0
+
+    def test_headroom_buys_more_replicas(self, simple_profile, simple_config):
+        x1 = predict(MULTI_MASTER, simple_profile,
+                     simple_config.with_replicas(1)).throughput
+        tight = plan_deployment(simple_profile, simple_config, 3 * x1)
+        roomy = plan_deployment(simple_profile, simple_config, 3 * x1,
+                                headroom=0.3)
+        assert roomy.replicas >= tight.replicas
+
+    def test_latency_constraint_filters(self, simple_profile, simple_config):
+        x1 = predict(MULTI_MASTER, simple_profile,
+                     simple_config.with_replicas(1)).throughput
+        plan = plan_deployment(
+            simple_profile, simple_config, 2 * x1,
+            max_response_time=1e-6, max_replicas=8,
+        )
+        assert plan is None
+
+    def test_unreachable_target_returns_none(self, simple_profile,
+                                             simple_config):
+        plan = plan_deployment(simple_profile, simple_config, 1e9,
+                               max_replicas=4)
+        assert plan is None
+
+    def test_rejects_bad_inputs(self, simple_profile, simple_config):
+        with pytest.raises(ConfigurationError):
+            plan_deployment(simple_profile, simple_config, 0.0)
+        with pytest.raises(ConfigurationError):
+            plan_deployment(simple_profile, simple_config, 10.0, headroom=1.0)
+
+    def test_prefers_fewest_replicas_across_designs(self, simple_demands):
+        # Write-heavy at scale: MM needs fewer replicas than SM for high
+        # targets, so the plan should come back multi-master.
+        from repro.core.params import (
+            ReplicationConfig,
+            StandaloneProfile,
+            WorkloadMix,
+        )
+
+        profile = StandaloneProfile(
+            mix=WorkloadMix(read_fraction=0.5, write_fraction=0.5),
+            demands=simple_demands,
+            abort_rate=0.0002,
+            update_response_time=0.05,
+            update_rate=10.0,
+        )
+        config = ReplicationConfig(replicas=1, clients_per_replica=50)
+        sm_ceiling = max(
+            predict(SINGLE_MASTER, profile, config.with_replicas(n)).throughput
+            for n in (1, 2, 4, 8, 16)
+        )
+        plan = plan_deployment(profile, config, sm_ceiling * 1.5,
+                               max_replicas=32)
+        assert plan is not None
+        assert plan.design == MULTI_MASTER
+
+
+class TestProvisioningSchedule:
+    FORECAST = [("00h", 40.0), ("06h", 120.0), ("12h", 260.0), ("18h", 180.0)]
+
+    def test_schedule_covers_all_periods(self, simple_profile, simple_config):
+        schedule = provisioning_schedule(
+            MULTI_MASTER, simple_profile, simple_config, self.FORECAST
+        )
+        assert len(schedule.periods) == 4
+        labels = [label for label, _, _ in schedule.periods]
+        assert labels == ["00h", "06h", "12h", "18h"]
+
+    def test_sizes_match_loads(self, simple_profile, simple_config):
+        schedule = provisioning_schedule(
+            MULTI_MASTER, simple_profile, simple_config, self.FORECAST
+        )
+        sizes = {label: n for label, _, n in schedule.periods}
+        assert sizes["00h"] < sizes["12h"]
+        assert sizes["12h"] == schedule.static_replicas
+
+    def test_each_period_meets_its_load(self, simple_profile, simple_config):
+        headroom = 0.1
+        schedule = provisioning_schedule(
+            MULTI_MASTER, simple_profile, simple_config, self.FORECAST,
+            headroom=headroom,
+        )
+        for _, load, n in schedule.periods:
+            capacity = predict(
+                MULTI_MASTER, simple_profile, simple_config.with_replicas(n)
+            ).throughput
+            assert capacity >= load / (1 - headroom) - 1e-9
+
+    def test_savings_positive_for_diurnal_load(self, simple_profile,
+                                               simple_config):
+        schedule = provisioning_schedule(
+            MULTI_MASTER, simple_profile, simple_config, self.FORECAST
+        )
+        assert schedule.savings_fraction > 0.2
+        assert schedule.replica_periods < schedule.static_replica_periods
+
+    def test_unreachable_load_raises(self, simple_profile, simple_config):
+        with pytest.raises(ConfigurationError):
+            provisioning_schedule(
+                MULTI_MASTER, simple_profile, simple_config,
+                [("peak", 1e9)], max_replicas=4,
+            )
+
+    def test_empty_forecast_rejected(self, simple_profile, simple_config):
+        with pytest.raises(ConfigurationError):
+            provisioning_schedule(
+                MULTI_MASTER, simple_profile, simple_config, []
+            )
+
+    def test_to_text_renders(self, simple_profile, simple_config):
+        schedule = provisioning_schedule(
+            MULTI_MASTER, simple_profile, simple_config, self.FORECAST
+        )
+        text = schedule.to_text()
+        assert "replica-periods" in text
+        assert "00h" in text

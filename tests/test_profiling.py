@@ -1,0 +1,157 @@
+"""Tests for the §4 profiling pipeline: log capture, writeset extraction,
+and utilization-law demand estimation."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, ProfilingError
+from repro.profiling.log import (
+    READ_ONLY,
+    UPDATE,
+    LogRecord,
+    TransactionLog,
+    capture_log,
+    extract_writesets,
+)
+from repro.profiling.profiler import (
+    measure_class_demand,
+    measure_service_demands,
+    profile_standalone,
+)
+from repro.sidb.engine import SIDatabase
+
+
+class TestLogCapture:
+    def test_log_has_requested_length(self, shopping_spec):
+        log = capture_log(shopping_spec, 500, seed=1)
+        assert len(log) == 500
+
+    def test_measured_mix_close_to_spec(self, shopping_spec):
+        log = capture_log(shopping_spec, 5000, seed=2)
+        mix = log.measured_mix()
+        assert mix.write_fraction == pytest.approx(0.2, abs=0.02)
+
+    def test_read_only_spec_has_no_updates(self, rubis_browsing_spec):
+        log = capture_log(rubis_browsing_spec, 300, seed=3)
+        assert log.update_count == 0
+        assert log.measured_mix().read_only
+
+    def test_records_sorted_by_time(self, shopping_spec):
+        log = capture_log(shopping_spec, 200, seed=4)
+        times = [r.start_time for r in log.records]
+        assert times == sorted(times)
+
+    def test_update_records_contain_writes(self, shopping_spec):
+        log = capture_log(shopping_spec, 500, seed=5)
+        for record in log.updates():
+            kinds = {op[0] for op in record.operations}
+            assert "write" in kinds
+            assert "read" in kinds
+
+    def test_update_write_count_matches_conflict_profile(self, shopping_spec):
+        log = capture_log(shopping_spec, 500, seed=6)
+        u = shopping_spec.conflict.updates_per_transaction
+        for record in log.updates():
+            writes = [op for op in record.operations if op[0] == "write"]
+            assert len(writes) == u
+
+    def test_deterministic_given_seed(self, shopping_spec):
+        a = capture_log(shopping_spec, 100, seed=7)
+        b = capture_log(shopping_spec, 100, seed=7)
+        assert [r.kind for r in a.records] == [r.kind for r in b.records]
+
+    def test_empty_capture_rejected(self, shopping_spec):
+        with pytest.raises(ConfigurationError):
+            capture_log(shopping_spec, 0)
+
+    def test_record_kind_validated(self):
+        with pytest.raises(ConfigurationError):
+            LogRecord(txn_id=1, kind="mystery", session_id=0, start_time=0.0)
+
+    def test_empty_log_mix_rejected(self):
+        with pytest.raises(ProfilingError):
+            TransactionLog(workload="x").measured_mix()
+
+
+class TestWritesetExtraction:
+    def test_extracts_one_writeset_per_committed_update(self, shopping_spec):
+        log = capture_log(shopping_spec, 400, seed=8)
+        writesets = extract_writesets(log)
+        assert 0 < len(writesets) <= log.update_count
+
+    def test_writesets_carry_update_keys(self, shopping_spec):
+        log = capture_log(shopping_spec, 400, seed=9)
+        writesets = extract_writesets(log)
+        u = shopping_spec.conflict.updates_per_transaction
+        for writeset in writesets:
+            assert len(writeset.keys) == u
+
+    def test_replay_populates_database(self, shopping_spec):
+        log = capture_log(shopping_spec, 300, seed=10)
+        db = SIDatabase()
+        writesets = extract_writesets(log, database=db)
+        assert db.update_commits == len(writesets)
+
+
+class TestDemandMeasurement:
+    def test_read_demand_recovered(self, shopping_spec):
+        demand = measure_class_demand(
+            shopping_spec, "read", seed=21, duration=30.0, warmup=2.0
+        )
+        assert demand.cpu == pytest.approx(
+            shopping_spec.demands.read.cpu, rel=0.10
+        )
+        assert demand.disk == pytest.approx(
+            shopping_spec.demands.read.disk, rel=0.10
+        )
+
+    def test_writeset_demand_recovered(self, shopping_spec):
+        demand = measure_class_demand(
+            shopping_spec, "writeset", seed=22, duration=30.0, warmup=2.0
+        )
+        assert demand.cpu == pytest.approx(
+            shopping_spec.demands.writeset.cpu, rel=0.10
+        )
+
+    def test_unknown_class_rejected(self, shopping_spec):
+        with pytest.raises(ProfilingError):
+            measure_class_demand(shopping_spec, "delete")
+
+    def test_read_only_spec_skips_update_classes(self, rubis_browsing_spec):
+        demands = measure_service_demands(
+            rubis_browsing_spec, seed=23, duration=20.0, warmup=2.0
+        )
+        assert demands.write.total == 0.0
+        assert demands.writeset.total == 0.0
+        assert demands.read.cpu > 0.0
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def report(self, shopping_spec):
+        return profile_standalone(
+            shopping_spec,
+            seed=31,
+            replay_duration=30.0,
+            mixed_duration=30.0,
+            warmup=3.0,
+            log_transactions=1000,
+        )
+
+    def test_profile_mix_close_to_spec(self, report):
+        assert report.profile.mix.write_fraction == pytest.approx(0.2, abs=0.04)
+
+    def test_profile_l1_positive_and_plausible(self, report):
+        # L(1) is at least the raw update demand and below a second.
+        assert 0.015 < report.profile.update_response_time < 1.0
+
+    def test_profile_abort_rate_small(self, report):
+        # Paper: A1 < 0.023% for TPC-W; allow an order of magnitude slack
+        # for short windows.
+        assert report.profile.abort_rate < 0.005
+
+    def test_throughput_reported(self, report):
+        assert report.standalone_throughput > 5.0
+
+    def test_counts_populated(self, report):
+        assert report.read_transactions + report.update_transactions == 1000
+        assert report.mixed_transactions > 0

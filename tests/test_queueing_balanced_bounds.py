@@ -1,0 +1,88 @@
+"""Tests for balanced-job bounds, including a property check against exact MVA."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.queueing.bounds import asymptotic_bounds, balanced_bounds
+from repro.queueing.mva import solve_mva
+from repro.queueing.network import ClosedNetwork, delay_center, queueing_center
+
+demand_st = st.floats(min_value=1e-3, max_value=0.3,
+                      allow_nan=False, allow_infinity=False)
+
+
+def network(demands, think=1.0, delays=()):
+    centers = [queueing_center(f"q{i}", d) for i, d in enumerate(demands)]
+    centers += [delay_center(f"d{i}", d) for i, d in enumerate(delays)]
+    return ClosedNetwork(centers=tuple(centers), think_time=think)
+
+
+class TestBalancedBounds:
+    def test_single_customer_bounds_are_tight(self):
+        net = network([0.05, 0.02])
+        bounds = balanced_bounds(net, 1)
+        exact = solve_mva(net, 1).throughput
+        assert bounds.throughput_lower == pytest.approx(exact)
+        assert bounds.throughput_upper == pytest.approx(exact)
+
+    def test_bounds_bracket_exact_mva(self):
+        net = network([0.04, 0.02, 0.01], think=0.5)
+        for n in (1, 5, 20, 60, 150):
+            bounds = balanced_bounds(net, n)
+            exact = solve_mva(net, n).throughput
+            assert bounds.contains(exact), (n, bounds, exact)
+
+    def test_tighter_than_asymptotic_upper(self):
+        net = network([0.04, 0.02], think=1.0)
+        for n in (5, 20, 50):
+            balanced = balanced_bounds(net, n)
+            asymptotic = asymptotic_bounds(net, n)
+            assert balanced.throughput_upper <= (
+                asymptotic.throughput_upper + 1e-12
+            )
+
+    def test_balanced_network_upper_bound_is_exact(self):
+        # A network that is already balanced IS its balanced equivalent:
+        # the upper bound coincides with exact MVA.
+        net = network([0.03, 0.03], think=1.0)
+        for n in (1, 10, 40):
+            bounds = balanced_bounds(net, n)
+            exact = solve_mva(net, n).throughput
+            assert exact == pytest.approx(bounds.throughput_upper, rel=1e-9)
+            assert bounds.throughput_lower <= exact * (1 + 1e-9)
+
+    def test_delay_centers_shift_both_bounds(self):
+        plain = balanced_bounds(network([0.04]), 10)
+        delayed = balanced_bounds(network([0.04], delays=[0.1]), 10)
+        assert delayed.throughput_upper < plain.throughput_upper
+        assert delayed.throughput_lower < plain.throughput_lower
+
+    def test_pure_delay_network_exact(self):
+        net = ClosedNetwork(centers=(delay_center("d", 0.05),), think_time=1.0)
+        bounds = balanced_bounds(net, 20)
+        assert bounds.throughput_lower == pytest.approx(20 / 1.05)
+        assert bounds.throughput_upper == pytest.approx(20 / 1.05)
+
+    def test_zero_population(self):
+        bounds = balanced_bounds(network([0.04]), 0)
+        assert bounds.throughput_lower == 0.0
+        assert bounds.throughput_upper == 0.0
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            balanced_bounds(network([0.04]), -1)
+
+    @given(
+        demands=st.lists(demand_st, min_size=1, max_size=4),
+        think=st.floats(min_value=0.0, max_value=3.0),
+        population=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_bounds_bracket_mva(self, demands, think, population):
+        net = network(demands, think=think)
+        bounds = balanced_bounds(net, population)
+        exact = solve_mva(net, population).throughput
+        assert bounds.throughput_lower <= exact * (1 + 1e-9)
+        assert exact <= bounds.throughput_upper * (1 + 1e-9)

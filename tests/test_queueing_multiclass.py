@@ -1,0 +1,147 @@
+"""Unit tests for exact multiclass MVA."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.queueing.mva import solve_mva, solve_mva_multiclass
+from repro.queueing.network import (
+    ClosedNetwork,
+    MulticlassNetwork,
+    delay_center,
+    queueing_center,
+)
+
+
+def two_class_network(d_a=(0.03, 0.01), d_b=(0.01, 0.02), z=(1.0, 1.0)):
+    return MulticlassNetwork(
+        centers=(queueing_center("cpu", 0.0), queueing_center("disk", 0.0)),
+        demands={"a": d_a, "b": d_b},
+        think_times={"a": z[0], "b": z[1]},
+    )
+
+
+class TestMulticlassConstruction:
+    def test_demand_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MulticlassNetwork(
+                centers=(queueing_center("cpu", 0.0),),
+                demands={"a": (0.1, 0.2)},
+                think_times={"a": 1.0},
+            )
+
+    def test_class_sets_must_match(self):
+        with pytest.raises(ConfigurationError):
+            MulticlassNetwork(
+                centers=(queueing_center("cpu", 0.0),),
+                demands={"a": (0.1,)},
+                think_times={"b": 1.0},
+            )
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MulticlassNetwork(
+                centers=(queueing_center("cpu", 0.0),),
+                demands={"a": (-0.1,)},
+                think_times={"a": 1.0},
+            )
+
+    def test_classes_sorted(self):
+        assert two_class_network().classes == ["a", "b"]
+
+
+class TestMulticlassAgainstSingleClass:
+    def test_single_populated_class_reduces_to_single_class_mva(self):
+        network = two_class_network()
+        multi = solve_mva_multiclass(network, {"a": 15, "b": 0})
+        single = solve_mva(
+            ClosedNetwork(
+                centers=(queueing_center("cpu", 0.03), queueing_center("disk", 0.01)),
+                think_time=1.0,
+            ),
+            15,
+        )
+        assert multi.throughputs["a"] == pytest.approx(single.throughput)
+        assert multi.response_times["a"] == pytest.approx(single.response_time)
+        assert multi.throughputs["b"] == 0.0
+
+    def test_identical_classes_split_symmetrically(self):
+        network = two_class_network(d_a=(0.02, 0.01), d_b=(0.02, 0.01))
+        solution = solve_mva_multiclass(network, {"a": 10, "b": 10})
+        assert solution.throughputs["a"] == pytest.approx(
+            solution.throughputs["b"]
+        )
+        # Combined they must equal the single-class solution with 20 clients.
+        single = solve_mva(
+            ClosedNetwork(
+                centers=(queueing_center("cpu", 0.02), queueing_center("disk", 0.01)),
+                think_time=1.0,
+            ),
+            20,
+        )
+        assert solution.total_throughput == pytest.approx(single.throughput)
+
+
+class TestMulticlassProperties:
+    def test_population_conservation(self):
+        network = two_class_network()
+        pops = {"a": 12, "b": 7}
+        solution = solve_mva_multiclass(network, pops)
+        in_centers = sum(solution.queue_lengths.values())
+        thinking = sum(
+            solution.throughputs[k] * network.think_times[k] for k in pops
+        )
+        assert in_centers + thinking == pytest.approx(sum(pops.values()))
+
+    def test_utilization_below_one(self):
+        solution = solve_mva_multiclass(
+            two_class_network(), {"a": 100, "b": 100}
+        )
+        for value in solution.utilization.values():
+            assert value <= 1.0 + 1e-9
+
+    def test_adding_competing_class_slows_the_other(self):
+        network = two_class_network()
+        alone = solve_mva_multiclass(network, {"a": 10, "b": 0})
+        shared = solve_mva_multiclass(network, {"a": 10, "b": 10})
+        assert shared.throughputs["a"] < alone.throughputs["a"]
+        assert shared.response_times["a"] > alone.response_times["a"]
+
+    def test_delay_center_residence_constant(self):
+        network = MulticlassNetwork(
+            centers=(queueing_center("cpu", 0.0), delay_center("lb", 0.0)),
+            demands={"a": (0.02, 0.005), "b": (0.01, 0.005)},
+            think_times={"a": 1.0, "b": 1.0},
+        )
+        solution = solve_mva_multiclass(network, {"a": 30, "b": 10})
+        assert solution.residence_times["a"]["lb"] == pytest.approx(0.005)
+        assert solution.residence_times["b"]["lb"] == pytest.approx(0.005)
+
+    def test_fractional_population_interpolation(self):
+        network = two_class_network()
+        low = solve_mva_multiclass(network, {"a": 10, "b": 5})
+        high = solve_mva_multiclass(network, {"a": 11, "b": 5})
+        mid = solve_mva_multiclass(network, {"a": 10.5, "b": 5})
+        expected = (low.throughputs["a"] + high.throughputs["a"]) / 2
+        assert mid.throughputs["a"] == pytest.approx(expected)
+
+    def test_fractional_both_classes(self):
+        network = two_class_network()
+        mid = solve_mva_multiclass(network, {"a": 3.5, "b": 2.5})
+        corners = [
+            solve_mva_multiclass(network, {"a": a, "b": b}).total_throughput
+            for a in (3, 4)
+            for b in (2, 3)
+        ]
+        assert min(corners) <= mid.total_throughput <= max(corners)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_mva_multiclass(two_class_network(), {"zzz": 1})
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_mva_multiclass(two_class_network(), {"a": -1})
+
+    def test_empty_population(self):
+        solution = solve_mva_multiclass(two_class_network(), {"a": 0, "b": 0})
+        assert solution.total_throughput == 0.0

@@ -1,0 +1,238 @@
+"""Unit tests for the exact MVA solver against known queueing results."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.queueing.bounds import asymptotic_bounds
+from repro.queueing.mva import (
+    MVAStepper,
+    approximate_mva,
+    solve_mva,
+)
+from repro.queueing.network import (
+    ClosedNetwork,
+    delay_center,
+    queueing_center,
+)
+
+
+def single_center(demand=0.1, think=1.0):
+    return ClosedNetwork(
+        centers=(queueing_center("cpu", demand),), think_time=think
+    )
+
+
+class TestSingleCenterClosedForm:
+    """One queueing center + think time has a classic machine-repair form."""
+
+    def test_one_customer_no_queueing(self):
+        # With a single customer, R = D exactly.
+        solution = solve_mva(single_center(demand=0.1, think=1.0), 1)
+        assert solution.response_time == pytest.approx(0.1)
+        assert solution.throughput == pytest.approx(1 / 1.1)
+
+    def test_two_customers_recurrence(self):
+        # Hand-rolled MVA: n=1: R=0.1, X=1/1.1, Q=0.1/1.1
+        # n=2: R=0.1*(1+0.1/1.1), X=2/(1+R), Q=X*R
+        solution = solve_mva(single_center(demand=0.1, think=1.0), 2)
+        r2 = 0.1 * (1 + 0.1 / 1.1)
+        assert solution.response_time == pytest.approx(r2)
+        assert solution.throughput == pytest.approx(2 / (1.0 + r2))
+
+    def test_saturation_throughput_approaches_capacity(self):
+        solution = solve_mva(single_center(demand=0.1, think=1.0), 500)
+        assert solution.throughput == pytest.approx(10.0, rel=1e-3)
+
+    def test_heavy_load_response_time_linear_growth(self):
+        # At saturation each extra client adds ~D to the response time.
+        r100 = solve_mva(single_center(0.1, 1.0), 100).response_time
+        r101 = solve_mva(single_center(0.1, 1.0), 101).response_time
+        assert r101 - r100 == pytest.approx(0.1, rel=0.01)
+
+
+class TestDelayCenters:
+    def test_pure_delay_network_scales_linearly(self):
+        network = ClosedNetwork(
+            centers=(delay_center("net", 0.05),), think_time=1.0
+        )
+        for n in (1, 10, 100):
+            solution = solve_mva(network, n)
+            assert solution.throughput == pytest.approx(n / 1.05)
+            assert solution.response_time == pytest.approx(0.05)
+
+    def test_delay_center_adds_constant_residence(self):
+        base = ClosedNetwork(
+            centers=(queueing_center("cpu", 0.1),), think_time=1.0
+        )
+        with_delay = ClosedNetwork(
+            centers=(queueing_center("cpu", 0.1), delay_center("lb", 0.02)),
+            think_time=1.0,
+        )
+        r_base = solve_mva(base, 5)
+        r_delay = solve_mva(with_delay, 5)
+        # The delay perturbs queueing slightly, but residence at the delay
+        # center is exactly its demand.
+        assert r_delay.residence_times["lb"] == pytest.approx(0.02)
+        assert r_delay.response_time > r_base.response_time
+
+
+class TestMVAProperties:
+    def network(self):
+        return ClosedNetwork(
+            centers=(
+                queueing_center("cpu", 0.030),
+                queueing_center("disk", 0.012),
+                delay_center("lb", 0.001),
+            ),
+            think_time=1.0,
+        )
+
+    def test_throughput_monotone_in_population(self):
+        previous = 0.0
+        for n in range(1, 80):
+            x = solve_mva(self.network(), n).throughput
+            assert x >= previous
+            previous = x
+
+    def test_response_monotone_in_population(self):
+        previous = 0.0
+        for n in range(1, 80):
+            r = solve_mva(self.network(), n).response_time
+            assert r >= previous - 1e-12
+            previous = r
+
+    def test_respects_asymptotic_bounds(self):
+        for n in (1, 5, 20, 50, 200):
+            network = self.network()
+            solution = solve_mva(network, n)
+            bounds = asymptotic_bounds(network, n)
+            assert solution.throughput <= bounds.throughput_upper + 1e-9
+            assert solution.response_time >= bounds.response_time_lower - 1e-9
+
+    def test_utilization_law_consistency(self):
+        solution = solve_mva(self.network(), 40)
+        assert solution.utilization["cpu"] == pytest.approx(
+            min(1.0, solution.throughput * 0.030)
+        )
+
+    def test_littles_law_at_each_center(self):
+        solution = solve_mva(self.network(), 25)
+        for name in ("cpu", "disk"):
+            assert solution.queue_lengths[name] == pytest.approx(
+                solution.throughput * solution.residence_times[name]
+            )
+
+    def test_population_conservation(self):
+        n = 30
+        solution = solve_mva(self.network(), n)
+        in_centers = sum(solution.queue_lengths.values())
+        thinking = solution.throughput * 1.0  # X * Z
+        assert in_centers + thinking == pytest.approx(n)
+
+    def test_population_zero(self):
+        solution = solve_mva(self.network(), 0)
+        assert solution.throughput == 0.0
+        assert solution.response_time == 0.0
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_mva(self.network(), -1)
+
+    def test_fractional_population_interpolates(self):
+        low = solve_mva(self.network(), 10).throughput
+        high = solve_mva(self.network(), 11).throughput
+        mid = solve_mva(self.network(), 10.5).throughput
+        assert mid == pytest.approx((low + high) / 2)
+
+    def test_fractional_population_between_neighbours(self):
+        mid = solve_mva(self.network(), 10.25)
+        low = solve_mva(self.network(), 10)
+        high = solve_mva(self.network(), 11)
+        assert low.throughput <= mid.throughput <= high.throughput
+
+
+class TestMVAStepper:
+    def test_stepper_matches_solve(self):
+        network = ClosedNetwork(
+            centers=(queueing_center("cpu", 0.04), queueing_center("disk", 0.02)),
+            think_time=0.5,
+        )
+        stepper = MVAStepper(network)
+        for n in range(1, 21):
+            stepped = stepper.step()
+            direct = solve_mva(network, n)
+            assert stepped.throughput == pytest.approx(direct.throughput)
+            assert stepped.response_time == pytest.approx(direct.response_time)
+
+    def test_set_demands_unknown_center_rejected(self):
+        stepper = MVAStepper(single_center())
+        with pytest.raises(ConfigurationError):
+            stepper.set_demands({"disk": 0.1})
+
+    def test_set_demands_negative_rejected(self):
+        stepper = MVAStepper(single_center())
+        with pytest.raises(ConfigurationError):
+            stepper.set_demands({"cpu": -0.1})
+
+    def test_demands_can_change_between_steps(self):
+        stepper = MVAStepper(single_center(demand=0.1))
+        first = stepper.step()
+        stepper.set_demands({"cpu": 0.2})
+        second = stepper.step()
+        # The second step uses the new demand.
+        assert second.residence_times["cpu"] > 2 * first.residence_times["cpu"] * 0.9
+
+    def test_arrival_queue_is_previous_queue(self):
+        network = single_center(demand=0.1)
+        stepper = MVAStepper(network)
+        first = stepper.step()
+        second = stepper.step()
+        assert second.arrival_queue_lengths["cpu"] == pytest.approx(
+            first.queue_lengths["cpu"]
+        )
+
+    def test_residence_seen_by_uses_arrival_theorem(self):
+        network = single_center(demand=0.1)
+        solution = solve_mva(network, 10)
+        seen = solution.residence_seen_by({"cpu": 0.2})
+        expected = 0.2 * (1.0 + solution.arrival_queue_lengths["cpu"])
+        assert seen == pytest.approx(expected)
+
+    def test_residence_seen_by_queue_cap(self):
+        solution = solve_mva(single_center(demand=0.1), 200)
+        uncapped = solution.residence_seen_by({"cpu": 0.1})
+        capped = solution.residence_seen_by({"cpu": 0.1}, queue_cap=9.0)
+        assert capped == pytest.approx(0.1 * 10.0)
+        assert capped < uncapped
+
+    def test_residence_seen_by_unknown_center(self):
+        solution = solve_mva(single_center(), 1)
+        with pytest.raises(ConfigurationError):
+            solution.residence_seen_by({"gpu": 0.1})
+
+
+class TestSchweitzerApproximation:
+    def test_close_to_exact_at_moderate_population(self):
+        network = ClosedNetwork(
+            centers=(queueing_center("cpu", 0.03), queueing_center("disk", 0.015)),
+            think_time=1.0,
+        )
+        for n in (5, 20, 60):
+            exact = solve_mva(network, n).throughput
+            approx = approximate_mva(network, n).throughput
+            assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_population_zero(self):
+        assert approximate_mva(single_center(), 0).throughput == 0.0
+
+    def test_single_customer_exact(self):
+        # With n=1 Schweitzer sees an empty queue: identical to exact MVA.
+        exact = solve_mva(single_center(0.1, 1.0), 1)
+        approx = approximate_mva(single_center(0.1, 1.0), 1)
+        assert approx.throughput == pytest.approx(exact.throughput)
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            approximate_mva(single_center(), -2)

@@ -1,0 +1,157 @@
+"""Unit tests for operational laws and asymptotic bounds."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.queueing.bounds import asymptotic_bounds, max_useful_replicas
+from repro.queueing.network import ClosedNetwork, delay_center, queueing_center
+from repro.queueing.operational import (
+    closed_loop_throughput,
+    interactive_response_time,
+    littles_law_population,
+    utilization,
+    utilization_law_demand,
+)
+
+
+class TestOperationalLaws:
+    def test_utilization_law_demand(self):
+        # 30 s busy over 1000 completions -> 30 ms demand.
+        assert utilization_law_demand(30.0, 1000) == pytest.approx(0.030)
+
+    def test_utilization_law_demand_rejects_zero_completions(self):
+        with pytest.raises(ConfigurationError):
+            utilization_law_demand(1.0, 0)
+
+    def test_utilization_law_demand_rejects_negative_busy(self):
+        with pytest.raises(ConfigurationError):
+            utilization_law_demand(-1.0, 10)
+
+    def test_utilization(self):
+        assert utilization(100.0, 0.005) == pytest.approx(0.5)
+
+    def test_littles_law(self):
+        assert littles_law_population(50.0, 0.2) == pytest.approx(10.0)
+
+    def test_interactive_response_time(self):
+        # N=100, X=50, Z=1 -> R = 100/50 - 1 = 1 second.
+        assert interactive_response_time(100, 50.0, 1.0) == pytest.approx(1.0)
+
+    def test_interactive_response_time_clamps_at_zero(self):
+        assert interactive_response_time(10, 100.0, 1.0) == 0.0
+
+    def test_interactive_response_time_rejects_zero_throughput(self):
+        with pytest.raises(ConfigurationError):
+            interactive_response_time(10, 0.0, 1.0)
+
+    def test_closed_loop_throughput_inverts_response_law(self):
+        x = closed_loop_throughput(100, 1.0, 1.0)
+        assert x == pytest.approx(50.0)
+        assert interactive_response_time(100, x, 1.0) == pytest.approx(1.0)
+
+    def test_closed_loop_throughput_rejects_zero_denominator(self):
+        with pytest.raises(ConfigurationError):
+            closed_loop_throughput(10, 0.0, 0.0)
+
+
+class TestAsymptoticBounds:
+    def network(self):
+        return ClosedNetwork(
+            centers=(
+                queueing_center("cpu", 0.040),
+                queueing_center("disk", 0.010),
+                delay_center("lb", 0.002),
+            ),
+            think_time=1.0,
+        )
+
+    def test_light_load_bound(self):
+        bounds = asymptotic_bounds(self.network(), 1)
+        # One client: X <= 1/(D+Z)
+        assert bounds.throughput_upper == pytest.approx(1 / 1.052)
+
+    def test_heavy_load_bound(self):
+        bounds = asymptotic_bounds(self.network(), 10_000)
+        assert bounds.throughput_upper == pytest.approx(1 / 0.040)
+
+    def test_saturation_population(self):
+        bounds = asymptotic_bounds(self.network(), 10)
+        assert bounds.saturation_population == pytest.approx(1.052 / 0.040)
+
+    def test_response_lower_bound_light(self):
+        bounds = asymptotic_bounds(self.network(), 1)
+        assert bounds.response_time_lower == pytest.approx(0.052)
+
+    def test_response_lower_bound_heavy(self):
+        n = 1000
+        bounds = asymptotic_bounds(self.network(), n)
+        assert bounds.response_time_lower == pytest.approx(n * 0.040 - 1.0)
+
+    def test_pure_delay_network(self):
+        network = ClosedNetwork(centers=(delay_center("lb", 0.01),), think_time=1.0)
+        bounds = asymptotic_bounds(network, 50)
+        assert bounds.throughput_upper == pytest.approx(50 / 1.01)
+        assert bounds.saturation_population == float("inf")
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            asymptotic_bounds(self.network(), -1)
+
+    def test_max_useful_replicas(self):
+        assert max_useful_replicas(100.0, 25.0) == pytest.approx(4.0)
+
+    def test_max_useful_replicas_zero_load(self):
+        assert max_useful_replicas(100.0, 0.0) == float("inf")
+
+    def test_max_useful_replicas_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            max_useful_replicas(0.0, 1.0)
+
+
+class TestNetworkValidation:
+    def test_duplicate_center_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClosedNetwork(
+                centers=(queueing_center("cpu", 0.1), queueing_center("cpu", 0.2)),
+            )
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClosedNetwork(centers=())
+
+    def test_negative_think_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClosedNetwork(centers=(queueing_center("cpu", 0.1),), think_time=-1.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            queueing_center("cpu", -0.1)
+
+    def test_bottleneck_is_largest_queueing_center(self):
+        network = ClosedNetwork(
+            centers=(
+                queueing_center("cpu", 0.02),
+                queueing_center("disk", 0.05),
+                delay_center("lb", 0.99),
+            ),
+        )
+        assert network.bottleneck.name == "disk"
+
+    def test_with_demands_replaces_named_centers(self):
+        network = ClosedNetwork(
+            centers=(queueing_center("cpu", 0.02), queueing_center("disk", 0.01)),
+        )
+        updated = network.with_demands({"cpu": 0.04})
+        assert updated.demands() == {"cpu": 0.04, "disk": 0.01}
+        assert network.demands()["cpu"] == 0.02
+
+    def test_with_demands_unknown_center_rejected(self):
+        network = ClosedNetwork(centers=(queueing_center("cpu", 0.02),))
+        with pytest.raises(ConfigurationError):
+            network.with_demands({"disk": 0.01})
+
+    def test_total_demand(self):
+        network = ClosedNetwork(
+            centers=(queueing_center("cpu", 0.02), delay_center("lb", 0.01)),
+        )
+        assert network.total_demand == pytest.approx(0.03)

@@ -1,0 +1,153 @@
+"""Unit tests for writesets and the certification service."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sidb.certifier import Certifier
+from repro.sidb.writeset import Writeset
+
+
+def ws(txn_id, snapshot, keys):
+    return Writeset.from_dict(txn_id, snapshot, {k: txn_id for k in keys})
+
+
+class TestWriteset:
+    def test_keys_extracted(self):
+        writeset = ws(1, 0, ["a", "b"])
+        assert writeset.keys == frozenset({"a", "b"})
+
+    def test_empty_writeset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Writeset.from_dict(1, 0, {})
+
+    def test_negative_snapshot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ws(1, -1, ["a"])
+
+    def test_conflicts_with_detects_overlap(self):
+        assert ws(1, 0, ["a", "b"]).conflicts_with(ws(2, 0, ["b", "c"]))
+        assert not ws(1, 0, ["a"]).conflicts_with(ws(2, 0, ["c"]))
+
+    def test_committed_stamps_version(self):
+        committed = ws(1, 0, ["a"]).committed(5)
+        assert committed.commit_version == 5
+        assert committed.keys == frozenset({"a"})
+
+    def test_committed_rejects_nonpositive_version(self):
+        with pytest.raises(ConfigurationError):
+            ws(1, 0, ["a"]).committed(0)
+
+    def test_encoded_size_grows_with_rows(self):
+        small = ws(1, 0, ["a"]).encoded_size()
+        large = ws(2, 0, ["a", "b", "c"]).encoded_size()
+        assert large > small
+
+    def test_as_dict(self):
+        writeset = Writeset.from_dict(9, 0, {"a": 1, "b": 2})
+        assert writeset.as_dict == {"a": 1, "b": 2}
+
+
+class TestCertifierBasics:
+    def test_first_commit_gets_version_one(self):
+        certifier = Certifier()
+        outcome = certifier.certify(ws(1, 0, ["a"]))
+        assert outcome.committed
+        assert outcome.commit_version == 1
+        assert certifier.latest_version == 1
+
+    def test_versions_are_dense(self):
+        certifier = Certifier()
+        versions = [
+            certifier.certify(ws(i, certifier.latest_version, [f"k{i}"]))
+            .commit_version
+            for i in range(1, 6)
+        ]
+        assert versions == [1, 2, 3, 4, 5]
+
+    def test_conflict_aborts(self):
+        certifier = Certifier()
+        certifier.certify(ws(1, 0, ["a"]))
+        outcome = certifier.certify(ws(2, 0, ["a"]))  # concurrent with txn 1
+        assert not outcome.committed
+        assert outcome.conflicting_keys == frozenset({"a"})
+
+    def test_non_overlapping_concurrent_commits(self):
+        certifier = Certifier()
+        certifier.certify(ws(1, 0, ["a"]))
+        outcome = certifier.certify(ws(2, 0, ["b"]))
+        assert outcome.committed
+
+    def test_serial_rewrites_commit(self):
+        certifier = Certifier()
+        certifier.certify(ws(1, 0, ["a"]))
+        # Transaction 2 saw version 1, so txn 1 is not concurrent with it.
+        outcome = certifier.certify(ws(2, 1, ["a"]))
+        assert outcome.committed
+
+    def test_conflict_only_against_later_commits(self):
+        certifier = Certifier()
+        certifier.certify(ws(1, 0, ["a"]))  # v1
+        certifier.certify(ws(2, 1, ["b"]))  # v2
+        # Snapshot 1: conflicts checked against v2 only.
+        assert certifier.certify(ws(3, 1, ["a"])).committed
+        assert not certifier.certify(ws(4, 1, ["b"])).committed
+
+    def test_future_snapshot_rejected(self):
+        certifier = Certifier()
+        with pytest.raises(ConfigurationError):
+            certifier.certify(ws(1, 5, ["a"]))
+
+    def test_statistics_counted(self):
+        certifier = Certifier()
+        certifier.certify(ws(1, 0, ["a"]))
+        certifier.certify(ws(2, 0, ["a"]))
+        assert certifier.certifications == 2
+        assert certifier.commits == 1
+        assert certifier.aborts == 1
+        assert certifier.abort_fraction == pytest.approx(0.5)
+
+    def test_reset_statistics(self):
+        certifier = Certifier()
+        certifier.certify(ws(1, 0, ["a"]))
+        certifier.reset_statistics()
+        assert certifier.certifications == 0
+        assert certifier.abort_fraction == 0.0
+        # Version counter is NOT reset.
+        assert certifier.latest_version == 1
+
+
+class TestCertifierPruning:
+    def test_observe_snapshot_prunes_history(self):
+        certifier = Certifier()
+        for i in range(1, 11):
+            certifier.certify(ws(i, certifier.latest_version, [f"k{i}"]))
+        certifier.observe_snapshot(5)
+        # Snapshots >= 5 still certify exactly.
+        assert certifier.certify(ws(99, 5, ["fresh"])).committed
+
+    def test_stale_snapshot_conservatively_aborts_after_pruning(self):
+        certifier = Certifier()
+        for i in range(1, 11):
+            certifier.certify(ws(i, certifier.latest_version, [f"k{i}"]))
+        certifier.observe_snapshot(8)
+        outcome = certifier.certify(ws(99, 2, ["zzz"]))
+        assert not outcome.committed  # history to answer exactly is gone
+
+    def test_max_history_bounds_memory(self):
+        certifier = Certifier(max_history=5)
+        for i in range(1, 21):
+            certifier.certify(ws(i, certifier.latest_version, [f"k{i}"]))
+        assert len(certifier._history) <= 5
+
+    def test_max_history_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Certifier(max_history=0)
+
+    def test_first_committer_wins_invariant(self):
+        """Of two concurrent overlapping writesets, exactly one commits."""
+        certifier = Certifier()
+        snapshot = certifier.latest_version
+        first = certifier.certify(ws(1, snapshot, ["x", "y"]))
+        second = certifier.certify(ws(2, snapshot, ["y", "z"]))
+        assert first.committed
+        assert not second.committed

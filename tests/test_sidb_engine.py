@@ -1,0 +1,221 @@
+"""Unit tests for the snapshot-isolated database engine (SI semantics of §2)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, TransactionAborted
+from repro.sidb.engine import SIDatabase
+from repro.sidb.transaction import TransactionStatus
+
+
+class TestReadOnlyTransactions:
+    def test_read_committed_state(self):
+        db = SIDatabase({"a": 1})
+        txn = db.begin()
+        assert txn.read("a") == 1
+        assert db.commit(txn) is None
+        assert txn.status is TransactionStatus.COMMITTED
+
+    def test_read_only_always_commits_despite_writers(self):
+        db = SIDatabase({"a": 1})
+        reader = db.begin()
+        writer = db.begin()
+        writer.write("a", 2)
+        db.commit(writer)
+        assert reader.read("a") == 1  # isolated from the concurrent commit
+        db.commit(reader)
+        assert db.read_only_commits == 1
+
+    def test_snapshot_isolation_stable_reads(self):
+        db = SIDatabase({"a": 1})
+        txn = db.begin()
+        assert txn.read("a") == 1
+        w = db.begin()
+        w.write("a", 99)
+        db.commit(w)
+        # Repeated read returns the same snapshot value.
+        assert txn.read("a") == 1
+
+
+class TestUpdateTransactions:
+    def test_update_creates_new_version(self):
+        db = SIDatabase({"a": 1})
+        txn = db.begin()
+        txn.write("a", 2)
+        writeset = db.commit(txn)
+        assert writeset is not None
+        assert writeset.commit_version == 1
+        assert db.begin().read("a") == 2
+
+    def test_read_your_own_writes(self):
+        db = SIDatabase({"a": 1})
+        txn = db.begin()
+        txn.write("a", 5)
+        assert txn.read("a") == 5
+
+    def test_first_committer_wins(self):
+        db = SIDatabase({"a": 1})
+        t1 = db.begin()
+        t2 = db.begin()
+        t1.write("a", 10)
+        t2.write("a", 20)
+        db.commit(t1)
+        with pytest.raises(TransactionAborted) as exc:
+            db.commit(t2)
+        assert "a" in exc.value.conflicting_keys
+        assert t2.status is TransactionStatus.ABORTED
+        assert db.begin().read("a") == 10
+
+    def test_disjoint_concurrent_updates_both_commit(self):
+        db = SIDatabase({"a": 1, "b": 2})
+        t1 = db.begin()
+        t2 = db.begin()
+        t1.write("a", 10)
+        t2.write("b", 20)
+        db.commit(t1)
+        db.commit(t2)
+        snapshot = db.begin()
+        assert snapshot.read("a") == 10
+        assert snapshot.read("b") == 20
+
+    def test_write_write_conflict_requires_overlap_and_concurrency(self):
+        db = SIDatabase({"a": 1})
+        t1 = db.begin()
+        t1.write("a", 10)
+        db.commit(t1)
+        # t3 begins after t1 committed: no conflict.
+        t3 = db.begin()
+        t3.write("a", 30)
+        db.commit(t3)
+        assert db.begin().read("a") == 30
+
+    def test_delete_writes_tombstone(self):
+        db = SIDatabase({"a": 1})
+        txn = db.begin()
+        txn.delete("a")
+        db.commit(txn)
+        assert db.begin().read("a") is None
+
+    def test_statistics(self):
+        db = SIDatabase({"a": 1})
+        t1, t2 = db.begin(), db.begin()
+        t1.write("a", 1)
+        t2.write("a", 2)
+        db.commit(t1)
+        with pytest.raises(TransactionAborted):
+            db.commit(t2)
+        assert db.update_commits == 1
+        assert db.update_aborts == 1
+        assert db.measured_abort_rate == pytest.approx(0.5)
+
+
+class TestGSISnapshots:
+    def test_explicit_older_snapshot(self):
+        db = SIDatabase({"a": 1})
+        w = db.begin()
+        w.write("a", 2)
+        db.commit(w)
+        stale = db.begin(snapshot_version=0)
+        assert stale.read("a") == 1
+
+    def test_stale_snapshot_update_aborts_on_conflict(self):
+        db = SIDatabase({"a": 1})
+        w = db.begin()
+        w.write("a", 2)
+        db.commit(w)
+        stale = db.begin(snapshot_version=0)
+        stale.write("a", 3)
+        with pytest.raises(TransactionAborted):
+            db.commit(stale)
+
+    def test_future_snapshot_rejected(self):
+        db = SIDatabase()
+        with pytest.raises(ConfigurationError):
+            db.begin(snapshot_version=7)
+
+
+class TestEngineLifecycle:
+    def test_double_commit_rejected(self):
+        db = SIDatabase({"a": 1})
+        txn = db.begin()
+        db.commit(txn)
+        with pytest.raises(ConfigurationError):
+            db.commit(txn)
+
+    def test_voluntary_abort(self):
+        db = SIDatabase({"a": 1})
+        txn = db.begin()
+        txn.write("a", 2)
+        db.abort(txn)
+        assert txn.status is TransactionStatus.ABORTED
+        assert db.begin().read("a") == 1
+
+    def test_operations_after_finish_rejected(self):
+        db = SIDatabase({"a": 1})
+        txn = db.begin()
+        db.commit(txn)
+        with pytest.raises(ConfigurationError):
+            txn.read("a")
+        with pytest.raises(ConfigurationError):
+            txn.write("a", 1)
+
+    def test_apply_writeset_propagates_remote_commit(self):
+        source = SIDatabase({"a": 1})
+        replica = SIDatabase({"a": 1})
+        txn = source.begin()
+        txn.write("a", 42)
+        writeset = source.commit(txn)
+        replica.apply_writeset(writeset)
+        assert replica.begin().read("a") == 42
+
+    def test_apply_writeset_without_version_rejected(self):
+        db = SIDatabase()
+        from repro.sidb.writeset import Writeset
+
+        uncommitted = Writeset.from_dict(1, 0, {"a": 1})
+        with pytest.raises(ConfigurationError):
+            db.apply_writeset(uncommitted)
+
+    def test_run_executes_operation_list(self):
+        db = SIDatabase({("t", 1): 0})
+        writeset = db.run([("read", ("t", 1)), ("write", ("t", 1), 99)])
+        assert writeset is not None
+        assert db.begin().read(("t", 1)) == 99
+
+    def test_run_rejects_unknown_operation(self):
+        db = SIDatabase()
+        with pytest.raises(ConfigurationError):
+            db.run([("scan", "x")])
+
+    def test_vacuum_reclaims_old_versions(self):
+        db = SIDatabase({"a": 0})
+        for i in range(5):
+            txn = db.begin()
+            txn.write("a", i)
+            db.commit(txn)
+        freed = db.vacuum()
+        assert freed > 0
+        assert db.begin().read("a") == 4
+
+    def test_oldest_active_snapshot_tracks_transactions(self):
+        db = SIDatabase({"a": 0})
+        t1 = db.begin()
+        w = db.begin()
+        w.write("a", 1)
+        db.commit(w)
+        assert db.oldest_active_snapshot() == 0  # t1 still holds snapshot 0
+        db.commit(t1)
+        assert db.oldest_active_snapshot() == 1
+
+    def test_transaction_ids_unique(self):
+        db = SIDatabase()
+        ids = {db.begin().txn_id for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_reset_statistics(self):
+        db = SIDatabase({"a": 1})
+        txn = db.begin()
+        txn.write("a", 2)
+        db.commit(txn)
+        db.reset_statistics()
+        assert db.update_commits == 0
+        assert db.measured_abort_rate == 0.0

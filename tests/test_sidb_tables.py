@@ -1,0 +1,239 @@
+"""Tests for the relational layer over the SI engine."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, TransactionAborted
+from repro.sidb.engine import SIDatabase
+from repro.sidb.tables import Catalog, Table, TableSchema
+
+ITEMS = TableSchema(
+    name="items",
+    columns=("item_id", "title", "stock", "category"),
+    primary_key="item_id",
+    indexes=("category",),
+    unique_indexes=("title",),
+)
+
+
+@pytest.fixture
+def db():
+    return SIDatabase()
+
+
+@pytest.fixture
+def items(db):
+    return Table(db, ITEMS)
+
+
+def add_item(db, items, item_id, title, stock=10, category="fiction"):
+    txn = db.begin()
+    items.insert(txn, {"item_id": item_id, "title": title,
+                       "stock": stock, "category": category})
+    db.commit(txn)
+
+
+class TestSchema:
+    def test_primary_key_must_be_column(self):
+        with pytest.raises(ConfigurationError):
+            TableSchema(name="t", columns=("a",), primary_key="b")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TableSchema(name="t", columns=("a", "a"), primary_key="a")
+
+    def test_index_must_be_column(self):
+        with pytest.raises(ConfigurationError):
+            TableSchema(name="t", columns=("a", "b"), primary_key="a",
+                        indexes=("c",))
+
+    def test_primary_key_not_reindexable(self):
+        with pytest.raises(ConfigurationError):
+            TableSchema(name="t", columns=("a", "b"), primary_key="a",
+                        indexes=("a",))
+
+    def test_column_cannot_be_unique_and_nonunique(self):
+        with pytest.raises(ConfigurationError):
+            TableSchema(name="t", columns=("a", "b"), primary_key="a",
+                        indexes=("b",), unique_indexes=("b",))
+
+    def test_validate_row_requires_exact_columns(self):
+        with pytest.raises(ConfigurationError):
+            ITEMS.validate_row({"item_id": 1})
+
+
+class TestCrud:
+    def test_insert_then_get(self, db, items):
+        add_item(db, items, 1, "Dune")
+        txn = db.begin()
+        row = items.get(txn, 1)
+        assert row["title"] == "Dune"
+        assert row["stock"] == 10
+
+    def test_get_missing_returns_none(self, db, items):
+        assert items.get(db.begin(), 404) is None
+
+    def test_duplicate_primary_key_rejected(self, db, items):
+        add_item(db, items, 1, "Dune")
+        txn = db.begin()
+        with pytest.raises(ConfigurationError):
+            items.insert(txn, {"item_id": 1, "title": "Other",
+                               "stock": 1, "category": "x"})
+
+    def test_update_changes_columns(self, db, items):
+        add_item(db, items, 1, "Dune")
+        txn = db.begin()
+        items.update(txn, 1, stock=9)
+        db.commit(txn)
+        assert items.get(db.begin(), 1)["stock"] == 9
+
+    def test_update_missing_row_rejected(self, db, items):
+        with pytest.raises(ConfigurationError):
+            items.update(db.begin(), 404, stock=1)
+
+    def test_update_unknown_column_rejected(self, db, items):
+        add_item(db, items, 1, "Dune")
+        with pytest.raises(ConfigurationError):
+            items.update(db.begin(), 1, weight=3)
+
+    def test_update_primary_key_rejected(self, db, items):
+        add_item(db, items, 1, "Dune")
+        with pytest.raises(ConfigurationError):
+            items.update(db.begin(), 1, item_id=2)
+
+    def test_delete_removes_row(self, db, items):
+        add_item(db, items, 1, "Dune")
+        txn = db.begin()
+        items.delete(txn, 1)
+        db.commit(txn)
+        assert items.get(db.begin(), 1) is None
+
+    def test_delete_missing_rejected(self, db, items):
+        with pytest.raises(ConfigurationError):
+            items.delete(db.begin(), 404)
+
+    def test_scan_and_count(self, db, items):
+        for i in range(5):
+            add_item(db, items, i, f"Book {i}")
+        txn = db.begin()
+        assert items.count(txn) == 5
+        titles = {row["title"] for row in items.scan(txn)}
+        assert titles == {f"Book {i}" for i in range(5)}
+
+
+class TestIndexes:
+    def test_lookup_by_secondary_index(self, db, items):
+        add_item(db, items, 1, "Dune", category="scifi")
+        add_item(db, items, 2, "Neuromancer", category="scifi")
+        add_item(db, items, 3, "Emma", category="classic")
+        rows = items.lookup(db.begin(), "category", "scifi")
+        assert {row["item_id"] for row in rows} == {1, 2}
+
+    def test_lookup_by_unique_index(self, db, items):
+        add_item(db, items, 1, "Dune")
+        rows = items.lookup(db.begin(), "title", "Dune")
+        assert len(rows) == 1 and rows[0]["item_id"] == 1
+
+    def test_lookup_unindexed_column_rejected(self, db, items):
+        with pytest.raises(ConfigurationError):
+            items.lookup(db.begin(), "stock", 10)
+
+    def test_unique_violation_rejected(self, db, items):
+        add_item(db, items, 1, "Dune")
+        txn = db.begin()
+        with pytest.raises(ConfigurationError):
+            items.insert(txn, {"item_id": 2, "title": "Dune",
+                               "stock": 1, "category": "x"})
+
+    def test_update_moves_index_entry(self, db, items):
+        add_item(db, items, 1, "Dune", category="scifi")
+        txn = db.begin()
+        items.update(txn, 1, category="classic")
+        db.commit(txn)
+        fresh = db.begin()
+        assert items.lookup(fresh, "category", "scifi") == []
+        assert len(items.lookup(fresh, "category", "classic")) == 1
+
+    def test_delete_removes_index_entries(self, db, items):
+        add_item(db, items, 1, "Dune", category="scifi")
+        txn = db.begin()
+        items.delete(txn, 1)
+        db.commit(txn)
+        fresh = db.begin()
+        assert items.lookup(fresh, "category", "scifi") == []
+        assert items.lookup(fresh, "title", "Dune") == []
+
+    def test_index_reads_are_snapshot_isolated(self, db, items):
+        add_item(db, items, 1, "Dune", category="scifi")
+        reader = db.begin()
+        writer = db.begin()
+        items.update(writer, 1, category="classic")
+        db.commit(writer)
+        # The reader's snapshot predates the move.
+        assert len(items.lookup(reader, "category", "scifi")) == 1
+
+
+class TestConcurrency:
+    def test_concurrent_stock_updates_conflict(self, db, items):
+        add_item(db, items, 1, "Dune", stock=10)
+        t1, t2 = db.begin(), db.begin()
+        items.update(t1, 1, stock=9)
+        items.update(t2, 1, stock=8)
+        db.commit(t1)
+        with pytest.raises(TransactionAborted):
+            db.commit(t2)
+        assert items.get(db.begin(), 1)["stock"] == 9
+
+    def test_updates_to_different_rows_commit(self, db, items):
+        add_item(db, items, 1, "Dune")
+        add_item(db, items, 2, "Emma")
+        t1, t2 = db.begin(), db.begin()
+        items.update(t1, 1, stock=1)
+        items.update(t2, 2, stock=2)
+        db.commit(t1)
+        db.commit(t2)
+
+    def test_unique_index_serialises_inserts(self, db, items):
+        # Two concurrent inserts of the same unique title: the index entry
+        # key is shared, so first-committer-wins aborts the second.
+        t1, t2 = db.begin(), db.begin()
+        items.insert(t1, {"item_id": 1, "title": "Dune",
+                          "stock": 1, "category": "x"})
+        items.insert(t2, {"item_id": 2, "title": "Dune",
+                          "stock": 1, "category": "x"})
+        db.commit(t1)
+        with pytest.raises(TransactionAborted):
+            db.commit(t2)
+
+    def test_multi_table_transaction_atomic(self, db):
+        catalog = Catalog(db)
+        items = catalog.create_table(ITEMS)
+        orders = catalog.create_table(TableSchema(
+            name="orders", columns=("order_id", "item_id", "qty"),
+            primary_key="order_id", indexes=("item_id",),
+        ))
+        add_item(db, items, 1, "Dune", stock=5)
+        txn = db.begin()
+        items.update(txn, 1, stock=4)
+        orders.insert(txn, {"order_id": 100, "item_id": 1, "qty": 1})
+        db.commit(txn)
+        fresh = db.begin()
+        assert items.get(fresh, 1)["stock"] == 4
+        assert len(orders.lookup(fresh, "item_id", 1)) == 1
+
+
+class TestCatalog:
+    def test_create_and_lookup(self, db):
+        catalog = Catalog(db)
+        catalog.create_table(ITEMS)
+        assert catalog.table("items").schema is ITEMS
+        assert catalog.names() == ["items"]
+
+    def test_duplicate_table_rejected(self, db):
+        catalog = Catalog(db)
+        catalog.create_table(ITEMS)
+        with pytest.raises(ConfigurationError):
+            catalog.create_table(ITEMS)
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(ConfigurationError):
+            Catalog(db).table("ghosts")

@@ -1,0 +1,115 @@
+"""Unit tests for the multi-version store."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sidb.versionstore import VersionedStore
+
+
+class TestBasicVersioning:
+    def test_initial_state_is_version_zero(self):
+        store = VersionedStore({"a": 1})
+        assert store.read("a", 0) == 1
+        assert store.latest_version == 0
+
+    def test_missing_key_raises(self):
+        store = VersionedStore()
+        with pytest.raises(KeyError):
+            store.read("nope", 0)
+
+    def test_get_returns_default_for_missing(self):
+        store = VersionedStore()
+        assert store.get("nope", 0, default=42) == 42
+
+    def test_install_creates_new_version(self):
+        store = VersionedStore({"a": 1})
+        store.install(1, {"a": 2})
+        assert store.read("a", 0) == 1
+        assert store.read("a", 1) == 2
+        assert store.latest_version == 1
+
+    def test_snapshot_sees_newest_at_or_below(self):
+        store = VersionedStore({"a": 0})
+        store.install(1, {"a": 10})
+        store.install(5, {"a": 50})
+        assert store.read("a", 3) == 10
+        assert store.read("a", 5) == 50
+        assert store.read("a", 99) == 50
+
+    def test_key_created_later_invisible_to_old_snapshot(self):
+        store = VersionedStore()
+        store.install(1, {"b": 7})
+        with pytest.raises(KeyError):
+            store.read("b", 0)
+        assert store.read("b", 1) == 7
+
+    def test_contains(self):
+        store = VersionedStore()
+        store.install(1, {"b": 7})
+        assert not store.contains("b", 0)
+        assert store.contains("b", 1)
+
+    def test_install_out_of_order_rejected(self):
+        store = VersionedStore()
+        store.install(2, {"a": 1})
+        with pytest.raises(ConfigurationError):
+            store.install(2, {"a": 2})
+        with pytest.raises(ConfigurationError):
+            store.install(1, {"a": 2})
+
+    def test_version_of_tracks_newest_write(self):
+        store = VersionedStore()
+        assert store.version_of("a") is None
+        store.install(3, {"a": 1})
+        assert store.version_of("a") == 3
+
+    def test_multiple_keys_per_install(self):
+        store = VersionedStore()
+        store.install(1, {"a": 1, "b": 2})
+        assert store.read("a", 1) == 1
+        assert store.read("b", 1) == 2
+
+
+class TestVacuum:
+    def test_vacuum_drops_invisible_versions(self):
+        store = VersionedStore({"a": 0})
+        for v in range(1, 6):
+            store.install(v, {"a": v})
+        freed = store.vacuum(oldest_active_snapshot=4)
+        assert freed == 4  # versions 0..3 superseded by 4 and invisible
+        assert store.read("a", 4) == 4
+        assert store.read("a", 5) == 5
+
+    def test_vacuum_keeps_version_visible_to_oldest_snapshot(self):
+        store = VersionedStore({"a": 0})
+        store.install(2, {"a": 2})
+        store.install(4, {"a": 4})
+        store.vacuum(oldest_active_snapshot=3)
+        # Snapshot 3 must still see the version-2 value.
+        assert store.read("a", 3) == 2
+
+    def test_vacuum_noop_when_everything_visible(self):
+        store = VersionedStore({"a": 0})
+        store.install(1, {"a": 1})
+        assert store.vacuum(oldest_active_snapshot=0) == 0
+
+    def test_version_count(self):
+        store = VersionedStore({"a": 0})
+        store.install(1, {"a": 1})
+        assert store.version_count("a") == 2
+        assert store.version_count("zzz") == 0
+
+
+class TestSnapshotView:
+    def test_view_materialises_state_at_version(self):
+        store = VersionedStore({"a": 1, "b": 2})
+        store.install(1, {"a": 10})
+        store.install(2, {"c": 30})
+        assert store.snapshot_view(0) == {"a": 1, "b": 2}
+        assert store.snapshot_view(1) == {"a": 10, "b": 2}
+        assert store.snapshot_view(2) == {"a": 10, "b": 2, "c": 30}
+
+    def test_keys_iterates_all_keys(self):
+        store = VersionedStore({"a": 1})
+        store.install(1, {"b": 2})
+        assert set(store.keys()) == {"a", "b"}

@@ -1,0 +1,195 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulator.des import (
+    Acquire,
+    Environment,
+    Semaphore,
+    Service,
+    Timeout,
+)
+from repro.simulator.resources import FIFOResource
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        env = Environment()
+        order = []
+        env.schedule(2.0, order.append, "b")
+        env.schedule(1.0, order.append, "a")
+        env.schedule(3.0, order.append, "c")
+        env.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        env = Environment()
+        order = []
+        env.schedule(1.0, order.append, 1)
+        env.schedule(1.0, order.append, 2)
+        env.schedule(1.0, order.append, 3)
+        env.run_until(2.0)
+        assert order == [1, 2, 3]
+
+    def test_now_advances_to_event_times(self):
+        env = Environment()
+        seen = []
+        env.schedule(1.5, lambda: seen.append(env.now))
+        env.run_until(5.0)
+        assert seen == [1.5]
+        assert env.now == 5.0
+
+    def test_events_beyond_horizon_not_fired(self):
+        env = Environment()
+        fired = []
+        env.schedule(10.0, fired.append, True)
+        env.run_until(5.0)
+        assert fired == []
+        env.run_until(15.0)
+        assert fired == [True]
+
+    def test_cancelled_event_skipped(self):
+        env = Environment()
+        fired = []
+        handle = env.schedule(1.0, fired.append, True)
+        handle.cancel()
+        env.run_until(2.0)
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.schedule(-1.0, lambda: None)
+
+    def test_run_until_past_rejected(self):
+        env = Environment()
+        env.schedule(1.0, lambda: None)
+        env.run_until(2.0)
+        with pytest.raises(SimulationError):
+            env.run_until(1.0)
+
+
+class TestProcesses:
+    def test_timeout_resumes_after_delay(self):
+        env = Environment()
+        trace = []
+
+        def process():
+            trace.append(("start", env.now))
+            yield Timeout(2.5)
+            trace.append(("resumed", env.now))
+
+        env.start(process())
+        env.run_until(10.0)
+        assert trace == [("start", 0.0), ("resumed", 2.5)]
+
+    def test_nested_generators_compose(self):
+        env = Environment()
+        trace = []
+
+        def inner():
+            yield Timeout(1.0)
+            return "inner-done"
+
+        def outer():
+            result = yield from inner()
+            trace.append((result, env.now))
+
+        env.start(outer())
+        env.run_until(5.0)
+        assert trace == [("inner-done", 1.0)]
+
+    def test_invalid_yield_rejected(self):
+        env = Environment()
+
+        def bad():
+            yield "not-an-effect"
+
+        with pytest.raises(SimulationError):
+            env.start(bad())
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_negative_service_rejected(self):
+        env = Environment()
+        resource = FIFOResource(env, "disk")
+        with pytest.raises(SimulationError):
+            Service(resource, -0.5)
+
+    def test_service_effect_completes_work(self):
+        env = Environment()
+        resource = FIFOResource(env, "disk")
+        done = []
+
+        def process():
+            yield Service(resource, 0.5)
+            done.append(env.now)
+
+        env.start(process())
+        env.run_until(2.0)
+        assert done == [0.5]
+
+
+class TestSemaphore:
+    def test_capacity_enforced(self):
+        env = Environment()
+        sem = Semaphore(env, capacity=2)
+        inside = []
+
+        def worker(i):
+            yield Acquire(sem)
+            inside.append((i, env.now))
+            yield Timeout(1.0)
+            sem.release()
+
+        for i in range(4):
+            env.start(worker(i))
+        env.run_until(0.5)
+        assert len(inside) == 2  # only two admitted at t=0
+        env.run_until(1.5)
+        assert len(inside) == 4  # the rest admitted when slots freed
+
+    def test_fifo_admission_order(self):
+        env = Environment()
+        sem = Semaphore(env, capacity=1)
+        admitted = []
+
+        def worker(i):
+            yield Acquire(sem)
+            admitted.append(i)
+            yield Timeout(1.0)
+            sem.release()
+
+        for i in range(3):
+            env.start(worker(i))
+        env.run_until(10.0)
+        assert admitted == [0, 1, 2]
+
+    def test_in_use_and_waiting_counters(self):
+        env = Environment()
+        sem = Semaphore(env, capacity=1)
+
+        def holder():
+            yield Acquire(sem)
+            yield Timeout(5.0)
+            sem.release()
+
+        env.start(holder())
+        env.start(holder())
+        env.run_until(1.0)
+        assert sem.in_use == 1
+        assert sem.waiting == 1
+
+    def test_over_release_rejected(self):
+        env = Environment()
+        sem = Semaphore(env, capacity=1)
+        with pytest.raises(SimulationError):
+            sem.release()
+
+    def test_zero_capacity_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Semaphore(env, capacity=0)

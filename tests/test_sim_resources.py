@@ -1,0 +1,122 @@
+"""Unit tests for the processor-sharing CPU and FIFO disk models."""
+
+import pytest
+
+from repro.simulator.des import Environment, Service
+from repro.simulator.resources import FIFOResource, ProcessorSharingResource
+
+
+def run_jobs(resource_cls, jobs, horizon=100.0):
+    """Submit (start_time, work) jobs; return list of completion times."""
+    env = Environment()
+    resource = resource_cls(env, "r")
+    completions = {}
+
+    def submit(job_id, work):
+        resource.submit(work, lambda: completions.__setitem__(job_id, env.now))
+
+    for job_id, (start, work) in enumerate(jobs):
+        env.schedule(start, submit, job_id, work)
+    env.run_until(horizon)
+    return env, resource, completions
+
+
+class TestFIFO:
+    def test_single_job_takes_its_work(self):
+        _, _, completions = run_jobs(FIFOResource, [(0.0, 2.0)])
+        assert completions[0] == pytest.approx(2.0)
+
+    def test_jobs_served_in_arrival_order(self):
+        _, _, completions = run_jobs(
+            FIFOResource, [(0.0, 2.0), (0.5, 1.0), (0.6, 0.5)]
+        )
+        assert completions[0] == pytest.approx(2.0)
+        assert completions[1] == pytest.approx(3.0)
+        assert completions[2] == pytest.approx(3.5)
+
+    def test_idle_gap_then_service(self):
+        _, _, completions = run_jobs(FIFOResource, [(0.0, 1.0), (5.0, 1.0)])
+        assert completions[1] == pytest.approx(6.0)
+
+    def test_busy_time_equals_total_work(self):
+        _, resource, _ = run_jobs(
+            FIFOResource, [(0.0, 1.0), (0.2, 2.0), (10.0, 0.5)]
+        )
+        assert resource.stats.busy_time == pytest.approx(3.5)
+        assert resource.stats.completions == 3
+
+    def test_zero_work_completes_immediately(self):
+        _, resource, completions = run_jobs(FIFOResource, [(1.0, 0.0)])
+        assert completions[0] == pytest.approx(1.0)
+
+    def test_queue_length(self):
+        env = Environment()
+        resource = FIFOResource(env, "r")
+        resource.submit(5.0, lambda: None)
+        resource.submit(5.0, lambda: None)
+        env.run_until(1.0)
+        assert resource.queue_length == 2
+
+
+class TestProcessorSharing:
+    def test_single_job_takes_its_work(self):
+        _, _, completions = run_jobs(ProcessorSharingResource, [(0.0, 2.0)])
+        assert completions[0] == pytest.approx(2.0)
+
+    def test_two_equal_jobs_finish_together_at_double_time(self):
+        _, _, completions = run_jobs(
+            ProcessorSharingResource, [(0.0, 1.0), (0.0, 1.0)]
+        )
+        assert completions[0] == pytest.approx(2.0)
+        assert completions[1] == pytest.approx(2.0)
+
+    def test_short_job_overtakes_long_job(self):
+        # Long job (10s) arrives first; a 0.1s job arrives at t=1 and should
+        # finish long before the big one (PS, unlike FIFO).
+        _, _, completions = run_jobs(
+            ProcessorSharingResource, [(0.0, 10.0), (1.0, 0.1)], horizon=30.0
+        )
+        # Short job: 0.1 of work at half speed -> done at t = 1.2.
+        # Long job: 1.0 alone + 0.1 shared + 8.9 alone -> done at t = 10.1.
+        assert completions[1] == pytest.approx(1.2)
+        assert completions[0] == pytest.approx(10.1)
+
+    def test_hand_computed_three_job_schedule(self):
+        # t=0: A(3.0); t=1: B(1.0).  A alone 1s (2 left), shared until B done
+        # at t=1+2 -> B gets 1.0 by t=3; A has 1 left, finishes t=4.
+        _, _, completions = run_jobs(
+            ProcessorSharingResource, [(0.0, 3.0), (1.0, 1.0)]
+        )
+        assert completions[1] == pytest.approx(3.0)
+        assert completions[0] == pytest.approx(4.0)
+
+    def test_busy_time_counts_wall_clock_while_active(self):
+        env, resource, completions = run_jobs(
+            ProcessorSharingResource, [(0.0, 1.0), (0.0, 1.0)]
+        )
+        # Two 1s jobs share: busy 2 seconds of wall clock.
+        assert resource.busy_time_now() == pytest.approx(2.0)
+
+    def test_work_conservation(self):
+        # Total busy time equals total submitted work when jobs never idle.
+        jobs = [(0.0, 0.5), (0.0, 1.5), (0.1, 1.0)]
+        _, resource, completions = run_jobs(ProcessorSharingResource, jobs)
+        assert len(completions) == 3
+        assert resource.busy_time_now() == pytest.approx(3.0, abs=1e-6)
+
+    def test_completions_counted(self):
+        _, resource, _ = run_jobs(
+            ProcessorSharingResource, [(0.0, 1.0), (0.5, 1.0)]
+        )
+        assert resource.stats.completions == 2
+
+    def test_zero_work_completes_immediately(self):
+        _, _, completions = run_jobs(ProcessorSharingResource, [(2.0, 0.0)])
+        assert completions[0] == pytest.approx(2.0)
+
+    def test_many_jobs_slow_each_other(self):
+        # 10 unit jobs arriving together all complete at t=10.
+        jobs = [(0.0, 1.0)] * 10
+        _, _, completions = run_jobs(ProcessorSharingResource, jobs, horizon=20.0)
+        for job_id in range(10):
+            assert completions[job_id] == pytest.approx(10.0)

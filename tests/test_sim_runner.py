@@ -1,0 +1,85 @@
+"""Tests for the simulation runner and curve measurement."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.simulator.runner import (
+    MULTI_MASTER,
+    SINGLE_MASTER,
+    STANDALONE,
+    measure_curve,
+    simulate,
+)
+
+
+class TestSimulateValidation:
+    def test_unknown_design_rejected(self, shopping_spec):
+        with pytest.raises(ConfigurationError):
+            simulate(shopping_spec, shopping_spec.replication_config(1),
+                     design="sharded")
+
+    def test_unknown_distribution_rejected(self, shopping_spec):
+        with pytest.raises(ConfigurationError):
+            simulate(shopping_spec, shopping_spec.replication_config(1),
+                     design=STANDALONE, distribution="pareto")
+
+    def test_zero_duration_rejected(self, shopping_spec):
+        with pytest.raises(ConfigurationError):
+            simulate(shopping_spec, shopping_spec.replication_config(1),
+                     design=STANDALONE, duration=0.0)
+
+    def test_negative_warmup_rejected(self, shopping_spec):
+        with pytest.raises(ConfigurationError):
+            simulate(shopping_spec, shopping_spec.replication_config(1),
+                     design=STANDALONE, warmup=-1.0)
+
+
+class TestSimulationResult:
+    @pytest.fixture(scope="class")
+    def result(self, shopping_spec):
+        return simulate(
+            shopping_spec,
+            shopping_spec.replication_config(2),
+            design=MULTI_MASTER,
+            seed=9,
+            warmup=3.0,
+            duration=15.0,
+        )
+
+    def test_window_recorded(self, result):
+        assert result.window == pytest.approx(15.0)
+
+    def test_committed_count_consistent_with_throughput(self, result):
+        assert result.committed_transactions == pytest.approx(
+            result.throughput * result.window, rel=1e-6
+        )
+
+    def test_class_throughputs_sum_to_total(self, result):
+        assert result.read_throughput + result.update_throughput == (
+            pytest.approx(result.throughput, rel=1e-6)
+        )
+
+    def test_mix_close_to_spec(self, result):
+        fraction = result.update_throughput / result.throughput
+        assert fraction == pytest.approx(0.2, abs=0.05)
+
+    def test_point_utilization_by_kind(self, result):
+        assert set(result.point.utilization) == {"cpu", "disk"}
+
+    def test_per_replica_utilizations_present(self, result):
+        assert "replica0.cpu" in result.utilizations
+        assert "replica1.disk" in result.utilizations
+
+
+class TestMeasureCurve:
+    def test_curve_shape(self, shopping_spec):
+        curve = measure_curve(
+            shopping_spec, MULTI_MASTER, (1, 2), seed=5,
+            warmup=2.0, duration=8.0,
+        )
+        assert list(curve.replica_counts) == [1, 2]
+        assert curve.throughputs[1] > curve.throughputs[0]
+
+    def test_empty_counts_rejected(self, shopping_spec):
+        with pytest.raises(ConfigurationError):
+            measure_curve(shopping_spec, SINGLE_MASTER, ())

@@ -1,0 +1,168 @@
+"""Tests that workload specs carry the paper's Table 2-5 parameters."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import ConflictProfile, WorkloadMix
+from repro.core.units import ms
+from repro.workloads import (
+    all_workloads,
+    get_workload,
+    heap_table_spec,
+    microbench,
+    rubis,
+    tpcw,
+    workload_names,
+)
+from repro.workloads.spec import WorkloadSpec, demands_ms
+
+
+class TestTable2Parameters:
+    """Table 2: TPC-W parameters."""
+
+    @pytest.mark.parametrize(
+        "mix,pr,pw,clients",
+        [("browsing", 0.95, 0.05, 30),
+         ("shopping", 0.80, 0.20, 40),
+         ("ordering", 0.50, 0.50, 50)],
+    )
+    def test_mix_parameters(self, mix, pr, pw, clients):
+        spec = tpcw.get_mix(mix)
+        assert spec.mix.read_fraction == pytest.approx(pr)
+        assert spec.mix.write_fraction == pytest.approx(pw)
+        assert spec.clients_per_replica == clients
+        assert spec.think_time == pytest.approx(1.0)
+
+
+class TestTable3Demands:
+    """Table 3: measured service demands for TPC-W (ms)."""
+
+    @pytest.mark.parametrize(
+        "mix,rc,wc,ws",
+        [
+            ("browsing", (41.62, 14.56), (17.47, 8.74), (3.48, 2.62)),
+            ("shopping", (41.43, 15.11), (12.51, 6.05), (3.18, 1.81)),
+            ("ordering", (22.46, 12.62), (13.48, 8.34), (4.04, 1.67)),
+        ],
+    )
+    def test_ground_truth_demands(self, mix, rc, wc, ws):
+        spec = tpcw.get_mix(mix)
+        assert spec.demands.read.cpu == pytest.approx(ms(rc[0]))
+        assert spec.demands.read.disk == pytest.approx(ms(rc[1]))
+        assert spec.demands.write.cpu == pytest.approx(ms(wc[0]))
+        assert spec.demands.write.disk == pytest.approx(ms(wc[1]))
+        assert spec.demands.writeset.cpu == pytest.approx(ms(ws[0]))
+        assert spec.demands.writeset.disk == pytest.approx(ms(ws[1]))
+
+
+class TestTable4And5Rubis:
+    def test_browsing_read_only(self):
+        spec = rubis.get_mix("browsing")
+        assert spec.mix.read_only
+        assert spec.clients_per_replica == 50
+        assert spec.demands.read.cpu == pytest.approx(ms(25.29))
+        assert spec.demands.read.disk == pytest.approx(ms(11.36))
+
+    def test_bidding_parameters(self):
+        spec = rubis.get_mix("bidding")
+        assert spec.mix.write_fraction == pytest.approx(0.20)
+        assert spec.demands.write.cpu == pytest.approx(ms(41.51))
+        assert spec.demands.write.disk == pytest.approx(ms(48.61))
+        assert spec.demands.writeset.cpu == pytest.approx(ms(9.83))
+        assert spec.demands.writeset.disk == pytest.approx(ms(35.28))
+
+    def test_bidding_writeset_apply_is_disk_heavy(self):
+        # §6.2.2: applying a RUBiS writeset costs only slightly less than
+        # the original update on disk — the key to Figure 10's early peak.
+        spec = rubis.get_mix("bidding")
+        assert spec.demands.writeset.disk > 0.7 * spec.demands.write.disk
+
+    def test_writeset_sizes_match_paper(self):
+        assert tpcw.SHOPPING.writeset_bytes == 275
+        assert rubis.BIDDING.writeset_bytes == 272
+
+
+class TestRegistry:
+    def test_all_five_mixes_registered(self):
+        assert set(workload_names()) == {
+            "tpcw/browsing", "tpcw/shopping", "tpcw/ordering",
+            "rubis/browsing", "rubis/bidding",
+        }
+
+    def test_get_workload_by_qualified_name(self):
+        assert get_workload("tpcw/shopping") is tpcw.SHOPPING
+
+    def test_get_workload_accepts_colon(self):
+        assert get_workload("rubis:bidding") is rubis.BIDDING
+
+    def test_unknown_workload_lists_choices(self):
+        with pytest.raises(KeyError, match="tpcw/shopping"):
+            get_workload("tpcw/hoarding")
+
+    def test_unknown_mix_helpers(self):
+        with pytest.raises(KeyError):
+            tpcw.get_mix("nope")
+        with pytest.raises(KeyError):
+            rubis.get_mix("nope")
+
+
+class TestWorkloadSpec:
+    def test_update_mix_requires_conflict_profile(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(
+                benchmark="x",
+                mix_name="y",
+                mix=WorkloadMix(read_fraction=0.5, write_fraction=0.5),
+                demands=demands_ms(1, 1, 1, 1),
+                clients_per_replica=10,
+                think_time=1.0,
+                conflict=None,
+            )
+
+    def test_replication_config_carries_client_settings(self):
+        config = tpcw.SHOPPING.replication_config(8)
+        assert config.replicas == 8
+        assert config.clients_per_replica == 40
+        assert config.think_time == pytest.approx(1.0)
+
+    def test_ground_truth_profile_defaults(self):
+        profile = tpcw.SHOPPING.ground_truth_profile()
+        assert profile.update_response_time == pytest.approx(
+            tpcw.SHOPPING.demands.write.total
+        )
+
+    def test_with_conflict_renames_nothing(self):
+        conflict = ConflictProfile(50, 2)
+        spec = tpcw.SHOPPING.with_conflict(conflict)
+        assert spec.conflict is conflict
+        assert spec.mix_name == "shopping"
+
+    def test_name_is_qualified(self):
+        assert tpcw.ORDERING.name == "tpcw/ordering"
+
+
+class TestMicrobench:
+    def test_heap_spec_shrinks_table_for_higher_a1(self):
+        specs = [
+            heap_table_spec(a1, update_response_time=0.05, update_rate=6.0)
+            for a1 in microbench.FIGURE14_ABORT_RATES
+        ]
+        sizes = [s.conflict.db_update_size for s in specs]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_heap_spec_keeps_base_demands(self):
+        spec = heap_table_spec(0.005, 0.05, 6.0)
+        assert spec.demands == tpcw.SHOPPING.demands
+        assert spec.mix == tpcw.SHOPPING.mix
+
+    def test_heap_spec_label_encodes_target(self):
+        spec = heap_table_spec(0.0053, 0.05, 6.0)
+        assert "0.0053" in spec.mix_name
+
+    def test_figure14_specs_count(self):
+        specs = microbench.figure14_specs(0.05, 6.0)
+        assert len(specs) == 3
+
+    def test_read_only_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            heap_table_spec(0.005, 0.05, 6.0, base=rubis.BROWSING)
