@@ -1,0 +1,56 @@
+"""Cross-validation drift benchmark: live cluster vs simulator vs model.
+
+Runs the three-pillar comparison for one TPC-W shopping multi-master
+point and records the per-pillar throughputs and their deviation from the
+simulator, so future PRs can track drift between the execution engines.
+The live cluster must stay within 25% of the simulator's throughput (the
+smoke criterion) and its replicas must converge to identical state.
+"""
+
+from conftest import run_once
+
+from repro.experiments import cross_validate
+from repro.workloads import get_workload
+
+#: The multi-master point tracked for drift (kept small: the live cluster
+#: spawns one thread per client).
+REPLICAS = 2
+
+
+def test_crossval_cluster_deviation(benchmark, fast_mode):
+    spec = get_workload("tpcw/shopping")
+    config = spec.replication_config(REPLICAS)
+    result = run_once(
+        benchmark,
+        lambda: cross_validate(
+            spec,
+            config,
+            design="multi-master",
+            sim_warmup=10.0,
+            sim_duration=40.0,
+            cluster_warmup=3.0 if fast_mode else 5.0,
+            cluster_duration=10.0 if fast_mode else 25.0,
+            time_scale=0.05 if fast_mode else 0.1,
+        ),
+    )
+    print("\n" + result.to_text())
+
+    deviations = result.deviations()
+    benchmark.extra_info["model_tput_dev"] = deviations["model"]["throughput"]
+    benchmark.extra_info["cluster_tput_dev"] = (
+        deviations["cluster"]["throughput"]
+    )
+    benchmark.extra_info["cluster_resp_dev"] = (
+        deviations["cluster"]["response_time"]
+    )
+
+    # Replication correctness: every live replica converged to the same
+    # version after quiesce.
+    assert result.state_converged
+
+    # The live cluster tracks the simulator (smoke criterion: 25%); the
+    # model tracks it within the paper's validation margin ballpark.
+    assert deviations["cluster"]["throughput"] < 0.25
+    assert deviations["model"]["throughput"] < 0.25
+    if not fast_mode:
+        assert deviations["cluster"]["throughput"] < 0.15

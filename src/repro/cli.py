@@ -6,6 +6,7 @@ Examples::
     repro profile tpcw/shopping
     repro predict tpcw/shopping --design multi-master --replicas 1 2 4 8 16
     repro simulate tpcw/shopping --design single-master --replicas 8
+    repro crossval --workload tpcw --replicas 4
     repro figure figure6 --fast
     repro table table3 --fast
     repro validate --fast
@@ -22,6 +23,7 @@ from .core.rng import DEFAULT_SEED
 from .core.units import to_ms
 from .models.api import DESIGNS, predict
 from .simulator.runner import simulate
+from .simulator.systems import LB_POLICIES
 from .workloads import get_workload, workload_names
 
 _FIGURES = {
@@ -99,6 +101,31 @@ def _cmd_simulate(args) -> int:
         print(f"  {n:>3d} {result.throughput:>8.1f} tps "
               f"{to_ms(result.response_time):>7.1f} ms "
               f"{result.abort_rate:>7.3%}")
+    return 0
+
+
+def _cmd_crossval(args) -> int:
+    spec = experiments.resolve_workload(args.workload)
+    print(
+        f"cross-validating {spec.name} on {args.design} at N={args.replicas} "
+        f"(model + simulator + live cluster)...", file=sys.stderr,
+    )
+    result = experiments.cross_validate(
+        spec,
+        spec.replication_config(args.replicas),
+        design=args.design,
+        seed=args.seed,
+        sim_warmup=args.sim_warmup,
+        sim_duration=args.sim_duration,
+        cluster_warmup=args.warmup,
+        cluster_duration=args.duration,
+        time_scale=args.time_scale,
+        lb_policy=args.lb_policy,
+    )
+    print(result.to_text())
+    if not result.state_converged:
+        print("FAIL: live replicas did not converge to identical state")
+        return 1
     return 0
 
 
@@ -206,6 +233,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=float, default=10.0)
     p.add_argument("--duration", type=float, default=60.0)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "crossval",
+        help="cross-validate model, simulator, and live cluster on one point",
+    )
+    p.add_argument("--workload", default="tpcw",
+                   help="workload name; bare benchmark names pick the "
+                   "primary mix (tpcw -> tpcw/shopping)")
+    p.add_argument("--design", choices=DESIGNS, default="multi-master")
+    p.add_argument("--replicas", type=int, default=4)
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--warmup", type=float, default=5.0,
+                   help="live-cluster warm-up (virtual seconds)")
+    p.add_argument("--duration", type=float, default=20.0,
+                   help="live-cluster measurement window (virtual seconds)")
+    p.add_argument("--sim-warmup", type=float, default=10.0)
+    p.add_argument("--sim-duration", type=float, default=40.0)
+    p.add_argument("--time-scale", type=float, default=0.1,
+                   help="wall seconds per virtual second in the live cluster")
+    p.add_argument("--lb-policy", choices=LB_POLICIES, default="least-loaded")
+    p.set_defaults(func=_cmd_crossval)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("name", choices=sorted(_FIGURES))

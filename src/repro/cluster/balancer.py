@@ -1,0 +1,54 @@
+"""Front-end load balancing for the live cluster runtime.
+
+The routing policies — least-loaded, pinned, random, conflict-aware — are
+shared verbatim with the simulator: one implementation,
+:func:`repro.simulator.systems.select_replica`, so the two execution
+engines can never drift apart on routing behaviour.  This class adds only
+what a *threaded* front end needs: a lock around the RNG, since ``select``
+is called concurrently from every client thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..simulator.systems import (
+    CONFLICT_AWARE,
+    LB_POLICIES,
+    LEAST_LOADED,
+    PINNED,
+    RANDOM,
+    select_replica,
+)
+
+
+class LoadBalancer:
+    """Routes transactions to replicas according to a named policy."""
+
+    def __init__(self, policy: str, rng: np.random.Generator) -> None:
+        if policy not in LB_POLICIES:
+            raise ConfigurationError(
+                f"unknown lb_policy {policy!r}; one of {LB_POLICIES}"
+            )
+        self.policy = policy
+        self._rng = rng
+        self._rng_lock = threading.Lock()
+
+    def select(
+        self, candidates: Sequence, client_id: int, is_update: bool = False
+    ):
+        """Pick an *available* replica for one transaction."""
+        if self.policy == RANDOM:
+            # Only the random policy touches the shared RNG; the others
+            # route lock-free so the balancer never serializes clients.
+            with self._rng_lock:
+                return select_replica(
+                    self.policy, candidates, client_id, is_update, self._rng
+                )
+        return select_replica(
+            self.policy, candidates, client_id, is_update, self._rng
+        )

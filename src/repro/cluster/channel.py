@@ -1,0 +1,49 @@
+"""The replication channel: in-order broadcast of committed writesets.
+
+Commit order *is* the channel order: the cluster publishes each certified
+writeset while still holding its commit-order lock, so every subscriber's
+queue sees versions strictly ascending — the reliable FIFO delivery the
+paper's update-propagation step assumes (§2), and the precondition of
+:meth:`~repro.sidb.engine.SIDatabase.apply_writeset`, whose version store
+rejects out-of-order installs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.errors import ConfigurationError
+from ..sidb.writeset import Writeset
+
+
+class ReplicationChannel:
+    """Broadcasts committed writesets to subscribed replicas in order."""
+
+    def __init__(self) -> None:
+        self._subscribers: List[object] = []
+        self._last_published = 0
+        self.published = 0
+
+    def subscribe(self, replica) -> None:
+        """Register *replica* to receive every subsequently published
+        writeset (must happen before traffic starts)."""
+        self._subscribers.append(replica)
+
+    def publish(self, writeset: Writeset, origin=None) -> None:
+        """Deliver a certified writeset to every subscriber.
+
+        The caller must hold the cluster's commit-order lock so publishes
+        happen in commit-version order.  The *origin* replica executed the
+        transaction locally, so its application is free (bookkeeping and
+        installation only); every other replica is charged the writeset's
+        CPU/disk demands.
+        """
+        if writeset.commit_version <= self._last_published:
+            raise ConfigurationError(
+                f"writeset {writeset.commit_version} published out of order "
+                f"(latest is {self._last_published})"
+            )
+        self._last_published = writeset.commit_version
+        self.published += 1
+        for replica in self._subscribers:
+            replica.enqueue_writeset(writeset, charged=replica is not origin)

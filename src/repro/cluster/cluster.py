@@ -1,0 +1,329 @@
+"""The two paper topologies, assembled from live components.
+
+:class:`MultiMasterCluster` (Figure 4, Tashkent-style): every replica
+executes reads and updates against its local :class:`~repro.sidb.engine.
+SIDatabase`; update writesets are certified by one *shared*
+:class:`~repro.sidb.certifier.Certifier` service enforcing system-wide
+first-committer-wins, then broadcast over the replication channel and
+installed — at every replica, origin included — in commit order by the
+applier threads.
+
+:class:`SingleMasterCluster` (Figure 5, Ganymed-style): the master executes
+and commits all updates locally (its engine's own certifier is the
+system-wide one) and streams committed writesets to the read-only slaves.
+
+Commit-order discipline: certification (or master commit) and channel
+publication happen under one ``_order_lock`` per cluster, so the channel
+sees versions strictly ascending.  Timed work — service sleeps and the
+multi-master certification delay — happens *outside* that lock: the
+certifier processes requests atomically, and its latency is response-path
+delay, not serialised hold time (matching the simulator's semantics).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from ..core import rng as rng_util
+from ..core.errors import RetryLimitExceeded, TransactionAborted
+from ..core.params import ReplicationConfig
+from ..sidb.certifier import Certifier
+from ..simulator.sampling import EXPONENTIAL, WorkloadSampler
+from ..simulator.stats import MetricsCollector
+from ..workloads.spec import WorkloadSpec
+from .balancer import LoadBalancer
+from .channel import ReplicationChannel
+from .clock import VirtualClock
+from .replica import ClusterReplica
+
+#: Every this many certification requests the cluster garbage-collects
+#: state no snapshot can reach (certifier history / master versions); the
+#: per-replica stores are vacuumed by their appliers.
+_PRUNE_INTERVAL = 256
+
+
+class Cluster:
+    """Shared plumbing of the live topologies: replicas, balancer, metrics."""
+
+    design = "abstract"
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        config: ReplicationConfig,
+        seed: int,
+        clock: VirtualClock,
+        metrics: MetricsCollector,
+        distribution: str = EXPONENTIAL,
+        lb_policy: str = "least-loaded",
+    ) -> None:
+        self.spec = spec
+        self.config = config
+        self.clock = clock
+        self.metrics = metrics
+        #: Serialises MetricsCollector access across client threads.
+        self.metrics_lock = threading.Lock()
+        self._seed = seed
+        self._distribution = distribution
+        self.balancer = LoadBalancer(
+            lb_policy, rng_util.spawn(seed, "live-load-balancer")
+        )
+        # Orders certification/commit with channel publication.
+        self._order_lock = threading.Lock()
+        self._prune_lock = threading.Lock()
+        self._certifications_since_prune = 0
+        self.replicas: List[ClusterReplica] = []
+        self.channel = ReplicationChannel()
+        self.certifier: Certifier
+
+    def _make_replica(
+        self, name: str, path: object, certifier: Optional[Certifier] = None
+    ) -> ClusterReplica:
+        sampler = WorkloadSampler(
+            self.spec,
+            rng_util.spawn(self._seed, "live-replica", path),
+            distribution=self._distribution,
+        )
+        replica = ClusterReplica(
+            name,
+            self.clock,
+            sampler,
+            certifier=certifier,
+            max_concurrency=self.config.max_concurrency,
+        )
+        self.metrics.watch_resource(f"{name}.cpu", replica.cpu)
+        self.metrics.watch_resource(f"{name}.disk", replica.disk)
+        self.replicas.append(replica)
+        return replica
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every replica's applier thread."""
+        for replica in self.replicas:
+            replica.start()
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Drain and stop every replica."""
+        for replica in self.replicas:
+            replica.stop(timeout)
+
+    def quiesce(self, timeout: float = 30.0) -> bool:
+        """Wait (wall *timeout* seconds) until every replica has applied
+        every certified commit; True when the cluster converged."""
+        target = self.certifier.latest_version
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.applier_errors():
+                return False  # a dead applier can never converge
+            if all(
+                r.applied_version >= target and r.apply_backlog == 0
+                for r in self.replicas
+            ):
+                return True
+            time.sleep(0.005)
+        return False
+
+    def applier_errors(self) -> List[Tuple[str, BaseException]]:
+        """(replica name, exception) for every applier thread that died."""
+        return [
+            (r.name, r.applier_error)
+            for r in self.replicas
+            if r.applier_error is not None
+        ]
+
+    def replica_versions(self) -> Tuple[int, ...]:
+        """Each replica's latest locally visible version (convergence
+        check: identical everywhere after quiesce)."""
+        return tuple(r.applied_version for r in self.replicas)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _record_snapshot_age(self, age: float) -> None:
+        with self.metrics_lock:
+            self.metrics.record_snapshot_age(age)
+
+    def _record_certification(self) -> None:
+        with self.metrics_lock:
+            self.metrics.record_certification()
+        with self._prune_lock:
+            self._certifications_since_prune += 1
+            due = self._certifications_since_prune >= _PRUNE_INTERVAL
+            if due:
+                self._certifications_since_prune = 0
+        if due:
+            self._prune()
+
+    def _prune(self) -> None:
+        """Periodic garbage collection; topology-specific."""
+
+    def _acquire(self, replica: ClusterReplica) -> None:
+        if replica.admission is not None:
+            replica.admission.acquire()
+
+    def _release(self, replica: ClusterReplica) -> None:
+        if replica.admission is not None:
+            replica.admission.release()
+
+    def _serve_read_txn(
+        self, replica: ClusterReplica, sampler: WorkloadSampler
+    ) -> None:
+        """Run one real read-only transaction at *replica*."""
+        txn = replica.db.begin()
+        replica.serve_read(sampler)
+        replica.db.commit(txn)  # read-only: always commits
+
+    def execute(
+        self, sampler: WorkloadSampler, is_update: bool, client_id: int
+    ) -> int:
+        """Run one transaction to commit; returns the abort (retry) count."""
+        raise NotImplementedError
+
+
+class MultiMasterCluster(Cluster):
+    """Figure 4: N symmetric live replicas + shared certifier service."""
+
+    design = "multi-master"
+
+    def __init__(self, spec, config, seed, clock, metrics,
+                 distribution=EXPONENTIAL, lb_policy="least-loaded"):
+        super().__init__(spec, config, seed, clock, metrics,
+                         distribution, lb_policy)
+        self.certifier = Certifier()
+        for index in range(config.replicas):
+            replica = self._make_replica(
+                f"replica{index}", index, certifier=self.certifier
+            )
+            self.channel.subscribe(replica)
+
+    def _prune(self):
+        # Certifier history at or below every replica's oldest snapshot
+        # can no longer conflict with anything: new transactions begin at
+        # their replica's applied watermark, which oldest_active_snapshot
+        # bounds from below (it only grows afterwards).
+        floor = min(r.db.oldest_active_snapshot() for r in self.replicas)
+        self.certifier.observe_snapshot(max(0, floor))
+
+    def execute(self, sampler, is_update, client_id):
+        self.clock.sleep(self.config.load_balancer_delay)
+        replica = self.balancer.select(self.replicas, client_id, is_update)
+        replica.enter()
+        self._acquire(replica)
+        aborts = 0
+        try:
+            if not is_update:
+                # Reads execute entirely locally and always commit (§2:
+                # GSI read-only transactions never abort).
+                self._serve_read_txn(replica, sampler)
+                return aborts
+            for _ in range(self.config.max_retries):
+                # GSI: the snapshot is the replica's locally-latest
+                # version, which may lag the certifier.
+                txn = replica.db.begin()
+                self._record_snapshot_age(
+                    self.certifier.latest_version - txn.snapshot_version
+                )
+                replica.serve_update_attempt(sampler)
+                # Each attempt re-samples its rows (re-execution of the
+                # transaction logic against fresh data).
+                for key, value in sampler.sample_writeset(
+                    txn.snapshot_version
+                ).writes:
+                    txn.write(key, value)
+                writeset = txn.writeset()
+                self._record_certification()
+                with self._order_lock:
+                    outcome = self.certifier.certify(writeset)
+                    if outcome.committed:
+                        self.channel.publish(
+                            writeset.committed(outcome.commit_version),
+                            origin=replica,
+                        )
+                # The response (like the propagated writesets) reaches the
+                # replica one certification delay later (§6.3.2).
+                self.clock.sleep(self.config.certifier_delay)
+                if outcome.committed:
+                    replica.db.finish_remote(txn, outcome.commit_version)
+                    return aborts
+                replica.db.finish_remote(txn, None)
+                aborts += 1
+            raise RetryLimitExceeded(
+                self.design, "update", self.config.max_retries
+            )
+        finally:
+            self._release(replica)
+            replica.exit()
+
+
+class SingleMasterCluster(Cluster):
+    """Figure 5: one live master for updates, N-1 slaves for reads."""
+
+    design = "single-master"
+
+    def __init__(self, spec, config, seed, clock, metrics,
+                 distribution=EXPONENTIAL, lb_policy="least-loaded"):
+        super().__init__(spec, config, seed, clock, metrics,
+                         distribution, lb_policy)
+        self.master = self._make_replica("master", "master")
+        # The master's engine-local certifier is the system-wide one.
+        self.certifier = self.master.db.certifier
+        self.slaves = []
+        for index in range(config.replicas - 1):
+            slave = self._make_replica(f"slave{index}", index)
+            self.channel.subscribe(slave)
+            self.slaves.append(slave)
+
+    def _prune(self):
+        # The master installs its own commits (no applier traffic), so its
+        # store is vacuumed here; its certifier already prunes per commit
+        # via the engine, and slave stores are vacuumed by their appliers.
+        self.master.db.vacuum()
+
+    def execute(self, sampler, is_update, client_id):
+        self.clock.sleep(self.config.load_balancer_delay)
+        if not is_update:
+            replica = self.balancer.select(self.replicas, client_id, False)
+            replica.enter()
+            self._acquire(replica)
+            try:
+                self._serve_read_txn(replica, sampler)
+                return 0
+            finally:
+                self._release(replica)
+                replica.exit()
+
+        master = self.master
+        master.enter()
+        self._acquire(master)
+        aborts = 0
+        try:
+            for _ in range(self.config.max_retries):
+                # Plain SI on the master: snapshot is its latest committed
+                # version; the conflict window is the execution time here.
+                txn = master.db.begin()
+                master.serve_update_attempt(sampler)
+                for key, value in sampler.sample_writeset(
+                    txn.snapshot_version
+                ).writes:
+                    txn.write(key, value)
+                self._record_certification()
+                try:
+                    with self._order_lock:
+                        committed = master.db.commit(txn)
+                        self.channel.publish(committed, origin=master)
+                except TransactionAborted:
+                    aborts += 1
+                    continue
+                return aborts
+            raise RetryLimitExceeded(
+                self.design, "update", self.config.max_retries
+            )
+        finally:
+            self._release(master)
+            master.exit()

@@ -1,0 +1,207 @@
+"""One live replica: a real SI engine behind emulated CPU and disk.
+
+A :class:`ClusterReplica` owns
+
+* a :class:`~repro.sidb.engine.SIDatabase` holding the replica's actual
+  multi-version data (for multi-master clusters it is constructed around
+  the *shared* certifier service);
+* two :class:`~repro.cluster.resources.LiveResource` servers emulating its
+  CPU and disk with scaled wall-clock sleeps;
+* an **applier thread** — the thread-per-replica of the runtime — that
+  drains the replication channel's queue and installs propagated writesets
+  in commit order.
+
+The applier is deliberately serial: the version store only accepts in-order
+installs, so one thread applying in queue order is both the simplest and
+the correct realisation of the paper's FIFO update propagation.  (The
+simulator lets charged applications overlap; at the writeset demands of the
+paper's workloads the applier is far from saturated, so the difference does
+not move the measured operating points.)  One honest divergence from the
+simulator: charged applications queue for the CPU *behind* resident client
+transactions (FIFO mutex) instead of sharing it (processor sharing), so
+under saturation a replica's snapshot staleness — and with it the GSI
+abort rate — runs somewhat higher live than simulated.  Throughput is
+insensitive to this; the cross-validation report shows the abort-rate
+difference explicitly.
+
+Failure injection mirrors :mod:`repro.simulator.faults`: while a replica is
+unavailable the load balancer routes around it and the applier *defers* —
+writesets stay queued — so on recovery the replica catches up by draining
+its backlog, and recovery cost emerges from the backlog length.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..sidb.certifier import Certifier
+from ..sidb.engine import SIDatabase
+from ..sidb.writeset import Writeset
+from ..simulator.sampling import WorkloadSampler
+from .clock import VirtualClock
+from .resources import LiveResource
+
+#: The applier garbage-collects versions no snapshot can see every this
+#: many applied writesets, bounding the store's memory over long runs.
+_VACUUM_INTERVAL = 64
+
+
+class ClusterReplica:
+    """A live database replica with emulated resources and an applier."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: VirtualClock,
+        sampler: WorkloadSampler,
+        certifier: Optional[Certifier] = None,
+        max_concurrency: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self._clock = clock
+        # This sampler is used only by the applier thread (writeset
+        # demands); client threads bring their own samplers.
+        self._sampler = sampler
+        self.db = SIDatabase(certifier=certifier)
+        self.cpu = LiveResource(clock, f"{name}.cpu")
+        self.disk = LiveResource(clock, f"{name}.disk")
+        #: Admission control: bounds concurrently executing client
+        #: transactions (the connection pool of the paper's testbed).
+        self.admission = (
+            threading.BoundedSemaphore(max_concurrency)
+            if max_concurrency is not None
+            else None
+        )
+        # _state guards the apply queue, availability, the active counter,
+        # and the applied-writeset counter; the applier waits on it.
+        self._state = threading.Condition()
+        self._queue: Deque[Tuple[Writeset, bool]] = deque()
+        self._available = True
+        self._stopping = False
+        self._active = 0
+        self.writesets_applied = 0
+        #: First exception that killed the applier thread (None while
+        #: healthy); the runner surfaces it instead of letting a dead
+        #: applier masquerade as a quiesce timeout.
+        self.applier_error: Optional[BaseException] = None
+        self._applier = threading.Thread(
+            target=self._apply_loop, name=f"{name}-applier", daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the applier thread."""
+        self._applier.start()
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Drain the apply queue and stop the applier thread."""
+        with self._state:
+            self._stopping = True
+            self._state.notify_all()
+        self._applier.join(timeout)
+
+    # ------------------------------------------------------------------
+    # Routing state
+    # ------------------------------------------------------------------
+
+    @property
+    def applied_version(self) -> int:
+        """Newest locally visible commit version (the GSI snapshot new
+        transactions at this replica receive)."""
+        return self.db.latest_version
+
+    @property
+    def active(self) -> int:
+        """Client transactions currently resident (LB routing input)."""
+        with self._state:
+            return self._active
+
+    def enter(self) -> None:
+        """Count one client transaction as resident."""
+        with self._state:
+            self._active += 1
+
+    def exit(self) -> None:
+        """Remove one client transaction from the resident count."""
+        with self._state:
+            self._active -= 1
+
+    @property
+    def available(self) -> bool:
+        """Whether the load balancer may route new transactions here."""
+        with self._state:
+            return self._available
+
+    @available.setter
+    def available(self, value: bool) -> None:
+        with self._state:
+            self._available = value
+            if value:
+                # Recovery: wake the applier to drain the deferred backlog.
+                self._state.notify_all()
+
+    # ------------------------------------------------------------------
+    # Client-transaction execution (called from client threads)
+    # ------------------------------------------------------------------
+
+    def serve_read(self, sampler: WorkloadSampler) -> None:
+        """Charge one read-only transaction's CPU and disk work."""
+        self.cpu.serve(sampler.read_cpu())
+        self.disk.serve(sampler.read_disk())
+
+    def serve_update_attempt(self, sampler: WorkloadSampler) -> None:
+        """Charge one update attempt's local execution work."""
+        self.cpu.serve(sampler.update_cpu())
+        self.disk.serve(sampler.update_disk())
+
+    # ------------------------------------------------------------------
+    # Update propagation (fed by the replication channel)
+    # ------------------------------------------------------------------
+
+    def enqueue_writeset(self, writeset: Writeset, charged: bool = True) -> None:
+        """Queue a committed writeset for in-order application."""
+        with self._state:
+            self._queue.append((writeset, charged))
+            self._state.notify_all()
+
+    @property
+    def apply_backlog(self) -> int:
+        """Writesets queued but not yet installed."""
+        with self._state:
+            return len(self._queue)
+
+    def _apply_loop(self) -> None:
+        try:
+            self._apply_writesets()
+        except BaseException as exc:  # noqa: BLE001 — surfaced by the runner
+            self.applier_error = exc
+
+    def _apply_writesets(self) -> None:
+        applied_since_vacuum = 0
+        while True:
+            with self._state:
+                while not self._stopping and (
+                    not self._queue or not self._available
+                ):
+                    self._state.wait()
+                # Waking with an empty queue implies stopping: drained.
+                if not self._queue:
+                    return
+                # On shutdown the remaining backlog is drained regardless
+                # of availability (quiesce implies recovery).
+                writeset, charged = self._queue.popleft()
+            if charged:
+                self.cpu.serve(self._sampler.writeset_cpu())
+                self.disk.serve(self._sampler.writeset_disk())
+            self.db.apply_writeset(writeset)
+            with self._state:
+                self.writesets_applied += 1
+            applied_since_vacuum += 1
+            if applied_since_vacuum >= _VACUUM_INTERVAL:
+                applied_since_vacuum = 0
+                self.db.vacuum()

@@ -1,0 +1,61 @@
+"""Wall-clock emulation of a replica's CPU and disk.
+
+Each resource is a single server: holding its mutex for the (scaled)
+service duration *is* the service, so queueing delay under contention is
+real waiting on a real lock rather than a formula.  Service order is the
+lock's acquisition order — effectively FIFO, which for exponential service
+times yields the same mean behaviour as the simulator's processor-sharing
+CPU (BCMP insensitivity), and matches its FIFO disk exactly.
+
+Busy time is tracked in virtual seconds from *measured* elapsed time, so
+sleep overshoot shows up honestly in the reported utilizations.  The class
+exposes ``busy_time_now()`` with the same contract as the simulator's
+resources, letting :class:`~repro.simulator.stats.MetricsCollector` watch
+live and simulated resources interchangeably.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from .clock import VirtualClock
+
+
+class LiveResource:
+    """A single-server resource emulated with a mutex and scaled sleeps."""
+
+    def __init__(self, clock: VirtualClock, name: str) -> None:
+        self._clock = clock
+        self.name = name
+        # Held for the duration of each service (the queue is this lock's
+        # wait list); _meta guards only the busy-time accounting.
+        self._service_lock = threading.Lock()
+        self._meta = threading.Lock()
+        self._busy_virtual = 0.0
+        self._busy_since: Optional[float] = None
+        self.completions = 0
+
+    def serve(self, virtual_duration: float) -> None:
+        """Occupy the resource for *virtual_duration* virtual seconds."""
+        if virtual_duration <= 0.0:
+            return
+        with self._service_lock:
+            started = self._clock.now()
+            with self._meta:
+                self._busy_since = started
+            self._clock.sleep(virtual_duration)
+            ended = self._clock.now()
+            with self._meta:
+                self._busy_virtual += ended - started
+                self._busy_since = None
+                self.completions += 1
+
+    def busy_time_now(self) -> float:
+        """Cumulative busy time in virtual seconds, including any
+        in-progress service up to now."""
+        with self._meta:
+            busy = self._busy_virtual
+            if self._busy_since is not None:
+                busy += max(0.0, self._clock.now() - self._busy_since)
+            return busy

@@ -29,6 +29,27 @@ class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulator reached an inconsistent state."""
 
 
+class RetryLimitExceeded(SimulationError):
+    """A transaction aborted more times in a row than the configured limit.
+
+    Tripping :attr:`~repro.core.params.ReplicationConfig.max_retries`
+    indicates a mis-configured conflict model (or a genuinely livelocked
+    workload) rather than normal contention.  Carries the system design,
+    the transaction class, and the retry count so callers can report
+    exactly which part of the configuration is at fault.
+    """
+
+    def __init__(self, design: str, transaction_class: str, retries: int):
+        super().__init__(
+            f"{transaction_class} transaction on the {design} system aborted "
+            f"{retries} times in a row (max_retries={retries}); the conflict "
+            f"model is likely mis-configured"
+        )
+        self.design = design
+        self.transaction_class = transaction_class
+        self.retries = retries
+
+
 class TransactionAborted(ReproError):
     """A snapshot-isolation transaction was aborted by conflict detection.
 

@@ -240,6 +240,11 @@ class ReplicationConfig:
     #: *before* receiving a snapshot, which bounds the conflict window of an
     #: overloaded server.  ``None`` disables admission control.
     max_concurrency: Optional[int] = 32
+    #: Safety valve shared by the simulator and the live cluster runtime: a
+    #: transaction aborting this many times in a row indicates a
+    #: mis-configured conflict model rather than normal contention, and
+    #: raises :class:`~repro.core.errors.RetryLimitExceeded`.
+    max_retries: int = 10_000
 
     def __post_init__(self) -> None:
         _require(self.replicas >= 1, f"need at least 1 replica, got {self.replicas}")
@@ -254,6 +259,7 @@ class ReplicationConfig:
             self.max_concurrency is None or self.max_concurrency >= 1,
             "max_concurrency must be >= 1 (or None for no admission control)",
         )
+        _require(self.max_retries >= 1, "max_retries must be >= 1")
 
     @property
     def total_clients(self) -> int:

@@ -7,6 +7,12 @@ from .ablations import (
     mva_ablation,
 )
 from .context import clear_cache, get_profile, get_profiling_report
+from .crossval import (
+    CrossValidationResult,
+    PillarPoint,
+    cross_validate,
+    resolve_workload,
+)
 from .failover import FailoverResult, failover_experiment
 from .figures import (
     AbortCurve,
@@ -51,11 +57,15 @@ __all__ = [
     "FigureResult",
     "PAPER_REPLICA_COUNTS",
     "ParameterTable",
+    "CrossValidationResult",
+    "PillarPoint",
     "certifier_capacity",
     "certifier_delay_sensitivity",
     "clear_cache",
     "clear_sweep_cache",
     "conflict_window_ablation",
+    "cross_validate",
+    "resolve_workload",
     "distribution_ablation",
     "error_margin",
     "figure6",

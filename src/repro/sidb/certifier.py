@@ -9,10 +9,25 @@ transaction must abort (first-committer-wins).
 
 The same logic certifies commits on a standalone/master database, where the
 "service" is the local concurrency-control subsystem.
+
+Locking discipline
+------------------
+The certifier is shared by every replica thread of the live cluster runtime
+(:mod:`repro.cluster`), so all mutation happens under a single internal
+re-entrant lock: :meth:`certify`, :meth:`observe_snapshot`, and
+:meth:`reset_statistics` each take it for their whole duration, making
+certify-and-assign-version atomic.  Callers that must keep the *published
+order* of writesets aligned with the assigned commit versions (the
+replication channel) take their own ordering lock **around** ``certify`` +
+publish; the certifier lock is always innermost and no certifier method
+calls back out, so there is no lock-ordering hazard.  The statistics
+counters are only written under the lock; readers tolerate a slightly stale
+view.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, FrozenSet, Optional, Set, Tuple
@@ -47,6 +62,9 @@ class Certifier:
     def __init__(self, max_history: int = 100_000) -> None:
         if max_history < 1:
             raise ConfigurationError("max_history must be >= 1")
+        # Guards all mutable state; see the module docstring for the
+        # locking discipline shared with the live cluster runtime.
+        self._lock = threading.RLock()
         self._history: Deque[Tuple[int, FrozenSet[object]]] = deque()
         self._max_history = max_history
         self._next_version = 1
@@ -63,27 +81,28 @@ class Certifier:
 
     def certify(self, writeset: Writeset) -> CertificationOutcome:
         """Certify *writeset* against transactions concurrent with it."""
-        self.certifications += 1
-        snapshot = writeset.snapshot_version
-        if snapshot >= self._next_version:
-            raise ConfigurationError(
-                f"snapshot {snapshot} is newer than the latest commit "
-                f"{self.latest_version}"
-            )
-        conflicts = self._find_conflicts(snapshot, writeset.keys)
-        if conflicts:
-            self.aborts += 1
-            return CertificationOutcome(
-                committed=False,
-                commit_version=-1,
-                conflicting_keys=frozenset(conflicts),
-            )
-        version = self._next_version
-        self._next_version += 1
-        self._history.append((version, writeset.keys))
-        self._trim()
-        self.commits += 1
-        return CertificationOutcome(committed=True, commit_version=version)
+        with self._lock:
+            self.certifications += 1
+            snapshot = writeset.snapshot_version
+            if snapshot >= self._next_version:
+                raise ConfigurationError(
+                    f"snapshot {snapshot} is newer than the latest commit "
+                    f"{self.latest_version}"
+                )
+            conflicts = self._find_conflicts(snapshot, writeset.keys)
+            if conflicts:
+                self.aborts += 1
+                return CertificationOutcome(
+                    committed=False,
+                    commit_version=-1,
+                    conflicting_keys=frozenset(conflicts),
+                )
+            version = self._next_version
+            self._next_version += 1
+            self._history.append((version, writeset.keys))
+            self._trim()
+            self.commits += 1
+            return CertificationOutcome(committed=True, commit_version=version)
 
     def _find_conflicts(
         self, snapshot: int, keys: FrozenSet[object]
@@ -105,8 +124,9 @@ class Certifier:
 
     def observe_snapshot(self, oldest_active_snapshot: int) -> None:
         """Prune history that no active snapshot can conflict with."""
-        while self._history and self._history[0][0] <= oldest_active_snapshot:
-            self._popleft()
+        with self._lock:
+            while self._history and self._history[0][0] <= oldest_active_snapshot:
+                self._popleft()
 
     def _trim(self) -> None:
         while len(self._history) > self._max_history:
@@ -125,6 +145,7 @@ class Certifier:
 
     def reset_statistics(self) -> None:
         """Zero the counters (used at the end of a warm-up period)."""
-        self.certifications = 0
-        self.commits = 0
-        self.aborts = 0
+        with self._lock:
+            self.certifications = 0
+            self.commits = 0
+            self.aborts = 0

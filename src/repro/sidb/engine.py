@@ -13,11 +13,28 @@ into the concurrency-control model of §2:
 
 This engine is *functional*, not timed: the discrete-event simulator charges
 CPU/disk costs around these calls, and the profiler replays captured logs
-against it.
+against it.  The live cluster runtime (:mod:`repro.cluster`) charges
+wall-clock costs instead and drives the same engine from many threads.
+
+Locking discipline
+------------------
+One re-entrant engine lock guards the transaction table
+(``_active``/``_snapshots``), the id counter, and the statistics counters;
+:meth:`begin`, :meth:`abort`, and :meth:`finish_remote` hold it for their
+whole duration.  :meth:`commit` additionally holds it across *certify +
+install*, making first-committer-wins atomic when several threads commit
+against the same engine (a master replica): without that span, two
+certifications could assign versions 5 and 6 and then install them out of
+order, which the version store rejects.  The engine lock nests *outside*
+the certifier and store locks (both leaves); no engine method is called
+with either of those held, so the order is acyclic.  :meth:`apply_writeset`
+takes the engine lock too, serialising remote installs against local
+commits on the same engine.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Optional, Set
 
 from ..core.errors import ConfigurationError, TransactionAborted
@@ -37,6 +54,9 @@ class SIDatabase:
     ) -> None:
         self._store = VersionedStore(initial)
         self._certifier = certifier or Certifier()
+        # Guards transaction bookkeeping and spans certify+install in
+        # commit(); see the module docstring for the locking discipline.
+        self._lock = threading.RLock()
         self._next_txn_id = 1
         self._active: Set[int] = set()
         self._snapshots: Dict[int, int] = {}
@@ -67,18 +87,19 @@ class SIDatabase:
         Replicated callers pass an explicit, possibly older, version to model
         GSI's locally-latest snapshots.
         """
-        if snapshot_version is None:
-            snapshot_version = self._store.latest_version
-        if snapshot_version > self._store.latest_version:
-            raise ConfigurationError(
-                f"snapshot {snapshot_version} is in the future "
-                f"(latest is {self._store.latest_version})"
-            )
-        txn = Transaction(self._next_txn_id, self._store, snapshot_version)
-        self._next_txn_id += 1
-        self._active.add(txn.txn_id)
-        self._snapshots[txn.txn_id] = snapshot_version
-        return txn
+        with self._lock:
+            if snapshot_version is None:
+                snapshot_version = self._store.latest_version
+            if snapshot_version > self._store.latest_version:
+                raise ConfigurationError(
+                    f"snapshot {snapshot_version} is in the future "
+                    f"(latest is {self._store.latest_version})"
+                )
+            txn = Transaction(self._next_txn_id, self._store, snapshot_version)
+            self._next_txn_id += 1
+            self._active.add(txn.txn_id)
+            self._snapshots[txn.txn_id] = snapshot_version
+            return txn
 
     def commit(self, txn: Transaction) -> Optional[Writeset]:
         """Commit *txn*; returns its writeset (None for read-only).
@@ -86,37 +107,65 @@ class SIDatabase:
         Raises :class:`TransactionAborted` on a write-write conflict.  The
         transaction object is finalised either way.
         """
-        if txn.status is not TransactionStatus.ACTIVE:
-            raise ConfigurationError(
-                f"cannot commit transaction {txn.txn_id}: {txn.status.value}"
-            )
-        self._finish(txn.txn_id)
-        writeset = txn.writeset()
-        if writeset is None:
-            txn.mark_committed(txn.snapshot_version)
-            self.read_only_commits += 1
-            return None
+        with self._lock:
+            if txn.status is not TransactionStatus.ACTIVE:
+                raise ConfigurationError(
+                    f"cannot commit transaction {txn.txn_id}: {txn.status.value}"
+                )
+            self._finish(txn.txn_id)
+            writeset = txn.writeset()
+            if writeset is None:
+                txn.mark_committed(txn.snapshot_version)
+                self.read_only_commits += 1
+                return None
 
-        outcome = self._certifier.certify(writeset)
-        if not outcome.committed:
-            txn.mark_aborted()
-            self.update_aborts += 1
-            raise TransactionAborted(txn.txn_id, outcome.conflicting_keys)
+            outcome = self._certifier.certify(writeset)
+            if not outcome.committed:
+                txn.mark_aborted()
+                self.update_aborts += 1
+                raise TransactionAborted(txn.txn_id, outcome.conflicting_keys)
 
-        self._store.install(outcome.commit_version, writeset.as_dict)
-        txn.mark_committed(outcome.commit_version)
-        self.update_commits += 1
-        self._prune()
-        return writeset.committed(outcome.commit_version)
+            self._store.install(outcome.commit_version, writeset.as_dict)
+            txn.mark_committed(outcome.commit_version)
+            self.update_commits += 1
+            self._prune()
+            return writeset.committed(outcome.commit_version)
 
     def abort(self, txn: Transaction) -> None:
         """Abort *txn* voluntarily (client-side rollback)."""
-        if txn.status is not TransactionStatus.ACTIVE:
-            raise ConfigurationError(
-                f"cannot abort transaction {txn.txn_id}: {txn.status.value}"
-            )
-        self._finish(txn.txn_id)
-        txn.mark_aborted()
+        with self._lock:
+            if txn.status is not TransactionStatus.ACTIVE:
+                raise ConfigurationError(
+                    f"cannot abort transaction {txn.txn_id}: {txn.status.value}"
+                )
+            self._finish(txn.txn_id)
+            txn.mark_aborted()
+
+    def finish_remote(self, txn: Transaction, commit_version: Optional[int] = None) -> None:
+        """Finalise a transaction certified *outside* this engine.
+
+        The multi-master cluster runtime certifies writesets at a shared
+        certifier service and installs them through the replication channel
+        (:meth:`apply_writeset`), not through :meth:`commit`.  This call
+        releases the transaction's snapshot and records its outcome:
+        committed at *commit_version*, or aborted when ``None``.
+        """
+        with self._lock:
+            if txn.status is not TransactionStatus.ACTIVE:
+                raise ConfigurationError(
+                    f"cannot finish transaction {txn.txn_id}: {txn.status.value}"
+                )
+            self._finish(txn.txn_id)
+            if commit_version is None:
+                txn.mark_aborted()
+                if not txn.is_read_only:
+                    self.update_aborts += 1
+                return
+            txn.mark_committed(commit_version)
+            if txn.is_read_only:
+                self.read_only_commits += 1
+            else:
+                self.update_commits += 1
 
     def apply_writeset(self, writeset: Writeset) -> None:
         """Apply a remotely-certified writeset (replica update propagation).
@@ -124,9 +173,10 @@ class SIDatabase:
         The writeset must already carry its global commit version; versions
         must arrive in order, which the propagation channel guarantees.
         """
-        if writeset.commit_version <= 0:
-            raise ConfigurationError("writeset has no commit version")
-        self._store.install(writeset.commit_version, writeset.as_dict)
+        with self._lock:
+            if writeset.commit_version <= 0:
+                raise ConfigurationError("writeset has no commit version")
+            self._store.install(writeset.commit_version, writeset.as_dict)
 
     def run(self, operations) -> Optional[Writeset]:
         """Execute a whole transaction from an operation list and commit it.
@@ -147,9 +197,10 @@ class SIDatabase:
 
     def oldest_active_snapshot(self) -> int:
         """Oldest snapshot still held by an active transaction."""
-        if not self._snapshots:
-            return self._store.latest_version
-        return min(self._snapshots.values())
+        with self._lock:
+            if not self._snapshots:
+                return self._store.latest_version
+            return min(self._snapshots.values())
 
     def _finish(self, txn_id: int) -> None:
         self._active.discard(txn_id)
@@ -173,7 +224,8 @@ class SIDatabase:
 
     def reset_statistics(self) -> None:
         """Zero the commit/abort counters (end of warm-up)."""
-        self.read_only_commits = 0
-        self.update_commits = 0
-        self.update_aborts = 0
-        self._certifier.reset_statistics()
+        with self._lock:
+            self.read_only_commits = 0
+            self.update_commits = 0
+            self.update_aborts = 0
+            self._certifier.reset_statistics()

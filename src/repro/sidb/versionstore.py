@@ -9,10 +9,26 @@ called snapshot, of the database").
 Versions are dense integers assigned by the commit path (the engine for a
 standalone database, the certifier for a replicated one).  Version 0 is the
 initial database state.
+
+Locking discipline
+------------------
+The live cluster runtime (:mod:`repro.cluster`) reads a replica's store
+from many client threads while one applier thread installs propagated
+writesets, so all access goes through one internal re-entrant lock: reads
+(:meth:`read`, :meth:`get`, :meth:`contains`, :meth:`snapshot_view`) and
+writes (:meth:`install`, :meth:`vacuum`) each hold it for their whole
+duration.  Holding the lock across ``install`` keeps the per-key parallel
+``versions``/``values`` lists and the ``latest_version`` watermark mutually
+consistent — a reader can never observe a version list that is longer than
+its value list, or a watermark ahead of the installed data.  The lock is a
+leaf: no store method calls out while holding it, so callers may freely
+hold their own locks (the engine's commit lock, the certifier's lock)
+around store calls.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -32,6 +48,8 @@ class VersionedStore:
     """
 
     def __init__(self, initial: Optional[Dict[object, object]] = None) -> None:
+        # Guards every read and write; see the module docstring.
+        self._lock = threading.RLock()
         # key -> parallel lists of (versions, values), versions ascending.
         self._versions: Dict[object, List[int]] = {}
         self._values: Dict[object, List[object]] = {}
@@ -52,13 +70,14 @@ class VersionedStore:
         Raises :class:`KeyError` when the key does not exist at that
         snapshot (never written, or written only by later versions).
         """
-        versions = self._versions.get(key)
-        if not versions:
-            raise KeyError(key)
-        index = bisect_right(versions, version) - 1
-        if index < 0:
-            raise KeyError(key)
-        return self._values[key][index]
+        with self._lock:
+            versions = self._versions.get(key)
+            if not versions:
+                raise KeyError(key)
+            index = bisect_right(versions, version) - 1
+            if index < 0:
+                raise KeyError(key)
+            return self._values[key][index]
 
     def get(self, key: object, version: int, default: object = None) -> object:
         """Like :meth:`read` but returning *default* instead of raising."""
@@ -77,27 +96,32 @@ class VersionedStore:
         Versions must be installed in increasing order (the commit path
         serialises them); installing out of order is a bug.
         """
-        if version <= self._latest_version:
-            raise ConfigurationError(
-                f"version {version} not newer than latest {self._latest_version}"
-            )
-        for key, value in writes.items():
-            self._versions.setdefault(key, []).append(version)
-            self._values.setdefault(key, []).append(value)
-        self._latest_version = version
+        with self._lock:
+            if version <= self._latest_version:
+                raise ConfigurationError(
+                    f"version {version} not newer than latest "
+                    f"{self._latest_version}"
+                )
+            for key, value in writes.items():
+                self._versions.setdefault(key, []).append(version)
+                self._values.setdefault(key, []).append(value)
+            self._latest_version = version
 
     def version_of(self, key: object) -> Optional[int]:
         """Version of the newest committed write to *key* (None if never)."""
-        versions = self._versions.get(key)
-        return versions[-1] if versions else None
+        with self._lock:
+            versions = self._versions.get(key)
+            return versions[-1] if versions else None
 
     def keys(self) -> Iterator[object]:
-        """Iterate over all keys ever written."""
-        return iter(self._versions)
+        """Iterate over all keys ever written (a point-in-time snapshot)."""
+        with self._lock:
+            return iter(list(self._versions))
 
     def version_count(self, key: object) -> int:
         """Number of retained versions of *key* (for space diagnostics)."""
-        return len(self._versions.get(key, ()))
+        with self._lock:
+            return len(self._versions.get(key, ()))
 
     def vacuum(self, oldest_active_snapshot: int) -> int:
         """Drop versions no snapshot can see anymore; return versions freed.
@@ -105,20 +129,22 @@ class VersionedStore:
         For each key we must keep the newest version <= the oldest active
         snapshot (it is still visible) and everything newer.
         """
-        freed = 0
-        for key, versions in self._versions.items():
-            keep_from = bisect_right(versions, oldest_active_snapshot) - 1
-            if keep_from > 0:
-                freed += keep_from
-                self._versions[key] = versions[keep_from:]
-                self._values[key] = self._values[key][keep_from:]
-        return freed
+        with self._lock:
+            freed = 0
+            for key, versions in self._versions.items():
+                keep_from = bisect_right(versions, oldest_active_snapshot) - 1
+                if keep_from > 0:
+                    freed += keep_from
+                    self._versions[key] = versions[keep_from:]
+                    self._values[key] = self._values[key][keep_from:]
+            return freed
 
     def snapshot_view(self, version: int) -> Dict[object, object]:
         """Materialise the full database state at *version* (tests/debugging)."""
-        view: Dict[object, object] = {}
-        for key in self._versions:
-            value = self.get(key, version, _MISSING)
-            if value is not _MISSING:
-                view[key] = value
-        return view
+        with self._lock:
+            view: Dict[object, object] = {}
+            for key in self._versions:
+                value = self.get(key, version, _MISSING)
+                if value is not _MISSING:
+                    view[key] = value
+            return view

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..core import rng as rng_util
-from ..core.errors import SimulationError
+from ..core.errors import RetryLimitExceeded, SimulationError
 from ..core.params import ReplicationConfig
 from ..sidb.certifier import Certifier
 from ..workloads.spec import WorkloadSpec
@@ -30,17 +30,45 @@ from .replica import SimReplica
 from .sampling import WorkloadSampler
 from .stats import MetricsCollector
 
-#: Safety valve: a transaction aborting this many times in a row indicates a
-#: mis-configured conflict model rather than normal contention.
-MAX_RETRIES = 10_000
-
 #: Load-balancer routing policies.  The paper's prototypes route to the
 #: least-loaded replica; "pinned" statically partitions clients over
-#: replicas (the analytical model's view); "random" picks uniformly.
+#: replicas (the analytical model's view); "random" picks uniformly;
+#: "conflict-aware" routes updates to the most caught-up replica (freshest
+#: ``applied_version``, so update snapshots are as young as possible and
+#: certification aborts shrink) and reads to the least-loaded one.
 LEAST_LOADED = "least-loaded"
 PINNED = "pinned"
 RANDOM = "random"
-LB_POLICIES = (LEAST_LOADED, PINNED, RANDOM)
+CONFLICT_AWARE = "conflict-aware"
+LB_POLICIES = (LEAST_LOADED, PINNED, RANDOM, CONFLICT_AWARE)
+
+
+def select_replica(policy, candidates, client_id, is_update, rng):
+    """Pick an *available* replica according to *policy*.
+
+    The single routing implementation shared by the simulator and the
+    live cluster runtime (:mod:`repro.cluster.balancer`); candidates only
+    need ``available``, ``active``, ``applied_version``, and ``name``.
+    """
+    alive = [r for r in candidates if r.available]
+    if not alive:
+        # Total outage: keep routing so clients block on queues rather
+        # than deadlocking the closed loop.
+        alive = list(candidates)
+    if policy == PINNED:
+        return alive[client_id % len(alive)]
+    if policy == RANDOM:
+        return alive[int(rng.integers(0, len(alive)))]
+    if policy == CONFLICT_AWARE and is_update:
+        # Updates go to a most-caught-up replica (never a lagging one):
+        # the freshest applied_version minimises snapshot staleness and
+        # therefore the certification-abort window.  Versions are read
+        # once: in the live cluster appliers advance them concurrently,
+        # and re-reading could leave the freshest set empty.
+        versions = [(r.applied_version, r) for r in alive]
+        freshest = max(v for v, _ in versions)
+        alive = [r for v, r in versions if v == freshest]
+    return min(alive, key=lambda r: (r.active, r.name))
 
 
 class _BaseSystem:
@@ -154,18 +182,16 @@ class _BaseSystem:
         """Run one transaction to commit; returns the abort (retry) count."""
         raise NotImplementedError
 
-    def route(self, candidates: List[SimReplica], client_id: int) -> SimReplica:
+    def route(
+        self,
+        candidates: List[SimReplica],
+        client_id: int,
+        is_update: bool = False,
+    ) -> SimReplica:
         """Pick an *available* replica according to the LB policy."""
-        alive = [r for r in candidates if r.available]
-        if not alive:
-            # Total outage: keep routing so clients block on queues rather
-            # than deadlocking the closed loop.
-            alive = list(candidates)
-        if self.lb_policy == PINNED:
-            return alive[client_id % len(alive)]
-        if self.lb_policy == RANDOM:
-            return alive[int(self._lb_rng.integers(0, len(alive)))]
-        return min(alive, key=lambda r: (r.active, r.name))
+        return select_replica(
+            self.lb_policy, candidates, client_id, is_update, self._lb_rng
+        )
 
 
 class StandaloneSystem(_BaseSystem):
@@ -189,7 +215,7 @@ class StandaloneSystem(_BaseSystem):
             if not is_update:
                 yield from replica.serve_read()
                 return aborts
-            for _ in range(MAX_RETRIES):
+            for _ in range(self.config.max_retries):
                 # The snapshot is taken at begin; the conflict window is the
                 # full execution time on the standalone database (§2).
                 snapshot = self.certifier.latest_version
@@ -204,7 +230,9 @@ class StandaloneSystem(_BaseSystem):
                 if outcome.committed:
                     return aborts
                 aborts += 1
-            raise SimulationError("standalone update exceeded retry limit")
+            raise RetryLimitExceeded(
+                "standalone", "update", self.config.max_retries
+            )
         finally:
             self._release(replica)
             replica.active -= 1
@@ -238,7 +266,7 @@ class MultiMasterSystem(_BaseSystem):
 
     def execute(self, sampler: WorkloadSampler, is_update: bool, client_id: int = 0):
         yield Timeout(self.config.load_balancer_delay)
-        replica = self.route(self.replicas, client_id)
+        replica = self.route(self.replicas, client_id, is_update)
         replica.active += 1
         aborts = 0
         yield from self._admit(replica)
@@ -248,7 +276,7 @@ class MultiMasterSystem(_BaseSystem):
                 # commit (§2: GSI read-only transactions never abort).
                 yield from replica.serve_read()
                 return aborts
-            for _ in range(MAX_RETRIES):
+            for _ in range(self.config.max_retries):
                 snapshot = replica.applied_version
                 self.metrics.record_snapshot_age(
                     self.certifier.latest_version - snapshot
@@ -269,7 +297,9 @@ class MultiMasterSystem(_BaseSystem):
                     self._propagate(outcome.commit_version, origin=replica)
                     return aborts
                 aborts += 1
-            raise SimulationError("multi-master update exceeded retry limit")
+            raise RetryLimitExceeded(
+                "multi-master", "update", self.config.max_retries
+            )
         finally:
             self._release(replica)
             replica.active -= 1
@@ -329,7 +359,7 @@ class SingleMasterSystem(_BaseSystem):
         aborts = 0
         yield from self._admit(self.master)
         try:
-            for _ in range(MAX_RETRIES):
+            for _ in range(self.config.max_retries):
                 # The master runs plain SI: the snapshot is its latest
                 # committed version, and the conflict window is the
                 # execution time on the master (§2).
@@ -350,7 +380,9 @@ class SingleMasterSystem(_BaseSystem):
                         slave.enqueue_writeset(outcome.commit_version, charged=True)
                     return aborts
                 aborts += 1
-            raise SimulationError("single-master update exceeded retry limit")
+            raise RetryLimitExceeded(
+                "single-master", "update", self.config.max_retries
+            )
         finally:
             self._release(self.master)
             self.master.active -= 1

@@ -1,0 +1,156 @@
+"""Tests for the live replicated-cluster runtime (repro.cluster).
+
+These run real threads against real SI engines, so the specs are tiny
+(millisecond demands, a handful of clients) and the windows short; the
+assertions target correctness — replication convergence, counter
+consistency — and coarse performance sanity, not calibrated accuracy
+(which tests/test_crossval.py and the benchmarks cover).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import run_cluster
+from repro.core.params import (
+    ConflictProfile,
+    ReplicationConfig,
+    WorkloadMix,
+)
+from repro.simulator.faults import ReplicaFault
+from repro.workloads.spec import WorkloadSpec, demands_ms
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    """A millisecond-scale mix so live runs finish in a couple of seconds."""
+    return WorkloadSpec(
+        benchmark="micro",
+        mix_name="cluster-tiny",
+        mix=WorkloadMix(read_fraction=0.6, write_fraction=0.4),
+        demands=demands_ms(
+            read_cpu=3.0, read_disk=1.0,
+            write_cpu=2.0, write_disk=1.0,
+            writeset_cpu=0.5, writeset_disk=0.3,
+        ),
+        clients_per_replica=6,
+        think_time=0.05,
+        conflict=ConflictProfile(db_update_size=500, updates_per_transaction=2),
+        description="tiny mix for live-cluster tests",
+    )
+
+
+def _config(spec, replicas):
+    return ReplicationConfig(
+        replicas=replicas,
+        clients_per_replica=spec.clients_per_replica,
+        think_time=spec.think_time,
+        load_balancer_delay=0.0005,
+        certifier_delay=0.002,
+    )
+
+
+def _check_replication_correctness(result):
+    """Every replica converged to the identical version, equal to the
+    number of certified commits (versions are dense from 1)."""
+    assert result.converged
+    assert result.state_converged
+    assert len(set(result.final_versions)) == 1
+    commits = result.total_certifications - result.total_certification_aborts
+    assert result.final_versions[0] == commits
+
+
+def test_multi_master_cluster_runs_and_converges(tiny_spec):
+    result = run_cluster(
+        tiny_spec, _config(tiny_spec, 3), design="multi-master",
+        warmup=0.5, duration=2.0, time_scale=1.0,
+    )
+    assert result.design == "multi-master"
+    assert result.replicas == 3
+    assert result.committed_transactions > 50
+    assert result.throughput > 0
+    assert result.update_throughput > 0
+    assert result.read_throughput > 0
+    assert 0.0 <= result.abort_rate < 0.5
+    # The metrics schema matches the simulator's collector.
+    assert set(result.utilizations) == {
+        f"replica{i}.{r}" for i in range(3) for r in ("cpu", "disk")
+    }
+    assert all(0.0 <= u <= 1.05 for u in result.utilizations.values())
+    assert len(result.throughput_timeline) == int(result.window)
+    _check_replication_correctness(result)
+
+
+def test_single_master_cluster_runs_and_converges(tiny_spec):
+    result = run_cluster(
+        tiny_spec, _config(tiny_spec, 3), design="single-master",
+        warmup=0.5, duration=2.0, time_scale=1.0,
+    )
+    assert result.committed_transactions > 50
+    assert result.update_throughput > 0
+    assert "master.cpu" in result.utilizations
+    assert "slave0.cpu" in result.utilizations
+    _check_replication_correctness(result)
+
+
+def test_cluster_fault_injection_recovers_and_converges(tiny_spec):
+    result = run_cluster(
+        tiny_spec, _config(tiny_spec, 2), design="multi-master",
+        warmup=0.3, duration=2.0, time_scale=1.0,
+        faults=[ReplicaFault(replica_index=1, start=0.8, downtime=0.6)],
+    )
+    # The survivor kept committing; the faulted replica caught up on its
+    # deferred writeset backlog after recovery.
+    assert result.committed_transactions > 20
+    _check_replication_correctness(result)
+
+
+def test_cluster_open_loop_driver(tiny_spec):
+    result = run_cluster(
+        tiny_spec, _config(tiny_spec, 2), design="multi-master",
+        warmup=0.3, duration=2.0, time_scale=1.0, arrival_rate=30.0,
+    )
+    # Poisson arrivals at 30 tps over a 2 s window, no think feedback.
+    assert result.committed_transactions > 20
+    assert result.throughput == pytest.approx(30.0, rel=0.5)
+    _check_replication_correctness(result)
+
+
+def test_cluster_rejects_bad_configuration(tiny_spec):
+    from repro.core.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        run_cluster(tiny_spec, _config(tiny_spec, 2), design="standalone")
+    with pytest.raises(ConfigurationError):
+        run_cluster(tiny_spec, _config(tiny_spec, 2), lb_policy="romantic")
+    with pytest.raises(ConfigurationError):
+        run_cluster(tiny_spec, _config(tiny_spec, 2), duration=0.0)
+    with pytest.raises(ConfigurationError):
+        run_cluster(tiny_spec, _config(tiny_spec, 2), arrival_rate=-1.0)
+
+
+def test_cluster_garbage_collection_paths(tiny_spec, monkeypatch):
+    """With the GC intervals forced low, pruning/vacuuming runs during the
+    measurement window without perturbing correctness."""
+    import repro.cluster.cluster as cluster_mod
+    import repro.cluster.replica as replica_mod
+
+    monkeypatch.setattr(cluster_mod, "_PRUNE_INTERVAL", 5)
+    monkeypatch.setattr(replica_mod, "_VACUUM_INTERVAL", 5)
+    for design in ("multi-master", "single-master"):
+        result = run_cluster(
+            tiny_spec, _config(tiny_spec, 2), design=design,
+            warmup=0.3, duration=1.5, time_scale=1.0,
+        )
+        assert result.committed_transactions > 20
+        _check_replication_correctness(result)
+
+
+def test_cluster_snapshot_age_and_certifier_rate(tiny_spec):
+    result = run_cluster(
+        tiny_spec, _config(tiny_spec, 2), design="multi-master",
+        warmup=0.5, duration=2.0, time_scale=1.0,
+    )
+    # GSI: snapshots can lag but only by a bounded amount in a healthy run.
+    assert result.mean_snapshot_age >= 0.0
+    assert result.certifier_request_rate > 0.0

@@ -1,0 +1,109 @@
+"""Tests for the three-pillar cross-validation harness and CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import ConflictProfile, ReplicationConfig, WorkloadMix
+from repro.experiments import cross_validate, resolve_workload
+from repro.workloads.spec import WorkloadSpec, demands_ms
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    return WorkloadSpec(
+        benchmark="micro",
+        mix_name="crossval-tiny",
+        mix=WorkloadMix(read_fraction=0.6, write_fraction=0.4),
+        demands=demands_ms(
+            read_cpu=3.0, read_disk=1.0,
+            write_cpu=2.0, write_disk=1.0,
+            writeset_cpu=0.5, writeset_disk=0.3,
+        ),
+        clients_per_replica=6,
+        think_time=0.05,
+        conflict=ConflictProfile(db_update_size=500, updates_per_transaction=2),
+    )
+
+
+@pytest.fixture(scope="module")
+def result(tiny_spec):
+    config = ReplicationConfig(
+        replicas=2,
+        clients_per_replica=tiny_spec.clients_per_replica,
+        think_time=tiny_spec.think_time,
+        load_balancer_delay=0.0005,
+        certifier_delay=0.002,
+    )
+    return cross_validate(
+        tiny_spec,
+        config,
+        design="multi-master",
+        profile=tiny_spec.ground_truth_profile(),
+        sim_warmup=2.0,
+        sim_duration=8.0,
+        cluster_warmup=0.5,
+        cluster_duration=2.5,
+        time_scale=1.0,
+    )
+
+
+def test_resolve_workload_accepts_bare_benchmark_names():
+    assert resolve_workload("tpcw").name == "tpcw/shopping"
+    assert resolve_workload("rubis").name == "rubis/bidding"
+    assert resolve_workload("tpcw/ordering").name == "tpcw/ordering"
+    with pytest.raises(ConfigurationError):
+        resolve_workload("tpce")
+
+
+def test_crossval_compares_all_three_pillars(result):
+    assert result.model.pillar == "model"
+    assert result.simulator.pillar == "simulator"
+    assert result.cluster.pillar == "cluster"
+    for point in (result.model, result.simulator, result.cluster):
+        assert point.throughput > 0
+        assert point.response_time > 0
+        assert 0.0 <= point.abort_rate < 0.5
+
+
+def test_crossval_reports_deviations_vs_simulator(result):
+    deviations = result.deviations()
+    assert set(deviations) == {"model", "cluster"}
+    for pillar in deviations.values():
+        assert set(pillar) == {"throughput", "response_time", "abort_rate"}
+        assert all(v >= 0.0 for v in pillar.values())
+    assert result.cluster_throughput_deviation == (
+        deviations["cluster"]["throughput"]
+    )
+    # The smoke criterion the live runtime is built to meet.
+    assert result.cluster_throughput_deviation < 0.25
+
+
+def test_crossval_checks_replication_correctness(result):
+    assert result.converged
+    assert result.state_converged
+    assert len(set(result.final_versions)) == 1
+
+
+def test_crossval_to_text_renders_deviation_table(result):
+    text = result.to_text()
+    assert "cross-validation" in text
+    for pillar in ("model", "simulator", "cluster"):
+        assert pillar in text
+    assert "tput dev" in text
+    assert "identical" in text
+
+
+def test_cli_crossval_smoke(capsys):
+    from repro.cli import main
+
+    code = main([
+        "crossval", "--workload", "tpcw", "--replicas", "2",
+        "--warmup", "1", "--duration", "4", "--time-scale", "0.02",
+        "--sim-warmup", "2", "--sim-duration", "8",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cross-validation: tpcw/shopping on multi-master, N=2" in out
+    assert "identical" in out

@@ -1,0 +1,68 @@
+"""Tests for the max_retries configuration knob and its structured error."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    ConfigurationError,
+    RetryLimitExceeded,
+    SimulationError,
+)
+from repro.core.params import (
+    ConflictProfile,
+    ReplicationConfig,
+    WorkloadMix,
+)
+from repro.simulator.runner import simulate
+from repro.workloads.spec import WorkloadSpec, demands_ms
+
+
+def test_max_retries_is_a_config_knob_with_safe_default():
+    config = ReplicationConfig(replicas=2, clients_per_replica=4)
+    assert config.max_retries == 10_000
+    custom = ReplicationConfig(replicas=2, clients_per_replica=4, max_retries=7)
+    assert custom.max_retries == 7
+
+
+def test_max_retries_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        ReplicationConfig(replicas=1, clients_per_replica=1, max_retries=0)
+
+
+def test_retry_limit_error_is_structured():
+    error = RetryLimitExceeded("multi-master", "update", 3)
+    assert isinstance(error, SimulationError)
+    assert error.design == "multi-master"
+    assert error.transaction_class == "update"
+    assert error.retries == 3
+    assert "update" in str(error)
+    assert "multi-master" in str(error)
+
+
+def test_simulator_raises_structured_error_when_limit_trips():
+    """A pathological conflict model (every update writes the same single
+    row) livelocks retries; the simulator must fail loudly, naming the
+    offending transaction class, rather than spin forever."""
+    spec = WorkloadSpec(
+        benchmark="micro",
+        mix_name="livelock",
+        mix=WorkloadMix(read_fraction=0.0, write_fraction=1.0),
+        demands=demands_ms(
+            read_cpu=0.0, read_disk=0.0, write_cpu=5.0, write_disk=2.0,
+        ),
+        clients_per_replica=6,
+        think_time=0.001,
+        conflict=ConflictProfile(db_update_size=1, updates_per_transaction=1),
+    )
+    config = ReplicationConfig(
+        replicas=1,
+        clients_per_replica=6,
+        think_time=0.001,
+        max_retries=3,
+    )
+    with pytest.raises(RetryLimitExceeded) as excinfo:
+        simulate(spec, config, design="standalone", warmup=1.0, duration=30.0)
+    assert excinfo.value.transaction_class == "update"
+    assert excinfo.value.design == "standalone"
+    assert excinfo.value.retries == 3
