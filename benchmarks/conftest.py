@@ -6,9 +6,12 @@ standalone profiling -> analytical prediction -> discrete-event measurement
 check the *shape* of the reproduced result against the paper (who wins, by
 roughly what factor, where crossovers fall).
 
-Profiling reports and validation sweeps are cached per process, so figure
-pairs sharing runs (6/7, 8/9, 10/11, 12/13) pay for their sweep once —
-the first benchmark of each pair carries the cost.
+Every benchmark drives the shared scenario engine
+(:mod:`repro.engine`), whose per-process memo keys sweep points by
+content: figure pairs sharing runs (6/7, 8/9, 10/11, 12/13) pay for
+their sweep once — the first benchmark of each pair carries the cost.
+``bench_engine_speedup`` additionally times the same sweep serial vs
+fanned out over a process pool.
 
 Set ``REPRO_BENCH_FAST=1`` to run a cut-down sweep (fewer replica counts,
 shorter windows) for smoke-testing the harness itself.

@@ -3,38 +3,46 @@
 Examples::
 
     repro workloads
+    repro scenarios
     repro profile tpcw/shopping
     repro predict tpcw/shopping --design multi-master --replicas 1 2 4 8 16
     repro simulate tpcw/shopping --design single-master --replicas 8
     repro crossval --workload tpcw --replicas 4
-    repro figure figure6 --fast
+    repro figure fig06 --fast --jobs 4
     repro table table3 --fast
+    repro run ablation-lb-policy --fast
     repro validate --fast
+    repro reproduce --fast --jobs 8
+
+Every figure/table/ablation is a registered scenario executed by the sweep
+engine: ``--jobs N`` fans sweep points out over a process pool (identical
+results to serial execution) and completed points are cached on disk
+(``--no-cache`` disables; ``$REPRO_CACHE_DIR`` moves the cache), so
+interrupted or repeated runs are incremental.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from . import experiments
+from .core.errors import EngineError, ReproError
 from .core.rng import DEFAULT_SEED
 from .core.units import to_ms
+from .engine import all_scenarios, get_scenario, run_scenario, scenario_names
 from .models.api import DESIGNS, predict
 from .simulator.runner import simulate
 from .simulator.systems import LB_POLICIES
 from .workloads import get_workload, workload_names
 
-_FIGURES = {
-    f"figure{i}": getattr(experiments, f"figure{i}") for i in range(6, 15)
-}
-_TABLES = {
-    "table2": lambda settings: experiments.table2(),
-    "table3": experiments.table3,
-    "table4": lambda settings: experiments.table4(),
-    "table5": experiments.table5,
-}
+_FIGURE_NAMES = tuple(f"figure{i}" for i in range(6, 15))
+_FIGURE_ALIASES = tuple(f"fig{i:02d}" for i in range(6, 15)) + tuple(
+    f"fig{i}" for i in range(6, 15)
+)
+_TABLE_NAMES = ("table2", "table3", "table4", "table5")
 
 
 def _settings(args) -> experiments.ExperimentSettings:
@@ -43,11 +51,37 @@ def _settings(args) -> experiments.ExperimentSettings:
     return experiments.ExperimentSettings()
 
 
+def _cache(args) -> object:
+    """Disk cache argument for the engine (``--no-cache`` disables)."""
+    if getattr(args, "no_cache", False):
+        return None
+    return "default"
+
+
+def _jobs(args) -> Optional[int]:
+    """--jobs value; ``None`` means one worker per CPU."""
+    return getattr(args, "jobs", 1)
+
+
 def _cmd_workloads(args) -> int:
     for name in workload_names():
         spec = get_workload(name)
         print(f"{name:<18s} Pr={spec.mix.read_fraction:.0%} "
               f"C={spec.clients_per_replica} — {spec.description}")
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    scenarios = all_scenarios()
+    for name in sorted(scenarios):
+        scenario = scenarios[name]
+        aliases = (
+            f" (aka {', '.join(scenario.aliases)})" if scenario.aliases else ""
+        )
+        print(f"{name:<26s} [{scenario.kind}] {scenario.title}{aliases}")
+    print(f"{len(scenarios)} scenarios; run any with: repro run <name> "
+          f"(figures/tables also via repro figure | repro table; "
+          f"everything via repro reproduce)")
     return 0
 
 
@@ -121,6 +155,7 @@ def _cmd_crossval(args) -> int:
         cluster_duration=args.duration,
         time_scale=args.time_scale,
         lb_policy=args.lb_policy,
+        jobs=_jobs(args),
     )
     print(result.to_text())
     if not result.state_converged:
@@ -129,27 +164,58 @@ def _cmd_crossval(args) -> int:
     return 0
 
 
-def _cmd_figure(args) -> int:
-    runner = _FIGURES[args.name]
-    result = runner(_settings(args))
-    print(result.to_text())
+def _render_artifact(result) -> str:
+    """Render any scenario artifact (ablation rows have no ``to_text``)."""
+    if hasattr(result, "to_text"):
+        return result.to_text()
+    if isinstance(result, (list, tuple)):
+        return "\n".join(str(row) for row in result)
+    return str(result)
+
+
+def _run_registered(args, name: str) -> int:
+    scenario = get_scenario(name)
+    started = time.time()
+    result = run_scenario(
+        scenario,
+        _settings(args),
+        jobs=_jobs(args),
+        cache=_cache(args),
+        progress=lambda line: print(f"[{scenario.name}] {line}",
+                                    file=sys.stderr),
+    )
+    print(_render_artifact(result))
+    print(f"[{scenario.name}] {time.time() - started:.1f}s wall-clock",
+          file=sys.stderr)
     return 0
+
+
+def _cmd_figure(args) -> int:
+    return _run_registered(args, args.name)
 
 
 def _cmd_table(args) -> int:
-    runner = _TABLES[args.name]
-    result = runner(_settings(args))
-    print(result.to_text())
-    return 0
+    return _run_registered(args, args.name)
+
+
+def _cmd_run(args) -> int:
+    return _run_registered(args, args.name)
 
 
 def _cmd_reproduce(args) -> int:
-    import sys
-
     settings = _settings(args)
-    report = experiments.full_report(
-        settings, progress=lambda line: print(line, file=sys.stderr)
-    )
+    try:
+        report = experiments.full_report(
+            settings,
+            progress=lambda line: print(line, file=sys.stderr),
+            jobs=_jobs(args),
+            cache=_cache(args),
+        )
+    except (EngineError, ReproError) as exc:
+        # A sweep point failing inside a worker must fail the whole
+        # reproduction run, not leave a half-written report behind.
+        print(f"reproduce failed: {exc}", file=sys.stderr)
+        return 1
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report)
@@ -186,7 +252,9 @@ def _cmd_plan(args) -> int:
 
 def _cmd_validate(args) -> int:
     settings = _settings(args)
-    result = experiments.error_margin(settings)
+    result = experiments.error_margin(
+        settings, jobs=_jobs(args), cache=_cache(args)
+    )
     print(result.to_text())
     threshold = 0.15
     if result.mean_throughput_error <= threshold:
@@ -195,6 +263,21 @@ def _cmd_validate(args) -> int:
         return 0
     print(f"FAIL: mean error {result.mean_throughput_error:.1%} > {threshold:.0%}")
     return 1
+
+
+def _add_engine_options(parser: argparse.ArgumentParser,
+                        default_jobs: Optional[int] = 1) -> None:
+    """--jobs / --no-cache, shared by every engine-driven command."""
+    parser.add_argument(
+        "--jobs", type=int, default=default_jobs,
+        help="worker processes for the sweep (default: "
+        + ("one per CPU" if default_jobs is None else str(default_jobs))
+        + "); results are identical to serial runs",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -209,6 +292,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("workloads", help="list built-in workloads").set_defaults(
         func=_cmd_workloads
     )
+
+    sub.add_parser(
+        "scenarios", help="list every registered scenario"
+    ).set_defaults(func=_cmd_scenarios)
 
     p = sub.add_parser("profile", help="profile a workload on the standalone sim")
     p.add_argument("workload")
@@ -253,20 +340,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-scale", type=float, default=0.1,
                    help="wall seconds per virtual second in the live cluster")
     p.add_argument("--lb-policy", choices=LB_POLICIES, default="least-loaded")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="run the three pillars concurrently with --jobs 3")
     p.set_defaults(func=_cmd_crossval)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
-    p.add_argument("name", choices=sorted(_FIGURES))
+    p.add_argument("name",
+                   choices=sorted(set(_FIGURE_NAMES + _FIGURE_ALIASES)))
     p.add_argument("--fast", action="store_true")
+    _add_engine_options(p)
     p.set_defaults(func=_cmd_figure)
 
-    p = sub.add_parser("table", help="regenerate a paper table")
-    p.add_argument("name", choices=sorted(_TABLES))
+    p = sub.add_parser(
+        "run", help="run any registered scenario (see: repro scenarios)"
+    )
+    p.add_argument("name", help="scenario name or alias from the registry")
     p.add_argument("--fast", action="store_true")
+    _add_engine_options(p)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("name", choices=sorted(_TABLE_NAMES))
+    p.add_argument("--fast", action="store_true")
+    _add_engine_options(p)
     p.set_defaults(func=_cmd_table)
 
     p = sub.add_parser("validate", help="check the <=15%% error-margin claim")
     p.add_argument("--fast", action="store_true")
+    _add_engine_options(p)
     p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser(
@@ -274,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--fast", action="store_true")
     p.add_argument("--out", default=None, help="write the report to a file")
+    _add_engine_options(p, default_jobs=None)
     p.set_defaults(func=_cmd_reproduce)
 
     p = sub.add_parser("plan", help="size a deployment for a target load")

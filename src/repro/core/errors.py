@@ -72,3 +72,17 @@ class TransactionAborted(ReproError):
 
 class ProfilingError(ReproError, RuntimeError):
     """A profiling run produced measurements that cannot be used."""
+
+
+class EngineError(ReproError, RuntimeError):
+    """A sweep point failed inside the scenario engine.
+
+    Raised by :func:`repro.engine.runner.execute_points` when a point
+    raises inside a pool worker; carries the scenario-side description of
+    the failed point so parallel failures are as debuggable as serial
+    ones (the original traceback text is embedded in the message).
+    """
+
+    def __init__(self, message: str, point=None):
+        super().__init__(message)
+        self.point = point

@@ -1,0 +1,94 @@
+"""Unified scenario engine: one declarative sweep runner over all pillars.
+
+Every experiment in this repo — paper figures and tables, sensitivity
+analyses, ablations, the open-loop and failover extensions, and the
+three-pillar cross-validation — is a :class:`~repro.engine.scenario.Scenario`:
+a declarative grid of sweep points, each naming the execution pillar
+(analytical model, discrete-event simulator, or live cluster) that
+produces it.  :func:`~repro.engine.runner.run_scenario` executes any
+scenario on any pillar through one API, fanning points out over a process
+pool and caching completed points on disk, with results identical to
+serial execution.
+"""
+
+from .backends import (
+    BACKENDS,
+    Backend,
+    ClusterBackend,
+    ModelBackend,
+    ProfileBackend,
+    SimulatorBackend,
+    execute_point,
+)
+from .cache import (
+    CACHE_VERSION,
+    ResultCache,
+    default_cache_dir,
+    point_key,
+    profile_key,
+    resolve_cache,
+)
+from .registry import (
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from .runner import (
+    clear_memo,
+    default_jobs,
+    execute_points,
+    memo_size,
+    run_scenario,
+)
+from .scenario import (
+    CLUSTER,
+    MODEL,
+    PROFILE,
+    SIMULATOR,
+    ProfileTask,
+    Scenario,
+    SweepPoint,
+    cluster_point,
+    model_point,
+    profile_point,
+    profile_task,
+    sim_point,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "CACHE_VERSION",
+    "CLUSTER",
+    "ClusterBackend",
+    "MODEL",
+    "ModelBackend",
+    "PROFILE",
+    "ProfileBackend",
+    "ProfileTask",
+    "ResultCache",
+    "SIMULATOR",
+    "Scenario",
+    "SimulatorBackend",
+    "SweepPoint",
+    "all_scenarios",
+    "clear_memo",
+    "cluster_point",
+    "default_cache_dir",
+    "default_jobs",
+    "execute_point",
+    "execute_points",
+    "get_scenario",
+    "memo_size",
+    "model_point",
+    "point_key",
+    "profile_key",
+    "profile_point",
+    "profile_task",
+    "register_scenario",
+    "resolve_cache",
+    "run_scenario",
+    "scenario_names",
+    "sim_point",
+]

@@ -1,0 +1,141 @@
+"""The three execution pillars behind one protocol.
+
+A :class:`Backend` turns one :class:`~repro.engine.scenario.SweepPoint`
+into a result object:
+
+* :class:`ModelBackend` — the analytical models
+  (:func:`repro.models.api.predict`), fed only by a standalone profile;
+* :class:`SimulatorBackend` — the discrete-event simulator
+  (:func:`repro.simulator.runner.simulate`);
+* :class:`ClusterBackend` — the live replicated cluster
+  (:func:`repro.cluster.run_cluster`), real threads against real SI
+  engines;
+* :class:`ProfileBackend` — standalone profiling
+  (:func:`repro.profiling.profile_standalone`), the measurement step every
+  model point depends on.
+
+:func:`execute_point` is the single dispatch used by the sweep runner —
+both inline and inside pool workers — so serial and parallel execution are
+the same code path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..cluster import run_cluster
+from ..core.errors import ConfigurationError
+from ..models.api import predict
+from ..models.multimaster import MultiMasterOptions
+from ..profiling.profiler import ProfilingReport, profile_standalone
+from ..simulator.runner import simulate
+from .scenario import CLUSTER, MODEL, PROFILE, SIMULATOR, SweepPoint
+
+
+class Backend(Protocol):
+    """One execution pillar: turns a sweep point into a result."""
+
+    name: str
+
+    def run(self, point: SweepPoint, profile: object = None) -> object:
+        """Execute *point*; *profile* is its resolved profile dependency."""
+        ...
+
+
+def _standalone_profile(profile: object):
+    """Accept either a ProfilingReport or a bare StandaloneProfile."""
+    if profile is None:
+        raise ConfigurationError("model point has no resolved profile")
+    if isinstance(profile, ProfilingReport):
+        return profile.profile
+    return profile
+
+
+class ModelBackend:
+    """Analytical prediction from a standalone profile."""
+
+    name = MODEL
+
+    def run(self, point: SweepPoint, profile: object = None) -> object:
+        cw_mode = point.option("cw_mode")
+        mm_options = None if cw_mode is None else MultiMasterOptions(cw_mode=cw_mode)
+        return predict(
+            point.design,
+            _standalone_profile(profile),
+            point.config,
+            mm_options=mm_options,
+        )
+
+
+class SimulatorBackend:
+    """Discrete-event measurement of the replicated (or standalone) system."""
+
+    name = SIMULATOR
+
+    def run(self, point: SweepPoint, profile: object = None) -> object:
+        opts = point.options_dict()
+        return simulate(
+            point.spec,
+            point.config,
+            design=point.design,
+            seed=point.seed,
+            warmup=opts["warmup"],
+            duration=opts["duration"],
+            distribution=opts.get("distribution", "exponential"),
+            lb_policy=opts.get("lb_policy", "least-loaded"),
+            faults=opts.get("faults", ()),
+            arrival_rate=opts.get("arrival_rate"),
+        )
+
+
+class ClusterBackend:
+    """Live execution on the threaded replicated-cluster runtime."""
+
+    name = CLUSTER
+
+    def run(self, point: SweepPoint, profile: object = None) -> object:
+        opts = point.options_dict()
+        return run_cluster(
+            point.spec,
+            point.config,
+            design=point.design,
+            seed=point.seed,
+            warmup=opts["warmup"],
+            duration=opts["duration"],
+            time_scale=opts["time_scale"],
+            distribution=opts.get("distribution", "exponential"),
+            lb_policy=opts.get("lb_policy", "least-loaded"),
+        )
+
+
+class ProfileBackend:
+    """Standalone profiling: measure the paper's model inputs."""
+
+    name = PROFILE
+
+    def run(self, point: SweepPoint, profile: object = None) -> ProfilingReport:
+        task = point.profile
+        return profile_standalone(
+            task.spec,
+            seed=task.seed,
+            replay_duration=task.replay_duration,
+            mixed_duration=task.mixed_duration,
+        )
+
+
+BACKENDS = {
+    backend.name: backend
+    for backend in (ModelBackend(), SimulatorBackend(), ClusterBackend(),
+                    ProfileBackend())
+}
+
+
+def execute_point(point: SweepPoint, profile: object = None) -> object:
+    """Run one sweep point on its backend (inline or in a pool worker)."""
+    try:
+        backend: Optional[Backend] = BACKENDS[point.backend]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {point.backend!r}; one of {sorted(BACKENDS)}"
+        ) from None
+    return backend.run(point, profile)

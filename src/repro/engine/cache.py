@@ -1,0 +1,186 @@
+"""On-disk result cache for sweep points and profiling runs.
+
+Completed sweep points are persisted keyed by their *content* — backend,
+design, seed, the full workload spec and replication config, the backend
+options, and (for model points) the profile dependency — so:
+
+* re-running a figure after an interrupt only executes the missing points;
+* tweaking one replica count re-runs one point, not the whole sweep;
+* figure pairs that share a sweep (6/7, 8/9, ...) share every entry;
+* any code- or parameter-relevant change lands on a different key: the
+  dataclass ``repr`` of every input participates in the hash, and so does
+  a fingerprint of the ``repro`` package's own source — editing the
+  simulator or the models invalidates every stale artifact automatically
+  (:data:`CACHE_VERSION` additionally guards format changes).
+
+Values are pickled dataclasses (``SimulationResult``, ``Prediction``,
+``ProfilingReport``); unreadable or truncated entries are treated as
+misses, so a killed run never poisons the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from .scenario import ProfileTask, SweepPoint
+
+#: Bump when the meaning of cached results changes.
+CACHE_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+_MISS = object()
+
+
+def default_cache_dir() -> str:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-engine``."""
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-engine")
+
+
+_fingerprint: Optional[str] = None
+
+
+def source_fingerprint() -> str:
+    """A hash of every ``repro/**/*.py`` source file (computed once).
+
+    Mixed into every cache key so that editing the simulator, the models,
+    or any other library code automatically invalidates cached results —
+    contributors never have to remember to bump :data:`CACHE_VERSION` for
+    behavioural changes, only for cache-format changes.
+    """
+    global _fingerprint
+    if _fingerprint is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            try:
+                digest.update(path.read_bytes())
+            except OSError:
+                pass
+        _fingerprint = digest.hexdigest()
+    return _fingerprint
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(
+        (source_fingerprint() + payload).encode("utf-8")
+    ).hexdigest()
+
+
+def _profile_part(profile: object) -> str:
+    """Canonical text for a point's profile dependency."""
+    if profile is None:
+        return "none"
+    if isinstance(profile, ProfileTask):
+        return profile_key(profile)
+    return repr(profile)
+
+
+def profile_key(task: ProfileTask) -> str:
+    """Stable key for one profiling run."""
+    return _digest(repr((
+        CACHE_VERSION,
+        "profile",
+        repr(task.spec),
+        task.seed,
+        task.replay_duration,
+        task.mixed_duration,
+    )))
+
+
+def point_key(point: SweepPoint) -> str:
+    """Stable key for one sweep point (the tag is a label, not an input)."""
+    if point.backend == "profile":
+        return profile_key(point.profile)
+    return _digest(repr((
+        CACHE_VERSION,
+        point.backend,
+        point.design,
+        point.seed,
+        repr(point.spec),
+        repr(point.config),
+        point.options,
+        _profile_part(point.profile),
+    )))
+
+
+class ResultCache:
+    """A content-addressed pickle store under one root directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, object]:
+        """``(True, value)`` on a hit, ``(False, None)`` otherwise."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: object) -> None:
+        """Persist *value* atomically (write-to-temp, rename).
+
+        Best-effort: a value that cannot be pickled (or a full disk) must
+        not fail the run whose computation already succeeded — the entry
+        is simply not cached.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> None:
+        """Remove every cached entry."""
+        for entry in self.root.glob("*/*.pkl"):
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+
+
+def resolve_cache(cache: object) -> Optional[ResultCache]:
+    """Normalise a cache argument.
+
+    ``None`` disables disk caching; ``"default"`` / ``True`` opens the
+    default directory; a string/path opens that directory; a
+    :class:`ResultCache` passes through.
+    """
+    if cache is None or cache is False:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache is True or cache == "default":
+        return ResultCache(default_cache_dir())
+    return ResultCache(cache)

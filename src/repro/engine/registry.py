@@ -1,0 +1,60 @@
+"""Scenario registry: every reproducible artifact under one namespace.
+
+Mirrors :mod:`repro.workloads.registry`: experiment modules register their
+scenarios at import time, and the CLI (``repro scenarios``, ``repro figure
+fig06 --jobs 4``) resolves names — including aliases like ``fig06`` for
+``figure6`` — through one lookup.  Adding a new scenario is one
+:func:`register_scenario` call; the sweep runner, parallelism, and caching
+come for free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .scenario import Scenario
+
+_SCENARIOS: Dict[str, Scenario] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add *scenario* to the registry (idempotent per name).
+
+    Returns the scenario so modules can register and keep a reference in
+    one expression.
+    """
+    _SCENARIOS[scenario.name] = scenario
+    for alias in scenario.aliases:
+        _ALIASES[alias] = scenario.name
+    return scenario
+
+
+def _ensure_loaded() -> None:
+    """Import the experiment modules so their registrations run."""
+    from .. import experiments  # noqa: F401 — import for side effects
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by canonical name or alias."""
+    _ensure_loaded()
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _SCENARIOS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Sorted canonical names of every registered scenario."""
+    _ensure_loaded()
+    return sorted(_SCENARIOS)
+
+
+def all_scenarios() -> Dict[str, Scenario]:
+    """Every registered scenario keyed by canonical name (a copy)."""
+    _ensure_loaded()
+    return dict(_SCENARIOS)

@@ -1,0 +1,247 @@
+"""The shared sweep runner: execute any scenario on any pillar.
+
+:func:`run_scenario` is the one API every experiment goes through:
+
+1. build the scenario's point grid from the experiment settings;
+2. resolve the distinct profiling runs the grid depends on (deduplicated,
+   parallelised, cached — the paper's measure-once step);
+3. execute every remaining point, satisfying what it can from the
+   in-process memo and the on-disk result cache and fanning the misses out
+   over a ``ProcessPoolExecutor`` when ``jobs > 1``;
+4. hand the aligned results to the scenario's assemble step.
+
+Determinism: every point carries its own explicit seed (derived from the
+settings exactly as the old serial loops derived it) and is executed by the
+same :func:`~repro.engine.backends.execute_point` dispatch whether inline
+or in a worker, so serial, parallel, and cache-served runs produce
+identical artifacts.  Failures inside workers are shipped back as text and
+re-raised in the parent as :class:`~repro.core.errors.EngineError` carrying
+the failed point's description, so a crashing sweep point always fails the
+run (and the CLI exits non-zero) instead of hanging or being silently
+dropped.  Inline execution (``jobs=1``) deliberately lets the original
+library exception propagate unchanged — callers keep the exact exception
+contracts (``ConfigurationError`` etc.) the pre-engine serial loops had.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.errors import EngineError
+from .backends import execute_point
+from .cache import ResultCache, point_key, profile_key, resolve_cache
+from .scenario import PROFILE, ProfileTask, Scenario, SweepPoint
+
+#: In-process memo of completed points, keyed like the disk cache.  This is
+#: what lets figure pairs that share a sweep (6/7, 8/9, ...) pay for it
+#: once per process even with disk caching disabled.
+_memo: Dict[str, object] = {}
+
+
+def clear_memo() -> None:
+    """Drop all memoized point results (tests use this for isolation)."""
+    _memo.clear()
+
+
+def memo_size() -> int:
+    """Number of memoized point results."""
+    return len(_memo)
+
+
+def default_jobs() -> int:
+    """Worker count used when ``jobs`` is ``None``: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def _describe(point: SweepPoint) -> str:
+    what = point.backend
+    if point.design:
+        what += f"/{point.design}"
+    return f"{what} {point.spec.name} N={point.replicas} seed={point.seed}"
+
+
+def _pool_worker(payload: Tuple[int, SweepPoint, object]):
+    """Execute one point in a worker; failures travel back as text."""
+    index, point, profile = payload
+    try:
+        return index, True, execute_point(point, profile)
+    except Exception as exc:  # noqa: BLE001 — shipped to the parent
+        detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        return index, False, detail
+
+
+def _run_batch(
+    payloads: List[Tuple[int, SweepPoint, object]],
+    jobs: int,
+    on_result: Callable[[int, object], None],
+) -> None:
+    """Run payloads inline (jobs==1) or over a process pool."""
+    if not payloads:
+        return
+    if jobs <= 1 or len(payloads) == 1:
+        for index, point, profile in payloads:
+            on_result(index, execute_point(point, profile))
+        return
+    workers = min(jobs, len(payloads))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(_pool_worker, payload): payload
+                   for payload in payloads}
+        try:
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, ok, value = future.result()
+                    if not ok:
+                        point = futures[future][1]
+                        raise EngineError(
+                            f"sweep point failed in worker "
+                            f"[{_describe(point)}]:\n{value}",
+                            point=point,
+                        )
+                    on_result(index, value)
+        except BaseException:
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
+
+
+def _resolve_profiles(
+    points: Sequence[SweepPoint],
+    jobs: int,
+    cache: Optional[ResultCache],
+) -> Dict[str, object]:
+    """Measure (or recall) every distinct profiling run the grid needs."""
+    from ..experiments import context
+
+    tasks: Dict[str, ProfileTask] = {}
+    for point in points:
+        if isinstance(point.profile, ProfileTask):
+            tasks.setdefault(profile_key(point.profile), point.profile)
+
+    resolved: Dict[str, object] = {}
+    missing: List[Tuple[str, ProfileTask]] = []
+    for key, task in tasks.items():
+        report = context.peek_report(task)
+        if report is None and cache is not None:
+            hit, value = cache.get(key)
+            if hit:
+                report = value
+        if report is None:
+            missing.append((key, task))
+        else:
+            resolved[key] = report
+            context.seed_report(task, report)
+
+    if missing:
+        payloads = [
+            (i, SweepPoint(backend=PROFILE, spec=task.spec, seed=task.seed,
+                           profile=task), None)
+            for i, (_, task) in enumerate(missing)
+        ]
+
+        def record(index: int, report: object) -> None:
+            key, task = missing[index]
+            resolved[key] = report
+            context.seed_report(task, report)
+            if cache is not None:
+                cache.put(key, report)
+
+        _run_batch(payloads, jobs, record)
+    return resolved
+
+
+def execute_points(
+    points: Sequence[SweepPoint],
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[object]:
+    """Execute a point grid; returns results aligned with *points*.
+
+    ``jobs=None`` uses one worker per CPU; ``cache`` accepts anything
+    :func:`repro.engine.cache.resolve_cache` does.  Points already present
+    in the in-process memo or the disk cache are served without running.
+    """
+    disk = resolve_cache(cache)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    points = list(points)
+    profiles = _resolve_profiles(points, jobs, disk)
+
+    def profile_for(point: SweepPoint) -> object:
+        if isinstance(point.profile, ProfileTask):
+            return profiles[profile_key(point.profile)]
+        return point.profile
+
+    results: List[object] = [None] * len(points)
+    pending: List[Tuple[int, SweepPoint, object]] = []
+    keys: Dict[int, str] = {}
+    for i, point in enumerate(points):
+        if point.backend == PROFILE:
+            results[i] = profiles[profile_key(point.profile)]
+            continue
+        key = point_key(point)
+        keys[i] = key
+        if point.cacheable and key in _memo:
+            results[i] = _memo[key]
+            continue
+        if point.cacheable and disk is not None:
+            hit, value = disk.get(key)
+            if hit:
+                results[i] = value
+                _memo[key] = value
+                continue
+        pending.append((i, point, profile_for(point)))
+
+    if progress is not None and points:
+        served = len(points) - len(pending)
+        progress(f"{len(points)} points: {served} cached, "
+                 f"{len(pending)} to run (jobs={jobs})")
+
+    def record(index: int, value: object) -> None:
+        results[index] = value
+        point = points[index]
+        if point.cacheable:
+            _memo[keys[index]] = value
+            if disk is not None:
+                disk.put(keys[index], value)
+
+    _run_batch(pending, jobs, record)
+    return results
+
+
+def run_scenario(
+    scenario: Union[str, Scenario],
+    settings=None,
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
+    progress: Optional[Callable[[str], None]] = None,
+):
+    """Build, execute, and assemble one scenario; returns its artifact.
+
+    *scenario* is a :class:`~repro.engine.scenario.Scenario` or a registry
+    name/alias.  The disk cache (if any) is also visible to profiling done
+    while the point grid is being built, so interrupted runs resume
+    incrementally.
+    """
+    from ..experiments import context
+    from ..experiments.settings import ExperimentSettings
+    from .registry import get_scenario
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if settings is None:
+        settings = ExperimentSettings()
+    disk = resolve_cache(cache)
+    previous = context.set_disk_cache(disk)
+    try:
+        points = list(scenario.points(settings))
+        results = execute_points(points, jobs=jobs, cache=disk,
+                                 progress=progress)
+    finally:
+        context.set_disk_cache(previous)
+    return scenario.assemble(settings, points, results)

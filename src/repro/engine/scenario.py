@@ -1,0 +1,231 @@
+"""Declarative scenarios: the unit of work of the sweep engine.
+
+A :class:`Scenario` says *what* to run — a grid of
+(:class:`~repro.workloads.spec.WorkloadSpec` ×
+:class:`~repro.core.params.ReplicationConfig` × sweep axes) points, each
+tagged with the execution pillar (*backend*) that should produce it — and
+how to assemble the per-point results into the finished artifact (a figure,
+a table, an ablation row set).  It says nothing about *how* the points are
+executed: :func:`repro.engine.runner.run_scenario` may run them serially,
+fan them out over a process pool, or satisfy them from the result cache,
+and the assembled artifact is identical in every case.
+
+Every point is a self-contained, picklable description: the workload spec
+and replication config ride along by value, the seed is explicit (derived
+from the experiment settings exactly as the old serial loops derived it),
+and model points name the standalone profile they need either as a
+:class:`ProfileTask` (measure it — the engine deduplicates and caches) or
+as a literal :class:`~repro.core.params.StandaloneProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..core.params import ReplicationConfig
+from ..core.rng import DEFAULT_SEED
+from ..workloads.spec import WorkloadSpec
+
+#: Execution pillars a sweep point can run on.
+MODEL = "model"
+SIMULATOR = "simulator"
+CLUSTER = "cluster"
+PROFILE = "profile"
+BACKENDS = (MODEL, SIMULATOR, CLUSTER, PROFILE)
+
+#: Scenario kinds used for grouping in ``repro scenarios``.
+KINDS = ("figure", "table", "sensitivity", "ablation", "extension", "crossval")
+
+
+@dataclass(frozen=True)
+class ProfileTask:
+    """A standalone profiling run a model point depends on.
+
+    Keyed by content: two points naming the same task share one profiling
+    run (and one cache entry), mirroring the paper's measure-once,
+    predict-many-times methodology.
+    """
+
+    spec: WorkloadSpec
+    seed: int
+    replay_duration: float
+    mixed_duration: float
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One executable point of a scenario's sweep grid."""
+
+    #: Which pillar produces this point (``model`` | ``simulator`` |
+    #: ``cluster`` | ``profile``).
+    backend: str
+    spec: WorkloadSpec
+    #: Deployment the point runs (``None`` only for profile points).
+    config: Optional[ReplicationConfig] = None
+    #: System design (``multi-master`` | ``single-master`` | ``standalone``).
+    design: str = ""
+    seed: int = DEFAULT_SEED
+    #: Backend keyword arguments as a sorted tuple (stable cache keys).
+    options: Tuple[Tuple[str, object], ...] = ()
+    #: Standalone profile dependency: a :class:`ProfileTask` to measure, a
+    #: literal :class:`~repro.core.params.StandaloneProfile`, or ``None``.
+    profile: object = None
+    #: Free-form label used by the scenario's assemble step; not part of
+    #: the cache key, so figures sharing a sweep share cached results.
+    tag: str = ""
+    #: Disk/memo caching eligibility (live-cluster points opt out: they
+    #: measure wall-clock behaviour and should never be replayed stale).
+    cacheable: bool = True
+
+    @property
+    def replicas(self) -> int:
+        """Replica count of the point's deployment (1 for profile points)."""
+        return 1 if self.config is None else self.config.replicas
+
+    def option(self, name: str, default: object = None) -> object:
+        """Look up one backend option."""
+        for key, value in self.options:
+            if key == name:
+                return value
+        return default
+
+    def options_dict(self) -> Dict[str, object]:
+        """The backend options as a plain dict."""
+        return dict(self.options)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative experiment: a point grid plus an assembly step."""
+
+    #: Canonical registry name, e.g. ``"figure6"``.
+    name: str
+    #: Human-readable title shown by ``repro scenarios``.
+    title: str
+    #: Grouping kind (one of :data:`KINDS`).
+    kind: str
+    #: Metrics the artifact reports (documentation metadata).
+    metrics: Tuple[str, ...]
+    #: ``points(settings) -> [SweepPoint, ...]`` — builds the sweep grid.
+    points: Callable[[object], Sequence[SweepPoint]]
+    #: ``assemble(settings, points, results) -> artifact`` — *results* is
+    #: aligned index-for-index with *points*.
+    assemble: Callable[[object, Sequence[SweepPoint], Sequence[object]], object]
+    #: Alternate lookup names, e.g. ``("fig06", "fig6")``.
+    aliases: Tuple[str, ...] = ()
+
+
+def _freeze_options(options: Dict[str, object]) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted((k, v) for k, v in options.items() if v is not None))
+
+
+def profile_task(spec: WorkloadSpec, settings) -> ProfileTask:
+    """The profiling run *settings* prescribes for *spec*."""
+    return ProfileTask(
+        spec=spec,
+        seed=settings.seed,
+        replay_duration=settings.profile_duration,
+        mixed_duration=settings.profile_mixed_duration,
+    )
+
+
+def profile_point(spec: WorkloadSpec, settings, tag: str = "") -> SweepPoint:
+    """A point whose result is the workload's :class:`ProfilingReport`."""
+    return SweepPoint(
+        backend=PROFILE,
+        spec=spec,
+        seed=settings.seed,
+        profile=profile_task(spec, settings),
+        tag=tag,
+    )
+
+
+def model_point(
+    spec: WorkloadSpec,
+    config: ReplicationConfig,
+    design: str,
+    *,
+    profile: object,
+    tag: str = "",
+    cw_mode: Optional[str] = None,
+) -> SweepPoint:
+    """An analytical-model prediction point."""
+    return SweepPoint(
+        backend=MODEL,
+        spec=spec,
+        config=config,
+        design=design,
+        options=_freeze_options({"cw_mode": cw_mode}),
+        profile=profile,
+        tag=tag,
+    )
+
+
+def sim_point(
+    spec: WorkloadSpec,
+    config: ReplicationConfig,
+    design: str,
+    *,
+    seed: int,
+    warmup: float,
+    duration: float,
+    distribution: str = "exponential",
+    lb_policy: str = "least-loaded",
+    faults: Tuple = (),
+    arrival_rate: Optional[float] = None,
+    tag: str = "",
+) -> SweepPoint:
+    """A discrete-event-simulator measurement point."""
+    options = {
+        "warmup": warmup,
+        "duration": duration,
+        "distribution": distribution,
+        "lb_policy": lb_policy,
+    }
+    if faults:
+        options["faults"] = tuple(faults)
+    if arrival_rate is not None:
+        options["arrival_rate"] = arrival_rate
+    return SweepPoint(
+        backend=SIMULATOR,
+        spec=spec,
+        config=config,
+        design=design,
+        seed=seed,
+        options=_freeze_options(options),
+        tag=tag,
+    )
+
+
+def cluster_point(
+    spec: WorkloadSpec,
+    config: ReplicationConfig,
+    design: str,
+    *,
+    seed: int,
+    warmup: float,
+    duration: float,
+    time_scale: float,
+    distribution: str = "exponential",
+    lb_policy: str = "least-loaded",
+    tag: str = "",
+) -> SweepPoint:
+    """A live-cluster execution point (never cached: it measures real
+    wall-clock behaviour, which must not be replayed stale)."""
+    return SweepPoint(
+        backend=CLUSTER,
+        spec=spec,
+        config=config,
+        design=design,
+        seed=seed,
+        options=_freeze_options({
+            "warmup": warmup,
+            "duration": duration,
+            "time_scale": time_scale,
+            "distribution": distribution,
+            "lb_policy": lb_policy,
+        }),
+        tag=tag,
+        cacheable=False,
+    )

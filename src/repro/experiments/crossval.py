@@ -10,6 +10,12 @@ the repo.  All three pillars consume the *same*
 3. **live cluster** — :func:`repro.cluster.run_cluster`, which actually
    executes the transactions on threads against real SI engines.
 
+The comparison is an engine scenario whose grid is one point per pillar —
+the canonical demonstration that any scenario runs on any backend through
+the same :func:`~repro.engine.runner.run_scenario` API.  With ``jobs=3``
+the three pillars execute concurrently; the live-cluster point is never
+cached (it measures real wall-clock behaviour).
+
 The result reports per-metric deviation of the model and the live cluster
 against the simulator (the common reference both were built to match), and
 carries the live cluster's replication-correctness evidence: whether every
@@ -19,20 +25,26 @@ replica converged to the identical version after quiesce.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from ..cluster import ClusterResult, run_cluster
+from ..cluster import ClusterResult
 from ..core.errors import ConfigurationError
 from ..core.params import ReplicationConfig, StandaloneProfile
 from ..core.rng import DEFAULT_SEED
 from ..core.units import to_ms
-from ..models.api import predict
-from ..simulator.runner import MULTI_MASTER, simulate
+from ..engine import (
+    Scenario,
+    cluster_point,
+    model_point,
+    profile_task,
+    register_scenario,
+    sim_point,
+)
+from ..simulator.runner import MULTI_MASTER
 from ..simulator.sampling import EXPONENTIAL
 from ..simulator.systems import LEAST_LOADED
-from ..workloads import get_workload
+from ..workloads import get_workload, tpcw
 from ..workloads.spec import WorkloadSpec
-from .context import get_profile
 from .settings import ExperimentSettings
 
 #: Bare benchmark names accepted by the CLI, mapped to their primary mix.
@@ -152,6 +164,133 @@ def _relative(value: float, reference: float) -> float:
     return abs(value - reference) / reference
 
 
+def _crossval_points(
+    spec: WorkloadSpec,
+    config: ReplicationConfig,
+    design: str,
+    seed: int,
+    profile: object,
+    sim_warmup: float,
+    sim_duration: float,
+    cluster_warmup: float,
+    cluster_duration: float,
+    time_scale: float,
+    distribution: str,
+    lb_policy: str,
+    settings: ExperimentSettings,
+):
+    if profile is None:
+        profile = profile_task(spec, settings)
+    return [
+        model_point(spec, config, design, profile=profile, tag="model"),
+        sim_point(
+            spec, config, design,
+            seed=seed,
+            warmup=sim_warmup,
+            duration=sim_duration,
+            distribution=distribution,
+            lb_policy=lb_policy,
+            tag="simulator",
+        ),
+        cluster_point(
+            spec, config, design,
+            seed=seed,
+            warmup=cluster_warmup,
+            duration=cluster_duration,
+            time_scale=time_scale,
+            distribution=distribution,
+            lb_policy=lb_policy,
+            tag="cluster",
+        ),
+    ]
+
+
+def _crossval_assemble(
+    spec: WorkloadSpec,
+    config: ReplicationConfig,
+    design: str,
+    settings: ExperimentSettings,
+    points: Sequence,
+    results: Sequence,
+) -> CrossValidationResult:
+    by_tag = dict(zip((p.tag for p in points), results))
+    prediction = by_tag["model"]
+    sim_result = by_tag["simulator"]
+    live_result = by_tag["cluster"]
+    return CrossValidationResult(
+        workload=spec.name,
+        design=design,
+        replicas=config.replicas,
+        model=PillarPoint(
+            "model",
+            prediction.throughput,
+            prediction.response_time,
+            prediction.abort_rate,
+        ),
+        simulator=PillarPoint(
+            "simulator",
+            sim_result.throughput,
+            sim_result.response_time,
+            sim_result.abort_rate,
+        ),
+        cluster=PillarPoint(
+            "cluster",
+            live_result.throughput,
+            live_result.response_time,
+            live_result.abort_rate,
+        ),
+        live_result=live_result,
+    )
+
+
+def _crossval_scenario(
+    spec: WorkloadSpec,
+    config: ReplicationConfig,
+    design: str = MULTI_MASTER,
+    seed: int = DEFAULT_SEED,
+    profile: Optional[StandaloneProfile] = None,
+    sim_warmup: float = 10.0,
+    sim_duration: float = 40.0,
+    cluster_warmup: float = 5.0,
+    cluster_duration: float = 20.0,
+    time_scale: float = 0.1,
+    distribution: str = EXPONENTIAL,
+    lb_policy: str = LEAST_LOADED,
+    name: str = "crossval",
+) -> Scenario:
+    def points(settings):
+        return _crossval_points(
+            spec, config, design, seed, profile, sim_warmup, sim_duration,
+            cluster_warmup, cluster_duration, time_scale, distribution,
+            lb_policy, settings,
+        )
+
+    def assemble(settings, pts, results):
+        return _crossval_assemble(spec, config, design, settings, pts,
+                                  results)
+
+    return Scenario(
+        name=name,
+        title=f"Three-pillar cross-validation ({spec.name}, {design}, "
+        f"N={config.replicas})",
+        kind="crossval",
+        metrics=("throughput", "response_time", "abort_rate"),
+        points=points,
+        assemble=assemble,
+        aliases=("cross-validation",),
+    )
+
+
+register_scenario(_crossval_scenario(
+    tpcw.SHOPPING,
+    tpcw.SHOPPING.replication_config(2),
+    sim_warmup=5.0,
+    sim_duration=20.0,
+    cluster_warmup=2.0,
+    cluster_duration=10.0,
+))
+
+
 def cross_validate(
     spec: WorkloadSpec,
     config: ReplicationConfig,
@@ -166,67 +305,26 @@ def cross_validate(
     time_scale: float = 0.1,
     distribution: str = EXPONENTIAL,
     lb_policy: str = LEAST_LOADED,
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
 ) -> CrossValidationResult:
     """Run all three pillars on the same configuration and compare.
 
     *profile* short-circuits the standalone profiling step (tests pass a
     ground-truth profile); by default the profile is measured with
     :func:`repro.experiments.context.get_profile` under *settings*
-    (default: :meth:`ExperimentSettings.fast`).
+    (default: :meth:`ExperimentSettings.fast`).  ``jobs=3`` runs the three
+    pillars concurrently.
     """
-    if profile is None:
-        profile = get_profile(
-            spec, settings or ExperimentSettings.fast()
-        )
-    prediction = predict(design, profile, config)
-    model = PillarPoint(
-        "model",
-        prediction.throughput,
-        prediction.response_time,
-        prediction.abort_rate,
-    )
+    from ..engine.runner import run_scenario
 
-    sim_result = simulate(
-        spec,
-        config,
-        design=design,
-        seed=seed,
-        warmup=sim_warmup,
-        duration=sim_duration,
-        distribution=distribution,
-        lb_policy=lb_policy,
+    scenario = _crossval_scenario(
+        spec, config, design, seed, profile, sim_warmup, sim_duration,
+        cluster_warmup, cluster_duration, time_scale, distribution,
+        lb_policy,
     )
-    sim = PillarPoint(
-        "simulator",
-        sim_result.throughput,
-        sim_result.response_time,
-        sim_result.abort_rate,
-    )
-
-    live_result = run_cluster(
-        spec,
-        config,
-        design=design,
-        seed=seed,
-        warmup=cluster_warmup,
-        duration=cluster_duration,
-        time_scale=time_scale,
-        distribution=distribution,
-        lb_policy=lb_policy,
-    )
-    live = PillarPoint(
-        "cluster",
-        live_result.throughput,
-        live_result.response_time,
-        live_result.abort_rate,
-    )
-
-    return CrossValidationResult(
-        workload=spec.name,
-        design=design,
-        replicas=config.replicas,
-        model=model,
-        simulator=sim,
-        cluster=live,
-        live_result=live_result,
+    return run_scenario(
+        scenario, settings or ExperimentSettings.fast(), jobs=jobs,
+        cache=cache,
     )

@@ -9,19 +9,29 @@ while the returning replica applies the writesets it missed.
 The analytical model supplies the reference lines: the steady-state
 prediction for N replicas (before/after) and for N-1 replicas scaled to the
 same client population bound (during).
+
+As an engine scenario the grid is three points — the fault-injected
+simulation plus the healthy/degraded model predictions — so the expensive
+simulation, its reference predictions, and the profiling they share are
+scheduled by the same runner as every other experiment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import List, Optional, Sequence
 
 from ..core.errors import ConfigurationError
-from ..models.api import predict as model_predict
+from ..engine import (
+    Scenario,
+    model_point,
+    profile_task,
+    register_scenario,
+    sim_point,
+)
 from ..simulator.faults import ReplicaFault
-from ..simulator.runner import simulate
+from ..workloads import tpcw
 from ..workloads.spec import WorkloadSpec
-from .context import get_profile
 from .settings import ExperimentSettings
 
 
@@ -70,23 +80,15 @@ class FailoverResult:
         return "\n".join(lines)
 
 
-def failover_experiment(
+def _failover_points(
     spec: WorkloadSpec,
-    design: str = "multi-master",
-    replicas: int = 4,
-    fault_replica: int = 1,
-    settings: ExperimentSettings = ExperimentSettings(),
-    phase_length: float = 30.0,
-) -> FailoverResult:
-    """Crash one replica for *phase_length* seconds mid-run and measure.
-
-    The run has three equal phases: healthy, degraded, recovered.  Phase
-    means skip 5 s of settling after each transition.
-    """
-    if replicas < 2:
-        raise ConfigurationError("failover needs at least 2 replicas")
+    design: str,
+    replicas: int,
+    fault_replica: int,
+    phase_length: float,
+    settings: ExperimentSettings,
+) -> List:
     warmup = settings.sim_warmup
-    duration = 3 * phase_length
     fault = ReplicaFault(
         replica_index=fault_replica,
         start=warmup + phase_length,
@@ -97,27 +99,41 @@ def failover_experiment(
         load_balancer_delay=settings.load_balancer_delay,
         certifier_delay=settings.certifier_delay,
     )
-    result = simulate(
-        spec,
-        config,
-        design=design,
-        seed=settings.seed,
-        warmup=warmup,
-        duration=duration,
-        faults=[fault],
-    )
-    timeline = list(result.throughput_timeline)
+    task = profile_task(spec, settings)
+    return [
+        sim_point(
+            spec, config, design,
+            seed=settings.seed,
+            warmup=warmup,
+            duration=3 * phase_length,
+            faults=(fault,),
+            tag="run",
+        ),
+        model_point(spec, config, design, profile=task, tag="healthy"),
+        model_point(spec, config.with_replicas(replicas - 1), design,
+                    profile=task, tag="degraded"),
+    ]
+
+
+def _failover_assemble(
+    design: str,
+    replicas: int,
+    phase_length: float,
+    settings: ExperimentSettings,
+    points: Sequence,
+    results: Sequence,
+) -> FailoverResult:
+    by_tag = dict(zip((p.tag for p in points), results))
+    sim_result = by_tag["run"]
+    run_point = next(p for p in points if p.tag == "run")
+    fault = run_point.option("faults")[0]
+    timeline = list(sim_result.throughput_timeline)
 
     def phase_mean(start: float, end: float) -> float:
+        # Phase means skip 5 s of settling after each transition.
         lo, hi = int(start) + 5, int(end)
         values = timeline[lo:hi]
         return sum(values) / len(values) if values else 0.0
-
-    profile = get_profile(spec, settings)
-    healthy = model_predict(design, profile, config).throughput
-    degraded = model_predict(
-        design, profile, config.with_replicas(replicas - 1)
-    ).throughput
 
     return FailoverResult(
         design=design,
@@ -126,7 +142,67 @@ def failover_experiment(
         before=phase_mean(0, phase_length),
         during=phase_mean(phase_length, 2 * phase_length),
         after=phase_mean(2 * phase_length, 3 * phase_length),
-        predicted_healthy=healthy,
-        predicted_degraded=degraded,
+        predicted_healthy=by_tag["healthy"].throughput,
+        predicted_degraded=by_tag["degraded"].throughput,
         timeline=tuple(timeline),
     )
+
+
+def _failover_scenario(
+    spec: WorkloadSpec,
+    design: str,
+    replicas: int,
+    fault_replica: int,
+    phase_length: float,
+    name: str = "ext-failover",
+) -> Scenario:
+    def points(settings):
+        return _failover_points(
+            spec, design, replicas, fault_replica, phase_length, settings
+        )
+
+    def assemble(settings, pts, results):
+        return _failover_assemble(
+            design, replicas, phase_length, settings, pts, results
+        )
+
+    return Scenario(
+        name=name,
+        title=f"Replica crash/recovery throughput ({spec.name}, {design})",
+        kind="extension",
+        metrics=("throughput",),
+        points=points,
+        assemble=assemble,
+        aliases=("failover",),
+    )
+
+
+register_scenario(
+    _failover_scenario(tpcw.SHOPPING, "multi-master", 4, 1, 30.0)
+)
+
+
+def failover_experiment(
+    spec: WorkloadSpec,
+    design: str = "multi-master",
+    replicas: int = 4,
+    fault_replica: int = 1,
+    settings: ExperimentSettings = ExperimentSettings(),
+    phase_length: float = 30.0,
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
+) -> FailoverResult:
+    """Crash one replica for *phase_length* seconds mid-run and measure.
+
+    The run has three equal phases: healthy, degraded, recovered.  Phase
+    means skip 5 s of settling after each transition.
+    """
+    if replicas < 2:
+        raise ConfigurationError("failover needs at least 2 replicas")
+    from ..engine.runner import run_scenario
+
+    scenario = _failover_scenario(
+        spec, design, replicas, fault_replica, phase_length
+    )
+    return run_scenario(scenario, settings, jobs=jobs, cache=cache)

@@ -1,4 +1,4 @@
-"""Reproduction of Figures 6-14: predicted vs measured scalability curves.
+"""Reproduction of Figures 6-14 as declarative engine scenarios.
 
 Each ``figureN`` function regenerates the corresponding paper artifact:
 
@@ -18,14 +18,20 @@ Figure Contents                                                Runner
 
 The *measured* side is the discrete-event simulation of the prototypes; the
 *predicted* side is the analytical model fed only by standalone profiling.
-Sweeps are cached per (benchmark, design, settings), so figure pairs that
-share runs (6/7, 8/9, 10/11, 12/13) cost one sweep.
+Each figure is a :class:`~repro.engine.scenario.Scenario` — a declarative
+(workload × design × replica-count) grid with one model point and one
+simulator point per cell — registered in the scenario registry and executed
+by the shared sweep runner.  Sweep points are keyed by content, so figure
+pairs that share runs (6/7, 8/9, 10/11, 12/13) cost one sweep, and
+``--jobs N`` fans the points out over a process pool with identical
+results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.results import (
     OperatingPoint,
@@ -33,12 +39,19 @@ from ..core.results import (
     ValidationSeries,
 )
 from ..core.units import to_ms
-from ..models.api import predict as model_predict
-from ..models.multimaster import predict_multimaster
-from ..simulator.runner import simulate
+from ..engine import (
+    MODEL,
+    Scenario,
+    clear_memo,
+    execute_points,
+    model_point,
+    profile_task,
+    register_scenario,
+    sim_point,
+)
 from ..workloads import microbench, rubis, tpcw
 from ..workloads.spec import WorkloadSpec
-from .context import get_profile, get_profiling_report
+from .context import get_profiling_report
 from .settings import ExperimentSettings
 
 MULTI_MASTER = "multi-master"
@@ -48,8 +61,6 @@ _BENCHMARKS: Dict[str, Dict[str, WorkloadSpec]] = {
     "tpcw": dict(tpcw.MIXES),
     "rubis": dict(rubis.MIXES),
 }
-
-_sweep_cache: Dict[Tuple, Dict[str, ValidationSeries]] = {}
 
 
 @dataclass(frozen=True)
@@ -99,136 +110,210 @@ def _metric_values(metric: str, row: ValidationPoint) -> Tuple[float, float]:
     return to_ms(row.measured.response_time), to_ms(row.predicted.response_time)
 
 
+# ---------------------------------------------------------------------------
+# The validation sweep grid shared by Figures 6-13 and the error margin
+# ---------------------------------------------------------------------------
+
+
+def sweep_points(
+    benchmark: str, design: str, settings: ExperimentSettings
+) -> List:
+    """The (mix × N × pillar) grid behind one benchmark/design sweep."""
+    points = []
+    for mix_name, spec in _BENCHMARKS[benchmark].items():
+        task = profile_task(spec, settings)
+        for n in settings.replica_counts:
+            config = spec.replication_config(
+                n,
+                load_balancer_delay=settings.load_balancer_delay,
+                certifier_delay=settings.certifier_delay,
+            )
+            points.append(
+                model_point(spec, config, design, profile=task, tag=mix_name)
+            )
+            points.append(
+                sim_point(
+                    spec, config, design,
+                    seed=settings.seed,
+                    warmup=settings.sim_warmup,
+                    duration=settings.sim_duration,
+                    tag=mix_name,
+                )
+            )
+    return points
+
+
+def assemble_sweep(
+    settings: ExperimentSettings, points: Sequence, results: Sequence
+) -> Dict[str, ValidationSeries]:
+    """Pair model and simulator points back into validation series."""
+    predicted: Dict[Tuple[str, int], OperatingPoint] = {}
+    measured: Dict[Tuple[str, int], OperatingPoint] = {}
+    labels: Dict[str, str] = {}
+    order: List[str] = []
+    for point, result in zip(points, results):
+        key = (point.tag, point.replicas)
+        if point.backend == MODEL:
+            predicted[key] = result.point
+        else:
+            measured[key] = result.point
+        if point.tag not in labels:
+            labels[point.tag] = f"{point.spec.name} {point.design}"
+            order.append(point.tag)
+    series: Dict[str, ValidationSeries] = {}
+    for mix in order:
+        rows = [
+            ValidationPoint(
+                replicas=n,
+                predicted=predicted[(mix, n)],
+                measured=measured[(mix, n)],
+            )
+            for n in settings.replica_counts
+        ]
+        series[mix] = ValidationSeries(label=labels[mix], rows=rows)
+    return series
+
+
 def validation_sweep(
     benchmark: str,
     design: str,
     settings: ExperimentSettings,
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
 ) -> Dict[str, ValidationSeries]:
     """Predicted and measured curves for every mix of *benchmark* (cached)."""
-    key = (benchmark, design, settings)
-    if key in _sweep_cache:
-        return _sweep_cache[key]
-    result: Dict[str, ValidationSeries] = {}
-    for mix_name, spec in _BENCHMARKS[benchmark].items():
-        result[mix_name] = _validate_mix(spec, design, settings)
-    _sweep_cache[key] = result
-    return result
-
-
-def _validate_mix(
-    spec: WorkloadSpec, design: str, settings: ExperimentSettings
-) -> ValidationSeries:
-    profile = get_profile(spec, settings)
-    rows: List[ValidationPoint] = []
-    for n in settings.replica_counts:
-        config = spec.replication_config(
-            n,
-            load_balancer_delay=settings.load_balancer_delay,
-            certifier_delay=settings.certifier_delay,
-        )
-        predicted = model_predict(design, profile, config).point
-        measured = simulate(
-            spec,
-            config,
-            design=design,
-            seed=settings.seed,
-            warmup=settings.sim_warmup,
-            duration=settings.sim_duration,
-        ).point
-        rows.append(
-            ValidationPoint(replicas=n, predicted=predicted, measured=measured)
-        )
-    return ValidationSeries(label=f"{spec.name} {design}", rows=rows)
+    points = sweep_points(benchmark, design, settings)
+    results = execute_points(points, jobs=jobs, cache=cache)
+    return assemble_sweep(settings, points, results)
 
 
 def clear_sweep_cache() -> None:
-    """Drop cached sweeps (tests use this for isolation)."""
-    _sweep_cache.clear()
+    """Drop memoized sweep points (tests use this for isolation)."""
+    clear_memo()
 
 
 # ---------------------------------------------------------------------------
 # Figures 6-13
 # ---------------------------------------------------------------------------
 
+#: (figure number, title, benchmark, design, metric)
+_FIGURE_DEFS: Tuple[Tuple[int, str, str, str, str], ...] = (
+    (6, "TPC-W throughput on MM system", "tpcw", MULTI_MASTER, "throughput"),
+    (7, "TPC-W response time on MM system", "tpcw", MULTI_MASTER,
+     "response_time"),
+    (8, "TPC-W throughput on SM system", "tpcw", SINGLE_MASTER, "throughput"),
+    (9, "TPC-W response time on SM system", "tpcw", SINGLE_MASTER,
+     "response_time"),
+    (10, "RUBiS throughput on MM system", "rubis", MULTI_MASTER, "throughput"),
+    (11, "RUBiS response time on MM system", "rubis", MULTI_MASTER,
+     "response_time"),
+    (12, "RUBiS throughput on SM system", "rubis", SINGLE_MASTER,
+     "throughput"),
+    (13, "RUBiS response time on SM system", "rubis", SINGLE_MASTER,
+     "response_time"),
+)
 
-def _figure(
+
+def _assemble_figure(
     figure_id: str,
     title: str,
-    benchmark: str,
-    design: str,
     metric: str,
     settings: ExperimentSettings,
+    points: Sequence,
+    results: Sequence,
 ) -> FigureResult:
     return FigureResult(
         figure_id=figure_id,
         title=title,
         metric=metric,
-        series=validation_sweep(benchmark, design, settings),
+        series=assemble_sweep(settings, points, results),
     )
 
 
-def figure6(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+def _figure_scenario(
+    number: int, title: str, benchmark: str, design: str, metric: str
+) -> Scenario:
+    figure_id = f"figure{number}"
+    aliases = tuple(dict.fromkeys((f"fig{number:02d}", f"fig{number}")))
+    return Scenario(
+        name=figure_id,
+        title=title,
+        kind="figure",
+        metrics=(metric,),
+        points=partial(sweep_points, benchmark, design),
+        assemble=partial(_assemble_figure, figure_id, title, metric),
+        aliases=aliases,
+    )
+
+
+_FIGURE_SCENARIOS: Dict[str, Scenario] = {
+    f"figure{number}": register_scenario(
+        _figure_scenario(number, title, benchmark, design, metric)
+    )
+    for number, title, benchmark, design, metric in _FIGURE_DEFS
+}
+
+
+def _run_figure(
+    figure_id: str,
+    settings: ExperimentSettings,
+    jobs: Optional[int],
+    cache: object,
+) -> FigureResult:
+    from ..engine.runner import run_scenario
+
+    return run_scenario(
+        _FIGURE_SCENARIOS[figure_id], settings, jobs=jobs, cache=cache
+    )
+
+
+def figure6(settings: ExperimentSettings = ExperimentSettings(),
+            *, jobs: Optional[int] = 1, cache: object = None) -> FigureResult:
     """TPC-W throughput on the multi-master system."""
-    return _figure(
-        "figure6", "TPC-W throughput on MM system", "tpcw",
-        MULTI_MASTER, "throughput", settings,
-    )
+    return _run_figure("figure6", settings, jobs, cache)
 
 
-def figure7(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+def figure7(settings: ExperimentSettings = ExperimentSettings(),
+            *, jobs: Optional[int] = 1, cache: object = None) -> FigureResult:
     """TPC-W response time on the multi-master system."""
-    return _figure(
-        "figure7", "TPC-W response time on MM system", "tpcw",
-        MULTI_MASTER, "response_time", settings,
-    )
+    return _run_figure("figure7", settings, jobs, cache)
 
 
-def figure8(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+def figure8(settings: ExperimentSettings = ExperimentSettings(),
+            *, jobs: Optional[int] = 1, cache: object = None) -> FigureResult:
     """TPC-W throughput on the single-master system."""
-    return _figure(
-        "figure8", "TPC-W throughput on SM system", "tpcw",
-        SINGLE_MASTER, "throughput", settings,
-    )
+    return _run_figure("figure8", settings, jobs, cache)
 
 
-def figure9(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+def figure9(settings: ExperimentSettings = ExperimentSettings(),
+            *, jobs: Optional[int] = 1, cache: object = None) -> FigureResult:
     """TPC-W response time on the single-master system."""
-    return _figure(
-        "figure9", "TPC-W response time on SM system", "tpcw",
-        SINGLE_MASTER, "response_time", settings,
-    )
+    return _run_figure("figure9", settings, jobs, cache)
 
 
-def figure10(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+def figure10(settings: ExperimentSettings = ExperimentSettings(),
+             *, jobs: Optional[int] = 1, cache: object = None) -> FigureResult:
     """RUBiS throughput on the multi-master system."""
-    return _figure(
-        "figure10", "RUBiS throughput on MM system", "rubis",
-        MULTI_MASTER, "throughput", settings,
-    )
+    return _run_figure("figure10", settings, jobs, cache)
 
 
-def figure11(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+def figure11(settings: ExperimentSettings = ExperimentSettings(),
+             *, jobs: Optional[int] = 1, cache: object = None) -> FigureResult:
     """RUBiS response time on the multi-master system."""
-    return _figure(
-        "figure11", "RUBiS response time on MM system", "rubis",
-        MULTI_MASTER, "response_time", settings,
-    )
+    return _run_figure("figure11", settings, jobs, cache)
 
 
-def figure12(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+def figure12(settings: ExperimentSettings = ExperimentSettings(),
+             *, jobs: Optional[int] = 1, cache: object = None) -> FigureResult:
     """RUBiS throughput on the single-master system."""
-    return _figure(
-        "figure12", "RUBiS throughput on SM system", "rubis",
-        SINGLE_MASTER, "throughput", settings,
-    )
+    return _run_figure("figure12", settings, jobs, cache)
 
 
-def figure13(settings: ExperimentSettings = ExperimentSettings()) -> FigureResult:
+def figure13(settings: ExperimentSettings = ExperimentSettings(),
+             *, jobs: Optional[int] = 1, cache: object = None) -> FigureResult:
     """RUBiS response time on the single-master system."""
-    return _figure(
-        "figure13", "RUBiS response time on SM system", "rubis",
-        SINGLE_MASTER, "response_time", settings,
-    )
+    return _run_figure("figure13", settings, jobs, cache)
 
 
 # ---------------------------------------------------------------------------
@@ -267,9 +352,111 @@ class Figure14Result:
         return "\n".join(lines)
 
 
+def _figure14_points(
+    abort_rates: Sequence[float], settings: ExperimentSettings
+) -> List:
+    """Derive the heap-table specs (§6.3.3) and lay out their grid.
+
+    Building the grid profiles the base workload and each derived spec in
+    the parent process (the derived spec's *shape* depends on the base
+    profile); those reports land in the shared profiling cache, so the
+    assemble step reads the measured A1 values for free.
+    """
+    base = tpcw.SHOPPING
+    base_report = get_profiling_report(base, settings)
+    base_profile = base_report.profile
+    update_rate = (
+        base_report.standalone_throughput * base_profile.mix.write_fraction
+    )
+    points = []
+    for target in abort_rates:
+        spec = microbench.heap_table_spec(
+            target,
+            update_response_time=base_profile.update_response_time,
+            update_rate=update_rate,
+            base=base,
+        )
+        task = profile_task(spec, settings)
+        tag = f"{target:.6f}"
+        for n in settings.replica_counts:
+            config = spec.replication_config(
+                n,
+                load_balancer_delay=settings.load_balancer_delay,
+                certifier_delay=settings.certifier_delay,
+            )
+            points.append(
+                model_point(spec, config, MULTI_MASTER, profile=task, tag=tag)
+            )
+            points.append(
+                sim_point(
+                    spec, config, MULTI_MASTER,
+                    seed=settings.seed,
+                    warmup=settings.sim_warmup,
+                    duration=settings.sim_duration,
+                    tag=tag,
+                )
+            )
+    return points
+
+
+def _figure14_assemble(
+    abort_rates: Sequence[float],
+    settings: ExperimentSettings,
+    points: Sequence,
+    results: Sequence,
+) -> Figure14Result:
+    predicted: Dict[Tuple[str, int], float] = {}
+    measured: Dict[Tuple[str, int], float] = {}
+    spec_by_tag: Dict[str, WorkloadSpec] = {}
+    for point, result in zip(points, results):
+        key = (point.tag, point.replicas)
+        if point.backend == MODEL:
+            predicted[key] = result.abort_rate
+        else:
+            measured[key] = result.abort_rate
+        spec_by_tag[point.tag] = point.spec
+    curves: List[AbortCurve] = []
+    for target in abort_rates:
+        tag = f"{target:.6f}"
+        profile = get_profiling_report(spec_by_tag[tag], settings).profile
+        curves.append(
+            AbortCurve(
+                target_a1=target,
+                measured_a1=profile.abort_rate,
+                replica_counts=tuple(settings.replica_counts),
+                measured=tuple(
+                    measured[(tag, n)] for n in settings.replica_counts
+                ),
+                predicted=tuple(
+                    predicted[(tag, n)] for n in settings.replica_counts
+                ),
+            )
+        )
+    return Figure14Result(curves=tuple(curves))
+
+
+def _figure14_scenario(abort_rates: Sequence[float]) -> Scenario:
+    rates = tuple(abort_rates)
+    return Scenario(
+        name="figure14",
+        title="TPC-W shopping MM abort probability at elevated A1",
+        kind="figure",
+        metrics=("abort_rate",),
+        points=partial(_figure14_points, rates),
+        assemble=partial(_figure14_assemble, rates),
+        aliases=("fig14",),
+    )
+
+
+register_scenario(_figure14_scenario(microbench.FIGURE14_ABORT_RATES))
+
+
 def figure14(
     settings: ExperimentSettings = ExperimentSettings(),
     abort_rates: Sequence[float] = microbench.FIGURE14_ABORT_RATES,
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
 ) -> Figure14Result:
     """Multi-master abort probability with an injected high-conflict table.
 
@@ -278,49 +465,8 @@ def figure14(
     target; the model then predicts AN from the *measured* A1 while the
     simulator measures AN directly.
     """
-    base = tpcw.SHOPPING
-    base_report = get_profiling_report(base, settings)
-    base_profile = base_report.profile
-    update_rate = (
-        base_report.standalone_throughput * base_profile.mix.write_fraction
-    )
+    from ..engine.runner import run_scenario
 
-    curves: List[AbortCurve] = []
-    for target in abort_rates:
-        spec = microbench.heap_table_spec(
-            target,
-            update_response_time=base_profile.update_response_time,
-            update_rate=update_rate,
-            base=base,
-        )
-        report = get_profiling_report(spec, settings)
-        profile = report.profile
-        measured_an: List[float] = []
-        predicted_an: List[float] = []
-        for n in settings.replica_counts:
-            config = spec.replication_config(
-                n,
-                load_balancer_delay=settings.load_balancer_delay,
-                certifier_delay=settings.certifier_delay,
-            )
-            predicted_an.append(predict_multimaster(profile, config).abort_rate)
-            measured_an.append(
-                simulate(
-                    spec,
-                    config,
-                    design=MULTI_MASTER,
-                    seed=settings.seed,
-                    warmup=settings.sim_warmup,
-                    duration=settings.sim_duration,
-                ).abort_rate
-            )
-        curves.append(
-            AbortCurve(
-                target_a1=target,
-                measured_a1=profile.abort_rate,
-                replica_counts=tuple(settings.replica_counts),
-                measured=tuple(measured_an),
-                predicted=tuple(predicted_an),
-            )
-        )
-    return Figure14Result(curves=tuple(curves))
+    return run_scenario(
+        _figure14_scenario(abort_rates), settings, jobs=jobs, cache=cache
+    )

@@ -11,16 +11,25 @@ This experiment drives the same workload both ways at matched loads and
 reports the divergence — a validation that the simulator reproduces the
 classic open/closed contrast, and a caution for anyone applying the
 closed-loop models of this library to open traffic.
+
+Implemented as an engine scenario: the grid holds one open-arrival and one
+matched closed-population simulator point per load fraction (the closed
+population is sized with the analytical model while the grid is built), so
+all the simulations fan out in parallel.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..core.errors import ConfigurationError
+from ..engine import Scenario, register_scenario, sim_point
 from ..models.standalone import predict_standalone
-from ..simulator.runner import STANDALONE, simulate
+from ..simulator.runner import STANDALONE
+from ..workloads import tpcw
 from ..workloads.spec import WorkloadSpec
 from .context import get_profile
 from .settings import ExperimentSettings
@@ -66,11 +75,120 @@ class OpenClosedResult:
         return "\n".join(lines)
 
 
+def _capacity(profile) -> float:
+    """Throughput bound from the busiest resource's aggregate demand."""
+    demand_bound = max(
+        profile.mix.read_fraction * profile.demands.read.cpu
+        + profile.mix.write_fraction * profile.demands.write.cpu,
+        profile.mix.read_fraction * profile.demands.read.disk
+        + profile.mix.write_fraction * profile.demands.write.disk,
+    )
+    return 1.0 / demand_bound
+
+
+def _openloop_points(
+    spec: WorkloadSpec,
+    load_fractions: Sequence[float],
+    max_clients: int,
+    settings: ExperimentSettings,
+) -> List:
+    profile = get_profile(spec, settings)
+    capacity = _capacity(profile)
+    base_config = spec.replication_config(1, load_balancer_delay=0.0)
+    points = []
+    for i, fraction in enumerate(load_fractions):
+        rate = fraction * capacity
+        points.append(
+            sim_point(
+                spec, base_config, STANDALONE,
+                seed=settings.seed,
+                warmup=settings.sim_warmup,
+                duration=settings.sim_duration,
+                arrival_rate=rate,
+                tag=f"open:{i}",
+            )
+        )
+        clients = _clients_for_rate(profile, spec, rate, max_clients)
+        closed_config = dataclasses.replace(
+            base_config, clients_per_replica=clients
+        )
+        points.append(
+            sim_point(
+                spec, closed_config, STANDALONE,
+                seed=settings.seed,
+                warmup=settings.sim_warmup,
+                duration=settings.sim_duration,
+                tag=f"closed:{i}",
+            )
+        )
+    return points
+
+
+def _openloop_assemble(
+    spec: WorkloadSpec,
+    load_fractions: Sequence[float],
+    settings: ExperimentSettings,
+    points: Sequence,
+    results: Sequence,
+) -> OpenClosedResult:
+    capacity = _capacity(get_profile(spec, settings))
+    by_tag = dict(zip((p.tag for p in points), zip(points, results)))
+    rows: List[OpenClosedRow] = []
+    for i, fraction in enumerate(load_fractions):
+        open_point, open_result = by_tag[f"open:{i}"]
+        closed_point, closed_result = by_tag[f"closed:{i}"]
+        rows.append(
+            OpenClosedRow(
+                load_fraction=fraction,
+                arrival_rate=open_point.option("arrival_rate"),
+                open_response=open_result.response_time,
+                closed_response=closed_result.response_time,
+                closed_clients=closed_point.config.clients_per_replica,
+            )
+        )
+    return OpenClosedResult(
+        workload=spec.name, capacity=capacity, rows=tuple(rows)
+    )
+
+
+def _openloop_scenario(
+    spec: WorkloadSpec,
+    load_fractions: Sequence[float],
+    max_clients: int,
+    name: str = "ext-openloop",
+) -> Scenario:
+    fractions = tuple(load_fractions)
+
+    def points(settings):
+        return _openloop_points(spec, fractions, max_clients, settings)
+
+    def assemble(settings, pts, results):
+        return _openloop_assemble(spec, fractions, settings, pts, results)
+
+    return Scenario(
+        name=name,
+        title=f"Open vs closed arrivals ({spec.name}, standalone)",
+        kind="extension",
+        metrics=("response_time",),
+        points=points,
+        assemble=assemble,
+        aliases=("openloop", "open-vs-closed"),
+    )
+
+
+register_scenario(
+    _openloop_scenario(tpcw.SHOPPING, (0.5, 0.8, 0.95, 1.1), 400)
+)
+
+
 def open_vs_closed(
     spec: WorkloadSpec,
     settings: ExperimentSettings = ExperimentSettings(),
     load_fractions: Sequence[float] = (0.5, 0.8, 0.95, 1.1),
     max_clients: int = 400,
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
 ) -> OpenClosedResult:
     """Compare open and closed arrivals on the standalone system.
 
@@ -81,48 +199,10 @@ def open_vs_closed(
     """
     if not load_fractions:
         raise ConfigurationError("need at least one load fraction")
-    profile = get_profile(spec, settings)
-    demand_bound = max(
-        profile.mix.read_fraction * profile.demands.read.cpu
-        + profile.mix.write_fraction * profile.demands.write.cpu,
-        profile.mix.read_fraction * profile.demands.read.disk
-        + profile.mix.write_fraction * profile.demands.write.disk,
-    )
-    capacity = 1.0 / demand_bound
+    from ..engine.runner import run_scenario
 
-    rows: List[OpenClosedRow] = []
-    for fraction in load_fractions:
-        rate = fraction * capacity
-        open_result = simulate(
-            spec,
-            spec.replication_config(1, load_balancer_delay=0.0),
-            design=STANDALONE,
-            seed=settings.seed,
-            warmup=settings.sim_warmup,
-            duration=settings.sim_duration,
-            arrival_rate=rate,
-        )
-        clients = _clients_for_rate(profile, spec, rate, max_clients)
-        closed_result = simulate(
-            spec,
-            spec.replication_config(1, load_balancer_delay=0.0),
-            design=STANDALONE,
-            seed=settings.seed,
-            warmup=settings.sim_warmup,
-            duration=settings.sim_duration,
-        ) if clients is None else _closed_run(spec, settings, clients)
-        rows.append(
-            OpenClosedRow(
-                load_fraction=fraction,
-                arrival_rate=rate,
-                open_response=open_result.response_time,
-                closed_response=closed_result.response_time,
-                closed_clients=clients or spec.clients_per_replica,
-            )
-        )
-    return OpenClosedResult(
-        workload=spec.name, capacity=capacity, rows=tuple(rows)
-    )
+    scenario = _openloop_scenario(spec, load_fractions, max_clients)
+    return run_scenario(scenario, settings, jobs=jobs, cache=cache)
 
 
 def _clients_for_rate(profile, spec, rate, max_clients):
@@ -134,14 +214,10 @@ def _clients_for_rate(profile, spec, rate, max_clients):
     closed system then runs *at* capacity with bounded response, which is
     precisely the contrast with the diverging open queue.
     """
-    import math
-
-    best = None
     for clients in range(1, max_clients + 1):
         prediction = predict_standalone(
             profile, clients=clients, think_time=spec.think_time
         )
-        best = prediction.throughput
         if prediction.throughput >= rate:
             return clients
     # Unreachable: size to 1.2x the knee population.
@@ -157,18 +233,3 @@ def _clients_for_rate(profile, spec, rate, max_clients):
     )
     knee = (demand + spec.think_time) / bottleneck
     return min(max_clients, int(math.ceil(1.2 * knee)))
-
-
-def _closed_run(spec, settings, clients):
-    import dataclasses
-
-    config = spec.replication_config(1, load_balancer_delay=0.0)
-    config = dataclasses.replace(config, clients_per_replica=clients)
-    return simulate(
-        spec,
-        config,
-        design=STANDALONE,
-        seed=settings.seed,
-        warmup=settings.sim_warmup,
-        duration=settings.sim_duration,
-    )

@@ -3,6 +3,10 @@
 :func:`full_report` runs Tables 2-5, Figures 6-14, the §6.3 sensitivity
 analyses, and the ablations, and renders them as one text report — the
 program behind ``repro reproduce`` and ``scripts/run_all_experiments.py``.
+Every artifact goes through the scenario engine, so ``jobs`` fans each
+sweep out over a process pool and ``cache`` makes interrupted reports
+resume incrementally; the progress heartbeat reports per-scenario
+wall-clock so parallel speedup is visible.
 :func:`summary_table` condenses the validation into the per-series error
 table of EXPERIMENTS.md.
 """
@@ -21,34 +25,50 @@ FIGURE_RUNNERS = tuple(
 )
 
 
-def summary_table(settings: ExperimentSettings) -> str:
+def summary_table(
+    settings: ExperimentSettings,
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
+) -> str:
     """The §6.2 error-margin summary as a text table."""
-    return sensitivity.error_margin(settings).to_text()
+    return sensitivity.error_margin(settings, jobs=jobs, cache=cache).to_text()
 
 
 def full_report(
     settings: Optional[ExperimentSettings] = None,
     progress: Optional[Callable[[str], None]] = None,
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
 ) -> str:
     """Regenerate every paper artifact; returns the combined text report.
 
-    *progress* (if given) receives one line per completed artifact, for
-    long-running invocations that want a heartbeat.
+    *progress* (if given) receives one line per completed artifact — total
+    elapsed plus the artifact's own wall-clock — for long-running
+    invocations that want a heartbeat.  ``jobs=None`` uses one worker per
+    CPU.
     """
     settings = settings or ExperimentSettings()
     started = time.time()
+    last = started
     sections: List[str] = []
 
     def note(name: str) -> None:
+        nonlocal last
+        now = time.time()
         if progress is not None:
-            progress(f"[{time.time() - started:6.0f}s] {name} done")
+            progress(
+                f"[{now - started:6.0f}s] {name} done in {now - last:.1f}s"
+            )
+        last = now
 
     sections.append(tables.table2().to_text())
     sections.append(tables.table4().to_text())
     note("tables 2/4")
 
     for runner, name in ((tables.table3, "table3"), (tables.table5, "table5")):
-        table = runner(settings)
+        table = runner(settings, jobs=jobs, cache=cache)
         sections.append(table.to_text())
         sections.append(
             f"  -> max profiling error {table.max_relative_error():.2%}"
@@ -56,30 +76,41 @@ def full_report(
         note(name)
 
     for runner in FIGURE_RUNNERS:
-        figure = runner(settings)
+        figure = runner(settings, jobs=jobs, cache=cache)
         sections.append(figure.to_text())
         sections.append(
             f"  -> max {figure.metric} error {figure.max_error():.1%}"
         )
-        note(figure.__name__)
+        note(runner.__name__)
 
-    fig14 = figures.figure14(settings)
+    fig14 = figures.figure14(settings, jobs=jobs, cache=cache)
     sections.append(fig14.to_text())
     note("figure14")
 
-    sections.append(sensitivity.lb_delay_sensitivity(settings).to_text())
-    sections.append(sensitivity.certifier_delay_sensitivity(settings).to_text())
+    sections.append(
+        sensitivity.lb_delay_sensitivity(settings, jobs=jobs,
+                                         cache=cache).to_text()
+    )
+    sections.append(
+        sensitivity.certifier_delay_sensitivity(settings, jobs=jobs,
+                                                cache=cache).to_text()
+    )
     sections.append(sensitivity.certifier_capacity().to_text())
-    sections.append(summary_table(settings))
+    sections.append(summary_table(settings, jobs=jobs, cache=cache))
     note("sensitivity")
 
-    sections.append(_ablation_section(settings))
+    sections.append(_ablation_section(settings, jobs=jobs, cache=cache))
     note("ablations")
 
     return "\n\n".join(sections)
 
 
-def _ablation_section(settings: ExperimentSettings) -> str:
+def _ablation_section(
+    settings: ExperimentSettings,
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
+) -> str:
     lines: List[str] = ["mva ablation (exact vs Schweitzer):"]
     for row in ablations.mva_ablation():
         lines.append(
@@ -88,20 +119,22 @@ def _ablation_section(settings: ExperimentSettings) -> str:
             f"err={row.relative_error:.2%}"
         )
     lines.append("conflict-window ablation (one-step lag vs fixed point):")
-    for row in ablations.conflict_window_ablation(settings):
+    for row in ablations.conflict_window_ablation(settings, jobs=jobs,
+                                                  cache=cache):
         lines.append(
             f"  N={row.replicas:>2d} lag={row.one_step_lag_abort:.4%} "
             f"fixed={row.fixed_point_abort:.4%}"
         )
     lines.append("service-distribution ablation (MM, N=4):")
-    for row in ablations.distribution_ablation(settings):
+    for row in ablations.distribution_ablation(settings, jobs=jobs,
+                                               cache=cache):
         lines.append(
             f"  {row.distribution:<14s} measured={row.measured_throughput:7.1f} "
             f"predicted={row.predicted_throughput:7.1f} "
             f"err={row.relative_error:.1%}"
         )
     lines.append("lb-policy ablation (MM, N=8):")
-    for row in ablations.lb_policy_ablation(settings):
+    for row in ablations.lb_policy_ablation(settings, jobs=jobs, cache=cache):
         lines.append(
             f"  {row.policy:<13s} measured X={row.measured_throughput:7.1f} "
             f"R={row.measured_response_time * 1000:6.1f}ms | predicted "

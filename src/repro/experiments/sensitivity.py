@@ -11,22 +11,31 @@
   certification delay changes (6/12/24 ms).
 * :func:`error_margin` — aggregates |predicted - measured| / measured over
   every point of Figures 6-13 and checks the paper's "within 15%" claim.
+
+The delay sweeps and the error margin are engine scenarios; the error
+margin's grid is exactly the union of the four validation sweeps, so after
+the figures have run it assembles entirely from cached points.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from functools import partial
+from typing import Dict, List, Optional, Sequence
 
 from ..core import rng as rng_util
-from ..core.results import ValidationSeries
-from ..models.api import predict as model_predict
+from ..engine import (
+    Scenario,
+    execute_points,
+    model_point,
+    profile_task,
+    register_scenario,
+    sim_point,
+)
 from ..simulator.des import Environment, Timeout
-from ..simulator.runner import simulate
 from ..simulator.stats import RunningStats
 from ..workloads import tpcw
-from .context import get_profile
-from .figures import MULTI_MASTER, SINGLE_MASTER, validation_sweep
+from .figures import MULTI_MASTER, SINGLE_MASTER, assemble_sweep, sweep_points
 from .settings import ExperimentSettings
 
 
@@ -74,15 +83,15 @@ class DelaySensitivityResult:
         return "\n".join(lines)
 
 
-def _delay_sweep(
+def _delay_points(
     parameter: str,
     delays: Sequence[float],
     replicas: int,
     settings: ExperimentSettings,
-) -> DelaySensitivityResult:
+) -> List:
     spec = tpcw.SHOPPING
-    profile = get_profile(spec, settings)
-    rows: List[DelaySensitivityRow] = []
+    task = profile_task(spec, settings)
+    points = []
     for delay in delays:
         kwargs = {
             "load_balancer_delay": settings.load_balancer_delay,
@@ -90,43 +99,113 @@ def _delay_sweep(
             parameter: delay,
         }
         config = spec.replication_config(replicas, **kwargs)
-        predicted = model_predict(MULTI_MASTER, profile, config).throughput
-        measured = simulate(
-            spec,
-            config,
-            design=MULTI_MASTER,
-            seed=settings.seed,
-            warmup=settings.sim_warmup,
-            duration=settings.sim_duration,
-        ).throughput
-        rows.append(
-            DelaySensitivityRow(
-                delay=delay,
-                predicted_throughput=predicted,
-                measured_throughput=measured,
+        tag = f"{delay:.6f}"
+        points.append(
+            model_point(spec, config, MULTI_MASTER, profile=task, tag=tag)
+        )
+        points.append(
+            sim_point(
+                spec, config, MULTI_MASTER,
+                seed=settings.seed,
+                warmup=settings.sim_warmup,
+                duration=settings.sim_duration,
+                tag=tag,
             )
         )
+    return points
+
+
+def _delay_assemble(
+    parameter: str,
+    delays: Sequence[float],
+    replicas: int,
+    settings: ExperimentSettings,
+    points: Sequence,
+    results: Sequence,
+) -> DelaySensitivityResult:
+    predicted: Dict[str, float] = {}
+    measured: Dict[str, float] = {}
+    for point, result in zip(points, results):
+        if point.backend == "model":
+            predicted[point.tag] = result.throughput
+        else:
+            measured[point.tag] = result.throughput
+    rows = [
+        DelaySensitivityRow(
+            delay=delay,
+            predicted_throughput=predicted[f"{delay:.6f}"],
+            measured_throughput=measured[f"{delay:.6f}"],
+        )
+        for delay in delays
+    ]
     return DelaySensitivityResult(
         parameter=parameter, replicas=replicas, rows=tuple(rows)
     )
+
+
+def _delay_sweep(
+    parameter: str,
+    delays: Sequence[float],
+    replicas: int,
+    settings: ExperimentSettings,
+    jobs: Optional[int] = 1,
+    cache: object = None,
+) -> DelaySensitivityResult:
+    delays = tuple(delays)
+    points = _delay_points(parameter, delays, replicas, settings)
+    results = execute_points(points, jobs=jobs, cache=cache)
+    return _delay_assemble(parameter, delays, replicas, settings, points,
+                           results)
 
 
 def lb_delay_sensitivity(
     settings: ExperimentSettings = ExperimentSettings(),
     delays: Sequence[float] = (0.0, 0.001, 0.005, 0.010),
     replicas: int = 8,
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
 ) -> DelaySensitivityResult:
     """§6.3.1: sweep the load-balancer/network delay."""
-    return _delay_sweep("load_balancer_delay", delays, replicas, settings)
+    return _delay_sweep("load_balancer_delay", delays, replicas, settings,
+                        jobs, cache)
 
 
 def certifier_delay_sensitivity(
     settings: ExperimentSettings = ExperimentSettings(),
     delays: Sequence[float] = (0.006, 0.012, 0.024),
     replicas: int = 8,
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
 ) -> DelaySensitivityResult:
     """§6.3.2 follow-up: sweep the certification delay."""
-    return _delay_sweep("certifier_delay", delays, replicas, settings)
+    return _delay_sweep("certifier_delay", delays, replicas, settings,
+                        jobs, cache)
+
+
+register_scenario(Scenario(
+    name="sens-lb-delay",
+    title="Throughput sensitivity to load-balancer/network delay",
+    kind="sensitivity",
+    metrics=("throughput",),
+    points=partial(_delay_points, "load_balancer_delay",
+                   (0.0, 0.001, 0.005, 0.010), 8),
+    assemble=partial(_delay_assemble, "load_balancer_delay",
+                     (0.0, 0.001, 0.005, 0.010), 8),
+    aliases=("lb-delay",),
+))
+
+register_scenario(Scenario(
+    name="sens-certifier-delay",
+    title="Throughput sensitivity to certification delay",
+    kind="sensitivity",
+    metrics=("throughput",),
+    points=partial(_delay_points, "certifier_delay", (0.006, 0.012, 0.024), 8),
+    assemble=partial(_delay_assemble, "certifier_delay",
+                     (0.006, 0.012, 0.024), 8),
+    aliases=("certifier-delay",),
+))
 
 
 # ---------------------------------------------------------------------------
@@ -223,9 +302,28 @@ def certifier_capacity(
     return CertifierCapacityResult(write_time=write_time, points=tuple(points))
 
 
+register_scenario(Scenario(
+    name="sens-certifier-capacity",
+    title="Group-committing certifier latency across load",
+    kind="sensitivity",
+    metrics=("latency", "batch_size"),
+    points=lambda settings: (),
+    assemble=lambda settings, points, results: certifier_capacity(),
+    aliases=("certifier-capacity",),
+))
+
+
 # ---------------------------------------------------------------------------
 # §6.2 — the "within 15%" error-margin claim
 # ---------------------------------------------------------------------------
+
+#: The validation sweeps the error margin aggregates (Figures 6, 8, 10, 12).
+_ERROR_MARGIN_COMBOS = (
+    ("tpcw", MULTI_MASTER),
+    ("tpcw", SINGLE_MASTER),
+    ("rubis", MULTI_MASTER),
+    ("rubis", SINGLE_MASTER),
+)
 
 
 @dataclass(frozen=True)
@@ -246,21 +344,58 @@ class ErrorMarginResult:
         return "\n".join(lines)
 
 
-def error_margin(
-    settings: ExperimentSettings = ExperimentSettings(),
+def _error_margin_points(settings: ExperimentSettings) -> List:
+    points = []
+    for benchmark, design in _ERROR_MARGIN_COMBOS:
+        points.extend(sweep_points(benchmark, design, settings))
+    return points
+
+
+def _error_margin_assemble(
+    settings: ExperimentSettings, points: Sequence, results: Sequence
 ) -> ErrorMarginResult:
-    """Aggregate throughput errors over Figures 6, 8, 10 and 12."""
     per_series: Dict[str, float] = {}
     all_errors: List[float] = []
-    for benchmark in ("tpcw", "rubis"):
-        for design in (MULTI_MASTER, SINGLE_MASTER):
-            sweep = validation_sweep(benchmark, design, settings)
-            for mix, series in sweep.items():
-                errors = [row.throughput_error for row in series.rows]
-                per_series[f"{benchmark}/{mix} {design}"] = max(errors)
-                all_errors.extend(errors)
+    for benchmark, design in _ERROR_MARGIN_COMBOS:
+        subset = [
+            (point, result)
+            for point, result in zip(points, results)
+            if point.design == design
+            and point.spec.name.split("/")[0] == benchmark
+        ]
+        sweep = assemble_sweep(
+            settings, [p for p, _ in subset], [r for _, r in subset]
+        )
+        for mix, series in sweep.items():
+            errors = [row.throughput_error for row in series.rows]
+            per_series[f"{benchmark}/{mix} {design}"] = max(errors)
+            all_errors.extend(errors)
     return ErrorMarginResult(
         per_series=per_series,
         mean_throughput_error=sum(all_errors) / len(all_errors),
         max_throughput_error=max(all_errors),
     )
+
+
+_ERROR_MARGIN_SCENARIO = register_scenario(Scenario(
+    name="error-margin",
+    title="Aggregate prediction error over Figures 6/8/10/12 (§6.2, <=15%)",
+    kind="sensitivity",
+    metrics=("throughput_error",),
+    points=_error_margin_points,
+    assemble=_error_margin_assemble,
+    aliases=("validate",),
+))
+
+
+def error_margin(
+    settings: ExperimentSettings = ExperimentSettings(),
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
+) -> ErrorMarginResult:
+    """Aggregate throughput errors over Figures 6, 8, 10 and 12."""
+    from ..engine.runner import run_scenario
+
+    return run_scenario(_ERROR_MARGIN_SCENARIO, settings, jobs=jobs,
+                        cache=cache)

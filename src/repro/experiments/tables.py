@@ -1,22 +1,25 @@
-"""Reproduction of Tables 2-5: workload parameters and service demands.
+"""Reproduction of Tables 2-5 as declarative engine scenarios.
 
 Tables 2 and 4 are *inputs* (the benchmark definitions); regenerating them
-verifies the workload specs carry the paper's parameters.  Tables 3 and 5
-are *measurements*: the profiler replays each transaction class on the
-standalone simulator and recovers the per-class CPU/disk demands via the
-Utilization Law — the reproduced table reports measured next to ground
-truth, with the recovery error.
+verifies the workload specs carry the paper's parameters — their scenarios
+have empty sweep grids.  Tables 3 and 5 are *measurements*: each mix is one
+profiling point in the scenario grid (the profiler replays each transaction
+class on the standalone simulator and recovers the per-class CPU/disk
+demands via the Utilization Law), so ``--jobs N`` profiles the mixes in
+parallel and the reproduced table reports measured next to ground truth,
+with the recovery error.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from functools import partial
+from typing import Dict, List, Optional, Sequence
 
 from ..core.units import to_ms
+from ..engine import Scenario, profile_point, register_scenario
 from ..workloads import rubis, tpcw
 from ..workloads.spec import WorkloadSpec
-from .context import get_profile
 from .settings import ExperimentSettings
 
 
@@ -136,15 +139,26 @@ class DemandTable:
         return "\n".join(lines)
 
 
-def _demand_table(
+def _demand_points(
+    mixes: Dict[str, WorkloadSpec], settings: ExperimentSettings
+) -> List:
+    return [
+        profile_point(spec, settings, tag=spec.name)
+        for spec in mixes.values()
+    ]
+
+
+def _assemble_demands(
     table_id: str,
     benchmark: str,
-    mixes: Dict[str, WorkloadSpec],
     settings: ExperimentSettings,
+    points: Sequence,
+    results: Sequence,
 ) -> DemandTable:
     rows: List[DemandRow] = []
-    for spec in mixes.values():
-        measured = get_profile(spec, settings).demands
+    for point, report in zip(points, results):
+        spec = point.spec
+        measured = report.profile.demands
         truth = spec.demands
         for resource in ("cpu", "disk"):
             rows.append(
@@ -162,11 +176,58 @@ def _demand_table(
     return DemandTable(table_id=table_id, benchmark=benchmark, rows=rows)
 
 
-def table3(settings: ExperimentSettings = ExperimentSettings()) -> DemandTable:
+_TABLE_SCENARIOS: Dict[str, Scenario] = {}
+
+for _table_id, _benchmark, _mixes in (
+    ("table3", "TPC-W", tpcw.MIXES),
+    ("table5", "RUBiS", rubis.MIXES),
+):
+    _TABLE_SCENARIOS[_table_id] = register_scenario(Scenario(
+        name=_table_id,
+        title=f"{_benchmark} measured service demands",
+        kind="table",
+        metrics=("service_demand",),
+        points=partial(_demand_points, dict(_mixes)),
+        assemble=partial(_assemble_demands, _table_id, _benchmark),
+    ))
+
+for _table_id, _benchmark, _builder in (
+    ("table2", "TPC-W", table2),
+    ("table4", "RUBiS", table4),
+):
+    _TABLE_SCENARIOS[_table_id] = register_scenario(Scenario(
+        name=_table_id,
+        title=f"{_benchmark} workload parameters",
+        kind="table",
+        metrics=("parameters",),
+        points=lambda settings: (),
+        assemble=(lambda builder: lambda settings, points, results: builder())(
+            _builder
+        ),
+    ))
+
+
+def table3(
+    settings: ExperimentSettings = ExperimentSettings(),
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
+) -> DemandTable:
     """Table 3: measured service demands for TPC-W."""
-    return _demand_table("table3", "TPC-W", tpcw.MIXES, settings)
+    from ..engine.runner import run_scenario
+
+    return run_scenario(_TABLE_SCENARIOS["table3"], settings, jobs=jobs,
+                        cache=cache)
 
 
-def table5(settings: ExperimentSettings = ExperimentSettings()) -> DemandTable:
+def table5(
+    settings: ExperimentSettings = ExperimentSettings(),
+    *,
+    jobs: Optional[int] = 1,
+    cache: object = None,
+) -> DemandTable:
     """Table 5: measured service demands for RUBiS."""
-    return _demand_table("table5", "RUBiS", rubis.MIXES, settings)
+    from ..engine.runner import run_scenario
+
+    return run_scenario(_TABLE_SCENARIOS["table5"], settings, jobs=jobs,
+                        cache=cache)

@@ -27,40 +27,80 @@ Process = Generator
 class EventHandle:
     """A scheduled callback that can be cancelled before it fires."""
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled", "_env")
 
-    def __init__(self, time: float, callback: Callable, args: tuple) -> None:
+    def __init__(
+        self, time: float, callback: Callable, args: tuple, env=None
+    ) -> None:
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._env = env
 
     def cancel(self) -> None:
         """Prevent the callback from firing (idempotent)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._env is not None:
+                self._env._note_cancelled()
 
 
 class Environment:
-    """Event loop: a time-ordered heap of callbacks."""
+    """Event loop: a time-ordered heap of callbacks.
+
+    Cancelled events stay in the heap as tombstones (cancellation is O(1))
+    and are normally discarded when popped; when they come to outnumber the
+    live events the heap is lazily compacted, so long runs whose resources
+    reschedule constantly (processor sharing cancels one completion per
+    arrival/departure) hold memory proportional to the *live* event count
+    instead of the cancellation history.
+    """
+
+    #: Don't bother compacting heaps smaller than this.
+    _COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List = []
         self._sequence = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
 
+    @property
+    def pending_events(self) -> int:
+        """Heap entries, cancelled tombstones included (diagnostics)."""
+        return len(self._heap)
+
     def schedule(self, delay: float, callback: Callable, *args) -> EventHandle:
         """Run ``callback(*args)`` after *delay* seconds of simulated time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        handle = EventHandle(self._now + delay, callback, args)
+        handle = EventHandle(self._now + delay, callback, args, self)
         self._sequence += 1
         heapq.heappush(self._heap, (handle.time, self._sequence, handle))
         return handle
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (len(self._heap) > self._COMPACT_MIN
+                and self._cancelled * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled tombstones and restore the heap invariant.
+
+        Entries are (time, sequence, handle) tuples, so re-heapifying the
+        filtered list reproduces exactly the pop order the tombstoned heap
+        would have produced — determinism is unaffected.
+        """
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def run_until(self, end_time: float) -> None:
         """Process events until simulated time reaches *end_time*."""
@@ -69,6 +109,8 @@ class Environment:
         while self._heap and self._heap[0][0] <= end_time:
             time, _, handle = heapq.heappop(self._heap)
             if handle.cancelled:
+                if self._cancelled > 0:
+                    self._cancelled -= 1
                 continue
             if time < self._now:
                 raise SimulationError("event heap went backwards in time")

@@ -1,0 +1,305 @@
+"""Tests for the scenario engine: registry, caching, parallel determinism.
+
+The engine's core guarantee is that *how* a scenario is executed — serial,
+fanned out over a process pool, or served from the result cache — never
+changes *what* it produces.  The determinism tests assert byte-identical
+artifacts across all three paths on a deliberately tiny sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError, EngineError
+from repro.engine import (
+    ResultCache,
+    SweepPoint,
+    clear_memo,
+    default_jobs,
+    execute_points,
+    get_scenario,
+    memo_size,
+    point_key,
+    profile_key,
+    profile_task,
+    run_scenario,
+    scenario_names,
+    sim_point,
+)
+from repro.experiments import ExperimentSettings, clear_cache, figure6
+from repro.experiments.figures import sweep_points
+from repro.workloads import tpcw
+
+
+@pytest.fixture
+def micro_settings():
+    """The cheapest settings that still exercise profiling + sweeping."""
+    return ExperimentSettings(
+        replica_counts=(1, 2),
+        sim_warmup=1.0,
+        sim_duration=4.0,
+        profile_duration=8.0,
+        profile_mixed_duration=8.0,
+    )
+
+
+@pytest.fixture(autouse=True)
+def fresh_engine():
+    """Each test starts and ends with empty memo/profile caches."""
+    clear_memo()
+    clear_cache()
+    yield
+    clear_memo()
+    clear_cache()
+
+
+def _bad_point():
+    """A point that raises inside its backend (standalone needs N == 1)."""
+    spec = tpcw.SHOPPING
+    return sim_point(
+        spec, spec.replication_config(2), "standalone",
+        seed=1, warmup=1.0, duration=4.0,
+    )
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        names = scenario_names()
+        for i in range(6, 15):
+            assert f"figure{i}" in names
+        for i in range(2, 6):
+            assert f"table{i}" in names
+        assert "error-margin" in names
+        assert "crossval" in names
+
+    def test_aliases_resolve(self):
+        assert get_scenario("fig06").name == "figure6"
+        assert get_scenario("fig6").name == "figure6"
+        assert get_scenario("FIG14").name == "figure14"
+        assert get_scenario("validate").name == "error-margin"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            get_scenario("figure99")
+
+    def test_scenarios_carry_metadata(self):
+        scenario = get_scenario("figure6")
+        assert scenario.kind == "figure"
+        assert scenario.metrics == ("throughput",)
+
+
+class TestCacheKeys:
+    def test_tag_is_a_label_not_an_input(self, micro_settings):
+        spec = tpcw.SHOPPING
+        config = spec.replication_config(2)
+        a = sim_point(spec, config, "multi-master", seed=1, warmup=1.0,
+                      duration=4.0, tag="x")
+        b = sim_point(spec, config, "multi-master", seed=1, warmup=1.0,
+                      duration=4.0, tag="y")
+        assert point_key(a) == point_key(b)
+
+    def test_seed_and_config_change_the_key(self):
+        spec = tpcw.SHOPPING
+        base = sim_point(spec, spec.replication_config(2), "multi-master",
+                         seed=1, warmup=1.0, duration=4.0)
+        other_seed = sim_point(spec, spec.replication_config(2),
+                               "multi-master", seed=2, warmup=1.0,
+                               duration=4.0)
+        other_n = sim_point(spec, spec.replication_config(4), "multi-master",
+                            seed=1, warmup=1.0, duration=4.0)
+        assert point_key(base) != point_key(other_seed)
+        assert point_key(base) != point_key(other_n)
+
+    def test_model_key_depends_on_profile_task(self, micro_settings):
+        from repro.engine import model_point
+
+        spec = tpcw.SHOPPING
+        config = spec.replication_config(2)
+        task = profile_task(spec, micro_settings)
+        other = profile_task(spec, ExperimentSettings())
+        a = model_point(spec, config, "multi-master", profile=task)
+        b = model_point(spec, config, "multi-master", profile=other)
+        assert point_key(a) != point_key(b)
+
+    def test_profile_point_key_matches_profile_key(self, micro_settings):
+        from repro.engine import profile_point
+
+        point = profile_point(tpcw.SHOPPING, micro_settings)
+        assert point_key(point) == profile_key(point.profile)
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 64, {"x": 1})
+        hit, value = cache.get("a" * 64)
+        assert hit and value == {"x": 1}
+        assert len(cache) == 1
+
+    def test_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hit, value = cache.get("b" * 64)
+        assert not hit and value is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "c" * 64
+        cache.put(key, [1, 2, 3])
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        hit, _ = cache.get(key)
+        assert not hit
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("d" * 64, 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestDeterminism:
+    def test_parallel_identical_to_serial(self, micro_settings):
+        serial = figure6(micro_settings)
+        clear_memo()
+        clear_cache()
+        parallel = figure6(micro_settings, jobs=4)
+        assert serial == parallel
+
+    def test_cache_hits_identical_to_cold_run(self, micro_settings, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = figure6(micro_settings, cache=cache)
+        clear_memo()
+        clear_cache()
+        warm = figure6(micro_settings, cache=cache)
+        assert cold == warm
+        assert cache.hits > 0
+
+    def test_memo_shares_points_across_scenarios(self, micro_settings):
+        points = sweep_points("tpcw", "multi-master", micro_settings)
+        execute_points(points)
+        before = memo_size()
+        again = execute_points(points)
+        assert memo_size() == before
+        assert all(result is not None for result in again)
+
+    def test_run_scenario_by_name(self, micro_settings):
+        direct = figure6(micro_settings)
+        result = run_scenario("fig06", micro_settings)
+        assert result == direct
+
+
+class TestFailurePropagation:
+    def test_worker_failure_raises_engine_error(self):
+        good = sim_point(
+            tpcw.SHOPPING, tpcw.SHOPPING.replication_config(1),
+            "standalone", seed=1, warmup=1.0, duration=4.0,
+        )
+        with pytest.raises(EngineError) as excinfo:
+            execute_points([good, _bad_point()], jobs=2)
+        assert "standalone" in str(excinfo.value)
+        assert excinfo.value.point is not None
+
+    def test_serial_failure_raises_original_error(self):
+        with pytest.raises(ConfigurationError):
+            execute_points([_bad_point()], jobs=1)
+
+    def test_reproduce_exit_code_on_engine_error(self, monkeypatch, capsys):
+        from repro import cli
+
+        def boom(*args, **kwargs):
+            raise EngineError("sweep point failed in worker [test]")
+
+        monkeypatch.setattr(cli.experiments, "full_report", boom)
+        assert cli.main(["reproduce", "--fast"]) == 1
+        assert "reproduce failed" in capsys.readouterr().err
+
+
+class TestJobs:
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+    def test_jobs_none_means_cpu_count(self, micro_settings):
+        # jobs=None must not crash and must produce the same artifact.
+        serial = figure6(micro_settings)
+        clear_memo()
+        clear_cache()
+        assert figure6(micro_settings, jobs=None) == serial
+
+
+class TestCLI:
+    def test_scenarios_command_lists_registry(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "figure6" in out
+        assert "table3" in out
+        assert "error-margin" in out
+
+    def test_figure_parser_accepts_aliases(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["figure", "fig06", "--jobs", "4", "--no-cache"]
+        )
+        assert args.name == "fig06"
+        assert args.jobs == 4
+        assert args.no_cache
+
+    def test_reproduce_jobs_defaults_to_cpu_count(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["reproduce", "--fast"])
+        assert args.jobs is None  # engine maps None -> os.cpu_count()
+
+    def test_figure_jobs_defaults_to_serial(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["figure", "figure6"])
+        assert args.jobs == 1
+
+    def test_table_runs_through_registry(self, capsys):
+        from repro.cli import main
+
+        code = main(["table", "table2", "--no-cache", "--jobs", "2"])
+        assert code == 0
+        assert "TPC-W parameters" in capsys.readouterr().out
+
+    def test_run_command_handles_any_scenario(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", "ablation-mva", "--no-cache"])
+        assert code == 0
+        # Ablation artifacts are plain row lists; the CLI renders them
+        # one row per line.
+        assert "MVAAblationRow" in capsys.readouterr().out
+
+    def test_figure_choices_deduplicated(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for action in parser._subparsers._group_actions:
+            figure = action.choices.get("figure")
+        choices = next(
+            a.choices for a in figure._actions if a.dest == "name"
+        )
+        assert len(choices) == len(set(choices))
+
+
+class TestPointIntrospection:
+    def test_replicas_property(self):
+        spec = tpcw.SHOPPING
+        point = sim_point(spec, spec.replication_config(8), "multi-master",
+                          seed=1, warmup=1.0, duration=4.0)
+        assert point.replicas == 8
+        profile_only = SweepPoint(backend="profile", spec=spec)
+        assert profile_only.replicas == 1
+
+    def test_option_lookup(self):
+        spec = tpcw.SHOPPING
+        point = sim_point(spec, spec.replication_config(1), "standalone",
+                          seed=1, warmup=1.0, duration=4.0,
+                          arrival_rate=25.0)
+        assert point.option("arrival_rate") == 25.0
+        assert point.option("missing", "fallback") == "fallback"
+        assert point.options_dict()["duration"] == 4.0

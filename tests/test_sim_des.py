@@ -193,3 +193,49 @@ class TestSemaphore:
         env = Environment()
         with pytest.raises(SimulationError):
             Semaphore(env, capacity=0)
+
+
+class TestHeapCompaction:
+    def test_cancelled_events_compacted_out(self):
+        env = Environment()
+        live = env.schedule(1000.0, lambda: None)
+        handles = [env.schedule(2000.0, lambda: None) for _ in range(500)]
+        assert env.pending_events == 501
+        for handle in handles:
+            handle.cancel()
+        # More than half the heap was tombstones, so it was compacted.
+        assert env.pending_events < 500
+        assert not live.cancelled
+
+    def test_compaction_preserves_event_order(self):
+        fired = []
+        env = Environment()
+        handles = [env.schedule(float(i), fired.append, i) for i in range(500)]
+        for i in range(500):
+            if i % 5:
+                handles[i].cancel()
+        # 400 of 500 cancelled: well past the half-tombstone threshold, so
+        # compaction (heapify of the filtered list) ran mid-loop.
+        assert env.pending_events < 250
+        env.run_until(600.0)
+        # The surviving events must still fire in exact time order.
+        assert fired == list(range(0, 500, 5))
+
+    def test_cancel_is_idempotent_in_counter(self):
+        env = Environment()
+        handles = [env.schedule(10.0, lambda: None) for _ in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+            handle.cancel()  # double-cancel must not over-count
+        env.run_until(20.0)
+        assert env.pending_events == 0
+
+    def test_small_heaps_not_compacted(self):
+        env = Environment()
+        handles = [env.schedule(10.0, lambda: None) for _ in range(10)]
+        for handle in handles:
+            handle.cancel()
+        # Below the compaction threshold the tombstones just sit there.
+        assert env.pending_events == 10
+        env.run_until(20.0)
+        assert env.pending_events == 0
