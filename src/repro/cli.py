@@ -11,6 +11,8 @@ Examples::
     repro figure fig06 --fast --jobs 4
     repro table table3 --fast
     repro run ablation-lb-policy --fast
+    repro autoscale --trace diurnal --fast --jobs 6
+    repro scenarios --profile fig06 --fast
     repro validate --fast
     repro reproduce --fast --jobs 8
 
@@ -32,7 +34,13 @@ from . import experiments
 from .core.errors import EngineError, ReproError
 from .core.rng import DEFAULT_SEED
 from .core.units import to_ms
-from .engine import all_scenarios, get_scenario, run_scenario, scenario_names
+from .engine import (
+    UnknownScenarioError,
+    get_scenario,
+    point_timings,
+    run_scenario,
+    scenario_names,
+)
 from .models.api import DESIGNS, predict
 from .simulator.runner import simulate
 from .simulator.systems import LB_POLICIES
@@ -72,16 +80,69 @@ def _cmd_workloads(args) -> int:
 
 
 def _cmd_scenarios(args) -> int:
-    scenarios = all_scenarios()
-    for name in sorted(scenarios):
-        scenario = scenarios[name]
+    if getattr(args, "profile", False):
+        try:
+            return _profile_scenarios(args)
+        except UnknownScenarioError as exc:
+            print(f"repro scenarios: {exc}", file=sys.stderr)
+            return 2
+    names = getattr(args, "names", None) or scenario_names()
+    for name in names:
+        try:
+            scenario = get_scenario(name)  # resolves aliases too
+        except UnknownScenarioError as exc:
+            print(f"repro scenarios: {exc}", file=sys.stderr)
+            return 2
         aliases = (
             f" (aka {', '.join(scenario.aliases)})" if scenario.aliases else ""
         )
-        print(f"{name:<26s} [{scenario.kind}] {scenario.title}{aliases}")
-    print(f"{len(scenarios)} scenarios; run any with: repro run <name> "
-          f"(figures/tables also via repro figure | repro table; "
-          f"everything via repro reproduce)")
+        print(f"{scenario.name:<26s} [{scenario.kind}] "
+              f"{scenario.title}{aliases}")
+    if not getattr(args, "names", None):
+        print(f"{len(names)} scenarios; run any with: repro run <name> "
+              f"(figures/tables also via repro figure | repro table; "
+              f"everything via repro reproduce)")
+    return 0
+
+
+def _profile_scenarios(args) -> int:
+    """Run the named scenarios and break down per-point wall-clock.
+
+    The sweep runner times every point it executes (and notes cache
+    serves); this view rolls those timings up per scenario and prints the
+    slowest points, so contributors can see exactly where a reproduction's
+    wall-clock goes.
+    """
+    if not args.names:
+        # Running the whole registry (live-cluster scenarios included, at
+        # full settings) from what reads as a listing command would be a
+        # multi-hour surprise; make the workload explicit.
+        print("repro scenarios --profile: name the scenarios to profile, "
+              "e.g.: repro scenarios --profile fig06 table3 --fast",
+              file=sys.stderr)
+        return 2
+    names = args.names
+    settings = _settings(args)
+    grand_total = 0.0
+    for name in names:
+        scenario = get_scenario(name)
+        started = time.time()
+        # run_scenario scopes the timing log to this run.
+        run_scenario(scenario, settings, jobs=_jobs(args), cache=_cache(args))
+        elapsed = time.time() - started
+        grand_total += elapsed
+        timings = point_timings()
+        executed = [t for t in timings if not t.cached]
+        cached = len(timings) - len(executed)
+        busy = sum(t.seconds for t in executed)
+        print(f"{scenario.name}: {elapsed:.2f}s wall "
+              f"({len(timings)} points: {cached} cached, "
+              f"{len(executed)} executed, {busy:.2f}s point work)")
+        for timing in sorted(executed, key=lambda t: -t.seconds)[:8]:
+            share = timing.seconds / busy if busy > 0 else 0.0
+            print(f"    {timing.seconds:>8.2f}s {share:>5.0%}  "
+                  f"{timing.description}")
+    print(f"total: {grand_total:.2f}s wall across {len(names)} scenario(s)")
     return 0
 
 
@@ -173,7 +234,29 @@ def _render_artifact(result) -> str:
     return str(result)
 
 
-def _run_registered(args, name: str) -> int:
+def _artifact_failures(result) -> List[str]:
+    """Correctness failures an artifact may carry.
+
+    Cluster-backed artifacts (autoscale comparisons, crossval results)
+    record whether the live replicas converged to identical state; a
+    non-converged entry must fail the command, not exit 0 behind a
+    pretty table.
+    """
+    failures = []
+    if getattr(result, "converged", True) is False:
+        failures.append("artifact did not converge")
+    for entry in getattr(result, "results", None) or ():
+        if getattr(entry, "converged", True) is False:
+            label = " ".join(
+                str(part) for part in (getattr(entry, "design", ""),
+                                       getattr(entry, "policy", ""))
+                if part
+            ) or repr(entry)
+            failures.append(f"{label} did not converge")
+    return failures
+
+
+def _run_registered(args, name: str, after_render=None) -> int:
     scenario = get_scenario(name)
     started = time.time()
     result = run_scenario(
@@ -185,8 +268,15 @@ def _run_registered(args, name: str) -> int:
                                     file=sys.stderr),
     )
     print(_render_artifact(result))
+    if after_render is not None:
+        after_render(result)
     print(f"[{scenario.name}] {time.time() - started:.1f}s wall-clock",
           file=sys.stderr)
+    failures = _artifact_failures(result)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
     return 0
 
 
@@ -199,7 +289,31 @@ def _cmd_table(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    return _run_registered(args, args.name)
+    try:
+        return _run_registered(args, args.name)
+    except UnknownScenarioError as exc:
+        print(f"repro run: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_autoscale(args) -> int:
+    from .control.autoscale import render_timeline
+
+    def print_timelines(comparison) -> None:
+        for result in comparison.results:
+            print()
+            print(render_timeline(result))
+
+    names = [f"autoscale-{args.trace}"]
+    if args.live:
+        names.append("autoscale-diurnal-live")
+    code = 0
+    for name in names:
+        code = max(code, _run_registered(
+            args, name,
+            after_render=print_timelines if args.timeline else None,
+        ))
+    return code
 
 
 def _cmd_reproduce(args) -> int:
@@ -293,9 +407,20 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_workloads
     )
 
-    sub.add_parser(
-        "scenarios", help="list every registered scenario"
-    ).set_defaults(func=_cmd_scenarios)
+    p = sub.add_parser(
+        "scenarios",
+        help="list every registered scenario (--profile: run and show "
+        "per-point wall-clock)",
+    )
+    p.add_argument("names", nargs="*",
+                   help="restrict to these scenarios (names or aliases)")
+    p.add_argument("--profile", action="store_true",
+                   help="execute the scenarios and report where the "
+                   "wall-clock goes, point by point")
+    p.add_argument("--fast", action="store_true",
+                   help="with --profile: use fast experiment settings")
+    _add_engine_options(p)
+    p.set_defaults(func=_cmd_scenarios)
 
     p = sub.add_parser("profile", help="profile a workload on the standalone sim")
     p.add_argument("workload")
@@ -377,6 +502,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="write the report to a file")
     _add_engine_options(p, default_jobs=None)
     p.set_defaults(func=_cmd_reproduce)
+
+    p = sub.add_parser(
+        "autoscale",
+        help="compare autoscaling policies (feedforward/reactive/static) "
+        "on a load trace",
+    )
+    p.add_argument("--trace", choices=("diurnal", "flashcrowd"),
+                   default="diurnal", help="registered trace scenario to run")
+    p.add_argument("--live", action="store_true",
+                   help="also run the live-cluster validation scenario "
+                   "(elastic membership on real threads)")
+    p.add_argument("--timeline", action="store_true",
+                   help="print each run's per-interval timeline")
+    p.add_argument("--fast", action="store_true")
+    _add_engine_options(p)
+    p.set_defaults(func=_cmd_autoscale)
 
     p = sub.add_parser("plan", help="size a deployment for a target load")
     p.add_argument("workload")

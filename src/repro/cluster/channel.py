@@ -6,11 +6,21 @@ queue sees versions strictly ascending — the reliable FIFO delivery the
 paper's update-propagation step assumes (§2), and the precondition of
 :meth:`~repro.sidb.engine.SIDatabase.apply_writeset`, whose version store
 rejects out-of-order installs.
+
+Elastic membership: the channel retains a bounded window of recently
+published writesets.  A joining replica is wired in under the same
+commit-order lock — seed its store from a donor snapshot at version ``V``,
+bulk-enqueue :meth:`history_after` ``V`` (the writesets the snapshot
+predates), then :meth:`subscribe` — so it receives every committed
+writeset exactly once: nothing can be published between the replay and the
+subscription.  :meth:`unsubscribe` (same lock) ends delivery atomically on
+scale-down.
 """
 
 from __future__ import annotations
 
-from typing import List
+from collections import deque
+from typing import Deque, List
 
 from ..core.errors import ConfigurationError
 from ..sidb.writeset import Writeset
@@ -19,15 +29,51 @@ from ..sidb.writeset import Writeset
 class ReplicationChannel:
     """Broadcasts committed writesets to subscribed replicas in order."""
 
-    def __init__(self) -> None:
+    def __init__(self, history_limit: int = 4096) -> None:
+        if history_limit < 1:
+            raise ConfigurationError("history_limit must be >= 1")
         self._subscribers: List[object] = []
         self._last_published = 0
         self.published = 0
+        #: Recently published writesets, oldest first, for elastic joins.
+        self._history: Deque[Writeset] = deque(maxlen=history_limit)
 
     def subscribe(self, replica) -> None:
         """Register *replica* to receive every subsequently published
-        writeset (must happen before traffic starts)."""
+        writeset.  Either before traffic starts, or — for an elastic join
+        — under the cluster's commit-order lock, right after replaying
+        :meth:`history_after` the replica's snapshot version."""
         self._subscribers.append(replica)
+
+    def unsubscribe(self, replica) -> None:
+        """Stop delivering to *replica* (elastic scale-down).
+
+        The caller must hold the cluster's commit-order lock so removal is
+        atomic with respect to publishes.
+        """
+        try:
+            self._subscribers.remove(replica)
+        except ValueError:
+            raise ConfigurationError(
+                f"{getattr(replica, 'name', replica)!r} is not subscribed"
+            ) from None
+
+    def history_after(self, version: int) -> List[Writeset]:
+        """Retained writesets with ``commit_version > version``, in order.
+
+        Raises when the retained window no longer reaches back that far —
+        the joiner's donor snapshot is too stale to catch up from (pick a
+        fresher donor or raise ``history_limit``).
+        """
+        if version >= self._last_published:
+            return []
+        oldest = self._history[0].commit_version if self._history else None
+        if oldest is None or version + 1 < oldest:
+            raise ConfigurationError(
+                f"replication history starts at {oldest}; cannot replay "
+                f"from version {version + 1}"
+            )
+        return [ws for ws in self._history if ws.commit_version > version]
 
     def publish(self, writeset: Writeset, origin=None) -> None:
         """Deliver a certified writeset to every subscriber.
@@ -45,5 +91,6 @@ class ReplicationChannel:
             )
         self._last_published = writeset.commit_version
         self.published += 1
+        self._history.append(writeset)
         for replica in self._subscribers:
             replica.enqueue_writeset(writeset, charged=replica is not origin)

@@ -27,7 +27,12 @@ import time
 from typing import List, Optional, Tuple
 
 from ..core import rng as rng_util
-from ..core.errors import RetryLimitExceeded, TransactionAborted
+from ..core.errors import (
+    ConfigurationError,
+    RetryLimitExceeded,
+    SimulationError,
+    TransactionAborted,
+)
 from ..core.params import ReplicationConfig
 from ..sidb.certifier import Certifier
 from ..simulator.sampling import EXPONENTIAL, WorkloadSampler
@@ -73,14 +78,24 @@ class Cluster:
         # Orders certification/commit with channel publication.
         self._order_lock = threading.Lock()
         self._prune_lock = threading.Lock()
+        # Serialises elastic membership changes (add/remove) against each
+        # other; the replica list itself is replaced copy-on-write under
+        # _order_lock so readers never see a half-updated list.
+        self._membership_lock = threading.Lock()
         self._certifications_since_prune = 0
         self.replicas: List[ClusterReplica] = []
+        #: Monotonic counter naming elastically added replicas (metric
+        #: keys must never be reused after a removal).
+        self._members_created = 0
         self.channel = ReplicationChannel()
         self.certifier: Certifier
 
-    def _make_replica(
+    def _new_replica(
         self, name: str, path: object, certifier: Optional[Certifier] = None
     ) -> ClusterReplica:
+        """Create a replica and register its resources, without attaching
+        it to the routing list (elastic joins attach under the order
+        lock, after state transfer)."""
         sampler = WorkloadSampler(
             self.spec,
             rng_util.spawn(self._seed, "live-replica", path),
@@ -93,8 +108,15 @@ class Cluster:
             certifier=certifier,
             max_concurrency=self.config.max_concurrency,
         )
-        self.metrics.watch_resource(f"{name}.cpu", replica.cpu)
-        self.metrics.watch_resource(f"{name}.disk", replica.disk)
+        with self.metrics_lock:
+            self.metrics.watch_resource(f"{name}.cpu", replica.cpu)
+            self.metrics.watch_resource(f"{name}.disk", replica.disk)
+        return replica
+
+    def _make_replica(
+        self, name: str, path: object, certifier: Optional[Certifier] = None
+    ) -> ClusterReplica:
+        replica = self._new_replica(name, path, certifier)
         self.replicas.append(replica)
         return replica
 
@@ -163,6 +185,114 @@ class Cluster:
     def _prune(self) -> None:
         """Periodic garbage collection; topology-specific."""
 
+    def _route(self, client_id: int, is_update: bool) -> ClusterReplica:
+        """Pay the LB delay, pick a replica, and claim residence on it.
+
+        Re-routes if the pick started retiring between select and enter —
+        the drain in :meth:`_retire` waits on the resident count, so once
+        it observes zero *after* setting the retiring flag, no client can
+        still slip a transaction onto the leaving replica.
+        """
+        while True:
+            self.clock.sleep(self.config.load_balancer_delay)
+            replica = self.balancer.select(self.replicas, client_id, is_update)
+            replica.enter()
+            if not replica.retiring:
+                return replica
+            replica.exit()
+
+    # ------------------------------------------------------------------
+    # Elastic membership (dynamic provisioning)
+    # ------------------------------------------------------------------
+
+    @property
+    def member_count(self) -> int:
+        """Replicas provisioned and not retiring (controller view)."""
+        return sum(1 for r in self.replicas if not r.retiring)
+
+    def add_replica(self, transfer_writesets: int = 16) -> ClusterReplica:
+        """Grow the cluster by one live replica; topology-specific."""
+        raise NotImplementedError(f"{type(self).__name__} is not elastic")
+
+    def remove_replica(self, drain_timeout: float = 30.0) -> ClusterReplica:
+        """Drain and detach one live replica; topology-specific."""
+        raise NotImplementedError(f"{type(self).__name__} is not elastic")
+
+    def _attach(self, replica: ClusterReplica) -> None:
+        """Wire a freshly seeded replica into replication and routing.
+
+        Must run under ``_order_lock``: publishes are blocked, so
+        replaying the channel history above the replica's snapshot and
+        then subscribing hands it every committed writeset exactly once.
+        """
+        for writeset in self.channel.history_after(replica.db.latest_version):
+            replica.enqueue_writeset(writeset, charged=True)
+        self.channel.subscribe(replica)
+        self.replicas = self.replicas + [replica]
+
+    def _discard_failed_join(self, replica: ClusterReplica) -> None:
+        """Roll back a join that failed before attaching.
+
+        The replica was never subscribed, listed, or started; dropping
+        its metric registrations (and releasing its name for reuse)
+        leaves no trace, so a controller retrying every tick cannot
+        accumulate dead replicas.
+        """
+        with self.metrics_lock:
+            self.metrics.forget_resource(f"{replica.name}.cpu")
+            self.metrics.forget_resource(f"{replica.name}.disk")
+        self._members_created -= 1
+
+    def _join_worker(self, replica: ClusterReplica, transfer_writesets: int) -> None:
+        """Pay the join cost, then enter load-balancer rotation.
+
+        State transfer is modeled as a bulk writeset replay: the joiner
+        charges *transfer_writesets* writeset applications to its own
+        resources, then waits for its applier to clear the replay
+        backlog.  Runs on a daemon thread so ``add_replica`` returns as
+        soon as replication is wired; failures surface through
+        ``applier_error`` so quiesce reports them loudly.
+        """
+        try:
+            sampler = WorkloadSampler(
+                self.spec,
+                rng_util.spawn(self._seed, "live-join", replica.name),
+                distribution=self._distribution,
+            )
+            for _ in range(transfer_writesets):
+                if replica.stopping:
+                    return
+                replica.cpu.serve(sampler.writeset_cpu())
+                replica.disk.serve(sampler.writeset_disk())
+            while replica.apply_backlog > 0 and not replica.stopping:
+                time.sleep(0.002)
+            replica.complete_join()
+        except BaseException as exc:  # noqa: BLE001 — surfaced via quiesce
+            replica.applier_error = exc
+
+    def _retire(self, replica: ClusterReplica, drain_timeout: float) -> None:
+        """Drain *replica* and detach it from replication and routing.
+
+        A drain that outlasts *drain_timeout* rolls the retire back —
+        the replica returns to rotation, fully functional — and raises,
+        so a failed removal never leaves a zombie that is neither
+        serving nor removable.
+        """
+        replica.begin_retire()
+        deadline = time.monotonic() + drain_timeout
+        while replica.active > 0:
+            if time.monotonic() > deadline:
+                replica.cancel_retire()
+                raise SimulationError(
+                    f"{replica.name} did not drain within {drain_timeout}s; "
+                    f"removal rolled back"
+                )
+            time.sleep(0.002)
+        with self._order_lock:
+            self.channel.unsubscribe(replica)
+            self.replicas = [r for r in self.replicas if r is not replica]
+        replica.stop(timeout=10.0, drain=False)
+
     def _acquire(self, replica: ClusterReplica) -> None:
         if replica.admission is not None:
             replica.admission.acquire()
@@ -201,6 +331,57 @@ class MultiMasterCluster(Cluster):
                 f"replica{index}", index, certifier=self.certifier
             )
             self.channel.subscribe(replica)
+        self._members_created = config.replicas
+
+    def add_replica(self, transfer_writesets: int = 16) -> ClusterReplica:
+        """Grow the cluster by one live replica (elastic provisioning).
+
+        Under the commit-order lock the joiner's engine is seeded with a
+        state snapshot cloned from the freshest replica and the channel's
+        retained history above that snapshot is bulk-enqueued before
+        subscribing — every committed writeset reaches it exactly once.
+        A join worker then pays the *transfer_writesets* bulk-replay
+        charge and flips the replica into rotation once caught up.
+        """
+        with self._membership_lock:
+            name = f"replica{self._members_created}"
+            self._members_created += 1
+            replica = self._new_replica(name, name, certifier=self.certifier)
+            replica.begin_join()
+            try:
+                with self._order_lock:
+                    donor = max(self.replicas,
+                                key=lambda r: r.applied_version)
+                    version, state = donor.db.clone_state()
+                    replica.db.seed_state(version, state)
+                    self._attach(replica)
+            except ConfigurationError:
+                self._discard_failed_join(replica)
+                raise
+            replica.start()
+        threading.Thread(
+            target=self._join_worker, args=(replica, transfer_writesets),
+            name=f"{name}-join", daemon=True,
+        ).start()
+        return replica
+
+    def remove_replica(self, drain_timeout: float = 30.0) -> ClusterReplica:
+        """Shrink the cluster by one replica: drain, then detach.
+
+        Picks the youngest fully-joined replica; at least one always
+        remains.  Blocks (wall time, up to *drain_timeout*) until the
+        replica's in-flight transactions finish.
+        """
+        with self._membership_lock:
+            candidates = [
+                r for r in self.replicas
+                if not r.retiring and not r.joining
+            ]
+            if len(candidates) <= 1:
+                raise ConfigurationError("cannot remove the last replica")
+            replica = candidates[-1]
+            self._retire(replica, drain_timeout)
+        return replica
 
     def _prune(self):
         # Certifier history at or below every replica's oldest snapshot
@@ -211,9 +392,7 @@ class MultiMasterCluster(Cluster):
         self.certifier.observe_snapshot(max(0, floor))
 
     def execute(self, sampler, is_update, client_id):
-        self.clock.sleep(self.config.load_balancer_delay)
-        replica = self.balancer.select(self.replicas, client_id, is_update)
-        replica.enter()
+        replica = self._route(client_id, is_update)
         self._acquire(replica)
         aborts = 0
         try:
@@ -278,6 +457,51 @@ class SingleMasterCluster(Cluster):
             slave = self._make_replica(f"slave{index}", index)
             self.channel.subscribe(slave)
             self.slaves.append(slave)
+        self._members_created = config.replicas - 1
+
+    def add_replica(self, transfer_writesets: int = 16) -> ClusterReplica:
+        """Grow the system by one read-only slave (the master is fixed).
+
+        The master is the natural state-transfer donor: its commits and
+        channel publishes share the commit-order lock, so under that lock
+        its snapshot is exactly the published watermark and the history
+        replay is empty — new writesets simply start arriving.
+        """
+        with self._membership_lock:
+            name = f"slave{self._members_created}"
+            self._members_created += 1
+            slave = self._new_replica(name, name)
+            slave.begin_join()
+            try:
+                with self._order_lock:
+                    version, state = self.master.db.clone_state()
+                    slave.db.seed_state(version, state)
+                    self._attach(slave)
+            except ConfigurationError:
+                self._discard_failed_join(slave)
+                raise
+            self.slaves = self.slaves + [slave]
+            slave.start()
+        threading.Thread(
+            target=self._join_worker, args=(slave, transfer_writesets),
+            name=f"{name}-join", daemon=True,
+        ).start()
+        return slave
+
+    def remove_replica(self, drain_timeout: float = 30.0) -> ClusterReplica:
+        """Drain and detach the youngest slave (never the master)."""
+        with self._membership_lock:
+            candidates = [
+                s for s in self.slaves if not s.retiring and not s.joining
+            ]
+            if not candidates:
+                raise ConfigurationError(
+                    "no removable slave (the master cannot be removed)"
+                )
+            slave = candidates[-1]
+            self._retire(slave, drain_timeout)
+            self.slaves = [s for s in self.slaves if s is not slave]
+        return slave
 
     def _prune(self):
         # The master installs its own commits (no applier traffic), so its
@@ -286,10 +510,8 @@ class SingleMasterCluster(Cluster):
         self.master.db.vacuum()
 
     def execute(self, sampler, is_update, client_id):
-        self.clock.sleep(self.config.load_balancer_delay)
         if not is_update:
-            replica = self.balancer.select(self.replicas, client_id, False)
-            replica.enter()
+            replica = self._route(client_id, False)
             self._acquire(replica)
             try:
                 self._serve_read_txn(replica, sampler)
@@ -298,6 +520,7 @@ class SingleMasterCluster(Cluster):
                 self._release(replica)
                 replica.exit()
 
+        self.clock.sleep(self.config.load_balancer_delay)
         master = self.master
         master.enter()
         self._acquire(master)

@@ -80,6 +80,13 @@ class ClusterReplica:
         self._queue: Deque[Tuple[Writeset, bool]] = deque()
         self._available = True
         self._stopping = False
+        # Elastic-membership lifecycle: a *joining* replica applies its
+        # bulk-replay backlog but is hidden from the load balancer; a
+        # *retiring* one is hidden too and re-checked by clients right
+        # after enter() (see Cluster._route), closing the select/enter
+        # race on scale-down.
+        self._joining = False
+        self._retiring = False
         self._active = 0
         self.writesets_applied = 0
         #: First exception that killed the applier thread (None while
@@ -98,12 +105,25 @@ class ClusterReplica:
         """Start the applier thread."""
         self._applier.start()
 
-    def stop(self, timeout: Optional[float] = None) -> None:
-        """Drain the apply queue and stop the applier thread."""
+    def stop(self, timeout: Optional[float] = None, drain: bool = True) -> None:
+        """Stop the applier thread, draining the apply queue by default.
+
+        ``drain=False`` discards the queued backlog first — the right
+        call for a replica leaving the cluster, whose copy of the state
+        is being thrown away anyway.
+        """
         with self._state:
+            if not drain:
+                self._queue.clear()
             self._stopping = True
             self._state.notify_all()
         self._applier.join(timeout)
+
+    @property
+    def stopping(self) -> bool:
+        """True once :meth:`stop` has been requested."""
+        with self._state:
+            return self._stopping
 
     # ------------------------------------------------------------------
     # Routing state
@@ -133,9 +153,13 @@ class ClusterReplica:
 
     @property
     def available(self) -> bool:
-        """Whether the load balancer may route new transactions here."""
+        """Whether the load balancer may route new transactions here.
+
+        False while the replica is down (fault injection), still joining
+        (bulk replay in progress), or retiring (drain before removal).
+        """
         with self._state:
-            return self._available
+            return self._available and not self._joining and not self._retiring
 
     @available.setter
     def available(self, value: bool) -> None:
@@ -144,6 +168,42 @@ class ClusterReplica:
             if value:
                 # Recovery: wake the applier to drain the deferred backlog.
                 self._state.notify_all()
+
+    @property
+    def joining(self) -> bool:
+        """True while the elastic join (state transfer) is in progress."""
+        with self._state:
+            return self._joining
+
+    @property
+    def retiring(self) -> bool:
+        """True once the replica has been picked for elastic removal."""
+        with self._state:
+            return self._retiring
+
+    def begin_join(self) -> None:
+        """Hide the replica from the balancer while it catches up.
+
+        Unlike fault unavailability, the applier keeps running: the join
+        cost *is* applying the bulk-replay backlog.
+        """
+        with self._state:
+            self._joining = True
+
+    def complete_join(self) -> None:
+        """Enter load-balancer rotation (bulk replay finished)."""
+        with self._state:
+            self._joining = False
+
+    def begin_retire(self) -> None:
+        """Stop receiving new transactions; existing ones drain."""
+        with self._state:
+            self._retiring = True
+
+    def cancel_retire(self) -> None:
+        """Return to rotation (the drain timed out; removal rolled back)."""
+        with self._state:
+            self._retiring = False
 
     # ------------------------------------------------------------------
     # Client-transaction execution (called from client threads)

@@ -183,26 +183,41 @@ def _closed_loop_client(
 
 
 def _open_loop_source(
-    cluster: Cluster, rate: float, seed: int, drivers: _Drivers
+    cluster: Cluster, rate: float, seed: int, drivers: _Drivers,
+    trace=None,
 ) -> None:
+    """Poisson arrival source: homogeneous at *rate*, or — when *trace*
+    is given — non-homogeneous following the trace's rate curve, sampled
+    by thinning against its peak [Lewis & Shedler 1979].  The two modes
+    use distinct RNG stream names so adding a trace never perturbs
+    existing fixed-rate runs."""
     clock = cluster.clock
-    arrival_rng = rng_util.spawn(seed, "live-open-arrivals")
+    if trace is None:
+        arrival_rng = rng_util.spawn(seed, "live-open-arrivals")
+        peak, client_stream, txn_prefix = rate, "live-open-client", "open-txn"
+    else:
+        arrival_rng = rng_util.spawn(seed, "live-trace-arrivals")
+        peak = trace.max_rate
+        client_stream, txn_prefix = "live-trace-client", "trace-txn"
     sequence = 0
     while not drivers.stop.is_set():
-        clock.sleep(float(arrival_rng.exponential(1.0 / rate)))
+        clock.sleep(float(arrival_rng.exponential(1.0 / peak)))
         if drivers.stop.is_set():
             return
+        if (trace is not None
+                and not trace.accept_arrival(arrival_rng, clock.now())):
+            continue  # thinned-out candidate
         sequence += 1
         sampler = WorkloadSampler(
             cluster.spec,
-            rng_util.spawn(seed, "live-open-client", sequence),
+            rng_util.spawn(seed, client_stream, sequence),
             distribution=cluster._distribution,
         )
         drivers.launch(
             lambda s=sampler, i=sequence: drivers.guard(
                 lambda: _one_shot(cluster, s, i)
             ),
-            name=f"open-txn-{sequence}",
+            name=f"{txn_prefix}-{sequence}",
         )
 
 

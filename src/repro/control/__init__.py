@@ -1,0 +1,70 @@
+"""Autoscaling control plane: live dynamic provisioning from the predictors.
+
+The paper names *dynamic service provisioning* for data centers with
+diurnal load as a first-class consumer of its scalability predictors; this
+package closes the loop that :mod:`repro.models.planning` only computes
+offline.  It has three layers:
+
+* :mod:`repro.control.trace` — open-loop **load traces** (diurnal sinusoid,
+  flash-crowd spike, Markov-modulated bursts, piecewise-from-file) shared
+  by the simulator and the live cluster drivers;
+* :mod:`repro.control.controller` — the **controller policies**:
+  model-feedforward (the paper's use case — size each forecast window with
+  :func:`repro.models.planning.plan_deployment`), reactive threshold
+  (utilization/latency hysteresis baseline), and static peak (control);
+* :mod:`repro.control.autoscale` — the **AutoscaleRun harness** that plays
+  a trace against an *elastic* execution pillar (the DES simulator or the
+  live cluster, both of which grow and shrink via
+  ``add_replica``/``remove_replica``) and records the full timeline:
+  offered load, replica count, p95 latency, SLO violations, replica-hours.
+
+Scenario registrations (``autoscale-diurnal``, ``autoscale-flashcrowd``,
+...) live in :mod:`repro.control.scenarios`, imported by
+:mod:`repro.experiments` so the registry sees them.
+"""
+
+from .autoscale import (
+    AutoscaleComparison,
+    AutoscaleResult,
+    TimelinePoint,
+    autoscale_cluster,
+    autoscale_sim,
+    render_timeline,
+)
+from .controller import (
+    ControlObservation,
+    Controller,
+    FeedforwardPolicy,
+    POLICY_KINDS,
+    ReactivePolicy,
+    StaticPeakPolicy,
+    make_controller,
+)
+from .trace import (
+    DiurnalTrace,
+    FlashCrowdTrace,
+    LoadTrace,
+    ModulatedTrace,
+    PiecewiseTrace,
+)
+
+__all__ = [
+    "AutoscaleComparison",
+    "AutoscaleResult",
+    "ControlObservation",
+    "Controller",
+    "DiurnalTrace",
+    "FeedforwardPolicy",
+    "FlashCrowdTrace",
+    "LoadTrace",
+    "ModulatedTrace",
+    "POLICY_KINDS",
+    "PiecewiseTrace",
+    "ReactivePolicy",
+    "StaticPeakPolicy",
+    "TimelinePoint",
+    "autoscale_cluster",
+    "autoscale_sim",
+    "make_controller",
+    "render_timeline",
+]

@@ -13,6 +13,7 @@ serial execution.
 
 from .backends import (
     BACKENDS,
+    AutoscaleBackend,
     Backend,
     ClusterBackend,
     ModelBackend,
@@ -29,19 +30,24 @@ from .cache import (
     resolve_cache,
 )
 from .registry import (
+    UnknownScenarioError,
     all_scenarios,
     get_scenario,
     register_scenario,
     scenario_names,
 )
 from .runner import (
+    PointTiming,
     clear_memo,
+    clear_point_timings,
     default_jobs,
     execute_points,
     memo_size,
+    point_timings,
     run_scenario,
 )
 from .scenario import (
+    AUTOSCALE,
     CLUSTER,
     MODEL,
     PROFILE,
@@ -49,6 +55,7 @@ from .scenario import (
     ProfileTask,
     Scenario,
     SweepPoint,
+    autoscale_point,
     cluster_point,
     model_point,
     profile_point,
@@ -57,6 +64,8 @@ from .scenario import (
 )
 
 __all__ = [
+    "AUTOSCALE",
+    "AutoscaleBackend",
     "BACKENDS",
     "Backend",
     "CACHE_VERSION",
@@ -65,6 +74,7 @@ __all__ = [
     "MODEL",
     "ModelBackend",
     "PROFILE",
+    "PointTiming",
     "ProfileBackend",
     "ProfileTask",
     "ResultCache",
@@ -72,8 +82,11 @@ __all__ = [
     "Scenario",
     "SimulatorBackend",
     "SweepPoint",
+    "UnknownScenarioError",
     "all_scenarios",
+    "autoscale_point",
     "clear_memo",
+    "clear_point_timings",
     "cluster_point",
     "default_cache_dir",
     "default_jobs",
@@ -83,6 +96,7 @@ __all__ = [
     "memo_size",
     "model_point",
     "point_key",
+    "point_timings",
     "profile_key",
     "profile_point",
     "profile_task",

@@ -29,7 +29,7 @@ from ..models.api import predict
 from ..models.multimaster import MultiMasterOptions
 from ..profiling.profiler import ProfilingReport, profile_standalone
 from ..simulator.runner import simulate
-from .scenario import CLUSTER, MODEL, PROFILE, SIMULATOR, SweepPoint
+from .scenario import AUTOSCALE, CLUSTER, MODEL, PROFILE, SIMULATOR, SweepPoint
 
 
 class Backend(Protocol):
@@ -108,6 +108,48 @@ class ClusterBackend:
         )
 
 
+class AutoscaleBackend:
+    """Elastic autoscale runs on either execution pillar.
+
+    One backend covers both pillars (the point's ``pillar`` option picks
+    simulator vs live cluster) so a policy-comparison grid mixes cacheable
+    deterministic simulator cells with live validation cells freely.
+    """
+
+    name = AUTOSCALE
+
+    def run(self, point: SweepPoint, profile: object = None) -> object:
+        # Imported lazily: repro.control imports the simulator and the
+        # cluster runtime, which must not load during engine import.
+        from ..control.autoscale import autoscale_cluster, autoscale_sim
+
+        opts = point.options_dict()
+        resolved = None if profile is None else _standalone_profile(profile)
+        kwargs = dict(
+            profile=resolved,
+            seed=point.seed,
+            warmup=opts["warmup"],
+            duration=opts["duration"],
+            control_interval=opts["control_interval"],
+            slo_response=opts["slo_response"],
+            min_replicas=opts.get("min_replicas", 1),
+            max_replicas=opts.get("max_replicas", 16),
+            transfer_writesets=opts.get("transfer_writesets", 16),
+            config=point.config,
+        )
+        if opts.get("pillar") == CLUSTER:
+            return autoscale_cluster(
+                point.spec, opts["trace"], opts["policy"],
+                design=point.design,
+                time_scale=opts.get("time_scale", 0.25),
+                **kwargs,
+            )
+        return autoscale_sim(
+            point.spec, opts["trace"], opts["policy"],
+            design=point.design, **kwargs,
+        )
+
+
 class ProfileBackend:
     """Standalone profiling: measure the paper's model inputs."""
 
@@ -126,7 +168,7 @@ class ProfileBackend:
 BACKENDS = {
     backend.name: backend
     for backend in (ModelBackend(), SimulatorBackend(), ClusterBackend(),
-                    ProfileBackend())
+                    ProfileBackend(), AutoscaleBackend())
 }
 
 

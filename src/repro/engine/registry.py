@@ -10,12 +10,38 @@ come for free.
 
 from __future__ import annotations
 
-from typing import Dict, List
+import difflib
+from typing import Dict, List, Tuple
 
+from ..core.errors import ReproError
 from .scenario import Scenario
 
 _SCENARIOS: Dict[str, Scenario] = {}
 _ALIASES: Dict[str, str] = {}
+
+
+class UnknownScenarioError(ReproError, KeyError):
+    """Lookup of a name that is not in the scenario registry.
+
+    Subclasses :class:`KeyError` so pre-existing ``except KeyError``
+    callers keep working; carries close-match ``suggestions`` so the CLI
+    can say "did you mean ...?" instead of dumping a traceback.
+    """
+
+    def __init__(self, name: str, suggestions: Tuple[str, ...]) -> None:
+        message = f"unknown scenario {name!r}"
+        if suggestions:
+            quoted = ", ".join(repr(s) for s in suggestions)
+            message += f"; did you mean {quoted}?"
+        message += " (see: repro scenarios)"
+        # KeyError renders its first arg with repr(); going through the
+        # ReproError path keeps the readable message.
+        super(KeyError, self).__init__(message)
+        self.name = name
+        self.suggestions = suggestions
+
+    def __str__(self) -> str:
+        return self.args[0]
 
 
 def register_scenario(scenario: Scenario) -> Scenario:
@@ -36,16 +62,22 @@ def _ensure_loaded() -> None:
 
 
 def get_scenario(name: str) -> Scenario:
-    """Look up a scenario by canonical name or alias."""
+    """Look up a scenario by canonical name or alias.
+
+    Raises :class:`UnknownScenarioError` (a ``KeyError``) carrying
+    close-match suggestions for misspelt names.
+    """
     _ensure_loaded()
     key = name.strip().lower()
     key = _ALIASES.get(key, key)
     try:
         return _SCENARIOS[key]
     except KeyError:
-        raise KeyError(
-            f"unknown scenario {name!r}; choose from {scenario_names()}"
-        ) from None
+        candidates = sorted(set(_SCENARIOS) | set(_ALIASES))
+        suggestions = tuple(
+            difflib.get_close_matches(key, candidates, n=3, cutoff=0.5)
+        )
+        raise UnknownScenarioError(name, suggestions) from None
 
 
 def scenario_names() -> List[str]:

@@ -26,8 +26,10 @@ contracts (``ConfigurationError`` etc.) the pre-engine serial loops had.
 from __future__ import annotations
 
 import os
+import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import EngineError
@@ -39,6 +41,36 @@ from .scenario import PROFILE, ProfileTask, Scenario, SweepPoint
 #: what lets figure pairs that share a sweep (6/7, 8/9, ...) pay for it
 #: once per process even with disk caching disabled.
 _memo: Dict[str, object] = {}
+
+
+@dataclass(frozen=True)
+class PointTiming:
+    """Wall-clock spent producing one sweep point (``repro scenarios
+    --profile`` reads these to show where a scenario's time goes)."""
+
+    description: str
+    backend: str
+    seconds: float
+    #: True when the point was served from the memo or the disk cache.
+    cached: bool
+
+
+#: Per-point wall-clock, in completion order, scoped to one scenario run:
+#: :func:`run_scenario` clears it on entry, so the log never accumulates
+#: across the many scenarios of a long-lived process (``repro
+#: reproduce``, the test session).  For pool workers the time is measured
+#: inside the worker, so it excludes queueing and pickling overhead.
+_timings: List[PointTiming] = []
+
+
+def point_timings() -> List[PointTiming]:
+    """Timings of the most recent scenario run (see :data:`_timings`)."""
+    return list(_timings)
+
+
+def clear_point_timings() -> None:
+    """Reset the per-point timing log (scoping it to one scenario)."""
+    _timings.clear()
 
 
 def clear_memo() -> None:
@@ -66,11 +98,20 @@ def _describe(point: SweepPoint) -> str:
 def _pool_worker(payload: Tuple[int, SweepPoint, object]):
     """Execute one point in a worker; failures travel back as text."""
     index, point, profile = payload
+    started = time.perf_counter()
     try:
-        return index, True, execute_point(point, profile)
+        result = execute_point(point, profile)
+        return index, True, result, time.perf_counter() - started
     except Exception as exc:  # noqa: BLE001 — shipped to the parent
         detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
-        return index, False, detail
+        return index, False, detail, time.perf_counter() - started
+
+
+def _record_timing(point: SweepPoint, seconds: float, cached: bool) -> None:
+    _timings.append(PointTiming(
+        description=_describe(point), backend=point.backend,
+        seconds=seconds, cached=cached,
+    ))
 
 
 def _run_batch(
@@ -83,7 +124,10 @@ def _run_batch(
         return
     if jobs <= 1 or len(payloads) == 1:
         for index, point, profile in payloads:
-            on_result(index, execute_point(point, profile))
+            started = time.perf_counter()
+            result = execute_point(point, profile)
+            _record_timing(point, time.perf_counter() - started, False)
+            on_result(index, result)
         return
     workers = min(jobs, len(payloads))
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -94,14 +138,15 @@ def _run_batch(
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    index, ok, value = future.result()
+                    index, ok, value, seconds = future.result()
+                    point = futures[future][1]
                     if not ok:
-                        point = futures[future][1]
                         raise EngineError(
                             f"sweep point failed in worker "
                             f"[{_describe(point)}]:\n{value}",
                             point=point,
                         )
+                    _record_timing(point, seconds, False)
                     on_result(index, value)
         except BaseException:
             pool.shutdown(wait=True, cancel_futures=True)
@@ -187,12 +232,14 @@ def execute_points(
         keys[i] = key
         if point.cacheable and key in _memo:
             results[i] = _memo[key]
+            _record_timing(point, 0.0, True)
             continue
         if point.cacheable and disk is not None:
             hit, value = disk.get(key)
             if hit:
                 results[i] = value
                 _memo[key] = value
+                _record_timing(point, 0.0, True)
                 continue
         pending.append((i, point, profile_for(point)))
 
@@ -236,6 +283,7 @@ def run_scenario(
         scenario = get_scenario(scenario)
     if settings is None:
         settings = ExperimentSettings()
+    clear_point_timings()  # scope the per-point timing log to this run
     disk = resolve_cache(cache)
     previous = context.set_disk_cache(disk)
     try:

@@ -32,10 +32,13 @@ MODEL = "model"
 SIMULATOR = "simulator"
 CLUSTER = "cluster"
 PROFILE = "profile"
-BACKENDS = (MODEL, SIMULATOR, CLUSTER, PROFILE)
+#: Autoscale points carry their pillar (simulator/cluster) as an option.
+AUTOSCALE = "autoscale"
+BACKENDS = (MODEL, SIMULATOR, CLUSTER, PROFILE, AUTOSCALE)
 
 #: Scenario kinds used for grouping in ``repro scenarios``.
-KINDS = ("figure", "table", "sensitivity", "ablation", "extension", "crossval")
+KINDS = ("figure", "table", "sensitivity", "ablation", "extension",
+         "crossval", "autoscale")
 
 
 @dataclass(frozen=True)
@@ -195,6 +198,61 @@ def sim_point(
         seed=seed,
         options=_freeze_options(options),
         tag=tag,
+    )
+
+
+def autoscale_point(
+    spec: WorkloadSpec,
+    config: ReplicationConfig,
+    design: str,
+    *,
+    seed: int,
+    trace: object,
+    policy: object,
+    slo_response: float,
+    warmup: float,
+    duration: float,
+    control_interval: float,
+    pillar: str = SIMULATOR,
+    time_scale: float = 0.25,
+    min_replicas: int = 1,
+    max_replicas: int = 16,
+    transfer_writesets: int = 16,
+    profile: object = None,
+    tag: str = "",
+) -> SweepPoint:
+    """An autoscale-run point: a trace × controller policy × design cell.
+
+    *trace* and *policy* are the frozen dataclasses of
+    :mod:`repro.control` — their stable ``repr`` makes them cache-key
+    citizens like every other point input.  ``pillar`` picks the elastic
+    execution engine: simulator points are deterministic and cacheable,
+    live-cluster points measure wall-clock behaviour and are not.
+    """
+    options = {
+        "trace": trace,
+        "policy": policy,
+        "slo_response": slo_response,
+        "warmup": warmup,
+        "duration": duration,
+        "control_interval": control_interval,
+        "pillar": pillar,
+        "min_replicas": min_replicas,
+        "max_replicas": max_replicas,
+        "transfer_writesets": transfer_writesets,
+    }
+    if pillar == CLUSTER:
+        options["time_scale"] = time_scale
+    return SweepPoint(
+        backend=AUTOSCALE,
+        spec=spec,
+        config=config,
+        design=design,
+        seed=seed,
+        options=_freeze_options(options),
+        profile=profile,
+        tag=tag,
+        cacheable=pillar != CLUSTER,
     )
 
 

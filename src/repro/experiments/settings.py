@@ -35,6 +35,13 @@ class ExperimentSettings:
     load_balancer_delay: float = 0.001
     #: Certification delay (§6.3.2).
     certifier_delay: float = 0.012
+    #: Autoscale scenarios: warm-up, trace length, and control period
+    #: (virtual seconds), plus the replica count whose capacity anchors
+    #: the trace's peak rate.
+    autoscale_warmup: float = 20.0
+    autoscale_duration: float = 480.0
+    autoscale_control_interval: float = 10.0
+    autoscale_peak_replicas: int = 6
 
     @classmethod
     def fast(cls) -> "ExperimentSettings":
@@ -45,6 +52,10 @@ class ExperimentSettings:
             sim_duration=16.0,
             profile_duration=40.0,
             profile_mixed_duration=40.0,
+            autoscale_warmup=8.0,
+            autoscale_duration=160.0,
+            autoscale_control_interval=5.0,
+            autoscale_peak_replicas=4,
         )
 
     def with_replica_counts(self, counts: Tuple[int, ...]) -> "ExperimentSettings":

@@ -195,6 +195,37 @@ class SIDatabase:
                 raise ConfigurationError(f"unknown operation {op[0]!r}")
         return self.commit(txn)
 
+    def clone_state(self) -> "tuple[int, Dict[object, object]]":
+        """Snapshot this database for state transfer to a joining replica.
+
+        Returns ``(version, state)``: the latest committed version and the
+        full visible state at it.  Taken under the engine lock so the pair
+        is consistent with respect to concurrent commits and applies; the
+        caller replays newer writesets on top (elastic join).
+        """
+        with self._lock:
+            version = self._store.latest_version
+            return version, self._store.snapshot_view(version)
+
+    def seed_state(self, version: int, state: Dict[object, object]) -> None:
+        """Install a transferred state snapshot into a *fresh* database.
+
+        The counterpart of :meth:`clone_state`: the whole snapshot lands
+        as one bulk install at *version*, after which
+        :meth:`apply_writeset` accepts versions above it — exactly the
+        snapshot-then-replay join protocol.
+        """
+        with self._lock:
+            if self._store.latest_version != 0 or self._active:
+                raise ConfigurationError(
+                    "can only seed a fresh database (no commits, no "
+                    "active transactions)"
+                )
+            if version < 0:
+                raise ConfigurationError(f"negative seed version {version}")
+            if version > 0:
+                self._store.install(version, state)
+
     def oldest_active_snapshot(self) -> int:
         """Oldest snapshot still held by an active transaction."""
         with self._lock:

@@ -55,16 +55,29 @@ class Environment:
     reschedule constantly (processor sharing cancels one completion per
     arrival/departure) hold memory proportional to the *live* event count
     instead of the cancellation history.
+
+    ``compact_min`` tunes how small a heap is left uncompacted.  The
+    default suits fixed sweeps; long *elastic* runs (autoscaling churns
+    membership and cancels events far more aggressively) may lower it to
+    reclaim memory sooner, or raise it to trade memory for fewer
+    re-heapifications.
     """
 
-    #: Don't bother compacting heaps smaller than this.
+    #: Default for ``compact_min``: don't bother compacting smaller heaps.
     _COMPACT_MIN = 64
 
-    def __init__(self) -> None:
+    def __init__(self, compact_min: Optional[int] = None) -> None:
         self._now = 0.0
         self._heap: List = []
         self._sequence = 0
         self._cancelled = 0
+        if compact_min is None:
+            compact_min = self._COMPACT_MIN
+        if compact_min < 0:
+            raise SimulationError(
+                f"compact_min must be >= 0, got {compact_min}"
+            )
+        self.compact_min = compact_min
 
     @property
     def now(self) -> float:
@@ -87,7 +100,7 @@ class Environment:
 
     def _note_cancelled(self) -> None:
         self._cancelled += 1
-        if (len(self._heap) > self._COMPACT_MIN
+        if (len(self._heap) > self.compact_min
                 and self._cancelled * 2 > len(self._heap)):
             self._compact()
 

@@ -46,6 +46,10 @@ class SimReplica:
         self._available = True
         #: Writesets received while down, applied in bulk on recovery.
         self._deferred: List[Tuple[int, bool]] = []
+        #: True while the replica is being drained for elastic removal:
+        #: the load balancer routes around it (``available`` is cleared
+        #: too) and it leaves the system once its resident count hits 0.
+        self.draining = False
 
     # ------------------------------------------------------------------
     # Transaction execution (generators composed by the system assemblies)
@@ -121,6 +125,25 @@ class SimReplica:
     def apply_backlog(self) -> int:
         """Writesets whose application has not yet advanced the watermark."""
         return self._enqueued_version - self.applied_version
+
+    def sync_to(self, commit_version: int) -> None:
+        """Adopt *commit_version* as this replica's starting state.
+
+        Elastic join: the replica receives a state snapshot at the
+        cluster's propagation watermark, so both its applied version and
+        its expected-next-writeset cursor begin there — writesets at or
+        below the sync point are part of the transferred state and must
+        never be re-applied, writesets above it arrive via propagation.
+        """
+        if self.applied_version != 0 or self._enqueued_version != 0:
+            raise SimulationError(
+                f"{self.name}: can only sync a fresh replica "
+                f"(applied={self.applied_version})"
+            )
+        if commit_version < 0:
+            raise SimulationError(f"negative sync version {commit_version}")
+        self.applied_version = commit_version
+        self._enqueued_version = commit_version
 
     # ------------------------------------------------------------------
     # Failure injection

@@ -108,6 +108,13 @@ class MetricsCollector:
             raise SimulationError(f"resource {key!r} registered twice")
         self._resources[key] = resource
 
+    def forget_resource(self, key: str) -> None:
+        """Unregister a resource (a failed elastic join rolls back its
+        registration so retries don't accumulate dead entries)."""
+        self._resources.pop(key, None)
+        self._busy_at_start.pop(key, None)
+        self._busy_at_end.pop(key, None)
+
     def begin_window(self, now: float) -> None:
         """Start the measurement window (end of warm-up)."""
         self.measuring = True

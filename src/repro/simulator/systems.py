@@ -74,6 +74,10 @@ def select_replica(policy, candidates, client_id, is_update, rng):
 class _BaseSystem:
     """Shared plumbing: replicas, samplers, metric wiring, client loop."""
 
+    #: How often an elastic drain re-checks that a leaving replica has
+    #: finished its in-flight transactions (simulated seconds).
+    _DRAIN_POLL = 0.025
+
     def __init__(
         self,
         env: Environment,
@@ -97,6 +101,15 @@ class _BaseSystem:
         self.lb_policy = lb_policy
         self._lb_rng = rng_util.spawn(seed, "load-balancer")
         self.replicas: List[SimReplica] = []
+        #: Monotonic counter naming elastically added replicas (names and
+        #: metric keys must never be reused after a removal).
+        self._members_created = 0
+        #: Highest commit version already handed to update propagation —
+        #: the sync point elastic joins adopt (the certifier can be ahead
+        #: by in-flight certification delays).
+        self._propagated_version = 0
+        #: Cleared by :meth:`stop_arrivals` to end open-loop streams.
+        self._arrivals_on = True
 
     def _make_replica(self, name: str, path: object) -> SimReplica:
         sampler = WorkloadSampler(
@@ -155,10 +168,48 @@ class _BaseSystem:
             distribution=self._distribution,
         )
         sequence = 0
-        while True:
+        while self._arrivals_on:
             yield Timeout(float(arrival_rng.exponential(1.0 / rate)))
+            if not self._arrivals_on:
+                return
             sequence += 1
             self.env.start(self._one_shot(sequence, sampler))
+
+    def start_trace_arrivals(self, trace) -> None:
+        """Launch an open-loop stream whose rate follows a load trace.
+
+        *trace* is any :class:`repro.control.trace.LoadTrace`-shaped object
+        (``rate(t)`` and ``max_rate``).  Arrivals form a non-homogeneous
+        Poisson process sampled by thinning [Lewis & Shedler 1979]:
+        candidate arrivals at the trace's peak rate, each accepted with
+        probability ``rate(now) / peak`` — deterministic for a fixed seed
+        regardless of how membership changes mid-run.
+        """
+        if trace.max_rate <= 0:
+            raise SimulationError("trace peak rate must be positive")
+        self.env.start(self._trace_arrival_process(trace))
+
+    def _trace_arrival_process(self, trace):
+        arrival_rng = rng_util.spawn(self._seed, "trace-arrivals")
+        sampler = WorkloadSampler(
+            self.spec,
+            rng_util.spawn(self._seed, "trace-client"),
+            distribution=self._distribution,
+        )
+        peak = trace.max_rate
+        sequence = 0
+        while self._arrivals_on:
+            yield Timeout(float(arrival_rng.exponential(1.0 / peak)))
+            if not self._arrivals_on:
+                return
+            if not trace.accept_arrival(arrival_rng, self.env.now):
+                continue  # thinned-out candidate
+            sequence += 1
+            self.env.start(self._one_shot(sequence, sampler))
+
+    def stop_arrivals(self) -> None:
+        """Stop open-loop arrival streams (lets elastic runs drain)."""
+        self._arrivals_on = False
 
     def _one_shot(self, sequence: int, sampler: WorkloadSampler):
         is_update = sampler.next_is_update()
@@ -192,6 +243,54 @@ class _BaseSystem:
         return select_replica(
             self.lb_policy, candidates, client_id, is_update, self._lb_rng
         )
+
+    # ------------------------------------------------------------------
+    # Elastic membership (dynamic provisioning)
+    # ------------------------------------------------------------------
+
+    @property
+    def member_count(self) -> int:
+        """Replicas provisioned and not draining away (controller view)."""
+        return sum(1 for r in self.replicas if not r.draining)
+
+    def add_replica(self, transfer_writesets: int = 0) -> SimReplica:
+        """Grow the system by one replica; topology-specific."""
+        raise NotImplementedError(f"{type(self).__name__} is not elastic")
+
+    def remove_replica(self) -> SimReplica:
+        """Drain and detach one replica; topology-specific."""
+        raise NotImplementedError(f"{type(self).__name__} is not elastic")
+
+    def _join_process(self, replica: SimReplica, transfer_writesets: int):
+        """Pay the join cost, then enter load-balancer rotation.
+
+        State transfer is modeled as a bulk writeset replay: the joiner
+        charges *transfer_writesets* writeset applications to its own CPU
+        and disk before it may serve clients.  Writesets committed during
+        the transfer were deferred (the replica is unavailable) and are
+        flushed by the ``available`` setter, so the total join cost is
+        transfer work plus catch-up backlog.
+        """
+        for _ in range(transfer_writesets):
+            yield from replica.serve_writeset_inline()
+        replica.available = True
+
+    def _drain_and_detach(self, replica: SimReplica):
+        """Wait out in-flight transactions, then forget the replica.
+
+        While draining, the replica stays in ``self.replicas``: update
+        propagation keeps covering it (deferred, since it is unavailable)
+        and the certifier's prune floor keeps honouring the snapshots of
+        its in-flight transactions.  Both obligations end exactly when it
+        leaves the list.
+        """
+        while replica.active > 0:
+            yield Timeout(self._DRAIN_POLL)
+        if replica in self.replicas:
+            self.replicas.remove(replica)
+        slaves = getattr(self, "slaves", None)
+        if slaves is not None and replica in slaves:
+            slaves.remove(replica)
 
 
 class StandaloneSystem(_BaseSystem):
@@ -260,9 +359,44 @@ class MultiMasterSystem(_BaseSystem):
                          lb_policy)
         for index in range(config.replicas):
             self._make_replica(f"replica{index}", index)
+        self._members_created = config.replicas
         self.certifier = Certifier()
         self._active_snapshots: Dict[int, int] = {}
         self._snapshot_token = 0
+
+    def add_replica(self, transfer_writesets: int = 0) -> SimReplica:
+        """Grow the cluster by one replica (elastic provisioning).
+
+        The joiner adopts a state snapshot at the current propagation
+        watermark (everything already handed to the replicas; versions
+        certified but still inside their certification delay arrive
+        normally afterwards) and pays for it with a bulk writeset replay
+        of *transfer_writesets* applications before entering rotation.
+        """
+        index = self._members_created
+        self._members_created += 1
+        replica = self._make_replica(f"replica{index}", index)
+        replica.sync_to(self._propagated_version)
+        replica.available = False
+        self.env.start(self._join_process(replica, transfer_writesets))
+        return replica
+
+    def remove_replica(self) -> SimReplica:
+        """Shrink the cluster by one replica: drain, then detach.
+
+        Picks the youngest fully-joined replica; at least one available
+        replica always remains.
+        """
+        candidates = [
+            r for r in self.replicas if not r.draining and r.available
+        ]
+        if len(candidates) <= 1:
+            raise SimulationError("cannot remove the last available replica")
+        replica = candidates[-1]
+        replica.draining = True
+        replica.available = False
+        self.env.start(self._drain_and_detach(replica))
+        return replica
 
     def execute(self, sampler: WorkloadSampler, is_update: bool, client_id: int = 0):
         yield Timeout(self.config.load_balancer_delay)
@@ -305,6 +439,7 @@ class MultiMasterSystem(_BaseSystem):
             replica.active -= 1
 
     def _propagate(self, commit_version: int, origin: SimReplica) -> None:
+        self._propagated_version = commit_version
         for replica in self.replicas:
             replica.enqueue_writeset(commit_version, charged=replica is not origin)
 
@@ -338,9 +473,36 @@ class SingleMasterSystem(_BaseSystem):
             self._make_replica(f"slave{index}", index)
             for index in range(config.replicas - 1)
         ]
+        self._members_created = config.replicas - 1
         self.certifier = Certifier()
         self._active_snapshots: Dict[int, int] = {}
         self._snapshot_token = 0
+
+    def add_replica(self, transfer_writesets: int = 0) -> SimReplica:
+        """Grow the system by one read-only slave (the master is fixed)."""
+        index = self._members_created
+        self._members_created += 1
+        slave = self._make_replica(f"slave{index}", index)
+        self.slaves.append(slave)
+        slave.sync_to(self._propagated_version)
+        slave.available = False
+        self.env.start(self._join_process(slave, transfer_writesets))
+        return slave
+
+    def remove_replica(self) -> SimReplica:
+        """Drain and detach the youngest slave (never the master)."""
+        candidates = [
+            r for r in self.slaves if not r.draining and r.available
+        ]
+        if not candidates:
+            raise SimulationError(
+                "no removable slave (the master cannot be removed)"
+            )
+        slave = candidates[-1]
+        slave.draining = True
+        slave.available = False
+        self.env.start(self._drain_and_detach(slave))
+        return slave
 
     def execute(self, sampler: WorkloadSampler, is_update: bool, client_id: int = 0):
         yield Timeout(self.config.load_balancer_delay)
@@ -373,6 +535,7 @@ class SingleMasterSystem(_BaseSystem):
                 finally:
                     self._release_snapshot(token)
                 if outcome.committed:
+                    self._propagated_version = outcome.commit_version
                     self.master.enqueue_writeset(
                         outcome.commit_version, charged=False
                     )

@@ -48,6 +48,26 @@ class TestParser:
         args = build_parser().parse_args(["reproduce", "--fast", "--out", "x.txt"])
         assert args.out == "x.txt"
 
+    def test_autoscale_parses_options(self):
+        args = build_parser().parse_args(
+            ["autoscale", "--trace", "flashcrowd", "--live", "--timeline",
+             "--fast", "--jobs", "4"]
+        )
+        assert args.trace == "flashcrowd"
+        assert args.live and args.timeline
+        assert args.jobs == 4
+
+    def test_autoscale_rejects_unknown_trace(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["autoscale", "--trace", "sawtooth"])
+
+    def test_scenarios_parses_profile(self):
+        args = build_parser().parse_args(
+            ["scenarios", "--profile", "fig06", "--fast"]
+        )
+        assert args.profile
+        assert args.names == ["fig06"]
+
 
 class TestCommands:
     def test_workloads_lists_all(self, capsys):
@@ -86,3 +106,85 @@ class TestCommands:
         ])
         assert code == 1
         assert "no deployment" in capsys.readouterr().out
+
+    def test_run_unknown_scenario_fails_with_suggestion(self, capsys):
+        """No traceback: a clean non-zero exit with a did-you-mean hint."""
+        code = main(["run", "figur6"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario 'figur6'" in err
+        assert "figure6" in err  # the did-you-mean suggestion
+
+    def test_run_unknown_scenario_without_close_match(self, capsys):
+        code = main(["run", "zzzzzzzz"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_scenarios_lists_autoscale_family(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "autoscale-diurnal" in out
+        assert "autoscale-flashcrowd" in out
+        assert "autoscale-diurnal-live" in out
+
+    def test_scenarios_name_filter(self, capsys):
+        assert main(["scenarios", "autoscale"]) == 0  # alias resolves
+        out = capsys.readouterr().out
+        assert "autoscale-diurnal" in out
+        assert "table2" not in out
+
+    def test_scenarios_bad_name_fails(self, capsys):
+        assert main(["scenarios", "nope-nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_scenarios_profile_reports_wall_clock(self, capsys):
+        assert main(["scenarios", "--profile", "table2", "--fast",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "table2:" in out
+        assert "wall" in out
+
+    def test_scenarios_profile_requires_names(self, capsys):
+        """Without names --profile would run the whole registry, live
+        cluster scenarios included — refuse instead."""
+        assert main(["scenarios", "--profile"]) == 2
+        assert "name the scenarios" in capsys.readouterr().err
+
+
+class TestArtifactFailures:
+    """`repro run` must exit non-zero on non-converged cluster artifacts."""
+
+    def _result(self, converged):
+        from repro.control.autoscale import AutoscaleResult
+
+        return AutoscaleResult(
+            design="multi-master", policy="feedforward", pillar="cluster",
+            trace="diurnal", slo_response=1.0, control_interval=1.0,
+            window=10.0, committed=100, slo_violations=0,
+            replica_seconds=20.0, timeline=(), final_members=2,
+            scale_events=1, converged=converged,
+        )
+
+    def test_non_converged_entries_are_failures(self):
+        from repro.cli import _artifact_failures
+        from repro.control.autoscale import AutoscaleComparison
+
+        comparison = AutoscaleComparison(
+            workload="w", trace="diurnal", pillar="cluster",
+            slo_response=1.0,
+            results=(self._result(True), self._result(False)),
+        )
+        failures = _artifact_failures(comparison)
+        assert len(failures) == 1
+        assert "did not converge" in failures[0]
+
+    def test_converged_artifacts_pass(self):
+        from repro.cli import _artifact_failures
+        from repro.control.autoscale import AutoscaleComparison
+
+        comparison = AutoscaleComparison(
+            workload="w", trace="diurnal", pillar="cluster",
+            slo_response=1.0, results=(self._result(True),),
+        )
+        assert _artifact_failures(comparison) == []
+        assert _artifact_failures(["plain", "rows"]) == []

@@ -1,0 +1,239 @@
+"""Elastic membership on the live cluster: churn stress + autoscale runs.
+
+These run real threads against real SI engines.  The churn stress test is
+the replication-correctness acceptance check: while client threads commit
+update transactions, a churn loop adds and removes replicas; afterwards
+every surviving replica must hold the identical final version, equal to
+the certifier's commit count — a lost writeset would leave a replica
+behind, a duplicated one would crash its version store.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.cluster import MultiMasterCluster, SingleMasterCluster
+from repro.cluster.clock import VirtualClock
+from repro.control import (
+    DiurnalTrace,
+    FeedforwardPolicy,
+    StaticPeakPolicy,
+    autoscale_cluster,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.params import ConflictProfile, ReplicationConfig, WorkloadMix
+from repro.simulator.sampling import WorkloadSampler
+from repro.simulator.stats import MetricsCollector
+from repro.workloads.spec import WorkloadSpec, demands_ms
+from repro.core import rng as rng_util
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    return WorkloadSpec(
+        benchmark="micro",
+        mix_name="elastic-live-tiny",
+        mix=WorkloadMix(read_fraction=0.6, write_fraction=0.4),
+        demands=demands_ms(
+            read_cpu=3.0, read_disk=1.0,
+            write_cpu=2.0, write_disk=1.0,
+            writeset_cpu=0.5, writeset_disk=0.3,
+        ),
+        clients_per_replica=6,
+        think_time=0.05,
+        conflict=ConflictProfile(db_update_size=500,
+                                 updates_per_transaction=2),
+        description="tiny mix for live elastic-membership tests",
+    )
+
+
+def _config(spec, replicas):
+    return ReplicationConfig(
+        replicas=replicas,
+        clients_per_replica=spec.clients_per_replica,
+        think_time=spec.think_time,
+        load_balancer_delay=0.0005,
+        certifier_delay=0.002,
+    )
+
+
+def _build(cls, spec, replicas, seed=19):
+    cluster = cls(
+        spec, _config(spec, replicas), seed,
+        VirtualClock(1.0), MetricsCollector(),
+    )
+    cluster.start()
+    return cluster
+
+
+def _traffic(cluster, spec, stop, errors, client_id):
+    sampler = WorkloadSampler(
+        spec, rng_util.spawn(77, "elastic-test-client", client_id)
+    )
+    while not stop.is_set():
+        try:
+            is_update = sampler.next_is_update()
+            cluster.execute(sampler, is_update, client_id)
+        except BaseException as exc:  # noqa: BLE001 — assert after join
+            errors.append(exc)
+            stop.set()
+            return
+
+
+def _churn_stress(cluster, spec, churn):
+    """Run client threads while *churn* mutates membership."""
+    stop = threading.Event()
+    errors = []
+    clients = [
+        threading.Thread(
+            target=_traffic, args=(cluster, spec, stop, errors, i),
+            daemon=True,
+        )
+        for i in range(6)
+    ]
+    for thread in clients:
+        thread.start()
+    try:
+        churn(stop)
+    finally:
+        stop.set()
+        for thread in clients:
+            thread.join(10.0)
+    assert not errors, errors
+    assert cluster.quiesce(timeout=30.0), "cluster did not converge"
+    assert not cluster.applier_errors()
+    versions = cluster.replica_versions()
+    assert len(set(versions)) == 1, versions
+    commits = cluster.certifier.certifications - cluster.certifier.aborts
+    assert versions[0] == commits
+    assert commits > 0
+
+
+class TestMembershipChurnStress:
+    def test_multi_master_churn_never_loses_or_duplicates(self, tiny_spec):
+        """The acceptance stress test, on the live multi-master cluster."""
+        cluster = _build(MultiMasterCluster, tiny_spec, 2)
+        try:
+            def churn(stop):
+                added = []
+                for round_ in range(3):
+                    for _ in range(2):
+                        added.append(cluster.add_replica(transfer_writesets=4))
+                        time.sleep(0.15)
+                    for _ in range(2):
+                        cluster.remove_replica(drain_timeout=20.0)
+                        time.sleep(0.15)
+                # End on a grown cluster so the check also covers a
+                # freshly joined replica.
+                added.append(cluster.add_replica(transfer_writesets=4))
+                time.sleep(0.3)
+
+            _churn_stress(cluster, tiny_spec, churn)
+            assert len(cluster.replicas) == 3
+        finally:
+            cluster.shutdown()
+
+    def test_single_master_slave_churn(self, tiny_spec):
+        cluster = _build(SingleMasterCluster, tiny_spec, 2)
+        try:
+            def churn(stop):
+                for _ in range(2):
+                    cluster.add_replica(transfer_writesets=4)
+                    time.sleep(0.15)
+                for _ in range(2):
+                    cluster.remove_replica(drain_timeout=20.0)
+                    time.sleep(0.15)
+
+            _churn_stress(cluster, tiny_spec, churn)
+            assert len(cluster.slaves) == 1
+        finally:
+            cluster.shutdown()
+
+    def test_joiner_state_transfer_is_complete(self, tiny_spec):
+        """A replica joining mid-run ends bit-identical to the donors."""
+        cluster = _build(MultiMasterCluster, tiny_spec, 2)
+        try:
+            def churn(stop):
+                time.sleep(0.3)  # commit some state first
+                cluster.add_replica(transfer_writesets=4)
+                time.sleep(0.3)
+
+            _churn_stress(cluster, tiny_spec, churn)
+            # Same version and same visible contents everywhere.
+            views = [
+                replica.db.store.snapshot_view(replica.db.latest_version)
+                for replica in cluster.replicas
+            ]
+            for view in views[1:]:
+                assert view == views[0]
+        finally:
+            cluster.shutdown()
+
+    def test_cannot_remove_below_one(self, tiny_spec):
+        cluster = _build(MultiMasterCluster, tiny_spec, 1)
+        try:
+            with pytest.raises(ConfigurationError):
+                cluster.remove_replica()
+        finally:
+            cluster.shutdown()
+
+    def test_master_is_not_removable(self, tiny_spec):
+        cluster = _build(SingleMasterCluster, tiny_spec, 1)
+        try:
+            with pytest.raises(ConfigurationError):
+                cluster.remove_replica()
+        finally:
+            cluster.shutdown()
+
+
+@pytest.fixture(scope="module")
+def live_autoscale_spec():
+    """Heavier demands: the autoscaler has real work to balance."""
+    return WorkloadSpec(
+        benchmark="micro",
+        mix_name="autoscale-live-test",
+        mix=WorkloadMix(read_fraction=0.7, write_fraction=0.3),
+        demands=demands_ms(
+            read_cpu=40.0, read_disk=15.0,
+            write_cpu=25.0, write_disk=10.0,
+            writeset_cpu=2.0, writeset_disk=1.0,
+        ),
+        clients_per_replica=6,
+        think_time=0.2,
+        conflict=ConflictProfile(db_update_size=1000,
+                                 updates_per_transaction=2),
+        description="live autoscale validation mix",
+    )
+
+
+class TestLiveAutoscale:
+    def test_feedforward_beats_static_peak_live(self, live_autoscale_spec):
+        """The acceptance criterion, on the live cluster pillar."""
+        spec = live_autoscale_spec
+        profile = spec.ground_truth_profile(
+            abort_rate=0.0005, update_response_time=0.08
+        )
+        # Per-replica capacity ~27 tps; swing a 3-4 replica deployment.
+        trace = DiurnalTrace(base_rate=8.0, peak_rate=62.0, period=8.0)
+        kwargs = dict(
+            profile=profile, seed=3, warmup=2.0, duration=16.0,
+            control_interval=1.0, slo_response=1.2, time_scale=0.25,
+            max_replicas=6, transfer_writesets=4,
+            config=spec.replication_config(
+                1, load_balancer_delay=0.0005, certifier_delay=0.002,
+            ),
+        )
+        feedforward = autoscale_cluster(
+            spec, trace, FeedforwardPolicy(horizon=2.0, headroom=0.25),
+            **kwargs,
+        )
+        static = autoscale_cluster(
+            spec, trace, StaticPeakPolicy(headroom=0.25), **kwargs,
+        )
+        assert feedforward.converged and static.converged
+        assert feedforward.scale_events > 0
+        assert static.scale_events == 0
+        assert feedforward.savings_vs(static) >= 0.20
+        assert (feedforward.slo_violation_fraction
+                <= static.slo_violation_fraction + 0.01)

@@ -161,3 +161,75 @@ class TestProvisioningSchedule:
         text = schedule.to_text()
         assert "replica-periods" in text
         assert "00h" in text
+
+
+class TestProvisioningScheduleEdgeCases:
+    def test_zero_load_periods_get_minimum_provisioning(self, simple_profile,
+                                                        simple_config):
+        """An idle period still needs one replica, never zero or an error."""
+        forecast = [("night", 0.0), ("day", 120.0), ("off", 0.0)]
+        schedule = provisioning_schedule(
+            MULTI_MASTER, simple_profile, simple_config, forecast
+        )
+        sizes = {label: n for label, _, n in schedule.periods}
+        assert sizes["night"] == 1
+        assert sizes["off"] == 1
+        assert sizes["day"] >= 1
+        # Zero-load periods contribute their floor to the totals.
+        assert schedule.replica_periods == sum(sizes.values())
+        assert schedule.static_replicas == sizes["day"]
+
+    def test_all_zero_forecast(self, simple_profile, simple_config):
+        schedule = provisioning_schedule(
+            MULTI_MASTER, simple_profile, simple_config,
+            [("a", 0.0), ("b", 0.0)],
+        )
+        assert [n for _, _, n in schedule.periods] == [1, 1]
+        assert schedule.static_replicas == 1
+        assert schedule.savings_fraction == 0.0
+
+    def test_sla_below_zero_load_service_time_is_unreachable(
+            self, simple_profile, simple_config):
+        """No replica count can beat the zero-load service time."""
+        floor = (simple_profile.mix.read_fraction
+                 * simple_profile.demands.read.total
+                 + simple_profile.mix.write_fraction
+                 * simple_profile.demands.write.total)
+        n = replicas_for_response_time(
+            MULTI_MASTER, simple_profile, simple_config,
+            max_response_time=floor * 0.5, max_replicas=16,
+        )
+        assert n is None
+        plan = plan_deployment(
+            simple_profile, simple_config, target_throughput=1.0,
+            max_response_time=floor * 0.5, designs=(MULTI_MASTER,),
+            max_replicas=16,
+        )
+        assert plan is None
+
+    def test_headroom_rounding_at_max_replicas_boundary(self, simple_profile,
+                                                        simple_config):
+        """Loads right at the boundary either fit exactly at max_replicas
+        or raise — the head-room division must not mis-round either way."""
+        headroom = 0.1
+        max_replicas = 4
+        capacity = predict(
+            MULTI_MASTER, simple_profile,
+            simple_config.with_replicas(max_replicas),
+        ).throughput
+        # Exactly fillable: the largest load max_replicas can serve with
+        # head-room.  size_for must pick max_replicas, not raise.
+        fits = capacity * (1.0 - headroom)
+        schedule = provisioning_schedule(
+            MULTI_MASTER, simple_profile, simple_config,
+            [("edge", fits)], headroom=headroom, max_replicas=max_replicas,
+        )
+        assert schedule.periods[0][2] == max_replicas
+        assert schedule.static_replicas == max_replicas
+        # A hair past the boundary must raise, not silently under-provision.
+        with pytest.raises(ConfigurationError):
+            provisioning_schedule(
+                MULTI_MASTER, simple_profile, simple_config,
+                [("over", fits * 1.001)], headroom=headroom,
+                max_replicas=max_replicas,
+            )
