@@ -5,7 +5,6 @@ the multiclass solver, the SI engine's commit path, the certifier, and raw
 discrete-event throughput.
 """
 
-import numpy as np
 
 from repro.core.rng import make_rng
 from repro.models.multimaster import predict_multimaster

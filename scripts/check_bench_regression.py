@@ -1,0 +1,92 @@
+"""Compare a pytest-benchmark JSON run against the committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py CURRENT.json BASELINE.json
+
+Benchmarks are matched by fully-qualified test name.  Because the
+baseline and the nightly run execute on different hardware, raw times
+are not comparable: the gate first estimates the host-speed factor as
+the *median* per-benchmark ratio (current / baseline), then flags any
+benchmark whose normalized ratio exceeds ``1 + threshold`` — i.e. a
+benchmark that got more than 10% slower *relative to the suite as a
+whole*.  A uniform slowdown (slower runner) passes; a single benchmark
+regressing does not.
+
+Exit status: 0 when clean, 1 on regression, 2 on unusable input.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_means(path):
+    """Read {test name: mean seconds} from a pytest-benchmark JSON file."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    means = {}
+    for bench in payload.get("benchmarks", []):
+        stats = bench.get("stats") or {}
+        mean = stats.get("mean")
+        if mean and mean > 0:
+            means[bench["fullname"]] = float(mean)
+    return means
+
+
+def build_parser():
+    """The command-line interface of the gate."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced benchmark JSON")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    threshold_help = "allowed normalized slowdown (default 10%%)"
+    parser.add_argument("--threshold", type=float, default=0.10, help=threshold_help)
+    min_help = "ignore benchmarks faster than this in the baseline (timer noise)"
+    parser.add_argument("--min-seconds", type=float, default=0.5, help=min_help)
+    return parser
+
+
+def main(argv=None):
+    """Run the gate; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    current = load_means(args.current)
+    baseline = load_means(args.baseline)
+    shared = sorted(set(current) & set(baseline))
+    comparable = [n for n in shared if baseline[n] >= args.min_seconds]
+    if not comparable:
+        print("no comparable benchmarks between the two runs", file=sys.stderr)
+        return 2
+
+    ratios = {n: current[n] / baseline[n] for n in comparable}
+    host_factor = statistics.median(ratios.values())
+    counts = f"{len(comparable)} comparable benchmarks ({len(shared)} shared)"
+    print(f"{counts}; host-speed factor {host_factor:.2f}x vs baseline")
+
+    failures = []
+    for name in comparable:
+        normalized = ratios[name] / host_factor
+        regressed = normalized > 1 + args.threshold
+        marker = " <-- REGRESSION" if regressed else ""
+        times = f"{current[name]:9.2f}s (baseline {baseline[name]:9.2f}s)"
+        print(f"  {normalized:6.2f}x  {times}  {name}{marker}")
+        if regressed:
+            failures.append(name)
+
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  WARNING: baseline benchmark did not run: {name}")
+
+    if failures:
+        detail = f"{len(failures)} benchmark(s) regressed more than"
+        print(f"\nFAIL: {detail} {args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print(f"\nPASS: no benchmark regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

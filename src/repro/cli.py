@@ -259,14 +259,24 @@ def _artifact_failures(result) -> List[str]:
 def _run_registered(args, name: str, after_render=None) -> int:
     scenario = get_scenario(name)
     started = time.time()
-    result = run_scenario(
-        scenario,
-        _settings(args),
-        jobs=_jobs(args),
-        cache=_cache(args),
-        progress=lambda line: print(f"[{scenario.name}] {line}",
-                                    file=sys.stderr),
-    )
+    try:
+        result = run_scenario(
+            scenario,
+            _settings(args),
+            jobs=_jobs(args),
+            cache=_cache(args),
+            progress=lambda line: print(f"[{scenario.name}] {line}",
+                                        file=sys.stderr),
+        )
+    except (EngineError, ReproError) as exc:
+        # A backend that cannot produce the point — most commonly a
+        # live-cluster cell that failed to converge or drain — must fail
+        # the command with one readable line, not a traceback (CI smoke
+        # jobs grep stderr, not stack frames).
+        lines = str(exc).strip().splitlines()
+        message = lines[-1] if lines else repr(exc)
+        print(f"repro: [{scenario.name}] error: {message}", file=sys.stderr)
+        return 1
     print(_render_artifact(result))
     if after_render is not None:
         after_render(result)
@@ -316,6 +326,40 @@ def _cmd_autoscale(args) -> int:
     return code
 
 
+def _cmd_ops(args) -> int:
+    from .control.autoscale import render_timeline
+    from .ops.scenarios import LIVE_SCENARIOS, SIM_SCENARIOS
+
+    by_operation = {
+        "selfheal": ("selfheal-crashstorm", "selfheal-crashstorm-live"),
+        "rolling": ("rolling-upgrade", "rolling-upgrade-live"),
+        "hetero": ("hetero-fleet", "hetero-fleet-live"),
+        "all": (SIM_SCENARIOS, LIVE_SCENARIOS),
+    }
+    if args.operation == "all":
+        sim_names, live_names = by_operation["all"]
+        names = list(sim_names) + (list(live_names) if args.live else [])
+    else:
+        sim_name, live_name = by_operation[args.operation]
+        names = [sim_name] + ([live_name] if args.live else [])
+
+    def print_detail(artifact) -> None:
+        for entry in getattr(artifact, "results", ()) or ():
+            result = getattr(entry, "result", None)
+            if result is None:
+                continue
+            print()
+            print(render_timeline(result))
+
+    code = 0
+    for name in names:
+        code = max(code, _run_registered(
+            args, name,
+            after_render=print_detail if args.timeline else None,
+        ))
+    return code
+
+
 def _cmd_reproduce(args) -> int:
     settings = _settings(args)
     try:
@@ -340,11 +384,29 @@ def _cmd_reproduce(args) -> int:
 
 
 def _cmd_plan(args) -> int:
-    from .models.planning import plan_deployment
+    from .models.planning import plan_deployment, plan_mixed_fleet
 
     spec = get_workload(args.workload)
     settings = _settings(args)
     profile = experiments.get_profile(spec, settings)
+    if args.capacities:
+        # Mixed-fleet sizing: pick machines from a heterogeneous
+        # inventory instead of counting identical replicas.
+        plan = plan_mixed_fleet(
+            profile,
+            spec.replication_config(1),
+            target_throughput=args.target,
+            capacities=args.capacities,
+            max_response_time=args.max_response,
+            headroom=args.headroom,
+        )
+        if plan is None:
+            print(f"the inventory cannot serve {args.target:.0f} tps"
+                  + (f" at <= {args.max_response*1000:.0f} ms"
+                     if args.max_response else ""))
+            return 1
+        print(f"{args.workload}: {plan.to_text()}")
+        return 0
     plan = plan_deployment(
         profile,
         spec.replication_config(1),
@@ -519,6 +581,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_options(p)
     p.set_defaults(func=_cmd_autoscale)
 
+    p = sub.add_parser(
+        "ops",
+        help="run the self-healing operations scenarios (failure "
+        "replacement, rolling upgrades, heterogeneous fleets)",
+    )
+    p.add_argument("--operation",
+                   choices=("selfheal", "rolling", "hetero", "all"),
+                   default="all", help="which operations family to run")
+    p.add_argument("--live", action="store_true",
+                   help="also run the live-cluster validation cells "
+                   "(real threads, real membership)")
+    p.add_argument("--timeline", action="store_true",
+                   help="print per-interval timelines and the ops event "
+                   "log of every run")
+    p.add_argument("--fast", action="store_true")
+    _add_engine_options(p)
+    p.set_defaults(func=_cmd_ops)
+
     p = sub.add_parser("plan", help="size a deployment for a target load")
     p.add_argument("workload")
     p.add_argument("--target", type=float, required=True,
@@ -526,6 +606,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-response", type=float, default=None,
                    help="latency SLA in seconds")
     p.add_argument("--headroom", type=float, default=0.1)
+    p.add_argument("--capacities", type=float, nargs="+", default=None,
+                   help="size a heterogeneous fleet from this machine "
+                   "inventory (speed multipliers, e.g. 2 1 1 0.5)")
     p.add_argument("--fast", action="store_true")
     p.set_defaults(func=_cmd_plan)
 

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..core.errors import ConfigurationError
 from ..simulator.systems import (
+    CAPACITY_WEIGHTED,
     CONFLICT_AWARE,
     LB_POLICIES,
     LEAST_LOADED,
@@ -24,6 +25,19 @@ from ..simulator.systems import (
     RANDOM,
     select_replica,
 )
+
+#: Policy names re-exported for callers that think in terms of the live
+#: balancer (tests and the cluster runtime import them from here).
+__all__ = [
+    "CAPACITY_WEIGHTED",
+    "CONFLICT_AWARE",
+    "LB_POLICIES",
+    "LEAST_LOADED",
+    "LoadBalancer",
+    "PINNED",
+    "RANDOM",
+    "select_replica",
+]
 
 
 class LoadBalancer:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core import rng as rng_util
 from ..core.errors import (
@@ -37,6 +37,7 @@ from ..core.params import ReplicationConfig
 from ..sidb.certifier import Certifier
 from ..simulator.sampling import EXPONENTIAL, WorkloadSampler
 from ..simulator.stats import MetricsCollector
+from ..simulator.systems import check_capacities
 from ..workloads.spec import WorkloadSpec
 from .balancer import LoadBalancer
 from .channel import ReplicationChannel
@@ -63,7 +64,9 @@ class Cluster:
         metrics: MetricsCollector,
         distribution: str = EXPONENTIAL,
         lb_policy: str = "least-loaded",
+        capacities: Optional[Sequence[float]] = None,
     ) -> None:
+        self._capacities = check_capacities(capacities, config.replicas)
         self.spec = spec
         self.config = config
         self.clock = clock
@@ -90,8 +93,15 @@ class Cluster:
         self.channel = ReplicationChannel()
         self.certifier: Certifier
 
+    def _initial_capacity(self, index: int) -> float:
+        """Capacity multiplier for the *index*-th initial replica."""
+        if self._capacities is None:
+            return 1.0
+        return self._capacities[index]
+
     def _new_replica(
-        self, name: str, path: object, certifier: Optional[Certifier] = None
+        self, name: str, path: object,
+        certifier: Optional[Certifier] = None, capacity: float = 1.0,
     ) -> ClusterReplica:
         """Create a replica and register its resources, without attaching
         it to the routing list (elastic joins attach under the order
@@ -107,6 +117,7 @@ class Cluster:
             sampler,
             certifier=certifier,
             max_concurrency=self.config.max_concurrency,
+            capacity=capacity,
         )
         with self.metrics_lock:
             self.metrics.watch_resource(f"{name}.cpu", replica.cpu)
@@ -114,9 +125,10 @@ class Cluster:
         return replica
 
     def _make_replica(
-        self, name: str, path: object, certifier: Optional[Certifier] = None
+        self, name: str, path: object,
+        certifier: Optional[Certifier] = None, capacity: float = 1.0,
     ) -> ClusterReplica:
-        replica = self._new_replica(name, path, certifier)
+        replica = self._new_replica(name, path, certifier, capacity)
         self.replicas.append(replica)
         return replica
 
@@ -145,6 +157,7 @@ class Cluster:
             if all(
                 r.applied_version >= target and r.apply_backlog == 0
                 for r in self.replicas
+                if not r.failed  # crashed replicas are lost, not lagging
             ):
                 return True
             time.sleep(0.005)
@@ -159,9 +172,12 @@ class Cluster:
         ]
 
     def replica_versions(self) -> Tuple[int, ...]:
-        """Each replica's latest locally visible version (convergence
-        check: identical everywhere after quiesce)."""
-        return tuple(r.applied_version for r in self.replicas)
+        """Each healthy replica's latest locally visible version
+        (convergence check: identical everywhere after quiesce; crashed
+        replicas lost their state and are excluded)."""
+        return tuple(
+            r.applied_version for r in self.replicas if not r.failed
+        )
 
     # ------------------------------------------------------------------
     # Shared helpers
@@ -197,7 +213,7 @@ class Cluster:
             self.clock.sleep(self.config.load_balancer_delay)
             replica = self.balancer.select(self.replicas, client_id, is_update)
             replica.enter()
-            if not replica.retiring:
+            if not replica.retiring and not replica.failed:
                 return replica
             replica.exit()
 
@@ -207,15 +223,30 @@ class Cluster:
 
     @property
     def member_count(self) -> int:
-        """Replicas provisioned and not retiring (controller view)."""
-        return sum(1 for r in self.replicas if not r.retiring)
+        """Replicas provisioned, healthy, and not retiring (controller
+        view): a crashed replica is no longer a member."""
+        return sum(
+            1 for r in self.replicas if not r.retiring and not r.failed
+        )
 
-    def add_replica(self, transfer_writesets: int = 16) -> ClusterReplica:
+    def upgrade_targets(self) -> List[ClusterReplica]:
+        """Replicas a rolling restart cycles (single-master: slaves only,
+        the master cannot be detached)."""
+        pool = getattr(self, "slaves", self.replicas)
+        return [r for r in pool if not r.retiring and not r.failed]
+
+    def add_replica(self, transfer_writesets: int = 16,
+                    capacity: float = 1.0) -> ClusterReplica:
         """Grow the cluster by one live replica; topology-specific."""
         raise NotImplementedError(f"{type(self).__name__} is not elastic")
 
-    def remove_replica(self, drain_timeout: float = 30.0) -> ClusterReplica:
-        """Drain and detach one live replica; topology-specific."""
+    def remove_replica(
+        self,
+        drain_timeout: float = 30.0,
+        replica: Optional[ClusterReplica] = None,
+        force: bool = False,
+    ) -> ClusterReplica:
+        """Drain (or, with ``force``, immediately detach) one replica."""
         raise NotImplementedError(f"{type(self).__name__} is not elastic")
 
     def _attach(self, replica: ClusterReplica) -> None:
@@ -288,6 +319,16 @@ class Cluster:
                     f"removal rolled back"
                 )
             time.sleep(0.002)
+        self._force_detach(replica)
+
+    def _force_detach(self, replica: ClusterReplica) -> None:
+        """Detach *replica* immediately — no drain (failure replacement).
+
+        In-flight client threads on it finish on their own (the replica
+        object outlives the detach) but the cluster stops counting it:
+        it leaves routing, replication, and the convergence check at
+        once, and its queued backlog is discarded with it.
+        """
         with self._order_lock:
             self.channel.unsubscribe(replica)
             self.replicas = [r for r in self.replicas if r is not replica]
@@ -322,18 +363,21 @@ class MultiMasterCluster(Cluster):
     design = "multi-master"
 
     def __init__(self, spec, config, seed, clock, metrics,
-                 distribution=EXPONENTIAL, lb_policy="least-loaded"):
+                 distribution=EXPONENTIAL, lb_policy="least-loaded",
+                 capacities=None):
         super().__init__(spec, config, seed, clock, metrics,
-                         distribution, lb_policy)
+                         distribution, lb_policy, capacities)
         self.certifier = Certifier()
         for index in range(config.replicas):
             replica = self._make_replica(
-                f"replica{index}", index, certifier=self.certifier
+                f"replica{index}", index, certifier=self.certifier,
+                capacity=self._initial_capacity(index),
             )
             self.channel.subscribe(replica)
         self._members_created = config.replicas
 
-    def add_replica(self, transfer_writesets: int = 16) -> ClusterReplica:
+    def add_replica(self, transfer_writesets: int = 16,
+                    capacity: float = 1.0) -> ClusterReplica:
         """Grow the cluster by one live replica (elastic provisioning).
 
         Under the commit-order lock the joiner's engine is seeded with a
@@ -346,12 +390,17 @@ class MultiMasterCluster(Cluster):
         with self._membership_lock:
             name = f"replica{self._members_created}"
             self._members_created += 1
-            replica = self._new_replica(name, name, certifier=self.certifier)
+            replica = self._new_replica(name, name, certifier=self.certifier,
+                                        capacity=capacity)
             replica.begin_join()
             try:
                 with self._order_lock:
-                    donor = max(self.replicas,
-                                key=lambda r: r.applied_version)
+                    donors = [r for r in self.replicas if not r.failed]
+                    if not donors:
+                        raise ConfigurationError(
+                            "no healthy donor replica for state transfer"
+                        )
+                    donor = max(donors, key=lambda r: r.applied_version)
                     version, state = donor.db.clone_state()
                     replica.db.seed_state(version, state)
                     self._attach(replica)
@@ -365,22 +414,43 @@ class MultiMasterCluster(Cluster):
         ).start()
         return replica
 
-    def remove_replica(self, drain_timeout: float = 30.0) -> ClusterReplica:
+    def remove_replica(
+        self,
+        drain_timeout: float = 30.0,
+        replica: Optional[ClusterReplica] = None,
+        force: bool = False,
+    ) -> ClusterReplica:
         """Shrink the cluster by one replica: drain, then detach.
 
-        Picks the youngest fully-joined replica; at least one always
-        remains.  Blocks (wall time, up to *drain_timeout*) until the
-        replica's in-flight transactions finish.
+        Without a target, picks the youngest fully-joined replica; at
+        least one healthy replica always remains.  Blocks (wall time, up
+        to *drain_timeout*) until the replica's in-flight transactions
+        finish — unless ``force``, which detaches immediately (the
+        replacement path for crashed replicas).
         """
         with self._membership_lock:
-            candidates = [
+            if replica is None:
+                candidates = [
+                    r for r in self.replicas
+                    if not r.retiring and not r.joining and not r.failed
+                ]
+                if len(candidates) <= 1:
+                    raise ConfigurationError("cannot remove the last replica")
+                replica = candidates[-1]
+            elif replica not in self.replicas:
+                raise ConfigurationError(f"{replica.name} is not attached")
+            survivors = [
                 r for r in self.replicas
-                if not r.retiring and not r.joining
+                if r is not replica and not r.retiring and not r.failed
             ]
-            if len(candidates) <= 1:
-                raise ConfigurationError("cannot remove the last replica")
-            replica = candidates[-1]
-            self._retire(replica, drain_timeout)
+            if not survivors:
+                raise ConfigurationError(
+                    "cannot remove the last healthy replica"
+                )
+            if force:
+                self._force_detach(replica)
+            else:
+                self._retire(replica, drain_timeout)
         return replica
 
     def _prune(self):
@@ -446,20 +516,27 @@ class SingleMasterCluster(Cluster):
     design = "single-master"
 
     def __init__(self, spec, config, seed, clock, metrics,
-                 distribution=EXPONENTIAL, lb_policy="least-loaded"):
+                 distribution=EXPONENTIAL, lb_policy="least-loaded",
+                 capacities=None):
         super().__init__(spec, config, seed, clock, metrics,
-                         distribution, lb_policy)
-        self.master = self._make_replica("master", "master")
+                         distribution, lb_policy, capacities)
+        self.master = self._make_replica(
+            "master", "master", capacity=self._initial_capacity(0)
+        )
         # The master's engine-local certifier is the system-wide one.
         self.certifier = self.master.db.certifier
         self.slaves = []
         for index in range(config.replicas - 1):
-            slave = self._make_replica(f"slave{index}", index)
+            slave = self._make_replica(
+                f"slave{index}", index,
+                capacity=self._initial_capacity(index + 1),
+            )
             self.channel.subscribe(slave)
             self.slaves.append(slave)
         self._members_created = config.replicas - 1
 
-    def add_replica(self, transfer_writesets: int = 16) -> ClusterReplica:
+    def add_replica(self, transfer_writesets: int = 16,
+                    capacity: float = 1.0) -> ClusterReplica:
         """Grow the system by one read-only slave (the master is fixed).
 
         The master is the natural state-transfer donor: its commits and
@@ -470,7 +547,7 @@ class SingleMasterCluster(Cluster):
         with self._membership_lock:
             name = f"slave{self._members_created}"
             self._members_created += 1
-            slave = self._new_replica(name, name)
+            slave = self._new_replica(name, name, capacity=capacity)
             slave.begin_join()
             try:
                 with self._order_lock:
@@ -488,18 +565,36 @@ class SingleMasterCluster(Cluster):
         ).start()
         return slave
 
-    def remove_replica(self, drain_timeout: float = 30.0) -> ClusterReplica:
-        """Drain and detach the youngest slave (never the master)."""
+    def remove_replica(
+        self,
+        drain_timeout: float = 30.0,
+        replica: Optional[ClusterReplica] = None,
+        force: bool = False,
+    ) -> ClusterReplica:
+        """Drain (or force-detach) one slave — never the master."""
         with self._membership_lock:
-            candidates = [
-                s for s in self.slaves if not s.retiring and not s.joining
-            ]
-            if not candidates:
+            if replica is None:
+                candidates = [
+                    s for s in self.slaves
+                    if not s.retiring and not s.joining and not s.failed
+                ]
+                if not candidates:
+                    raise ConfigurationError(
+                        "no removable slave (the master cannot be removed)"
+                    )
+                slave = candidates[-1]
+            elif replica is self.master:
+                raise ConfigurationError("the master cannot be removed")
+            elif replica not in self.slaves:
                 raise ConfigurationError(
-                    "no removable slave (the master cannot be removed)"
+                    f"{replica.name} is not an attached slave"
                 )
-            slave = candidates[-1]
-            self._retire(slave, drain_timeout)
+            else:
+                slave = replica
+            if force:
+                self._force_detach(slave)
+            else:
+                self._retire(slave, drain_timeout)
             self.slaves = [s for s in self.slaves if s is not slave]
         return slave
 

@@ -58,6 +58,7 @@ class ClusterReplica:
         sampler: WorkloadSampler,
         certifier: Optional[Certifier] = None,
         max_concurrency: Optional[int] = None,
+        capacity: float = 1.0,
     ) -> None:
         self.name = name
         self._clock = clock
@@ -65,8 +66,10 @@ class ClusterReplica:
         # demands); client threads bring their own samplers.
         self._sampler = sampler
         self.db = SIDatabase(certifier=certifier)
-        self.cpu = LiveResource(clock, f"{name}.cpu")
-        self.disk = LiveResource(clock, f"{name}.disk")
+        #: Relative hardware speed (scales both emulated resources).
+        self.capacity = capacity
+        self.cpu = LiveResource(clock, f"{name}.cpu", rate=capacity)
+        self.disk = LiveResource(clock, f"{name}.disk", rate=capacity)
         #: Admission control: bounds concurrently executing client
         #: transactions (the connection pool of the paper's testbed).
         self.admission = (
@@ -87,6 +90,7 @@ class ClusterReplica:
         # race on scale-down.
         self._joining = False
         self._retiring = False
+        self._failed = False
         self._active = 0
         self.writesets_applied = 0
         #: First exception that killed the applier thread (None while
@@ -156,18 +160,42 @@ class ClusterReplica:
         """Whether the load balancer may route new transactions here.
 
         False while the replica is down (fault injection), still joining
-        (bulk replay in progress), or retiring (drain before removal).
+        (bulk replay in progress), retiring (drain before removal), or
+        crashed for good.
         """
         with self._state:
-            return self._available and not self._joining and not self._retiring
+            return (self._available and not self._joining
+                    and not self._retiring and not self._failed)
 
     @available.setter
     def available(self, value: bool) -> None:
         with self._state:
+            if self._failed:
+                return  # a crash is permanent; recovery means replacement
             self._available = value
             if value:
                 # Recovery: wake the applier to drain the deferred backlog.
                 self._state.notify_all()
+
+    @property
+    def failed(self) -> bool:
+        """True once the replica crashed (state lost, never recovers)."""
+        with self._state:
+            return self._failed
+
+    def crash(self) -> None:
+        """Kill the replica: stop consuming writesets, drop the backlog.
+
+        The crash analogue of the drain fault: the load balancer routes
+        around it *and* the applier stops — queued and future writesets
+        are discarded, since the replica's copy of the state is lost.
+        Only force-removal plus a fresh state-transfer join (the
+        :mod:`repro.ops` replacement path) restores redundancy.
+        """
+        with self._state:
+            self._failed = True
+            self._available = False
+            self._queue.clear()
 
     @property
     def joining(self) -> bool:
@@ -224,8 +252,14 @@ class ClusterReplica:
     # ------------------------------------------------------------------
 
     def enqueue_writeset(self, writeset: Writeset, charged: bool = True) -> None:
-        """Queue a committed writeset for in-order application."""
+        """Queue a committed writeset for in-order application.
+
+        Dropped silently once the replica has crashed: the dead replica
+        no longer consumes writesets, and its state is discarded anyway.
+        """
         with self._state:
+            if self._failed:
+                return
             self._queue.append((writeset, charged))
             self._state.notify_all()
 

@@ -19,15 +19,25 @@ from __future__ import annotations
 import threading
 from typing import Optional
 
+from ..core.errors import ConfigurationError
 from .clock import VirtualClock
 
 
 class LiveResource:
-    """A single-server resource emulated with a mutex and scaled sleeps."""
+    """A single-server resource emulated with a mutex and scaled sleeps.
 
-    def __init__(self, clock: VirtualClock, name: str) -> None:
+    ``rate`` models heterogeneous capacity exactly as the simulator's
+    resources do: a rate-2 server finishes the same sampled work in half
+    the (virtual) time.
+    """
+
+    def __init__(self, clock: VirtualClock, name: str,
+                 rate: float = 1.0) -> None:
+        if rate <= 0.0:
+            raise ConfigurationError(f"{name}: capacity rate must be positive")
         self._clock = clock
         self.name = name
+        self.rate = rate
         # Held for the duration of each service (the queue is this lock's
         # wait list); _meta guards only the busy-time accounting.
         self._service_lock = threading.Lock()
@@ -37,7 +47,9 @@ class LiveResource:
         self.completions = 0
 
     def serve(self, virtual_duration: float) -> None:
-        """Occupy the resource for *virtual_duration* virtual seconds."""
+        """Occupy the resource for *virtual_duration* virtual seconds of
+        sampled work (scaled down by the capacity ``rate``)."""
+        virtual_duration = virtual_duration / self.rate
         if virtual_duration <= 0.0:
             return
         with self._service_lock:

@@ -38,7 +38,7 @@ from ..core.errors import ConfigurationError, SimulationError
 from ..core.params import ReplicationConfig
 from ..core.results import OperatingPoint
 from ..core.rng import DEFAULT_SEED
-from ..simulator.faults import ReplicaFault, validate_faults
+from ..simulator.faults import CRASH, ReplicaFault, validate_faults
 from ..simulator.runner import MULTI_MASTER, SINGLE_MASTER
 from ..simulator.sampling import DISTRIBUTIONS, EXPONENTIAL, WorkloadSampler
 from ..simulator.stats import MetricsCollector
@@ -232,16 +232,28 @@ def _one_shot(cluster: Cluster, sampler: WorkloadSampler, sequence: int) -> None
 
 
 def _fault_process(
-    cluster: Cluster, fault: ReplicaFault, drivers: _Drivers
+    cluster: Cluster, fault: ReplicaFault, drivers: _Drivers,
+    recorder=None,
 ) -> None:
     replica = cluster.replicas[fault.replica_index]
     scale = cluster.clock.time_scale
     if drivers.stop.wait(fault.start * scale):
         return
+    if fault.kind == CRASH:
+        # Crash: the replica stops consuming writesets for good (its
+        # state is lost); only replacement restores redundancy.
+        replica.crash()
+        if recorder is not None:
+            recorder(cluster.clock.now(), CRASH, replica.name)
+        return
     replica.available = False
+    if recorder is not None:
+        recorder(cluster.clock.now(), "down", replica.name)
     drivers.stop.wait(fault.downtime * scale)
     # Recover even when the run is over so quiesce can drain the backlog.
     replica.available = True
+    if recorder is not None:
+        recorder(cluster.clock.now(), "up", replica.name)
 
 
 def run_cluster(
@@ -257,6 +269,7 @@ def run_cluster(
     faults: Sequence[ReplicaFault] = (),
     arrival_rate: Optional[float] = None,
     quiesce_timeout: float = 30.0,
+    capacities: Optional[Sequence[float]] = None,
 ) -> ClusterResult:
     """Execute *spec* on a live *design* cluster and measure steady state.
 
@@ -285,6 +298,7 @@ def run_cluster(
     cluster = _CLUSTER_CLASSES[design](
         spec, config, seed, clock, metrics,
         distribution=distribution, lb_policy=lb_policy,
+        capacities=capacities,
     )
     cluster.start()
 

@@ -28,7 +28,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.errors import ConfigurationError, ReproError
 from ..core.params import ReplicationConfig, StandaloneProfile
 from ..core.rng import DEFAULT_SEED
+from ..ops.events import OpsEvent
+from ..ops.health import HealthMonitor
+from ..ops.plan import OpsPlan
+from ..ops.rolling import rolling_restart_cluster, rolling_restart_sim
 from ..simulator.des import Environment, Timeout
+from ..simulator.faults import install_faults, validate_faults
 from ..simulator.runner import MULTI_MASTER, SINGLE_MASTER
 from ..simulator.sampling import DISTRIBUTIONS, EXPONENTIAL
 from ..simulator.stats import MetricsCollector
@@ -104,6 +109,11 @@ class AutoscaleResult:
     final_versions: Tuple[int, ...] = ()
     #: Mean update-abort fraction over the window (diagnostics).
     abort_rate: float = 0.0
+    #: Operations log (crashes, replacements, rolling cycles) when an
+    #: :class:`~repro.ops.plan.OpsPlan` was attached, sorted by time.
+    ops_events: Tuple[OpsEvent, ...] = ()
+    #: Capacity multipliers of the initial fleet (uniform when empty).
+    capacities: Tuple[float, ...] = ()
 
     @property
     def slo_violation_fraction(self) -> float:
@@ -212,6 +222,10 @@ def render_timeline(result: AutoscaleResult, width: int = 24) -> str:
             f"{p.members:>3d} {members:<{top}s} "
             f"{p.p95_response * 1000:>8.0f} {p.slo_violations:>5d}"
         )
+    if result.ops_events:
+        lines.append("  ops events:")
+        for event in result.ops_events:
+            lines.append(f"    {event.to_text()}")
     return "\n".join(lines)
 
 
@@ -333,13 +347,17 @@ def _control_tick(
     slo_response: float,
     window_start: float,
     window_end: float,
+    reconcile: bool = True,
 ) -> None:
     """One control interval, identical for both pillars.
 
     *replicas* and *member_count* are callables (the cluster replaces
     its replica list copy-on-write, so a captured reference would go
     stale); *chunk* is the interval's (time, response) samples, sliced
-    by the caller under its own locking discipline.
+    by the caller under its own locking discipline.  With
+    ``reconcile=False`` the controller only observes — an attached
+    operations plan is the membership authority, so replacements and
+    rolling cycles never race autoscale joins.
     """
     commits, tput, mean, p95, violations = _interval_stats(
         chunk, control_interval, slo_response
@@ -360,7 +378,8 @@ def _control_tick(
     )
     target = max(min_replicas,
                  min(max_replicas, controller.target(observation)))
-    _reconcile_membership(member_count, add, remove, target, state)
+    if reconcile:
+        _reconcile_membership(member_count, add, remove, target, state)
     state.integrate(now, len(replicas()), window_start, window_end)
     if window_start < now <= window_end + 1e-9:
         state.timeline.append(TimelinePoint(
@@ -389,6 +408,8 @@ class _ControlState:
     scale_events: int = 0
     busy: Dict[str, float] = field(default_factory=dict)
     timeline: List[TimelinePoint] = field(default_factory=list)
+    #: Operations event log (fault recorder, monitor, rolling process).
+    events: List[OpsEvent] = field(default_factory=list)
 
     def integrate(self, now: float, attached: int, start: float,
                   end: float) -> None:
@@ -446,6 +467,8 @@ def autoscale_sim(
     config: Optional[ReplicationConfig] = None,
     drain_after: float = 15.0,
     compact_min: Optional[int] = None,
+    ops: Optional[OpsPlan] = None,
+    capacities: Optional[Tuple[float, ...]] = None,
 ) -> AutoscaleResult:
     """Run one autoscaling policy on the DES simulator.
 
@@ -455,6 +478,12 @@ def autoscale_sim(
     metrics, and membership operations are event-loop callbacks.
     ``compact_min`` tunes the event-heap tombstone-compaction threshold —
     elastic runs cancel far more events than fixed sweeps.
+
+    *ops* attaches an operations plan (fault injection, self-healing
+    replacement, rolling restart); while attached, the operations layer
+    is the only membership authority — the controller observes but does
+    not reconcile.  *capacities* builds a heterogeneous initial fleet
+    (one multiplier per initial replica).
     """
     _validate(design, trace, distribution, lb_policy, warmup, duration,
               control_interval, slo_response)
@@ -473,6 +502,7 @@ def autoscale_sim(
     system = _SIM_SYSTEMS[design](
         env, spec, run_config, seed, metrics,
         distribution=distribution, lb_policy=lb_policy,
+        capacities=capacities,
     )
     system.start_trace_arrivals(trace)
 
@@ -480,6 +510,35 @@ def autoscale_sim(
     window_end = warmup + duration
     state = _ControlState(last_attached=len(system.replicas),
                           busy=_busy_snapshot(system.replicas))
+
+    monitor: Optional[HealthMonitor] = None
+    manage_membership = ops is None or not ops.active
+    if ops is not None and ops.active:
+        install_faults(
+            env, system,
+            validate_faults(ops.faults, len(system.replicas), design),
+            recorder=lambda t, kind, name: state.events.append(
+                OpsEvent(t, kind, name)
+            ),
+        )
+        if ops.self_heal:
+            monitor = HealthMonitor(
+                replicas=lambda: system.replicas,
+                remove=lambda r: system.remove_replica(replica=r, force=True),
+                add=lambda cap: system.add_replica(
+                    ops.transfer_writesets, capacity=cap
+                ),
+                events=state.events,
+            )
+        if ops.rolling_start is not None:
+            def rolling_process():
+                yield Timeout(ops.rolling_start)
+                yield from rolling_restart_sim(
+                    env, system, state.events,
+                    transfer_writesets=ops.transfer_writesets,
+                    settle=ops.rolling_settle,
+                )
+            env.start(rolling_process())
 
     def control_loop():
         while state.running:
@@ -498,7 +557,10 @@ def autoscale_sim(
                 control_interval=control_interval,
                 slo_response=slo_response,
                 window_start=window_start, window_end=window_end,
+                reconcile=manage_membership,
             )
+            if monitor is not None:
+                monitor.tick(env.now)
 
     env.start(control_loop())
     env.schedule(window_start, metrics.begin_window, window_start)
@@ -512,7 +574,9 @@ def autoscale_sim(
     system.stop_arrivals()
     env.run_until(window_end + drain_after)
 
-    survivors = [r for r in system.replicas if not r.draining]
+    survivors = [
+        r for r in system.replicas if not r.draining and not r.failed
+    ]
     latest = system.certifier.latest_version
     final_versions = tuple(r.applied_version for r in survivors)
     converged = all(v == latest for v in final_versions)
@@ -538,6 +602,8 @@ def autoscale_sim(
         converged=converged,
         final_versions=final_versions,
         abort_rate=metrics.abort_rate(),
+        ops_events=tuple(sorted(state.events, key=lambda e: e.time)),
+        capacities=tuple(capacities) if capacities else (),
     )
 
 
@@ -568,6 +634,8 @@ def autoscale_cluster(
     config: Optional[ReplicationConfig] = None,
     quiesce_timeout: float = 30.0,
     drain_timeout: float = 30.0,
+    ops: Optional[OpsPlan] = None,
+    capacities: Optional[Tuple[float, ...]] = None,
 ) -> AutoscaleResult:
     """Run one autoscaling policy on the live cluster runtime.
 
@@ -577,10 +645,18 @@ def autoscale_cluster(
     (state transfer under the commit-order lock; drain before removal),
     and after the run the cluster quiesces so the result carries the
     replication-correctness evidence — no committed writeset may be lost
-    or duplicated by membership churn.
+    or duplicated by membership churn.  *ops* and *capacities* mirror
+    :func:`autoscale_sim`: an attached operations plan (crash faults,
+    self-healing replacement, rolling restart) becomes the membership
+    authority, and capacities build a heterogeneous initial fleet.
     """
     from ..cluster.clock import VirtualClock
-    from ..cluster.runner import _CLUSTER_CLASSES, _Drivers, _open_loop_source
+    from ..cluster.runner import (
+        _CLUSTER_CLASSES,
+        _Drivers,
+        _fault_process,
+        _open_loop_source,
+    )
 
     _validate(design, trace, distribution, lb_policy, warmup, duration,
               control_interval, slo_response)
@@ -599,6 +675,7 @@ def autoscale_cluster(
     cluster = _CLUSTER_CLASSES[design](
         spec, run_config, seed, clock, metrics,
         distribution=distribution, lb_policy=lb_policy,
+        capacities=capacities,
     )
     cluster.start()
 
@@ -607,6 +684,44 @@ def autoscale_cluster(
     state = _ControlState(last_attached=len(cluster.replicas),
                           busy=_busy_snapshot(cluster.replicas))
     drivers = _Drivers()
+
+    monitor: Optional[HealthMonitor] = None
+    manage_membership = ops is None or not ops.active
+    if ops is not None and ops.active:
+        # list.append is atomic under the GIL; events are only *read*
+        # after every driver thread has joined.
+        def recorder(t, kind, name):
+            state.events.append(OpsEvent(t, kind, name))
+        for fault in validate_faults(
+            ops.faults, len(cluster.replicas), design
+        ):
+            drivers.launch(
+                lambda f=fault: _fault_process(
+                    cluster, f, drivers, recorder=recorder
+                ),
+                name=f"fault-replica{fault.replica_index}",
+            )
+        if ops.self_heal:
+            monitor = HealthMonitor(
+                replicas=lambda: cluster.replicas,
+                remove=lambda r: cluster.remove_replica(replica=r, force=True),
+                add=lambda cap: cluster.add_replica(
+                    ops.transfer_writesets, capacity=cap
+                ),
+                events=state.events,
+            )
+        if ops.rolling_start is not None:
+            def rolling_worker():
+                if drivers.stop.wait(clock.to_wall(ops.rolling_start)):
+                    return
+                rolling_restart_cluster(
+                    cluster, state.events, drivers.stop,
+                    transfer_writesets=ops.transfer_writesets,
+                    settle=ops.rolling_settle,
+                    drain_timeout=drain_timeout,
+                )
+            drivers.launch(lambda: drivers.guard(rolling_worker),
+                           name="rolling-upgrade")
 
     def trace_source():
         _open_loop_source(cluster, 0.0, seed, drivers, trace=trace)
@@ -627,7 +742,10 @@ def autoscale_cluster(
                 control_interval=control_interval,
                 slo_response=slo_response,
                 window_start=window_start, window_end=window_end,
+                reconcile=manage_membership,
             )
+            if monitor is not None:
+                monitor.tick(now)
 
     drivers.launch(lambda: drivers.guard(trace_source), name="trace-source")
     drivers.launch(lambda: drivers.guard(control_thread), name="autoscaler")
@@ -683,4 +801,6 @@ def autoscale_cluster(
         converged=converged and len(set(final_versions)) <= 1,
         final_versions=final_versions,
         abort_rate=metrics.abort_rate(),
+        ops_events=tuple(sorted(state.events, key=lambda e: e.time)),
+        capacities=tuple(capacities) if capacities else (),
     )

@@ -36,7 +36,7 @@ from ..models.planning import plan_deployment
 from .trace import LoadTrace
 
 #: Policy kinds, in the order comparisons report them.
-POLICY_KINDS = ("feedforward", "reactive", "static-peak")
+POLICY_KINDS = ("feedforward", "reactive", "static-peak", "fixed")
 
 
 @dataclass(frozen=True)
@@ -126,6 +126,24 @@ class ReactivePolicy:
             raise ConfigurationError("step must be >= 1")
         if self.initial_replicas < 1:
             raise ConfigurationError("initial_replicas must be >= 1")
+
+
+@dataclass(frozen=True)
+class FixedPolicy:
+    """Pin the fleet at an explicit replica count (no model, no profile).
+
+    The membership policy of the operations scenarios: self-healing and
+    rolling-upgrade runs want the *operations layer*, not the autoscaler,
+    to be the only thing changing membership, and they should not pay for
+    a profiling run just to size a constant fleet.
+    """
+
+    kind: ClassVar[str] = "fixed"
+    replicas: int = 2
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ConfigurationError("replicas must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -283,7 +301,9 @@ class StaticPeakController(Controller):
 
     name = StaticPeakPolicy.kind
 
-    def __init__(self, replicas: int) -> None:
+    def __init__(self, replicas: int, name: Optional[str] = None) -> None:
+        if name is not None:
+            self.name = name
         self.replicas = replicas
 
     def initial_target(self) -> int:
@@ -320,6 +340,11 @@ def make_controller(
     if isinstance(policy, ReactivePolicy):
         return ReactiveController(policy, slo_response,
                                   min_replicas, max_replicas)
+    if isinstance(policy, FixedPolicy):
+        return StaticPeakController(
+            max(min_replicas, min(max_replicas, policy.replicas)),
+            name=FixedPolicy.kind,
+        )
     if profile is None:
         raise ConfigurationError(
             f"the {policy.kind} policy needs a standalone profile"

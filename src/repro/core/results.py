@@ -7,7 +7,7 @@ Both sides of the validation (prediction and measurement) report the same
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from .errors import ConfigurationError
 

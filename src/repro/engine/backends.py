@@ -85,6 +85,7 @@ class SimulatorBackend:
             lb_policy=opts.get("lb_policy", "least-loaded"),
             faults=opts.get("faults", ()),
             arrival_rate=opts.get("arrival_rate"),
+            capacities=opts.get("capacities"),
         )
 
 
@@ -105,6 +106,8 @@ class ClusterBackend:
             time_scale=opts["time_scale"],
             distribution=opts.get("distribution", "exponential"),
             lb_policy=opts.get("lb_policy", "least-loaded"),
+            capacities=opts.get("capacities"),
+            arrival_rate=opts.get("arrival_rate"),
         )
 
 
@@ -136,6 +139,8 @@ class AutoscaleBackend:
             max_replicas=opts.get("max_replicas", 16),
             transfer_writesets=opts.get("transfer_writesets", 16),
             config=point.config,
+            ops=opts.get("ops"),
+            capacities=opts.get("capacities"),
         )
         if opts.get("pillar") == CLUSTER:
             return autoscale_cluster(

@@ -38,7 +38,7 @@ BACKENDS = (MODEL, SIMULATOR, CLUSTER, PROFILE, AUTOSCALE)
 
 #: Scenario kinds used for grouping in ``repro scenarios``.
 KINDS = ("figure", "table", "sensitivity", "ablation", "extension",
-         "crossval", "autoscale")
+         "crossval", "autoscale", "ops")
 
 
 @dataclass(frozen=True)
@@ -177,6 +177,7 @@ def sim_point(
     lb_policy: str = "least-loaded",
     faults: Tuple = (),
     arrival_rate: Optional[float] = None,
+    capacities: Optional[Tuple[float, ...]] = None,
     tag: str = "",
 ) -> SweepPoint:
     """A discrete-event-simulator measurement point."""
@@ -190,6 +191,8 @@ def sim_point(
         options["faults"] = tuple(faults)
     if arrival_rate is not None:
         options["arrival_rate"] = arrival_rate
+    if capacities is not None:
+        options["capacities"] = tuple(capacities)
     return SweepPoint(
         backend=SIMULATOR,
         spec=spec,
@@ -218,6 +221,8 @@ def autoscale_point(
     min_replicas: int = 1,
     max_replicas: int = 16,
     transfer_writesets: int = 16,
+    ops: object = None,
+    capacities: Optional[Tuple[float, ...]] = None,
     profile: object = None,
     tag: str = "",
 ) -> SweepPoint:
@@ -225,9 +230,12 @@ def autoscale_point(
 
     *trace* and *policy* are the frozen dataclasses of
     :mod:`repro.control` — their stable ``repr`` makes them cache-key
-    citizens like every other point input.  ``pillar`` picks the elastic
-    execution engine: simulator points are deterministic and cacheable,
-    live-cluster points measure wall-clock behaviour and are not.
+    citizens like every other point input, and so is the optional *ops*
+    plan (:class:`repro.ops.plan.OpsPlan`: crash faults, self-healing,
+    rolling restarts) and the *capacities* vector of a heterogeneous
+    fleet.  ``pillar`` picks the elastic execution engine: simulator
+    points are deterministic and cacheable, live-cluster points measure
+    wall-clock behaviour and are not.
     """
     options = {
         "trace": trace,
@@ -241,6 +249,10 @@ def autoscale_point(
         "max_replicas": max_replicas,
         "transfer_writesets": transfer_writesets,
     }
+    if ops is not None:
+        options["ops"] = ops
+    if capacities is not None:
+        options["capacities"] = tuple(capacities)
     if pillar == CLUSTER:
         options["time_scale"] = time_scale
     return SweepPoint(
@@ -267,23 +279,30 @@ def cluster_point(
     time_scale: float,
     distribution: str = "exponential",
     lb_policy: str = "least-loaded",
+    capacities: Optional[Tuple[float, ...]] = None,
+    arrival_rate: Optional[float] = None,
     tag: str = "",
 ) -> SweepPoint:
     """A live-cluster execution point (never cached: it measures real
     wall-clock behaviour, which must not be replayed stale)."""
+    options = {
+        "warmup": warmup,
+        "duration": duration,
+        "time_scale": time_scale,
+        "distribution": distribution,
+        "lb_policy": lb_policy,
+    }
+    if capacities is not None:
+        options["capacities"] = tuple(capacities)
+    if arrival_rate is not None:
+        options["arrival_rate"] = arrival_rate
     return SweepPoint(
         backend=CLUSTER,
         spec=spec,
         config=config,
         design=design,
         seed=seed,
-        options=_freeze_options({
-            "warmup": warmup,
-            "duration": duration,
-            "time_scale": time_scale,
-            "distribution": distribution,
-            "lb_policy": lb_policy,
-        }),
+        options=_freeze_options(options),
         tag=tag,
         cacheable=False,
     )

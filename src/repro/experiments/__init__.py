@@ -44,9 +44,11 @@ from .report import FIGURE_RUNNERS, full_report, summary_table
 from .settings import PAPER_REPLICA_COUNTS, ExperimentSettings
 from .tables import DemandTable, ParameterTable, table2, table3, table4, table5
 
-# Imported last (it reads .context and the engine): registers the
-# autoscale scenario family alongside the figure/table/ablation ones.
+# Imported last (they read .context and the engine): register the
+# autoscale and operations scenario families alongside the
+# figure/table/ablation ones.
 from ..control import scenarios as autoscale_scenarios  # noqa: E402,F401
+from ..ops import scenarios as ops_scenarios  # noqa: E402,F401
 
 __all__ = [
     "AbortCurve",

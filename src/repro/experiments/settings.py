@@ -8,7 +8,7 @@ suite; benchmarks default to ``ExperimentSettings()``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
 from ..core.rng import DEFAULT_SEED

@@ -16,7 +16,6 @@ from ..core.params import ReplicationConfig, StandaloneProfile
 from ..core.results import Prediction, ScalabilityCurve
 from .multimaster import MultiMasterOptions, predict_multimaster
 from .singlemaster import SingleMasterOptions, predict_singlemaster
-from .standalone import predict_standalone
 
 #: Replicated system designs supported by the models.
 MULTI_MASTER = "multi-master"

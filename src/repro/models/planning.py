@@ -19,7 +19,7 @@ Everything here consumes only a :class:`~repro.core.params.StandaloneProfile`
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.errors import ConfigurationError
 from ..core.params import ReplicationConfig, StandaloneProfile
@@ -103,6 +103,125 @@ def plan_deployment(
                 best = plan
             break  # smallest n for this design found
     return best
+
+
+@dataclass(frozen=True)
+class MixedFleetPlan:
+    """A heterogeneous deployment sized from an inventory of machines."""
+
+    design: str
+    #: Capacity multipliers of the machines picked, largest first.
+    capacities: Tuple[float, ...]
+    #: Sum of the picked multipliers (homogeneous-replica equivalents).
+    effective_replicas: float
+    predicted_throughput: float
+    predicted_response_time: float
+    #: Fraction of predicted capacity the target consumes (<= 1).
+    load_factor: float
+
+    @property
+    def machines(self) -> int:
+        """Number of physical machines in the fleet."""
+        return len(self.capacities)
+
+    def to_text(self) -> str:
+        """Render the plan."""
+        fleet = " + ".join(f"{c:g}x" for c in self.capacities)
+        return (
+            f"{self.design}: {self.machines} machines [{fleet}] "
+            f"(~{self.effective_replicas:g} replica-equivalents) -> "
+            f"{self.predicted_throughput:.1f} tps predicted "
+            f"(load factor {self.load_factor:.0%})"
+        )
+
+
+def _interpolated_throughput(
+    design: str,
+    profile: StandaloneProfile,
+    config: ReplicationConfig,
+    effective: float,
+    max_replicas: int,
+) -> float:
+    """Predicted throughput at a *fractional* replica count.
+
+    The capacity model of heterogeneous fleets: a 1.5x machine
+    contributes 1.5 homogeneous-replica equivalents, and the fleet's
+    throughput is the homogeneous curve evaluated at the summed
+    equivalents, interpolated linearly between the bracketing integer
+    deployments.  Sub-linear effects (writeset propagation, certifier
+    load) are inherited from the curve itself.
+    """
+    if effective <= 0.0:
+        return 0.0
+    lo = max(1, min(max_replicas, int(effective)))
+    hi = min(max_replicas, lo + 1)
+    t_lo = predict(design, profile, config.with_replicas(lo)).throughput
+    if effective <= lo or hi == lo:
+        return t_lo * min(1.0, effective / lo)
+    t_hi = predict(design, profile, config.with_replicas(hi)).throughput
+    return t_lo + (t_hi - t_lo) * (effective - lo)
+
+
+def plan_mixed_fleet(
+    profile: StandaloneProfile,
+    config: ReplicationConfig,
+    target_throughput: float,
+    capacities: Sequence[float],
+    design: str = "multi-master",
+    max_response_time: Optional[float] = None,
+    headroom: float = 0.0,
+) -> Optional[MixedFleetPlan]:
+    """Size a fleet from a heterogeneous machine inventory.
+
+    *capacities* is the inventory of available machines as speed
+    multipliers (e.g. ``(2.0, 1.0, 1.0, 0.5)``).  Machines are taken
+    largest-first (fewest machines for the capacity, the cheapest fleet
+    under per-machine pricing) until the interpolated throughput curve
+    clears the target with *headroom*.  Returns ``None`` when even the
+    whole inventory cannot serve the target — the signal to buy bigger
+    boxes or shard.
+    """
+    if target_throughput <= 0:
+        raise ConfigurationError("target throughput must be positive")
+    if not capacities:
+        raise ConfigurationError("the machine inventory must not be empty")
+    if any(c <= 0 for c in capacities):
+        raise ConfigurationError("every capacity multiplier must be positive")
+    if not 0.0 <= headroom < 1.0:
+        raise ConfigurationError("headroom must be in [0, 1)")
+    required = target_throughput / (1.0 - headroom)
+    inventory = sorted((float(c) for c in capacities), reverse=True)
+    max_replicas = max(64, int(sum(inventory)) + 1)
+
+    picked: List[float] = []
+    for capacity in inventory:
+        picked.append(capacity)
+        effective = sum(picked)
+        throughput = _interpolated_throughput(
+            design, profile, config, effective, max_replicas
+        )
+        if throughput < required:
+            continue
+        if max_response_time is not None:
+            # Latency is checked at the bracketing integer deployment
+            # (the conservative, larger-population side).
+            n = max(1, int(round(effective)))
+            prediction = predict(design, profile, config.with_replicas(n))
+            if prediction.response_time > max_response_time:
+                continue
+        return MixedFleetPlan(
+            design=design,
+            capacities=tuple(picked),
+            effective_replicas=effective,
+            predicted_throughput=throughput,
+            predicted_response_time=(
+                predict(design, profile,
+                        config.with_replicas(max(1, int(round(effective))))
+                        ).response_time
+            ),
+            load_factor=target_throughput / throughput,
+        )
+    return None
 
 
 @dataclass(frozen=True)

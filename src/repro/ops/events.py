@@ -1,0 +1,191 @@
+"""Operations events and the availability summary derived from them.
+
+Every action the operations layer takes — a fault firing, a crash being
+detected, a forced detach, a replacement joining, a rolling cycle — is
+stamped into the run's event log as an :class:`OpsEvent`.
+:func:`summarize` folds the log and the run timeline into the numbers an
+operator actually asks about: mean time to repair, how long the fleet ran
+degraded, and how much throughput the outage cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# The fault layer stamps crash events with its own kind constant; one
+# definition keeps summarize()'s matching and the recorder in lockstep.
+from ..simulator.faults import CRASH
+
+#: Event kinds, in roughly the order they occur in a replacement.
+DETECT = "detect"
+DETACH = "detach"
+REPLACE = "replace"
+RESTORED = "restored"
+DRAIN = "drain"
+REJOIN = "rejoin"
+UPGRADED = "upgraded"
+ROLLING_DONE = "rolling-complete"
+
+
+@dataclass(frozen=True)
+class OpsEvent:
+    """One timestamped operations action."""
+
+    #: Virtual time of the event (seconds from run start).
+    time: float
+    #: Event kind (``crash`` | ``detect`` | ``detach`` | ``replace`` |
+    #: ``restored`` | ``drain`` | ``rejoin`` | ``upgraded`` | ...).
+    kind: str
+    #: Replica the event concerns.
+    replica: str = ""
+    #: Free-form context (e.g. ``replaces replica1``).
+    detail: str = ""
+
+    def to_text(self) -> str:
+        """One log line."""
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"t={self.time:8.2f}s  {self.kind:<16s} {self.replica}{detail}"
+
+
+@dataclass(frozen=True)
+class OpsSummary:
+    """Availability arithmetic of one operations run."""
+
+    #: Replicas crashed / replacements that completed (back in rotation).
+    crashes: int
+    replacements: int
+    #: Mean and worst crash-to-back-in-rotation repair time (seconds);
+    #: ``None`` when no replacement completed.
+    mttr: Optional[float]
+    worst_mttr: Optional[float]
+    #: Total time some replica was crashed and its replacement was not
+    #: yet serving (overlapping windows merged).
+    unavailability: float
+    #: Committed throughput shortfall during the repair windows, against
+    #: the pre-fault baseline (transactions, >= 0).
+    lost_throughput: float
+    #: Mean committed throughput before the first crash and after the
+    #: last repair (tps); recovery_ratio is their quotient.
+    baseline_throughput: float
+    recovered_throughput: float
+    #: Rolling-restart cycles completed.
+    upgrades: int
+
+    @property
+    def recovery_ratio(self) -> float:
+        """Post-repair throughput as a fraction of the pre-fault baseline."""
+        if self.baseline_throughput <= 0:
+            return 1.0
+        return self.recovered_throughput / self.baseline_throughput
+
+    def to_text(self) -> str:
+        """Render the operator-facing summary."""
+        lines = [
+            f"ops summary: {self.crashes} crash(es), "
+            f"{self.replacements} replacement(s), {self.upgrades} "
+            f"rolling upgrade(s)"
+        ]
+        if self.mttr is not None:
+            lines.append(
+                f"  MTTR {self.mttr:.1f}s (worst {self.worst_mttr:.1f}s), "
+                f"degraded for {self.unavailability:.1f}s"
+            )
+        if self.crashes:
+            lines.append(
+                f"  lost ~{self.lost_throughput:.0f} committed txns during "
+                f"repair; throughput recovered to "
+                f"{self.recovery_ratio:.0%} of the pre-fault "
+                f"{self.baseline_throughput:.1f} tps"
+            )
+        return "\n".join(lines)
+
+
+def _merged_windows(
+    pairs: Sequence[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Merge overlapping (start, end) repair windows."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(pairs):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def summarize(result) -> OpsSummary:
+    """Fold an :class:`~repro.control.autoscale.AutoscaleResult`'s event
+    log and timeline into an :class:`OpsSummary`.
+
+    Crash-to-repair pairs are matched by replica name: a ``restored``
+    event's detail names the member it replaced.  A crash whose
+    replacement never completed contributes an open window ending at the
+    last timeline point.
+    """
+    events = list(getattr(result, "ops_events", ()) or ())
+    timeline = list(getattr(result, "timeline", ()) or ())
+    horizon = timeline[-1].time if timeline else (
+        events[-1].time if events else 0.0
+    )
+
+    crash_at: Dict[str, float] = {}
+    repairs: List[Tuple[float, float]] = []
+    upgrades = 0
+    for event in events:
+        if event.kind == CRASH:
+            crash_at.setdefault(event.replica, event.time)
+        elif event.kind == RESTORED and event.detail.startswith("replaces "):
+            name = event.detail[len("replaces "):]
+            if name in crash_at:
+                repairs.append((crash_at.pop(name), event.time))
+        elif event.kind == UPGRADED:
+            upgrades += 1
+    crashes = len(repairs) + len(crash_at)
+    open_windows = [(t, max(t, horizon)) for t in crash_at.values()]
+
+    durations = [end - start for start, end in repairs]
+    mttr = sum(durations) / len(durations) if durations else None
+    worst = max(durations) if durations else None
+    windows = _merged_windows(repairs + open_windows)
+    unavailability = sum(end - start for start, end in windows)
+
+    first_crash = min(
+        (start for start, _ in repairs + open_windows), default=None
+    )
+    last_repair = max((end for _, end in repairs), default=None)
+    before = [
+        p for p in timeline
+        if first_crash is None or p.time <= first_crash
+    ]
+    after = [
+        p for p in timeline
+        if last_repair is not None and p.time > last_repair
+    ]
+    baseline = (
+        sum(p.throughput for p in before) / len(before) if before else 0.0
+    )
+    recovered = (
+        sum(p.throughput for p in after) / len(after) if after else baseline
+    )
+
+    lost = 0.0
+    for point in timeline:
+        for start, end in windows:
+            if start < point.time <= end + result.control_interval:
+                lost += max(0.0, baseline - point.throughput) * (
+                    result.control_interval
+                )
+                break
+
+    return OpsSummary(
+        crashes=crashes,
+        replacements=len(repairs),
+        mttr=mttr,
+        worst_mttr=worst,
+        unavailability=unavailability,
+        lost_throughput=lost,
+        baseline_throughput=baseline,
+        recovered_throughput=recovered,
+        upgrades=upgrades,
+    )

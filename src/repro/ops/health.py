@@ -1,0 +1,105 @@
+"""Failure detection and automatic replacement of crashed replicas.
+
+The :class:`HealthMonitor` is pillar-agnostic: it is bound to a system (a
+DES assembly or a live cluster) through three callables — list the
+replicas, force-remove one, add a fresh one — the same inversion the
+autoscale reconciliation loop uses.  The control loop ticks it once per
+interval; on each tick it
+
+1. scans for replicas whose ``failed`` flag is set (the crash fault set
+   it: the replica stopped consuming writesets and its state is lost),
+2. force-detaches them (no drain — there is nothing to drain), and
+3. rejoins a replacement of the same ``capacity`` via state transfer,
+
+stamping every step into the run's event log so MTTR and the
+unavailability window can be read off afterwards.  A replacement that
+cannot be placed this tick (e.g. the replication history no longer
+reaches back to any donor snapshot) is retried next tick rather than
+failing the run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..core.errors import ReproError
+from .events import DETACH, DETECT, REPLACE, RESTORED, OpsEvent
+
+
+class HealthMonitor:
+    """Replaces crashed replicas through the elastic membership ops."""
+
+    def __init__(
+        self,
+        replicas: Callable[[], Sequence],
+        remove: Callable[[object], None],
+        add: Callable[[float], object],
+        events: List[OpsEvent],
+        ) -> None:
+        """*remove* force-detaches its argument; *add* takes the
+        replacement's capacity multiplier and returns the new replica."""
+        self._replicas = replicas
+        self._remove = remove
+        self._add = add
+        self._events = events
+        #: (capacity, crashed-name) replacements still waiting to be
+        #: placed (their add raised last tick).
+        self._backlog: List[tuple] = []
+        #: (replica, crashed-name) joins in flight, watched for the
+        #: moment they enter rotation.
+        self._joining: List[tuple] = []
+
+    def tick(self, now: float) -> None:
+        """One health-check pass (called once per control interval)."""
+        for replica in list(self._replicas()):
+            if not getattr(replica, "failed", False):
+                continue
+            self._events.append(OpsEvent(now, DETECT, replica.name))
+            try:
+                self._remove(replica)
+            except ReproError as exc:
+                # Nothing healthy to fail over to; keep the replica
+                # listed and retry next tick.
+                self._events.append(OpsEvent(
+                    now, "detach-failed", replica.name, detail=str(exc)
+                ))
+                continue
+            self._events.append(OpsEvent(now, DETACH, replica.name))
+            self._backlog.append(
+                (getattr(replica, "capacity", 1.0), replica.name)
+            )
+        self._place_backlog(now)
+        self._watch_joins(now)
+
+    def _place_backlog(self, now: float) -> None:
+        remaining: List[tuple] = []
+        for capacity, crashed in self._backlog:
+            try:
+                replacement = self._add(capacity)
+            except ReproError as exc:
+                self._events.append(OpsEvent(
+                    now, "replace-deferred", crashed, detail=str(exc)
+                ))
+                remaining.append((capacity, crashed))
+                continue
+            self._events.append(OpsEvent(
+                now, REPLACE, replacement.name, detail=f"replaces {crashed}"
+            ))
+            self._joining.append((replacement, crashed))
+        self._backlog = remaining
+
+    def _watch_joins(self, now: float) -> None:
+        still_joining: List[tuple] = []
+        for replica, crashed in self._joining:
+            if replica.available:
+                self._events.append(OpsEvent(
+                    now, RESTORED, replica.name, detail=f"replaces {crashed}"
+                ))
+            else:
+                still_joining.append((replica, crashed))
+        self._joining = still_joining
+
+    @property
+    def settled(self) -> bool:
+        """True when no replacement is pending or joining."""
+        return not self._backlog and not self._joining

@@ -1,0 +1,56 @@
+"""The declarative operations plan attached to an autoscale run.
+
+An :class:`OpsPlan` says everything the operations layer will do to a run
+— which faults to inject, whether the health monitor replaces crashed
+replicas, and when (if at all) a rolling restart sweeps the fleet.  It is
+a frozen dataclass whose ``repr`` is a stable function of its fields, so
+operations runs ride inside engine sweep points and content-addressed
+cache keys exactly like traces and controller policies do.
+
+While a plan is attached, the *operations layer* is the only membership
+authority: the controller still observes (its targets land in the
+timeline) but does not reconcile, so a replacement join and an autoscale
+join can never race each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..simulator.faults import ReplicaFault
+
+
+@dataclass(frozen=True)
+class OpsPlan:
+    """What the operations layer does during one run."""
+
+    #: Fault schedule (crash or drain kinds), times relative to run start.
+    faults: Tuple[ReplicaFault, ...] = ()
+    #: Replace crashed replicas automatically (force-detach + state
+    #: transfer join) as soon as the health monitor detects them.
+    self_heal: bool = False
+    #: Start a rolling restart at this time (``None`` disables): every
+    #: replica is cycled once — drain, detach, rejoin via state transfer.
+    rolling_start: Optional[float] = None
+    #: Pause between consecutive rolling cycles, letting the fleet settle.
+    rolling_settle: float = 2.0
+    #: Bulk-replay charge of every state-transfer join the plan performs.
+    transfer_writesets: int = 16
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if self.rolling_start is not None and self.rolling_start < 0:
+            raise ConfigurationError("rolling_start must be >= 0")
+        if self.rolling_settle < 0:
+            raise ConfigurationError("rolling_settle must be >= 0")
+        if self.transfer_writesets < 0:
+            raise ConfigurationError("transfer_writesets must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """True when the plan does anything at all."""
+        return bool(
+            self.faults or self.self_heal or self.rolling_start is not None
+        )

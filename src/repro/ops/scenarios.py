@@ -1,0 +1,472 @@
+"""Registered operations scenarios: availability under churn.
+
+Three scenario families, each with a deterministic simulator cell and a
+live-cluster validation cell:
+
+* ``selfheal-crashstorm`` — two staggered replica crashes under steady
+  load; the health monitor force-detaches each casualty and rejoins a
+  replacement via state transfer.  The artifact carries MTTR, the
+  unavailability window, and the lost throughput per design.
+* ``rolling-upgrade`` — a rolling restart sweeps the whole fleet (drain →
+  detach → rejoin) mid-run while the SLO accounting keeps scoring; the
+  fleet is never more than one replica short.
+* ``hetero-fleet`` — a mixed-capacity fleet served by the plain
+  least-loaded policy vs the capacity-weighted one, plus the model's
+  :func:`~repro.models.planning.plan_mixed_fleet` sizing of the same
+  inventory.
+
+All cells are ordinary engine sweep points: simulator cells are cached
+and fan out over ``--jobs``; live cells re-execute (they measure real
+wall-clock behaviour).  The CLI front end is ``repro ops``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..control.autoscale import AutoscaleResult
+from ..control.controller import FixedPolicy
+from ..control.scenarios import (
+    LIVE_SPEC,
+    SLO_RESPONSE,
+    _design_capacity,
+    _live_design_capacity,
+)
+from ..control.trace import DiurnalTrace
+from ..engine import CLUSTER, Scenario, register_scenario
+from ..engine.scenario import (
+    autoscale_point,
+    cluster_point,
+    profile_point,
+    sim_point,
+)
+from ..simulator.faults import crash_fault
+from ..simulator.runner import MULTI_MASTER, SINGLE_MASTER
+from ..simulator.systems import CAPACITY_WEIGHTED, LEAST_LOADED, RANDOM
+from ..workloads import tpcw
+from .events import OpsSummary, summarize
+from .plan import OpsPlan
+
+#: Fleet size the self-heal and rolling scenarios pin (FixedPolicy).
+FLEET = 4
+#: Offered load as a fraction of the model-predicted fleet capacity.
+SELFHEAL_LOAD = 0.50
+ROLLING_LOAD = 0.45
+#: Capacity inventory of the heterogeneous-fleet scenarios, and the
+#: open-loop offered load as a fraction of the fleet's predicted
+#: capacity.  Open-loop matters: a closed loop's think-time feedback lets
+#: even capacity-oblivious policies self-correct, hiding the difference.
+HETERO_CAPACITIES = (2.0, 1.0, 1.0, 0.5)
+HETERO_LOAD = 0.75
+
+#: Live-cell dimensions (the live workload is millisecond-scale).
+LIVE_FLEET = 3
+LIVE_TIME_SCALE = 0.25
+LIVE_WARMUP = 2.0
+LIVE_DURATION = 24.0
+LIVE_CONTROL_INTERVAL = 1.0
+LIVE_HETERO_CAPACITIES = (1.5, 1.0, 0.5)
+
+
+# ----------------------------------------------------------------------
+# Artifacts
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OpsRunReport:
+    """One ops run plus its availability summary."""
+
+    result: AutoscaleResult
+    summary: OpsSummary
+
+    @property
+    def converged(self) -> bool:
+        """Replication correctness of the underlying run."""
+        return self.result.converged
+
+
+@dataclass(frozen=True)
+class OpsComparison:
+    """The artifact of a self-heal / rolling-upgrade scenario."""
+
+    name: str
+    workload: str
+    pillar: str
+    results: Tuple[OpsRunReport, ...]
+
+    def report_for(self, design: str) -> Optional[OpsRunReport]:
+        """Look up one design's run."""
+        for report in self.results:
+            if report.result.design == design:
+                return report
+        return None
+
+    def to_text(self) -> str:
+        """Render per-design run lines and availability summaries."""
+        lines = [f"{self.name} — {self.workload}, {self.pillar} pillar"]
+        for report in self.results:
+            lines.append("  " + report.result.to_text())
+            for line in report.summary.to_text().splitlines():
+                lines.append("  " + line)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class HeteroFleetComparison:
+    """The artifact of a heterogeneous-fleet scenario."""
+
+    workload: str
+    pillar: str
+    capacities: Tuple[float, ...]
+    #: (lb policy, result) per cell; results are SimulationResult or
+    #: ClusterResult (field-compatible where it matters here).
+    cells: Tuple[Tuple[str, object], ...]
+    #: Model sizing of the same inventory (``None`` when unavailable).
+    plan_text: str = ""
+
+    @property
+    def results(self) -> Tuple[object, ...]:
+        """The raw per-policy results (for convergence screening)."""
+        return tuple(result for _, result in self.cells)
+
+    def cell(self, policy: str) -> Optional[object]:
+        """Result of one load-balancing policy."""
+        for name, result in self.cells:
+            if name == policy:
+                return result
+        return None
+
+    def to_text(self) -> str:
+        """Render the policy comparison table."""
+        fleet = " + ".join(f"{c:g}x" for c in self.capacities)
+        lines = [
+            f"heterogeneous fleet [{fleet}] — {self.workload}, "
+            f"{self.pillar} pillar",
+            f"  {'lb policy':<18s} {'throughput':>11s} {'response':>9s} "
+            f"{'aborts':>7s}",
+        ]
+        for name, result in self.cells:
+            lines.append(
+                f"  {name:<18s} {result.throughput:>7.1f} tps "
+                f"{result.response_time * 1000:>6.0f} ms "
+                f"{result.abort_rate:>6.2%}"
+            )
+        if self.plan_text:
+            lines.append(f"  model sizing: {self.plan_text}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Simulator cells
+# ----------------------------------------------------------------------
+
+def _steady_trace(rate: float, duration: float) -> DiurnalTrace:
+    """A constant-rate trace (a diurnal curve with zero swing)."""
+    return DiurnalTrace(base_rate=rate, peak_rate=rate, period=duration)
+
+
+def _ops_sim_points(settings, spec, load_fraction: float,
+                    plan_for) -> List:
+    points = []
+    duration = settings.autoscale_duration
+    for design in (MULTI_MASTER, SINGLE_MASTER):
+        capacity = _design_capacity(design, spec, settings)
+        trace = _steady_trace(load_fraction * capacity, duration)
+        points.append(autoscale_point(
+            spec,
+            spec.replication_config(
+                1,
+                load_balancer_delay=settings.load_balancer_delay,
+                certifier_delay=settings.certifier_delay,
+            ),
+            design,
+            seed=settings.seed,
+            trace=trace,
+            policy=FixedPolicy(replicas=FLEET),
+            slo_response=SLO_RESPONSE,
+            warmup=settings.autoscale_warmup,
+            duration=duration,
+            control_interval=settings.autoscale_control_interval,
+            max_replicas=2 * FLEET,
+            ops=plan_for(settings),
+            tag=design,
+        ))
+    return points
+
+
+def _selfheal_plan(settings) -> OpsPlan:
+    # Two staggered crashes (replica indices 1 and 2 are valid for both
+    # designs: index 0 is the single-master master), each detected and
+    # replaced before the next lands.
+    horizon = settings.autoscale_warmup + settings.autoscale_duration
+    return OpsPlan(
+        faults=(
+            crash_fault(1, 0.30 * horizon),
+            crash_fault(2, 0.60 * horizon),
+        ),
+        self_heal=True,
+        transfer_writesets=16,
+    )
+
+
+def _rolling_plan(settings) -> OpsPlan:
+    horizon = settings.autoscale_warmup + settings.autoscale_duration
+    return OpsPlan(
+        rolling_start=0.25 * horizon,
+        rolling_settle=settings.autoscale_control_interval,
+        transfer_writesets=16,
+    )
+
+
+def _assemble_ops(name, spec, pillar, results) -> OpsComparison:
+    reports = tuple(
+        OpsRunReport(result=result, summary=summarize(result))
+        for result in results
+    )
+    return OpsComparison(
+        name=name, workload=spec.name, pillar=pillar, results=reports
+    )
+
+
+def _register_ops_sim(name: str, title: str, load_fraction: float,
+                      plan_for, aliases=()) -> Scenario:
+    spec = tpcw.SHOPPING
+
+    return register_scenario(Scenario(
+        name=name,
+        title=title,
+        kind="ops",
+        metrics=("mttr", "unavailability", "slo_violation_fraction"),
+        points=lambda settings: _ops_sim_points(
+            settings, spec, load_fraction, plan_for
+        ),
+        assemble=lambda settings, pts, results: _assemble_ops(
+            name, spec, "simulator", results
+        ),
+        aliases=aliases,
+    ))
+
+
+SELFHEAL = _register_ops_sim(
+    "selfheal-crashstorm",
+    "Self-healing: crash storm with automatic replica replacement",
+    SELFHEAL_LOAD,
+    _selfheal_plan,
+    aliases=("selfheal",),
+)
+
+ROLLING = _register_ops_sim(
+    "rolling-upgrade",
+    "Rolling upgrade: cycle every replica through drain/rejoin under load",
+    ROLLING_LOAD,
+    _rolling_plan,
+    aliases=("rolling",),
+)
+
+
+def _hetero_rate(settings, capacities: Sequence[float]) -> float:
+    """Offered open-loop rate for a mixed fleet: HETERO_LOAD of the
+    homogeneous capacity curve evaluated at the summed multipliers."""
+    spec = tpcw.SHOPPING
+    effective = sum(capacities)
+    per_replica = _design_capacity(MULTI_MASTER, spec, settings) / (
+        settings.autoscale_peak_replicas
+    )
+    return HETERO_LOAD * per_replica * effective
+
+
+def _hetero_points(settings) -> List:
+    spec = tpcw.SHOPPING
+    points = [profile_point(spec, settings, tag="profile")]
+    config = spec.replication_config(
+        len(HETERO_CAPACITIES),
+        load_balancer_delay=settings.load_balancer_delay,
+        certifier_delay=settings.certifier_delay,
+    )
+    rate = _hetero_rate(settings, HETERO_CAPACITIES)
+    # RANDOM is the capacity-oblivious control: without feedback or
+    # weighting it saturates the slowest box and collapses.
+    for policy in (LEAST_LOADED, CAPACITY_WEIGHTED, RANDOM):
+        points.append(sim_point(
+            spec,
+            config,
+            MULTI_MASTER,
+            seed=settings.seed,
+            warmup=settings.sim_warmup,
+            duration=settings.sim_duration,
+            lb_policy=policy,
+            capacities=HETERO_CAPACITIES,
+            arrival_rate=rate,
+            tag=policy,
+        ))
+    return points
+
+
+def _assemble_hetero(settings, points, results) -> HeteroFleetComparison:
+    from ..models.planning import plan_mixed_fleet
+
+    report, cells = results[0], results[1:]
+    named = tuple(
+        (point.option("lb_policy"), result)
+        for point, result in zip(points[1:], cells)
+    )
+    best = max(cells, key=lambda r: r.throughput)
+    plan = plan_mixed_fleet(
+        report.profile,
+        points[1].config,
+        target_throughput=0.9 * best.throughput,
+        capacities=HETERO_CAPACITIES,
+        design=MULTI_MASTER,
+        headroom=0.1,
+    )
+    return HeteroFleetComparison(
+        workload=tpcw.SHOPPING.name,
+        pillar="simulator",
+        capacities=HETERO_CAPACITIES,
+        cells=named,
+        plan_text="" if plan is None else plan.to_text(),
+    )
+
+
+HETERO = register_scenario(Scenario(
+    name="hetero-fleet",
+    title="Heterogeneous-capacity fleet: capacity-weighted vs least-loaded",
+    kind="ops",
+    metrics=("throughput", "response_time"),
+    points=_hetero_points,
+    assemble=_assemble_hetero,
+    aliases=("hetero",),
+))
+
+
+# ----------------------------------------------------------------------
+# Live-cluster cells
+# ----------------------------------------------------------------------
+
+def _ops_live_points(settings, load_fraction: float, plan) -> List:
+    capacity = _live_design_capacity(settings)
+    trace = _steady_trace(load_fraction * capacity, LIVE_DURATION)
+    return [autoscale_point(
+        LIVE_SPEC,
+        LIVE_SPEC.replication_config(
+            1, load_balancer_delay=0.0005, certifier_delay=0.002,
+        ),
+        MULTI_MASTER,
+        seed=settings.seed,
+        trace=trace,
+        policy=FixedPolicy(replicas=LIVE_FLEET),
+        slo_response=SLO_RESPONSE,
+        warmup=LIVE_WARMUP,
+        duration=LIVE_DURATION,
+        control_interval=LIVE_CONTROL_INTERVAL,
+        pillar=CLUSTER,
+        time_scale=LIVE_TIME_SCALE,
+        max_replicas=2 * LIVE_FLEET,
+        transfer_writesets=8,
+        ops=plan,
+        tag="live",
+    )]
+
+
+_LIVE_SELFHEAL_PLAN = OpsPlan(
+    faults=(crash_fault(1, 0.35 * (LIVE_WARMUP + LIVE_DURATION)),),
+    self_heal=True,
+    transfer_writesets=8,
+)
+
+_LIVE_ROLLING_PLAN = OpsPlan(
+    rolling_start=0.25 * (LIVE_WARMUP + LIVE_DURATION),
+    rolling_settle=LIVE_CONTROL_INTERVAL,
+    transfer_writesets=8,
+)
+
+
+SELFHEAL_LIVE = register_scenario(Scenario(
+    name="selfheal-crashstorm-live",
+    title="Live-cluster self-healing: crash, detect, replace on real threads",
+    kind="ops",
+    metrics=("mttr", "unavailability", "converged"),
+    points=lambda settings: _ops_live_points(
+        settings, SELFHEAL_LOAD, _LIVE_SELFHEAL_PLAN
+    ),
+    assemble=lambda settings, pts, results: _assemble_ops(
+        "selfheal-crashstorm-live", LIVE_SPEC, "cluster", results
+    ),
+    aliases=("selfheal-live",),
+))
+
+ROLLING_LIVE = register_scenario(Scenario(
+    name="rolling-upgrade-live",
+    title="Live-cluster rolling upgrade: drain/rejoin the whole fleet",
+    kind="ops",
+    metrics=("slo_violation_fraction", "converged"),
+    points=lambda settings: _ops_live_points(
+        settings, ROLLING_LOAD, _LIVE_ROLLING_PLAN
+    ),
+    assemble=lambda settings, pts, results: _assemble_ops(
+        "rolling-upgrade-live", LIVE_SPEC, "cluster", results
+    ),
+    aliases=("rolling-live",),
+))
+
+
+def _hetero_live_points(settings) -> List:
+    points = []
+    config = LIVE_SPEC.replication_config(
+        len(LIVE_HETERO_CAPACITIES),
+        load_balancer_delay=0.0005, certifier_delay=0.002,
+    )
+    # Open-loop at HETERO_LOAD of the fleet's predicted capacity, like
+    # the simulator cell (the live fleet sums to 3.0 equivalents, the
+    # anchor deployment's size).
+    rate = HETERO_LOAD * _live_design_capacity(settings) * (
+        sum(LIVE_HETERO_CAPACITIES) / 3.0
+    )
+    for policy in (LEAST_LOADED, CAPACITY_WEIGHTED, RANDOM):
+        points.append(cluster_point(
+            LIVE_SPEC,
+            config,
+            MULTI_MASTER,
+            seed=settings.seed,
+            warmup=LIVE_WARMUP,
+            duration=LIVE_DURATION,
+            time_scale=LIVE_TIME_SCALE,
+            lb_policy=policy,
+            capacities=LIVE_HETERO_CAPACITIES,
+            arrival_rate=rate,
+            tag=policy,
+        ))
+    return points
+
+
+def _assemble_hetero_live(settings, points, results) -> HeteroFleetComparison:
+    named = tuple(
+        (point.option("lb_policy"), result)
+        for point, result in zip(points, results)
+    )
+    return HeteroFleetComparison(
+        workload=LIVE_SPEC.name,
+        pillar="cluster",
+        capacities=LIVE_HETERO_CAPACITIES,
+        cells=named,
+    )
+
+
+HETERO_LIVE = register_scenario(Scenario(
+    name="hetero-fleet-live",
+    title="Live heterogeneous fleet: capacity-weighted vs least-loaded",
+    kind="ops",
+    metrics=("throughput", "response_time", "converged"),
+    points=_hetero_live_points,
+    assemble=_assemble_hetero_live,
+    aliases=("hetero-live",),
+))
+
+#: Scenario names grouped for the ``repro ops`` verb.
+SIM_SCENARIOS = ("selfheal-crashstorm", "rolling-upgrade", "hetero-fleet")
+LIVE_SCENARIOS = (
+    "selfheal-crashstorm-live",
+    "rolling-upgrade-live",
+    "hetero-fleet-live",
+)

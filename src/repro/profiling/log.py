@@ -13,7 +13,7 @@ plays the role of the triggers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..core import rng as rng_util
 from ..core.errors import ConfigurationError, ProfilingError, TransactionAborted

@@ -30,7 +30,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, FrozenSet, Optional, Set, Tuple
+from typing import Deque, FrozenSet, Set, Tuple
 
 from ..core.errors import ConfigurationError
 from .writeset import Writeset

@@ -35,7 +35,7 @@ commits on the same engine.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Optional, Set
 
 from ..core.errors import ConfigurationError, TransactionAborted
 from .certifier import Certifier

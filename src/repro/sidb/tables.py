@@ -19,8 +19,8 @@ only if the schema declares the index ``unique``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.errors import ConfigurationError
 from .engine import SIDatabase

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_right
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional
 
 from ..core.errors import ConfigurationError
 

@@ -8,7 +8,7 @@ updates (§2 of the paper).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Tuple
 
 from ..core.errors import ConfigurationError

@@ -5,14 +5,25 @@ performance; this module adds the natural follow-on experiment: *what does
 throughput look like while a replica is down, and how long does recovery
 take?*
 
-A :class:`ReplicaFault` takes one replica out of load-balancer rotation at
-``start`` and brings it back at ``start + downtime``.  Failure is modelled
-as a drain (in-flight transactions finish; new work routes elsewhere) —
-the behaviour of a middleware that detects an unresponsive replica and
-stops dispatching to it.  On recovery in a multi-master system the replica
-must first catch up on the writesets it missed (they were queued for it),
-so its snapshots lag until application drains — recovery cost *emerges*
-from the writeset backlog rather than being assumed.
+Two fault kinds share the :class:`ReplicaFault` schedule entry:
+
+* ``drain`` (the default) takes one replica out of load-balancer rotation
+  at ``start`` and brings it back at ``start + downtime``.  This is the
+  behaviour of a middleware that detects an unresponsive replica and stops
+  dispatching to it: in-flight transactions finish, writesets queue at the
+  replica's proxy, and on recovery the replica catches up on the backlog —
+  so recovery cost *emerges* from the writeset backlog rather than being
+  assumed.
+* ``crash`` kills the replica outright: it stops consuming writesets (its
+  copy of the state is lost, so queued and future writesets are dropped,
+  not deferred) and it never comes back by itself.  A crashed replica can
+  only rejoin as a *new* member via state transfer — the replacement
+  path the self-healing operations layer (:mod:`repro.ops`) automates.
+
+Overlapping drain faults on the same replica nest: the replica recovers
+only when the *last* overlapping outage ends (a per-replica down-count,
+not a boolean).  Faults scheduled past the end of the run simply never
+fire.
 
 Restrictions: the single-master design only supports slave faults (master
 failover needs a promotion protocol the paper does not describe).
@@ -20,36 +31,53 @@ failover needs a promotion protocol the paper does not describe).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.errors import ConfigurationError
+
+#: Fault kinds: a recoverable outage vs a permanent loss of the replica.
+DRAIN = "drain"
+CRASH = "crash"
+FAULT_KINDS = (DRAIN, CRASH)
 
 
 @dataclass(frozen=True)
 class ReplicaFault:
-    """One crash/recovery event for a named replica."""
+    """One failure event for a named replica."""
 
     #: Index into the system's replica list (for single-master systems,
     #: index 0 is the master and may not be faulted).
     replica_index: int
     #: Simulated time at which the replica stops accepting work.
     start: float
-    #: How long the replica stays out of rotation.
-    downtime: float
+    #: How long the replica stays out of rotation (``drain`` kind only;
+    #: a ``crash`` is permanent and ignores this field).
+    downtime: float = 0.0
+    #: ``drain`` (recoverable outage) or ``crash`` (permanent loss).
+    kind: str = DRAIN
 
     def __post_init__(self) -> None:
         if self.replica_index < 0:
             raise ConfigurationError("replica index must be >= 0")
         if self.start < 0:
             raise ConfigurationError("fault start must be >= 0")
-        if self.downtime <= 0:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}"
+            )
+        if self.kind == DRAIN and self.downtime <= 0:
             raise ConfigurationError("downtime must be positive")
 
     @property
     def end(self) -> float:
-        """Time at which the replica rejoins the rotation."""
+        """Time at which a drain fault's replica rejoins the rotation."""
         return self.start + self.downtime
+
+
+def crash_fault(replica_index: int, start: float) -> ReplicaFault:
+    """A permanent crash of one replica at *start* (no self-recovery)."""
+    return ReplicaFault(replica_index=replica_index, start=start, kind=CRASH)
 
 
 def validate_faults(
@@ -76,17 +104,59 @@ def validate_faults(
     return checked
 
 
-def install_faults(env, system, faults: Sequence[ReplicaFault]) -> None:
-    """Schedule crash/recovery callbacks on *system*'s replicas."""
+@dataclass
+class _DownCounts:
+    """Per-replica count of overlapping drain outages."""
+
+    counts: Dict[int, int] = field(default_factory=dict)
+
+    def down(self, replica) -> None:
+        key = id(replica)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        replica.available = False
+
+    def up(self, replica) -> None:
+        key = id(replica)
+        self.counts[key] = self.counts.get(key, 0) - 1
+        if self.counts[key] <= 0 and not getattr(replica, "failed", False):
+            replica.available = True
+
+
+def install_faults(
+    env,
+    system,
+    faults: Sequence[ReplicaFault],
+    recorder: Optional[Callable[[float, str, str], None]] = None,
+) -> None:
+    """Schedule fault callbacks on *system*'s replicas.
+
+    *recorder*, when given, is called as ``recorder(now, kind, name)``
+    each time a fault fires — the hook the operations layer uses to stamp
+    crash times into its event log.
+    """
+    counts = _DownCounts()
     for fault in faults:
         replica = system.replicas[fault.replica_index]
-        env.schedule(fault.start, _crash, replica)
-        env.schedule(fault.end, _recover, replica)
+        if fault.kind == CRASH:
+            env.schedule(fault.start, _crash, env, replica, recorder)
+        else:
+            env.schedule(fault.start, _down, env, counts, replica, recorder)
+            env.schedule(fault.end, _up, env, counts, replica, recorder)
 
 
-def _crash(replica) -> None:
-    replica.available = False
+def _crash(env, replica, recorder) -> None:
+    replica.crash()
+    if recorder is not None:
+        recorder(env.now, CRASH, replica.name)
 
 
-def _recover(replica) -> None:
-    replica.available = True
+def _down(env, counts, replica, recorder) -> None:
+    counts.down(replica)
+    if recorder is not None:
+        recorder(env.now, "down", replica.name)
+
+
+def _up(env, counts, replica, recorder) -> None:
+    counts.up(replica)
+    if recorder is not None:
+        recorder(env.now, "up", replica.name)

@@ -14,7 +14,7 @@ import heapq
 from typing import List, Tuple
 
 from ..core.errors import SimulationError
-from .des import Environment, Service, Timeout
+from .des import Environment, Service
 from .resources import FIFOResource, ProcessorSharingResource
 from .sampling import WorkloadSampler
 
@@ -22,12 +22,23 @@ from .sampling import WorkloadSampler
 class SimReplica:
     """One replica's timed resources and replication state."""
 
-    def __init__(self, env: Environment, name: str, sampler: WorkloadSampler) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        sampler: WorkloadSampler,
+        capacity: float = 1.0,
+    ) -> None:
+        if capacity <= 0.0:
+            raise SimulationError(f"{name}: capacity must be positive")
         self._env = env
         self.name = name
         self._sampler = sampler
-        self.cpu = ProcessorSharingResource(env, f"{name}.cpu")
-        self.disk = FIFOResource(env, f"{name}.disk")
+        #: Relative hardware speed: a capacity-2 replica finishes the same
+        #: sampled work in half the time (threaded into both resources).
+        self.capacity = capacity
+        self.cpu = ProcessorSharingResource(env, f"{name}.cpu", rate=capacity)
+        self.disk = FIFOResource(env, f"{name}.disk", rate=capacity)
         #: Highest contiguously applied global commit version.
         self.applied_version = 0
         #: Number of client transactions currently resident (LB routing).
@@ -44,6 +55,10 @@ class SimReplica:
         self.admission = None
         #: Load-balancer availability (failure injection flips this).
         self._available = True
+        #: True once the replica has crashed for good: its state is lost,
+        #: writesets are dropped instead of deferred, and only replacement
+        #: by a fresh member (state transfer) can restore redundancy.
+        self.failed = False
         #: Writesets received while down, applied in bulk on recovery.
         self._deferred: List[Tuple[int, bool]] = []
         #: True while the replica is being drained for elastic removal:
@@ -95,6 +110,11 @@ class SimReplica:
                 f"(latest is {self._enqueued_version})"
             )
         self._enqueued_version = commit_version
+        if self.failed:
+            # The replica is dead and its state will be thrown away:
+            # dropping the writeset (instead of deferring it) is exactly
+            # what "stopped consuming writesets" means.
+            return
         if not self._available:
             # The replica is down: its proxy queues the writeset; the
             # backlog is applied on recovery (catch-up).
@@ -152,14 +172,26 @@ class SimReplica:
     @property
     def available(self) -> bool:
         """Whether the load balancer may route new transactions here."""
-        return self._available
+        return self._available and not self.failed
 
     @available.setter
     def available(self, value: bool) -> None:
-        came_back = value and not self._available
+        came_back = value and not self._available and not self.failed
         self._available = value
         if came_back:
             self._flush_deferred()
+
+    def crash(self) -> None:
+        """Kill the replica permanently (state lost, no self-recovery).
+
+        Unlike a drain fault, a crash drops the deferred backlog and all
+        future writesets: the replica's copy of the database is gone, so
+        there is nothing left to catch up.  The operations layer replaces
+        crashed replicas with fresh members via state transfer.
+        """
+        self.failed = True
+        self._available = False
+        self._deferred.clear()
 
     def _flush_deferred(self) -> None:
         """Start catch-up on the writesets missed while down."""

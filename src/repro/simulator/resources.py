@@ -9,6 +9,12 @@ validation probe that insensitivity.
 
 Both resources track a *busy-time integral* so the profiler can apply the
 Utilization Law, and a completion count for throughput accounting.
+
+Heterogeneous capacity: both servers take a ``rate`` multiplier (default
+1.0) — a rate-2 CPU finishes the same sampled work in half the time.  The
+scaling happens once, at submit, so the processor-sharing bookkeeping and
+the busy-time accounting are untouched: utilization remains the fraction
+of time the (faster) server is busy.
 """
 
 from __future__ import annotations
@@ -36,12 +42,19 @@ class ResourceStats:
         return (self.busy_time, self.completions)
 
 
+def _check_rate(rate: float, name: str) -> float:
+    if rate <= 0.0:
+        raise SimulationError(f"{name}: capacity rate must be positive")
+    return rate
+
+
 class ProcessorSharingResource:
     """A single server shared equally among all resident jobs (the CPU)."""
 
-    def __init__(self, env: Environment, name: str) -> None:
+    def __init__(self, env: Environment, name: str, rate: float = 1.0) -> None:
         self._env = env
         self.name = name
+        self.rate = _check_rate(rate, name)
         self.stats = ResourceStats()
         self._jobs: Dict[int, Tuple[float, Callable]] = {}
         self._remaining: Dict[int, float] = {}
@@ -63,6 +76,7 @@ class ProcessorSharingResource:
     def submit(self, work: float, resume: Callable) -> None:
         """Add a job needing *work* seconds of service; call *resume* when done."""
         self._sync()
+        work = work / self.rate
         if work <= _EPSILON:
             # Zero-cost work completes immediately (but asynchronously, to
             # keep process resumption ordering consistent).
@@ -123,9 +137,10 @@ class ProcessorSharingResource:
 class FIFOResource:
     """A single server with a first-come-first-served queue (the disk)."""
 
-    def __init__(self, env: Environment, name: str) -> None:
+    def __init__(self, env: Environment, name: str, rate: float = 1.0) -> None:
         self._env = env
         self.name = name
+        self.rate = _check_rate(rate, name)
         self.stats = ResourceStats()
         self._queue: Deque[Tuple[float, Callable]] = deque()
         self._busy = False
@@ -139,6 +154,7 @@ class FIFOResource:
 
     def submit(self, work: float, resume: Callable) -> None:
         """Enqueue a job needing *work* seconds; call *resume* when done."""
+        work = work / self.rate
         if work <= _EPSILON:
             self._env.schedule(0.0, resume)
             return

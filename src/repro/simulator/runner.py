@@ -96,6 +96,7 @@ def simulate(
     lb_policy: str = LEAST_LOADED,
     faults: Sequence[ReplicaFault] = (),
     arrival_rate: Optional[float] = None,
+    capacities: Optional[Sequence[float]] = None,
 ) -> SimulationResult:
     """Simulate *spec* on *design* with *config* and measure steady state.
 
@@ -106,6 +107,10 @@ def simulate(
     *arrival_rate* switches from the closed-loop client model (§3.1) to an
     open-loop Poisson stream of that many transactions per second — the
     open-vs-closed comparison of [Schroeder 2006].
+
+    *capacities* builds a heterogeneous fleet: one speed multiplier per
+    replica (single-master: index 0 is the master), scaling that
+    replica's CPU and disk rates.
     """
     if design not in _SYSTEM_CLASSES:
         raise ConfigurationError(f"unknown design {design!r}; one of {DESIGNS}")
@@ -120,9 +125,15 @@ def simulate(
 
     env = Environment()
     metrics = MetricsCollector()
+    if capacities is not None and design == STANDALONE:
+        raise ConfigurationError(
+            "capacities describe a replicated fleet; standalone systems "
+            "have exactly one machine"
+        )
     system = _SYSTEM_CLASSES[design](
         env, spec, config, seed, metrics,
         distribution=distribution, lb_policy=lb_policy,
+        capacities=capacities,
     )
     clients = (
         config.clients_per_replica

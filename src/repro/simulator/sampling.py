@@ -10,7 +10,6 @@ update transactions touch ``U`` uniformly chosen rows of the updatable set.
 from __future__ import annotations
 
 import itertools
-from typing import FrozenSet, Optional
 
 import numpy as np
 

@@ -9,7 +9,7 @@ Utilization Law applies exactly to the window.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.errors import SimulationError

@@ -18,10 +18,14 @@ by the (simulated) application server, as the paper's Java servlets do.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import rng as rng_util
-from ..core.errors import RetryLimitExceeded, SimulationError
+from ..core.errors import (
+    ConfigurationError,
+    RetryLimitExceeded,
+    SimulationError,
+)
 from ..core.params import ReplicationConfig
 from ..sidb.certifier import Certifier
 from ..workloads.spec import WorkloadSpec
@@ -35,12 +39,38 @@ from .stats import MetricsCollector
 #: replicas (the analytical model's view); "random" picks uniformly;
 #: "conflict-aware" routes updates to the most caught-up replica (freshest
 #: ``applied_version``, so update snapshots are as young as possible and
-#: certification aborts shrink) and reads to the least-loaded one.
+#: certification aborts shrink) and reads to the least-loaded one;
+#: "capacity-weighted" divides the resident count by each replica's
+#: ``capacity`` multiplier, so a twice-as-fast box carries twice the load
+#: (the right policy for heterogeneous fleets).
 LEAST_LOADED = "least-loaded"
 PINNED = "pinned"
 RANDOM = "random"
 CONFLICT_AWARE = "conflict-aware"
-LB_POLICIES = (LEAST_LOADED, PINNED, RANDOM, CONFLICT_AWARE)
+CAPACITY_WEIGHTED = "capacity-weighted"
+LB_POLICIES = (LEAST_LOADED, PINNED, RANDOM, CONFLICT_AWARE,
+               CAPACITY_WEIGHTED)
+
+
+def check_capacities(
+    capacities: Optional[Sequence[float]], replicas: int
+) -> Optional[Tuple[float, ...]]:
+    """Validate a heterogeneous-fleet capacity vector (``None`` = uniform).
+
+    Shared by the simulator systems and the live clusters: one multiplier
+    per initial replica, all positive.
+    """
+    if capacities is None:
+        return None
+    caps = tuple(float(c) for c in capacities)
+    if len(caps) != replicas:
+        raise ConfigurationError(
+            f"capacities names {len(caps)} replicas but the deployment "
+            f"has {replicas}"
+        )
+    if any(c <= 0.0 for c in caps):
+        raise ConfigurationError("every capacity multiplier must be positive")
+    return caps
 
 
 def select_replica(policy, candidates, client_id, is_update, rng):
@@ -68,6 +98,11 @@ def select_replica(policy, candidates, client_id, is_update, rng):
         versions = [(r.applied_version, r) for r in alive]
         freshest = max(v for v, _ in versions)
         alive = [r for v, r in versions if v == freshest]
+    if policy == CAPACITY_WEIGHTED:
+        return min(
+            alive,
+            key=lambda r: (r.active / getattr(r, "capacity", 1.0), r.name),
+        )
     return min(alive, key=lambda r: (r.active, r.name))
 
 
@@ -87,11 +122,13 @@ class _BaseSystem:
         metrics: MetricsCollector,
         distribution: str = "exponential",
         lb_policy: str = LEAST_LOADED,
+        capacities: Optional[Sequence[float]] = None,
     ) -> None:
         if lb_policy not in LB_POLICIES:
             raise SimulationError(
                 f"unknown lb_policy {lb_policy!r}; one of {LB_POLICIES}"
             )
+        self._capacities = check_capacities(capacities, config.replicas)
         self.env = env
         self.spec = spec
         self.config = config
@@ -111,13 +148,21 @@ class _BaseSystem:
         #: Cleared by :meth:`stop_arrivals` to end open-loop streams.
         self._arrivals_on = True
 
-    def _make_replica(self, name: str, path: object) -> SimReplica:
+    def _initial_capacity(self, index: int) -> float:
+        """Capacity multiplier for the *index*-th initial replica."""
+        if self._capacities is None:
+            return 1.0
+        return self._capacities[index]
+
+    def _make_replica(
+        self, name: str, path: object, capacity: float = 1.0
+    ) -> SimReplica:
         sampler = WorkloadSampler(
             self.spec,
             rng_util.spawn(self._seed, "replica", path),
             distribution=self._distribution,
         )
-        replica = SimReplica(self.env, name, sampler)
+        replica = SimReplica(self.env, name, sampler, capacity=capacity)
         # Admission control: the connection pool bounds how many client
         # transactions execute concurrently (config.max_concurrency).
         if self.config.max_concurrency is not None:
@@ -250,16 +295,42 @@ class _BaseSystem:
 
     @property
     def member_count(self) -> int:
-        """Replicas provisioned and not draining away (controller view)."""
-        return sum(1 for r in self.replicas if not r.draining)
+        """Replicas provisioned, healthy, and not draining away
+        (controller view): a crashed replica is no longer a member."""
+        return sum(
+            1 for r in self.replicas if not r.draining and not r.failed
+        )
 
-    def add_replica(self, transfer_writesets: int = 0) -> SimReplica:
+    def upgrade_targets(self) -> List[SimReplica]:
+        """Replicas a rolling restart cycles (single-master: slaves only,
+        the master cannot be detached)."""
+        pool = getattr(self, "slaves", self.replicas)
+        return [r for r in pool if not r.draining and not r.failed]
+
+    def add_replica(self, transfer_writesets: int = 0,
+                    capacity: float = 1.0) -> SimReplica:
         """Grow the system by one replica; topology-specific."""
         raise NotImplementedError(f"{type(self).__name__} is not elastic")
 
-    def remove_replica(self) -> SimReplica:
-        """Drain and detach one replica; topology-specific."""
+    def remove_replica(self, replica: Optional[SimReplica] = None,
+                       force: bool = False) -> SimReplica:
+        """Drain (or, with ``force``, immediately detach) one replica."""
         raise NotImplementedError(f"{type(self).__name__} is not elastic")
+
+    def _detach_now(self, replica: SimReplica) -> None:
+        """Forget *replica* immediately (force-detach, no drain).
+
+        The failure-replacement path: a crashed replica has nothing left
+        to drain — its in-flight transactions, if any, still hold their
+        snapshot registrations and release them normally, but the replica
+        stops pinning the certifier's prune floor and leaves routing,
+        propagation, and the convergence check at once.
+        """
+        if replica in self.replicas:
+            self.replicas.remove(replica)
+        slaves = getattr(self, "slaves", None)
+        if slaves is not None and replica in slaves:
+            slaves.remove(replica)
 
     def _join_process(self, replica: SimReplica, transfer_writesets: int):
         """Pay the join cost, then enter load-balancer rotation.
@@ -286,21 +357,19 @@ class _BaseSystem:
         """
         while replica.active > 0:
             yield Timeout(self._DRAIN_POLL)
-        if replica in self.replicas:
-            self.replicas.remove(replica)
-        slaves = getattr(self, "slaves", None)
-        if slaves is not None and replica in slaves:
-            slaves.remove(replica)
+        self._detach_now(replica)
 
 
 class StandaloneSystem(_BaseSystem):
     """A single snapshot-isolated database with directly attached clients."""
 
     def __init__(self, env, spec, config, seed, metrics,
-                 distribution="exponential", lb_policy=LEAST_LOADED):
+                 distribution="exponential", lb_policy=LEAST_LOADED,
+                 capacities=None):
         super().__init__(env, spec, config, seed, metrics, distribution,
-                         lb_policy)
-        self.database = self._make_replica("standalone", 0)
+                         lb_policy, capacities)
+        self.database = self._make_replica("standalone", 0,
+                                           capacity=self._initial_capacity(0))
         self.certifier = Certifier()
         self._active_snapshots: Dict[int, int] = {}
         self._snapshot_token = 0
@@ -354,17 +423,20 @@ class MultiMasterSystem(_BaseSystem):
     """Figure 4: N symmetric replicas behind a load balancer + certifier."""
 
     def __init__(self, env, spec, config, seed, metrics,
-                 distribution="exponential", lb_policy=LEAST_LOADED):
+                 distribution="exponential", lb_policy=LEAST_LOADED,
+                 capacities=None):
         super().__init__(env, spec, config, seed, metrics, distribution,
-                         lb_policy)
+                         lb_policy, capacities)
         for index in range(config.replicas):
-            self._make_replica(f"replica{index}", index)
+            self._make_replica(f"replica{index}", index,
+                               capacity=self._initial_capacity(index))
         self._members_created = config.replicas
         self.certifier = Certifier()
         self._active_snapshots: Dict[int, int] = {}
         self._snapshot_token = 0
 
-    def add_replica(self, transfer_writesets: int = 0) -> SimReplica:
+    def add_replica(self, transfer_writesets: int = 0,
+                    capacity: float = 1.0) -> SimReplica:
         """Grow the cluster by one replica (elastic provisioning).
 
         The joiner adopts a state snapshot at the current propagation
@@ -375,24 +447,42 @@ class MultiMasterSystem(_BaseSystem):
         """
         index = self._members_created
         self._members_created += 1
-        replica = self._make_replica(f"replica{index}", index)
+        replica = self._make_replica(f"replica{index}", index,
+                                     capacity=capacity)
         replica.sync_to(self._propagated_version)
         replica.available = False
         self.env.start(self._join_process(replica, transfer_writesets))
         return replica
 
-    def remove_replica(self) -> SimReplica:
+    def remove_replica(self, replica: Optional[SimReplica] = None,
+                       force: bool = False) -> SimReplica:
         """Shrink the cluster by one replica: drain, then detach.
 
-        Picks the youngest fully-joined replica; at least one available
-        replica always remains.
+        Without a target, picks the youngest fully-joined replica; at
+        least one healthy replica always remains.  ``force`` detaches
+        immediately without draining — the replacement path for crashed
+        replicas, whose state is already lost.
         """
-        candidates = [
-            r for r in self.replicas if not r.draining and r.available
+        if replica is None:
+            candidates = [
+                r for r in self.replicas if not r.draining and r.available
+            ]
+            if len(candidates) <= 1:
+                raise SimulationError(
+                    "cannot remove the last available replica"
+                )
+            replica = candidates[-1]
+        elif replica not in self.replicas:
+            raise SimulationError(f"{replica.name} is not attached")
+        survivors = [
+            r for r in self.replicas
+            if r is not replica and not r.draining and not r.failed
         ]
-        if len(candidates) <= 1:
-            raise SimulationError("cannot remove the last available replica")
-        replica = candidates[-1]
+        if not survivors:
+            raise SimulationError("cannot remove the last healthy replica")
+        if force:
+            self._detach_now(replica)
+            return replica
         replica.draining = True
         replica.available = False
         self.env.start(self._drain_and_detach(replica))
@@ -465,12 +555,15 @@ class SingleMasterSystem(_BaseSystem):
     """Figure 5: one master for updates, N-1 slaves for reads."""
 
     def __init__(self, env, spec, config, seed, metrics,
-                 distribution="exponential", lb_policy=LEAST_LOADED):
+                 distribution="exponential", lb_policy=LEAST_LOADED,
+                 capacities=None):
         super().__init__(env, spec, config, seed, metrics, distribution,
-                         lb_policy)
-        self.master = self._make_replica("master", "master")
+                         lb_policy, capacities)
+        self.master = self._make_replica("master", "master",
+                                         capacity=self._initial_capacity(0))
         self.slaves = [
-            self._make_replica(f"slave{index}", index)
+            self._make_replica(f"slave{index}", index,
+                               capacity=self._initial_capacity(index + 1))
             for index in range(config.replicas - 1)
         ]
         self._members_created = config.replicas - 1
@@ -478,31 +571,41 @@ class SingleMasterSystem(_BaseSystem):
         self._active_snapshots: Dict[int, int] = {}
         self._snapshot_token = 0
 
-    def add_replica(self, transfer_writesets: int = 0) -> SimReplica:
+    def add_replica(self, transfer_writesets: int = 0,
+                    capacity: float = 1.0) -> SimReplica:
         """Grow the system by one read-only slave (the master is fixed)."""
         index = self._members_created
         self._members_created += 1
-        slave = self._make_replica(f"slave{index}", index)
+        slave = self._make_replica(f"slave{index}", index, capacity=capacity)
         self.slaves.append(slave)
         slave.sync_to(self._propagated_version)
         slave.available = False
         self.env.start(self._join_process(slave, transfer_writesets))
         return slave
 
-    def remove_replica(self) -> SimReplica:
-        """Drain and detach the youngest slave (never the master)."""
-        candidates = [
-            r for r in self.slaves if not r.draining and r.available
-        ]
-        if not candidates:
-            raise SimulationError(
-                "no removable slave (the master cannot be removed)"
-            )
-        slave = candidates[-1]
-        slave.draining = True
-        slave.available = False
-        self.env.start(self._drain_and_detach(slave))
-        return slave
+    def remove_replica(self, replica: Optional[SimReplica] = None,
+                       force: bool = False) -> SimReplica:
+        """Drain (or force-detach) one slave — never the master."""
+        if replica is None:
+            candidates = [
+                r for r in self.slaves if not r.draining and r.available
+            ]
+            if not candidates:
+                raise SimulationError(
+                    "no removable slave (the master cannot be removed)"
+                )
+            replica = candidates[-1]
+        elif replica is self.master:
+            raise SimulationError("the master cannot be removed")
+        elif replica not in self.slaves:
+            raise SimulationError(f"{replica.name} is not an attached slave")
+        if force:
+            self._detach_now(replica)
+            return replica
+        replica.draining = True
+        replica.available = False
+        self.env.start(self._drain_and_detach(replica))
+        return replica
 
     def execute(self, sampler: WorkloadSampler, is_update: bool, client_id: int = 0):
         yield Timeout(self.config.load_balancer_delay)

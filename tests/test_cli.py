@@ -120,6 +120,52 @@ class TestCommands:
         assert code == 2
         assert "unknown scenario" in capsys.readouterr().err
 
+    def test_ops_parses_options(self):
+        args = build_parser().parse_args(
+            ["ops", "--operation", "rolling", "--live", "--timeline",
+             "--fast"]
+        )
+        assert args.operation == "rolling"
+        assert args.live and args.timeline
+
+    def test_plan_parses_capacities(self):
+        args = build_parser().parse_args(
+            ["plan", "tpcw/shopping", "--target", "50",
+             "--capacities", "2", "1", "0.5", "--fast"]
+        )
+        assert args.capacities == [2.0, 1.0, 0.5]
+
+    def test_backend_failure_is_one_line_not_traceback(self, capsys,
+                                                       monkeypatch):
+        """A live backend that cannot converge must produce a clean
+        one-line error on stderr and exit 1 (CI smoke jobs grep stderr,
+        not stack frames)."""
+        from repro import cli
+        from repro.core.errors import SimulationError
+
+        def boom(*args, **kwargs):
+            raise SimulationError(
+                "3 traffic thread(s) still running after the drain "
+                "timeout; the offered load exceeds what the cluster "
+                "can drain"
+            )
+
+        monkeypatch.setattr(cli, "run_scenario", boom)
+        code = main(["run", "selfheal-crashstorm-live", "--fast"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "drain" in err
+        assert "Traceback" not in err
+
+    def test_scenarios_lists_ops_family(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "selfheal-crashstorm" in out
+        assert "rolling-upgrade" in out
+        assert "hetero-fleet" in out
+        assert "selfheal-crashstorm-live" in out
+
     def test_scenarios_lists_autoscale_family(self, capsys):
         assert main(["scenarios"]) == 0
         out = capsys.readouterr().out

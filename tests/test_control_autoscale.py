@@ -263,7 +263,6 @@ class TestEngineIntegration:
                                                        tiny_profile, diurnal):
         """Engine fan-out must not change autoscale artifacts."""
         from repro.engine import (
-            Scenario,
             autoscale_point,
             clear_memo,
             execute_points,

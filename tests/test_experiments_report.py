@@ -2,11 +2,8 @@
 ``full_report`` itself is exercised end to end by the benchmark suite and
 ``scripts/run_all_experiments.py``)."""
 
-import pytest
-
 from repro.experiments import FIGURE_RUNNERS
 from repro.experiments.report import _ablation_section
-from repro.experiments.settings import ExperimentSettings
 
 
 class TestReportStructure:

@@ -4,8 +4,13 @@ import pytest
 
 from repro.core.errors import ConfigurationError
 from repro.experiments.failover import failover_experiment
-from repro.experiments.settings import ExperimentSettings
-from repro.simulator.faults import ReplicaFault, validate_faults
+from repro.simulator.faults import (
+    CRASH,
+    ReplicaFault,
+    crash_fault,
+    install_faults,
+    validate_faults,
+)
 from repro.simulator.runner import MULTI_MASTER, SINGLE_MASTER, simulate
 
 
@@ -109,6 +114,91 @@ class TestFaultedSimulation:
         timeline = list(result.throughput_timeline)
         assert len(timeline) == 10
         assert sum(timeline) == result.committed_transactions
+
+
+class TestFaultEdgeCases:
+    def test_fault_after_run_end_has_no_effect(self, shopping_spec):
+        config = shopping_spec.replication_config(2)
+        kwargs = dict(design=MULTI_MASTER, seed=11, warmup=2.0,
+                      duration=10.0)
+        baseline = simulate(shopping_spec, config, **kwargs)
+        late = simulate(
+            shopping_spec, config,
+            faults=[ReplicaFault(0, start=500.0, downtime=5.0)],
+            **kwargs,
+        )
+        # The callbacks never fire inside the horizon: byte-identical run.
+        assert late.committed_transactions == baseline.committed_transactions
+        assert late.throughput == baseline.throughput
+
+    def test_overlapping_faults_nest(self, shopping_spec):
+        from repro.simulator.des import Environment
+        from repro.simulator.stats import MetricsCollector
+        from repro.simulator.systems import MultiMasterSystem
+
+        env = Environment()
+        system = MultiMasterSystem(
+            env, shopping_spec, shopping_spec.replication_config(3), 2,
+            MetricsCollector(),
+        )
+        victim = system.replicas[1]
+        install_faults(env, system, [
+            ReplicaFault(1, start=5.0, downtime=10.0),   # [5, 15)
+            ReplicaFault(1, start=10.0, downtime=10.0),  # [10, 20)
+        ])
+        env.run_until(12.0)
+        assert not victim.available
+        env.run_until(17.0)
+        # The first fault ended at 15, but the second is still open: the
+        # replica must stay down until the *last* overlapping outage ends.
+        assert not victim.available
+        env.run_until(21.0)
+        assert victim.available
+
+    def test_single_master_master_crash_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_faults(
+                [crash_fault(0, 5.0)], replicas=4, design=SINGLE_MASTER
+            )
+
+    def test_single_master_slave_crash_allowed(self):
+        checked = validate_faults(
+            [crash_fault(2, 5.0)], replicas=4, design=SINGLE_MASTER
+        )
+        assert checked[0].kind == CRASH
+
+    def test_crash_fault_needs_no_downtime(self):
+        fault = crash_fault(1, 3.0)
+        assert fault.downtime == 0.0
+
+    def test_drain_fault_still_requires_downtime(self):
+        with pytest.raises(ConfigurationError):
+            ReplicaFault(1, start=3.0, downtime=0.0, kind="drain")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplicaFault(1, start=3.0, downtime=1.0, kind="meteor")
+
+    def test_crashed_replica_drops_writesets(self, shopping_spec):
+        from repro.simulator.des import Environment
+        from repro.simulator.stats import MetricsCollector
+        from repro.simulator.systems import MultiMasterSystem
+
+        env = Environment()
+        system = MultiMasterSystem(
+            env, shopping_spec, shopping_spec.replication_config(3), 3,
+            MetricsCollector(),
+        )
+        system.start_clients(system.config.total_clients)
+        victim = system.replicas[1]
+        install_faults(env, system, [crash_fault(1, 5.0)])
+        env.run_until(30.0)
+        assert victim.failed
+        assert not victim.available
+        # Crash = stopped consuming writesets: nothing was deferred for
+        # catch-up, and the applied watermark froze at crash time.
+        assert victim._deferred == []
+        assert victim.applied_version < system.certifier.latest_version
 
 
 class TestFailoverExperiment:

@@ -1,6 +1,5 @@
 """Unit tests for the abort-rate algebra of §3.3."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,112 @@
+"""Self-healing operations: crash detection and automatic replacement."""
+
+import pytest
+
+from repro.control.autoscale import autoscale_sim
+from repro.control.controller import FixedPolicy
+from repro.control.trace import DiurnalTrace
+from repro.ops import OpsPlan, summarize
+from repro.ops.events import OpsEvent
+from repro.simulator.faults import crash_fault
+from repro.simulator.runner import MULTI_MASTER, SINGLE_MASTER
+
+
+def _steady(rate, period=100.0):
+    return DiurnalTrace(base_rate=rate, peak_rate=rate, period=period)
+
+
+def _selfheal_run(spec, design, rate=30.0, crash_at=30.0, seed=7):
+    return autoscale_sim(
+        spec,
+        _steady(rate),
+        FixedPolicy(replicas=3),
+        design=design,
+        seed=seed,
+        warmup=10.0,
+        duration=90.0,
+        control_interval=5.0,
+        slo_response=1.5,
+        max_replicas=6,
+        ops=OpsPlan(faults=(crash_fault(1, crash_at),), self_heal=True),
+    )
+
+
+class TestSelfHealSim:
+    @pytest.fixture(scope="class", params=[MULTI_MASTER, SINGLE_MASTER])
+    def result(self, request, shopping_spec):
+        return _selfheal_run(shopping_spec, request.param)
+
+    def test_replacement_event_sequence(self, result):
+        kinds = [e.kind for e in result.ops_events]
+        for expected in ("crash", "detect", "detach", "replace", "restored"):
+            assert expected in kinds, kinds
+        # Detection cannot precede the crash; restoration ends the cycle.
+        assert kinds.index("crash") < kinds.index("detect")
+        assert kinds.index("replace") < kinds.index("restored")
+
+    def test_membership_restored(self, result):
+        assert result.final_members == 3
+        assert min(p.members for p in result.timeline) >= 2
+
+    def test_mttr_bounded(self, result):
+        summary = summarize(result)
+        assert summary.crashes == 1
+        assert summary.replacements == 1
+        # Detection latency (one control interval) + state transfer;
+        # generous bound to keep the test robust.
+        assert summary.mttr is not None
+        assert summary.mttr <= 20.0
+
+    def test_throughput_recovers(self, result):
+        summary = summarize(result)
+        assert summary.recovery_ratio >= 0.9
+
+    def test_no_lost_or_duplicated_writesets(self, result):
+        assert result.converged
+        assert len(set(result.final_versions)) <= 1
+
+    def test_controller_did_not_interfere(self, result):
+        # The ops plan is the membership authority: the fixed controller
+        # must not have issued its own scale events.
+        assert result.scale_events == 0
+
+
+class TestSelfHealDeterminism:
+    def test_same_seed_same_timeline(self, shopping_spec):
+        first = _selfheal_run(shopping_spec, MULTI_MASTER, seed=11)
+        second = _selfheal_run(shopping_spec, MULTI_MASTER, seed=11)
+        assert first.timeline == second.timeline
+        assert first.ops_events == second.ops_events
+
+
+class TestSummarize:
+    def test_open_repair_window_counts_as_crash(self):
+        # A crash whose replacement never completed still shows up.
+        class FakeResult:
+            ops_events = (OpsEvent(10.0, "crash", "replica1"),)
+            timeline = ()
+            control_interval = 5.0
+
+        summary = summarize(FakeResult())
+        assert summary.crashes == 1
+        assert summary.replacements == 0
+        assert summary.mttr is None
+
+    def test_matched_pairs_by_name(self):
+        class FakeResult:
+            ops_events = (
+                OpsEvent(10.0, "crash", "a"),
+                OpsEvent(12.0, "crash", "b"),
+                OpsEvent(20.0, "restored", "a2", detail="replaces a"),
+                OpsEvent(30.0, "restored", "b2", detail="replaces b"),
+            )
+            timeline = ()
+            control_interval = 5.0
+
+        summary = summarize(FakeResult())
+        assert summary.crashes == 2
+        assert summary.replacements == 2
+        assert summary.mttr == pytest.approx((10.0 + 18.0) / 2)
+        assert summary.worst_mttr == pytest.approx(18.0)
+        # Windows [10, 20] and [12, 30] overlap: merged to [10, 30].
+        assert summary.unavailability == pytest.approx(20.0)

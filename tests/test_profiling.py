@@ -5,8 +5,6 @@ import pytest
 
 from repro.core.errors import ConfigurationError, ProfilingError
 from repro.profiling.log import (
-    READ_ONLY,
-    UPDATE,
     LogRecord,
     TransactionLog,
     capture_log,

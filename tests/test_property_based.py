@@ -5,7 +5,6 @@ abort-rate algebra, the multi-version store, and the certifier's
 first-committer-wins guarantee.
 """
 
-import math
 
 import pytest
 from hypothesis import HealthCheck, assume, given, settings

@@ -1,6 +1,5 @@
 """Unit tests for the exact MVA solver against known queueing results."""
 
-import math
 
 import pytest
 

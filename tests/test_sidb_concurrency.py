@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import threading
 
-import pytest
 
 from repro.sidb.certifier import Certifier
 from repro.sidb.engine import SIDatabase

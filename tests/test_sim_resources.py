@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simulator.des import Environment, Service
+from repro.simulator.des import Environment
 from repro.simulator.resources import FIFOResource, ProcessorSharingResource
 
 

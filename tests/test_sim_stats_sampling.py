@@ -7,7 +7,6 @@ from repro.core import rng as rng_util
 from repro.core.errors import ConfigurationError, SimulationError
 from repro.simulator.sampling import (
     DETERMINISTIC,
-    EXPONENTIAL,
     LOGNORMAL,
     WorkloadSampler,
     next_txn_id,

@@ -6,7 +6,6 @@ from repro.core.errors import ConfigurationError
 from repro.core.params import ConflictProfile, WorkloadMix
 from repro.core.units import ms
 from repro.workloads import (
-    all_workloads,
     get_workload,
     heap_table_spec,
     microbench,
