@@ -36,10 +36,12 @@ from .core.rng import DEFAULT_SEED
 from .core.units import to_ms
 from .engine import (
     UnknownScenarioError,
+    UnknownTagError,
     get_scenario,
     point_timings,
     run_scenario,
     scenario_names,
+    scenario_names_with_tag,
 )
 from .models.api import DESIGNS, predict
 from .simulator.runner import simulate
@@ -80,40 +82,51 @@ def _cmd_workloads(args) -> int:
 
 
 def _cmd_scenarios(args) -> int:
+    tag = getattr(args, "tag", None)
+    tagged = None
+    if tag is not None:
+        try:
+            tagged = scenario_names_with_tag(tag)
+        except UnknownTagError as exc:
+            print(f"repro scenarios: {exc}", file=sys.stderr)
+            return 2
     if getattr(args, "profile", False):
         try:
-            return _profile_scenarios(args)
+            return _profile_scenarios(args, tagged)
         except UnknownScenarioError as exc:
             print(f"repro scenarios: {exc}", file=sys.stderr)
             return 2
-    names = getattr(args, "names", None) or scenario_names()
+    names = getattr(args, "names", None) or tagged or scenario_names()
     for name in names:
         try:
             scenario = get_scenario(name)  # resolves aliases too
         except UnknownScenarioError as exc:
             print(f"repro scenarios: {exc}", file=sys.stderr)
             return 2
+        if tagged is not None and scenario.name not in tagged:
+            continue  # explicit names restricted by --tag
         aliases = (
             f" (aka {', '.join(scenario.aliases)})" if scenario.aliases else ""
         )
         print(f"{scenario.name:<26s} [{scenario.kind}] "
               f"{scenario.title}{aliases}")
-    if not getattr(args, "names", None):
+    if not getattr(args, "names", None) and tagged is None:
         print(f"{len(names)} scenarios; run any with: repro run <name> "
               f"(figures/tables also via repro figure | repro table; "
               f"everything via repro reproduce)")
     return 0
 
 
-def _profile_scenarios(args) -> int:
+def _profile_scenarios(args, tagged=None) -> int:
     """Run the named scenarios and break down per-point wall-clock.
 
     The sweep runner times every point it executes (and notes cache
     serves); this view rolls those timings up per scenario and prints the
     slowest points, so contributors can see exactly where a reproduction's
-    wall-clock goes.
+    wall-clock goes.  *tagged* is the --tag selection: it stands in for
+    explicit names, and restricts them when both are given.
     """
-    if not args.names:
+    if not args.names and tagged is None:
         # Running the whole registry (live-cluster scenarios included, at
         # full settings) from what reads as a listing command would be a
         # multi-hour surprise; make the workload explicit.
@@ -121,7 +134,12 @@ def _profile_scenarios(args) -> int:
               "e.g.: repro scenarios --profile fig06 table3 --fast",
               file=sys.stderr)
         return 2
-    names = args.names
+    names = args.names or tagged
+    if tagged is not None and args.names:
+        names = [
+            name for name in args.names
+            if get_scenario(name).name in tagged
+        ]
     settings = _settings(args)
     grand_total = 0.0
     for name in names:
@@ -360,6 +378,27 @@ def _cmd_ops(args) -> int:
     return code
 
 
+def _cmd_partition(args) -> int:
+    from .partition.scenarios import LIVE_SCENARIOS, SIM_SCENARIOS
+
+    # SIM_SCENARIOS and LIVE_SCENARIOS are aligned pairwise: the n-th
+    # live scenario validates the n-th simulator one.
+    families = dict(zip(("sweep", "placement"),
+                        zip(SIM_SCENARIOS, LIVE_SCENARIOS)))
+    if args.family == "all":
+        names = list(SIM_SCENARIOS) + (
+            list(LIVE_SCENARIOS) if args.live else []
+        )
+    else:
+        sim_name, live_name = families[args.family]
+        names = [sim_name] + ([live_name] if args.live else [])
+
+    code = 0
+    for name in names:
+        code = max(code, _run_registered(args, name))
+    return code
+
+
 def _cmd_reproduce(args) -> int:
     settings = _settings(args)
     try:
@@ -476,9 +515,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("names", nargs="*",
                    help="restrict to these scenarios (names or aliases)")
+    p.add_argument("--tag", default=None,
+                   help="list only scenarios carrying this tag (a kind "
+                   "like figure|ablation|autoscale|ops|partition, or an "
+                   "extra tag like live)")
     p.add_argument("--profile", action="store_true",
-                   help="execute the scenarios and report where the "
-                   "wall-clock goes, point by point")
+                   help="EXECUTE the selected scenarios (explicit names, "
+                   "or a whole --tag family — live cells included, so "
+                   "consider --fast) and report where the wall-clock "
+                   "goes, point by point")
     p.add_argument("--fast", action="store_true",
                    help="with --profile: use fast experiment settings")
     _add_engine_options(p)
@@ -598,6 +643,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fast", action="store_true")
     _add_engine_options(p)
     p.set_defaults(func=_cmd_ops)
+
+    p = sub.add_parser(
+        "partition",
+        help="run the partial-replication scenarios (partitioned "
+        "placement, per-partition certification, placement planning)",
+    )
+    p.add_argument("--family",
+                   choices=("sweep", "placement", "all"),
+                   default="all", help="which scenario family to run")
+    p.add_argument("--live", action="store_true",
+                   help="also run the live-cluster validation cells "
+                   "(scoped propagation on real threads)")
+    p.add_argument("--fast", action="store_true")
+    _add_engine_options(p)
+    p.set_defaults(func=_cmd_partition)
 
     p = sub.add_parser("plan", help="size a deployment for a target load")
     p.add_argument("workload")

@@ -21,6 +21,7 @@ from ..simulator.systems import (
     CONFLICT_AWARE,
     LB_POLICIES,
     LEAST_LOADED,
+    PARTITION_AWARE,
     PINNED,
     RANDOM,
     select_replica,
@@ -34,6 +35,7 @@ __all__ = [
     "LB_POLICIES",
     "LEAST_LOADED",
     "LoadBalancer",
+    "PARTITION_AWARE",
     "PINNED",
     "RANDOM",
     "select_replica",
@@ -53,16 +55,25 @@ class LoadBalancer:
         self._rng_lock = threading.Lock()
 
     def select(
-        self, candidates: Sequence, client_id: int, is_update: bool = False
+        self, candidates: Sequence, client_id: int, is_update: bool = False,
+        partitions: Sequence = (),
     ):
-        """Pick an *available* replica for one transaction."""
+        """Pick an *available* replica for one transaction.
+
+        *partitions* restricts routing to replicas hosting the
+        transaction's data (partial replication) — the shared filter in
+        :func:`~repro.simulator.systems.select_replica` applies to every
+        policy.
+        """
         if self.policy == RANDOM:
             # Only the random policy touches the shared RNG; the others
             # route lock-free so the balancer never serializes clients.
             with self._rng_lock:
                 return select_replica(
-                    self.policy, candidates, client_id, is_update, self._rng
+                    self.policy, candidates, client_id, is_update, self._rng,
+                    partitions=partitions,
                 )
         return select_replica(
-            self.policy, candidates, client_id, is_update, self._rng
+            self.policy, candidates, client_id, is_update, self._rng,
+            partitions=partitions,
         )

@@ -7,6 +7,14 @@ paper's update-propagation step assumes (§2), and the precondition of
 :meth:`~repro.sidb.engine.SIDatabase.apply_writeset`, whose version store
 rejects out-of-order installs.
 
+Partial replication: the channel still broadcasts *every* committed
+writeset to every subscriber — commit order is global — but a subscriber
+that hosts none of a writeset's partitions applies only a version marker
+(no payload, no resource charge; see
+:meth:`~repro.cluster.replica.ClusterReplica.hosts_writeset`).  Keeping
+the hosting decision at the replica keeps the channel a pure ordered
+broadcast and the join/replay protocol below unchanged.
+
 Elastic membership: the channel retains a bounded window of recently
 published writesets.  A joining replica is wired in under the same
 commit-order lock — seed its store from a donor snapshot at version ``V``,

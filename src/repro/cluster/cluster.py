@@ -65,8 +65,14 @@ class Cluster:
         distribution: str = EXPONENTIAL,
         lb_policy: str = "least-loaded",
         capacities: Optional[Sequence[float]] = None,
+        partition_map=None,
     ) -> None:
+        from ..partition.placement import resolve_partition_map
+
         self._capacities = check_capacities(capacities, config.replicas)
+        self.partition_map = resolve_partition_map(
+            spec, config, partition_map, self.design
+        )
         self.spec = spec
         self.config = config
         self.clock = clock
@@ -99,9 +105,17 @@ class Cluster:
             return 1.0
         return self._capacities[index]
 
+    def _hosted_for_index(self, index: int):
+        """Hosted-partition set of the *index*-th initial replica
+        (``None`` — host everything — without a partial map)."""
+        if self.partition_map is None or self.partition_map.is_full:
+            return None
+        return self.partition_map.hosted_by(index)
+
     def _new_replica(
         self, name: str, path: object,
         certifier: Optional[Certifier] = None, capacity: float = 1.0,
+        hosted_partitions=None,
     ) -> ClusterReplica:
         """Create a replica and register its resources, without attaching
         it to the routing list (elastic joins attach under the order
@@ -118,6 +132,7 @@ class Cluster:
             certifier=certifier,
             max_concurrency=self.config.max_concurrency,
             capacity=capacity,
+            hosted_partitions=hosted_partitions,
         )
         with self.metrics_lock:
             self.metrics.watch_resource(f"{name}.cpu", replica.cpu)
@@ -127,8 +142,10 @@ class Cluster:
     def _make_replica(
         self, name: str, path: object,
         certifier: Optional[Certifier] = None, capacity: float = 1.0,
+        hosted_partitions=None,
     ) -> ClusterReplica:
-        replica = self._new_replica(name, path, certifier, capacity)
+        replica = self._new_replica(name, path, certifier, capacity,
+                                    hosted_partitions)
         self.replicas.append(replica)
         return replica
 
@@ -201,17 +218,20 @@ class Cluster:
     def _prune(self) -> None:
         """Periodic garbage collection; topology-specific."""
 
-    def _route(self, client_id: int, is_update: bool) -> ClusterReplica:
+    def _route(self, client_id: int, is_update: bool,
+               partitions: Tuple[int, ...] = ()) -> ClusterReplica:
         """Pay the LB delay, pick a replica, and claim residence on it.
 
         Re-routes if the pick started retiring between select and enter —
         the drain in :meth:`_retire` waits on the resident count, so once
         it observes zero *after* setting the retiring flag, no client can
-        still slip a transaction onto the leaving replica.
+        still slip a transaction onto the leaving replica.  *partitions*
+        restricts routing to replicas hosting the transaction's data.
         """
         while True:
             self.clock.sleep(self.config.load_balancer_delay)
-            replica = self.balancer.select(self.replicas, client_id, is_update)
+            replica = self.balancer.select(self.replicas, client_id,
+                                           is_update, partitions)
             replica.enter()
             if not replica.retiring and not replica.failed:
                 return replica
@@ -234,6 +254,19 @@ class Cluster:
         the master cannot be detached)."""
         pool = getattr(self, "slaves", self.replicas)
         return [r for r in pool if not r.retiring and not r.failed]
+
+    def _require_elastic_placement(self) -> None:
+        """Partial partition maps pin the fleet: membership is static.
+
+        (Partition re-placement on join/leave is the follow-on seam;
+        until it exists, elastic membership and partial maps are
+        mutually exclusive, loudly.)
+        """
+        if self.partition_map is not None and not self.partition_map.is_full:
+            raise ConfigurationError(
+                "elastic membership requires full replication; the "
+                "partition map places data on a fixed fleet"
+            )
 
     def add_replica(self, transfer_writesets: int = 16,
                     capacity: float = 1.0) -> ClusterReplica:
@@ -364,14 +397,15 @@ class MultiMasterCluster(Cluster):
 
     def __init__(self, spec, config, seed, clock, metrics,
                  distribution=EXPONENTIAL, lb_policy="least-loaded",
-                 capacities=None):
+                 capacities=None, partition_map=None):
         super().__init__(spec, config, seed, clock, metrics,
-                         distribution, lb_policy, capacities)
+                         distribution, lb_policy, capacities, partition_map)
         self.certifier = Certifier()
         for index in range(config.replicas):
             replica = self._make_replica(
                 f"replica{index}", index, certifier=self.certifier,
                 capacity=self._initial_capacity(index),
+                hosted_partitions=self._hosted_for_index(index),
             )
             self.channel.subscribe(replica)
         self._members_created = config.replicas
@@ -387,6 +421,7 @@ class MultiMasterCluster(Cluster):
         A join worker then pays the *transfer_writesets* bulk-replay
         charge and flips the replica into rotation once caught up.
         """
+        self._require_elastic_placement()
         with self._membership_lock:
             name = f"replica{self._members_created}"
             self._members_created += 1
@@ -428,6 +463,7 @@ class MultiMasterCluster(Cluster):
         finish — unless ``force``, which detaches immediately (the
         replacement path for crashed replicas).
         """
+        self._require_elastic_placement()
         with self._membership_lock:
             if replica is None:
                 candidates = [
@@ -462,7 +498,10 @@ class MultiMasterCluster(Cluster):
         self.certifier.observe_snapshot(max(0, floor))
 
     def execute(self, sampler, is_update, client_id):
-        replica = self._route(client_id, is_update)
+        # Partitioned workloads pick their data before routing: the
+        # transaction must land on a replica hosting what it touches.
+        partitions = sampler.sample_partition_set(is_update)
+        replica = self._route(client_id, is_update, partitions)
         self._acquire(replica)
         aborts = 0
         try:
@@ -481,10 +520,14 @@ class MultiMasterCluster(Cluster):
                 replica.serve_update_attempt(sampler)
                 # Each attempt re-samples its rows (re-execution of the
                 # transaction logic against fresh data).
-                for key, value in sampler.sample_writeset(
-                    txn.snapshot_version
-                ).writes:
+                sampled = sampler.sample_writeset(
+                    txn.snapshot_version, partitions
+                )
+                for key, value in sampled.writes:
                     txn.write(key, value)
+                # Stamp the partition footprint so certification is
+                # scoped and propagation covers only hosting replicas.
+                txn.partitions = sampled.partitions
                 writeset = txn.writeset()
                 self._record_certification()
                 with self._order_lock:
@@ -517,9 +560,11 @@ class SingleMasterCluster(Cluster):
 
     def __init__(self, spec, config, seed, clock, metrics,
                  distribution=EXPONENTIAL, lb_policy="least-loaded",
-                 capacities=None):
+                 capacities=None, partition_map=None):
         super().__init__(spec, config, seed, clock, metrics,
-                         distribution, lb_policy, capacities)
+                         distribution, lb_policy, capacities, partition_map)
+        # The master executes every update, so it hosts every partition
+        # implicitly; a partition map only constrains the slaves.
         self.master = self._make_replica(
             "master", "master", capacity=self._initial_capacity(0)
         )
@@ -530,6 +575,7 @@ class SingleMasterCluster(Cluster):
             slave = self._make_replica(
                 f"slave{index}", index,
                 capacity=self._initial_capacity(index + 1),
+                hosted_partitions=self._hosted_for_index(index + 1),
             )
             self.channel.subscribe(slave)
             self.slaves.append(slave)
@@ -544,6 +590,7 @@ class SingleMasterCluster(Cluster):
         its snapshot is exactly the published watermark and the history
         replay is empty — new writesets simply start arriving.
         """
+        self._require_elastic_placement()
         with self._membership_lock:
             name = f"slave{self._members_created}"
             self._members_created += 1
@@ -572,6 +619,7 @@ class SingleMasterCluster(Cluster):
         force: bool = False,
     ) -> ClusterReplica:
         """Drain (or force-detach) one slave — never the master."""
+        self._require_elastic_placement()
         with self._membership_lock:
             if replica is None:
                 candidates = [
@@ -605,8 +653,11 @@ class SingleMasterCluster(Cluster):
         self.master.db.vacuum()
 
     def execute(self, sampler, is_update, client_id):
+        partitions = sampler.sample_partition_set(is_update)
         if not is_update:
-            replica = self._route(client_id, False)
+            # Reads may only land on replicas hosting their partition
+            # (the master hosts everything).
+            replica = self._route(client_id, False, partitions)
             self._acquire(replica)
             try:
                 self._serve_read_txn(replica, sampler)
@@ -626,10 +677,14 @@ class SingleMasterCluster(Cluster):
                 # version; the conflict window is the execution time here.
                 txn = master.db.begin()
                 master.serve_update_attempt(sampler)
-                for key, value in sampler.sample_writeset(
-                    txn.snapshot_version
-                ).writes:
+                sampled = sampler.sample_writeset(
+                    txn.snapshot_version, partitions
+                )
+                for key, value in sampled.writes:
                     txn.write(key, value)
+                # Stamp the partition footprint: slaves that host none of
+                # these partitions apply only a version marker.
+                txn.partitions = sampled.partitions
                 self._record_certification()
                 try:
                     with self._order_lock:

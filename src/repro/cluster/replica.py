@@ -40,6 +40,7 @@ from ..sidb.certifier import Certifier
 from ..sidb.engine import SIDatabase
 from ..sidb.writeset import Writeset
 from ..simulator.sampling import WorkloadSampler
+from ..simulator.systems import hosts_any
 from .clock import VirtualClock
 from .resources import LiveResource
 
@@ -59,6 +60,7 @@ class ClusterReplica:
         certifier: Optional[Certifier] = None,
         max_concurrency: Optional[int] = None,
         capacity: float = 1.0,
+        hosted_partitions: Optional[frozenset] = None,
     ) -> None:
         self.name = name
         self._clock = clock
@@ -68,6 +70,10 @@ class ClusterReplica:
         self.db = SIDatabase(certifier=certifier)
         #: Relative hardware speed (scales both emulated resources).
         self.capacity = capacity
+        #: Partitions this replica hosts (``None`` = everything, the
+        #: full-replication default).  Immutable over the replica's life:
+        #: the applier reads it lock-free.
+        self.hosted_partitions = hosted_partitions
         self.cpu = LiveResource(clock, f"{name}.cpu", rate=capacity)
         self.disk = LiveResource(clock, f"{name}.disk", rate=capacity)
         #: Admission control: bounds concurrently executing client
@@ -275,6 +281,15 @@ class ClusterReplica:
         except BaseException as exc:  # noqa: BLE001 — surfaced by the runner
             self.applier_error = exc
 
+    def hosts_writeset(self, writeset: Writeset) -> bool:
+        """True when this replica stores *writeset*'s data.
+
+        Delegates to the routing layer's hosting predicate
+        (:func:`repro.simulator.systems.hosts_any`) so a writeset routed
+        to a replica can never be skipped by its applier.
+        """
+        return hosts_any(self, writeset.partition_set)
+
     def _apply_writesets(self) -> None:
         applied_since_vacuum = 0
         while True:
@@ -289,10 +304,19 @@ class ClusterReplica:
                 # On shutdown the remaining backlog is drained regardless
                 # of availability (quiesce implies recovery).
                 writeset, charged = self._queue.popleft()
+            if not self.hosts_writeset(writeset):
+                # Partial replication: the data is not placed here.  Skip
+                # the payload and its resource cost, but advance the
+                # version clock so later *hosted* writesets still install
+                # in global commit order.
+                self.db.apply_version_marker(writeset.commit_version)
+                continue
             if charged:
                 self.cpu.serve(self._sampler.writeset_cpu())
                 self.disk.serve(self._sampler.writeset_disk())
-            self.db.apply_writeset(writeset)
+            # A host of only some of a cross-partition writeset's
+            # partitions installs exactly its own rows.
+            self.db.apply_writeset(writeset, self.hosted_partitions)
             with self._state:
                 self.writesets_applied += 1
             applied_since_vacuum += 1

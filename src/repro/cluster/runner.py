@@ -212,6 +212,7 @@ def _open_loop_source(
             cluster.spec,
             rng_util.spawn(seed, client_stream, sequence),
             distribution=cluster._distribution,
+            partition_map=cluster.partition_map,
         )
         drivers.launch(
             lambda s=sampler, i=sequence: drivers.guard(
@@ -270,13 +271,15 @@ def run_cluster(
     arrival_rate: Optional[float] = None,
     quiesce_timeout: float = 30.0,
     capacities: Optional[Sequence[float]] = None,
+    partition_map=None,
 ) -> ClusterResult:
     """Execute *spec* on a live *design* cluster and measure steady state.
 
     *warmup* and *duration* are virtual seconds; the wall cost is
     ``(warmup + duration) * time_scale`` plus drain time.  See
     :func:`repro.simulator.runner.simulate` for the shared parameter
-    semantics (*faults*, *arrival_rate*, *lb_policy*, *distribution*).
+    semantics (*faults*, *arrival_rate*, *lb_policy*, *distribution*,
+    *partition_map*).
     """
     if design not in _CLUSTER_CLASSES:
         raise ConfigurationError(
@@ -298,8 +301,12 @@ def run_cluster(
     cluster = _CLUSTER_CLASSES[design](
         spec, config, seed, clock, metrics,
         distribution=distribution, lb_policy=lb_policy,
-        capacities=capacities,
+        capacities=capacities, partition_map=partition_map,
     )
+    if faults:
+        from ..partition.placement import check_faults_against_map
+
+        check_faults_against_map(faults, cluster.partition_map)
     cluster.start()
 
     drivers = _Drivers()
@@ -314,6 +321,7 @@ def run_cluster(
                 spec,
                 rng_util.spawn(seed, "live-client", client_id),
                 distribution=distribution,
+                partition_map=cluster.partition_map,
             )
             drivers.launch(
                 lambda s=sampler, i=client_id: drivers.guard(

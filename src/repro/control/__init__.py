@@ -32,10 +32,10 @@ from .autoscale import (
     render_timeline,
 )
 from .controller import (
+    POLICY_KINDS,
     ControlObservation,
     Controller,
     FeedforwardPolicy,
-    POLICY_KINDS,
     ReactivePolicy,
     StaticPeakPolicy,
     make_controller,

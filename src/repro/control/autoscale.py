@@ -530,6 +530,18 @@ def autoscale_sim(
                 ),
                 events=state.events,
             )
+            if ops.detect_interval is not None:
+                # Detection decoupled from the control interval: the
+                # monitor ticks on its own (usually faster) timer, so
+                # detection latency is bounded by detect_interval and
+                # the MTTR breakdown separates it from repair time.
+                def detect_loop(interval=ops.detect_interval):
+                    while state.running:
+                        yield Timeout(interval)
+                        if not state.running:
+                            return
+                        monitor.tick(env.now)
+                env.start(detect_loop())
         if ops.rolling_start is not None:
             def rolling_process():
                 yield Timeout(ops.rolling_start)
@@ -559,7 +571,7 @@ def autoscale_sim(
                 window_start=window_start, window_end=window_end,
                 reconcile=manage_membership,
             )
-            if monitor is not None:
+            if monitor is not None and ops.detect_interval is None:
                 monitor.tick(env.now)
 
     env.start(control_loop())
@@ -710,6 +722,15 @@ def autoscale_cluster(
                 ),
                 events=state.events,
             )
+            if ops.detect_interval is not None:
+                # Dedicated detection thread (see autoscale_sim): only
+                # this thread ticks the monitor, so its internal state
+                # needs no extra locking.
+                def detect_worker(interval=ops.detect_interval):
+                    while not drivers.stop.wait(clock.to_wall(interval)):
+                        monitor.tick(clock.now())
+                drivers.launch(lambda: drivers.guard(detect_worker),
+                               name="health-detect")
         if ops.rolling_start is not None:
             def rolling_worker():
                 if drivers.stop.wait(clock.to_wall(ops.rolling_start)):
@@ -744,7 +765,7 @@ def autoscale_cluster(
                 window_start=window_start, window_end=window_end,
                 reconcile=manage_membership,
             )
-            if monitor is not None:
+            if monitor is not None and ops.detect_interval is None:
                 monitor.tick(now)
 
     drivers.launch(lambda: drivers.guard(trace_source), name="trace-source")

@@ -269,4 +269,5 @@ LIVE = register_scenario(Scenario(
         LIVE_SPEC, "cluster", settings, pts, results
     ),
     aliases=("autoscale-live",),
+    tags=("live",),
 ))

@@ -31,10 +31,13 @@ from .cache import (
 )
 from .registry import (
     UnknownScenarioError,
+    UnknownTagError,
     all_scenarios,
     get_scenario,
+    known_tags,
     register_scenario,
     scenario_names,
+    scenario_names_with_tag,
 )
 from .runner import (
     PointTiming,
@@ -83,6 +86,7 @@ __all__ = [
     "SimulatorBackend",
     "SweepPoint",
     "UnknownScenarioError",
+    "UnknownTagError",
     "all_scenarios",
     "autoscale_point",
     "clear_memo",
@@ -93,6 +97,7 @@ __all__ = [
     "execute_point",
     "execute_points",
     "get_scenario",
+    "known_tags",
     "memo_size",
     "model_point",
     "point_key",
@@ -104,5 +109,6 @@ __all__ = [
     "resolve_cache",
     "run_scenario",
     "scenario_names",
+    "scenario_names_with_tag",
     "sim_point",
 ]

@@ -64,6 +64,9 @@ class ModelBackend:
             _standalone_profile(profile),
             point.config,
             mm_options=mm_options,
+            partition_map=point.option("partition_map"),
+            cross_partition_fraction=point.spec.cross_partition_fraction,
+            partition_weights=point.spec.partition_weights,
         )
 
 
@@ -86,6 +89,7 @@ class SimulatorBackend:
             faults=opts.get("faults", ()),
             arrival_rate=opts.get("arrival_rate"),
             capacities=opts.get("capacities"),
+            partition_map=opts.get("partition_map"),
         )
 
 
@@ -108,6 +112,7 @@ class ClusterBackend:
             lb_policy=opts.get("lb_policy", "least-loaded"),
             capacities=opts.get("capacities"),
             arrival_rate=opts.get("arrival_rate"),
+            partition_map=opts.get("partition_map"),
         )
 
 

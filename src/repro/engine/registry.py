@@ -20,6 +20,28 @@ _SCENARIOS: Dict[str, Scenario] = {}
 _ALIASES: Dict[str, str] = {}
 
 
+class UnknownTagError(ReproError, KeyError):
+    """Lookup of a tag no registered scenario carries.
+
+    Carries close-match ``suggestions`` so the CLI can say "did you
+    mean ...?" for misspelt tags (``repro scenarios --tag abblation``).
+    """
+
+    def __init__(self, tag: str, suggestions: Tuple[str, ...]) -> None:
+        message = f"unknown tag {tag!r}"
+        if suggestions:
+            quoted = ", ".join(repr(s) for s in suggestions)
+            message += f"; did you mean {quoted}?"
+        known = ", ".join(known_tags())
+        message += f" (known tags: {known})"
+        super(KeyError, self).__init__(message)
+        self.tag = tag
+        self.suggestions = suggestions
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
 class UnknownScenarioError(ReproError, KeyError):
     """Lookup of a name that is not in the scenario registry.
 
@@ -84,6 +106,35 @@ def scenario_names() -> List[str]:
     """Sorted canonical names of every registered scenario."""
     _ensure_loaded()
     return sorted(_SCENARIOS)
+
+
+def known_tags() -> List[str]:
+    """Sorted union of every registered scenario's tags (kinds included)."""
+    _ensure_loaded()
+    tags = set()
+    for scenario in _SCENARIOS.values():
+        tags.update(scenario.all_tags)
+    return sorted(tags)
+
+
+def scenario_names_with_tag(tag: str) -> List[str]:
+    """Names of the scenarios carrying *tag* (kind or explicit tag).
+
+    Raises :class:`UnknownTagError` — with did-you-mean suggestions —
+    when no scenario carries the tag.
+    """
+    _ensure_loaded()
+    key = tag.strip().lower()
+    names = sorted(
+        name for name, scenario in _SCENARIOS.items()
+        if key in scenario.all_tags
+    )
+    if not names:
+        suggestions = tuple(
+            difflib.get_close_matches(key, known_tags(), n=3, cutoff=0.5)
+        )
+        raise UnknownTagError(tag, suggestions)
+    return names
 
 
 def all_scenarios() -> Dict[str, Scenario]:

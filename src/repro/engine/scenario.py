@@ -36,9 +36,10 @@ PROFILE = "profile"
 AUTOSCALE = "autoscale"
 BACKENDS = (MODEL, SIMULATOR, CLUSTER, PROFILE, AUTOSCALE)
 
-#: Scenario kinds used for grouping in ``repro scenarios``.
+#: Scenario kinds used for grouping in ``repro scenarios``.  Each kind is
+#: also an implicit tag for ``repro scenarios --tag``.
 KINDS = ("figure", "table", "sensitivity", "ablation", "extension",
-         "crossval", "autoscale", "ops")
+         "crossval", "autoscale", "ops", "partition")
 
 
 @dataclass(frozen=True)
@@ -117,6 +118,14 @@ class Scenario:
     assemble: Callable[[object, Sequence[SweepPoint], Sequence[object]], object]
     #: Alternate lookup names, e.g. ``("fig06", "fig6")``.
     aliases: Tuple[str, ...] = ()
+    #: Extra filter tags for ``repro scenarios --tag`` (the kind is
+    #: always an implicit tag; ``live`` marks cluster-backed cells).
+    tags: Tuple[str, ...] = ()
+
+    @property
+    def all_tags(self) -> Tuple[str, ...]:
+        """The kind plus any explicit tags, deduplicated and sorted."""
+        return tuple(sorted({self.kind, *self.tags}))
 
 
 def _freeze_options(options: Dict[str, object]) -> Tuple[Tuple[str, object], ...]:
@@ -152,14 +161,22 @@ def model_point(
     profile: object,
     tag: str = "",
     cw_mode: Optional[str] = None,
+    partition_map: object = None,
 ) -> SweepPoint:
-    """An analytical-model prediction point."""
+    """An analytical-model prediction point.
+
+    *partition_map* (a frozen
+    :class:`~repro.partition.placement.PartitionMap`) switches the
+    multi-master model to partial replication; like traces and ops
+    plans, its stable ``repr`` makes it a cache-key citizen.
+    """
     return SweepPoint(
         backend=MODEL,
         spec=spec,
         config=config,
         design=design,
-        options=_freeze_options({"cw_mode": cw_mode}),
+        options=_freeze_options({"cw_mode": cw_mode,
+                                 "partition_map": partition_map}),
         profile=profile,
         tag=tag,
     )
@@ -178,6 +195,7 @@ def sim_point(
     faults: Tuple = (),
     arrival_rate: Optional[float] = None,
     capacities: Optional[Tuple[float, ...]] = None,
+    partition_map: object = None,
     tag: str = "",
 ) -> SweepPoint:
     """A discrete-event-simulator measurement point."""
@@ -193,6 +211,8 @@ def sim_point(
         options["arrival_rate"] = arrival_rate
     if capacities is not None:
         options["capacities"] = tuple(capacities)
+    if partition_map is not None:
+        options["partition_map"] = partition_map
     return SweepPoint(
         backend=SIMULATOR,
         spec=spec,
@@ -281,6 +301,7 @@ def cluster_point(
     lb_policy: str = "least-loaded",
     capacities: Optional[Tuple[float, ...]] = None,
     arrival_rate: Optional[float] = None,
+    partition_map: object = None,
     tag: str = "",
 ) -> SweepPoint:
     """A live-cluster execution point (never cached: it measures real
@@ -296,6 +317,8 @@ def cluster_point(
         options["capacities"] = tuple(capacities)
     if arrival_rate is not None:
         options["arrival_rate"] = arrival_rate
+    if partition_map is not None:
+        options["partition_map"] = partition_map
     return SweepPoint(
         backend=CLUSTER,
         spec=spec,

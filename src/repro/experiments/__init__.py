@@ -30,6 +30,8 @@ from .figures import (
     figure14,
     validation_sweep,
 )
+from .openloop import OpenClosedResult, open_vs_closed
+from .report import FIGURE_RUNNERS, full_report, summary_table
 from .sensitivity import (
     CertifierCapacityResult,
     DelaySensitivityResult,
@@ -39,16 +41,16 @@ from .sensitivity import (
     error_margin,
     lb_delay_sensitivity,
 )
-from .openloop import OpenClosedResult, open_vs_closed
-from .report import FIGURE_RUNNERS, full_report, summary_table
 from .settings import PAPER_REPLICA_COUNTS, ExperimentSettings
 from .tables import DemandTable, ParameterTable, table2, table3, table4, table5
 
+# isort: split
 # Imported last (they read .context and the engine): register the
-# autoscale and operations scenario families alongside the
+# autoscale, operations, and partition scenario families alongside the
 # figure/table/ablation ones.
 from ..control import scenarios as autoscale_scenarios  # noqa: E402,F401
 from ..ops import scenarios as ops_scenarios  # noqa: E402,F401
+from ..partition import scenarios as partition_scenarios  # noqa: E402,F401
 
 __all__ = [
     "AbortCurve",

@@ -278,6 +278,7 @@ def _crossval_scenario(
         points=points,
         assemble=assemble,
         aliases=("cross-validation",),
+        tags=("live",),
     )
 
 

@@ -25,19 +25,21 @@ from .demands import (
     slave_demand,
     standalone_demand,
 )
-from .network import GIGABIT, NetworkBudget, budget_for_prediction
-from .planning import (
-    DeploymentPlan,
-    ProvisioningSchedule,
-    plan_deployment,
-    provisioning_schedule,
-    replicas_for_response_time,
-)
 from .multimaster import (
     CW_FIXED_POINT,
     CW_ONE_STEP_LAG,
     MultiMasterOptions,
     predict_multimaster,
+)
+from .network import GIGABIT, NetworkBudget, budget_for_prediction
+from .planning import (
+    DeploymentPlan,
+    PlacementPlan,
+    ProvisioningSchedule,
+    plan_deployment,
+    plan_placement,
+    provisioning_schedule,
+    replicas_for_response_time,
 )
 from .singlemaster import SingleMasterOptions, predict_singlemaster
 from .standalone import predict_standalone, predict_standalone_from_config
@@ -67,7 +69,9 @@ __all__ = [
     "predict_multimaster",
     "predict_singlemaster",
     "predict_standalone",
+    "PlacementPlan",
     "plan_deployment",
+    "plan_placement",
     "predict_standalone_from_config",
     "provisioning_schedule",
     "replicas_for_response_time",

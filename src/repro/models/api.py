@@ -30,11 +30,30 @@ def predict(
     *,
     mm_options: Optional[MultiMasterOptions] = None,
     sm_options: Optional[SingleMasterOptions] = None,
+    partition_map=None,
+    cross_partition_fraction: float = 0.0,
+    partition_weights=None,
 ) -> Prediction:
-    """Predict performance of *design* ("multi-master" or "single-master")."""
+    """Predict performance of *design* ("multi-master" or "single-master").
+
+    *partition_map* (with the workload's cross-partition fraction and
+    partition weights) extends the multi-master model to partial
+    replication — see :func:`~repro.models.multimaster.predict_multimaster`.
+    The single-master model keeps the full-replication assumption (its
+    master must host everything); passing a map there is an error.
+    """
     if design == MULTI_MASTER:
-        return predict_multimaster(profile, config, options=mm_options)
+        return predict_multimaster(
+            profile, config, options=mm_options,
+            partition_map=partition_map,
+            cross_partition_fraction=cross_partition_fraction,
+            partition_weights=partition_weights,
+        )
     if design == SINGLE_MASTER:
+        if partition_map is not None:
+            raise ConfigurationError(
+                "the partition-aware model covers multi-master only"
+            )
         return predict_singlemaster(profile, config, options=sm_options)
     raise ConfigurationError(f"unknown design {design!r}; expected one of {DESIGNS}")
 

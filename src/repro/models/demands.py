@@ -15,6 +15,8 @@ application work according to the system design:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core.errors import ConfigurationError
 from ..core.params import ResourceDemand, ServiceDemands, WorkloadMix
 from .aborts import retry_inflation
@@ -38,17 +40,30 @@ def multimaster_demand(
     mix: WorkloadMix,
     replicas: int,
     abort_rate: float,
+    writeset_fanin: Optional[float] = None,
 ) -> ResourceDemand:
     """DMM(N): per-transaction demand at a multi-master replica (§3.3.2).
 
     Each replica serves its local mix plus ``(N-1) * Pw`` propagated
     writesets per local transaction; local update attempts are inflated by
     retries (propagated writesets never abort).
+
+    *writeset_fanin* overrides the ``N - 1`` remote-application count —
+    the partial-replication extension: with partitions placed on replica
+    subsets, each committed update is applied at the replicas hosting its
+    partitions, so a balanced placement charges every replica
+    ``h - 1`` applications per local update (``h`` = the map's
+    :meth:`~repro.partition.placement.PartitionMap.expected_update_fanout`)
+    — the per-replica update load as a sum over hosted partitions.
     """
     if replicas < 1:
         raise ConfigurationError("replicas must be >= 1")
+    if writeset_fanin is None:
+        writeset_fanin = replicas - 1
+    if writeset_fanin < 0.0:
+        raise ConfigurationError("writeset fan-in must be >= 0")
     inflation = retry_inflation(abort_rate) if mix.write_fraction > 0.0 else 1.0
-    remote = (replicas - 1) * mix.write_fraction
+    remote = writeset_fanin * mix.write_fraction
     return ResourceDemand(
         cpu=mix.read_fraction * demands.read.cpu
         + mix.write_fraction * demands.write.cpu * inflation

@@ -82,16 +82,44 @@ def predict_multimaster(
     profile: StandaloneProfile,
     config: ReplicationConfig,
     options: Optional[MultiMasterOptions] = None,
+    partition_map=None,
+    cross_partition_fraction: float = 0.0,
+    partition_weights=None,
 ) -> Prediction:
     """Predict throughput/response time of an N-replica multi-master system.
 
     Inputs are purely standalone measurements (*profile*) plus deployment
     parameters (*config*), per the paper's headline claim.
+
+    *partition_map* extends the model to partial replication: the
+    ``(N-1) * Pw * ws`` update-propagation term of §3.3.2 becomes
+    ``(h-1) * Pw * ws``, where ``h`` is the expected number of replicas
+    hosting one update's writeset under the map (each replica's update
+    load is the sum over its hosted partitions; a balanced placement
+    makes replicas symmetric, which is what the one-replica MVA network
+    assumes).  The conflict-window/abort algebra is left untouched: the
+    updatable set splits evenly across partitions, so under uniform
+    weights the pairwise row-conflict probability is unchanged
+    (``(1/P) * (P/DbUpdateSize) = 1/DbUpdateSize``); skewed weights
+    concentrate conflicts and are probed by the placement-ablation
+    scenario rather than modelled.
     """
     options = options or MultiMasterOptions()
     mix = profile.mix
     demands = profile.demands
     n = config.replicas
+
+    writeset_fanin = None
+    if partition_map is not None:
+        if partition_map.replicas != n:
+            raise ConfigurationError(
+                f"partition map places over {partition_map.replicas} "
+                f"replicas but the deployment has {n}"
+            )
+        fanout = partition_map.expected_update_fanout(
+            cross_partition_fraction, partition_weights
+        )
+        writeset_fanin = max(0.0, fanout - 1.0)
 
     network = _build_network(config, mix.write_fraction)
     stepper = MVAStepper(network)
@@ -107,7 +135,8 @@ def predict_multimaster(
 
     solution = None
     for _ in range(config.clients_per_replica):
-        demand = multimaster_demand(demands, mix, n, abort_rate)
+        demand = multimaster_demand(demands, mix, n, abort_rate,
+                                    writeset_fanin=writeset_fanin)
         stepper.set_demands({CPU: demand.cpu, DISK: demand.disk})
         solution = stepper.step()
         if mix.write_fraction > 0.0:

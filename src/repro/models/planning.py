@@ -225,6 +225,98 @@ def plan_mixed_fleet(
 
 
 @dataclass(frozen=True)
+class PlacementPlan:
+    """A weight-balanced partition placement (partial replication)."""
+
+    #: The placement itself, consumable by all three pillars.
+    partition_map: "PartitionMap"
+    #: Normalised partition weights the plan balanced.
+    weights: Tuple[float, ...]
+    #: Per-replica hosted weight (sum over hosted partitions).
+    replica_loads: Tuple[float, ...]
+
+    @property
+    def max_load(self) -> float:
+        """Heaviest replica's hosted weight."""
+        return max(self.replica_loads)
+
+    @property
+    def imbalance(self) -> float:
+        """Max replica load over the mean (1.0 = perfectly balanced)."""
+        mean = sum(self.replica_loads) / len(self.replica_loads)
+        if mean <= 0.0:
+            return 1.0
+        return self.max_load / mean
+
+    def to_text(self) -> str:
+        """Render the plan."""
+        lines = [self.partition_map.to_text()]
+        loads = " ".join(f"{load:.3f}" for load in self.replica_loads)
+        lines.append(
+            f"  per-replica hosted weight: [{loads}] "
+            f"(imbalance {self.imbalance:.2f}x)"
+        )
+        return "\n".join(lines)
+
+
+def plan_placement(
+    partitions: int,
+    replicas: int,
+    replication_factor: int,
+    weights: Optional[Sequence[float]] = None,
+) -> PlacementPlan:
+    """Weight-balanced partition assignment under a replication factor.
+
+    Places each of *partitions* partitions on exactly
+    *replication_factor* replicas so that the per-replica hosted weight —
+    each replica's share of the update-propagation load, the term the
+    partition-aware model sums over hosted partitions — is as even as
+    greedy LPT gets it: partitions are taken heaviest-first and each goes
+    to the ``rf`` least-loaded replicas.  *weights* is the relative
+    update popularity per partition (uniform when ``None``).
+
+    Requires ``partitions * replication_factor >= replicas`` so every
+    replica can host at least one partition (greedy always fills an
+    empty replica first, so coverage follows).
+    """
+    from ..partition.placement import PartitionMap, _normalized_weights
+
+    if partitions < 1:
+        raise ConfigurationError("need at least one partition")
+    if replicas < 1:
+        raise ConfigurationError("need at least one replica")
+    if not 1 <= replication_factor <= replicas:
+        raise ConfigurationError(
+            f"replication factor must be in [1, {replicas}], got "
+            f"{replication_factor}"
+        )
+    if partitions * replication_factor < replicas:
+        raise ConfigurationError(
+            f"{partitions} partitions x factor {replication_factor} cannot "
+            f"cover {replicas} replicas; shrink the fleet or raise the "
+            f"factor"
+        )
+    normalised = _normalized_weights(weights, partitions)
+    loads = [0.0] * replicas
+    placement: List[Tuple[int, ...]] = [()] * partitions
+    order = sorted(range(partitions), key=lambda p: (-normalised[p], p))
+    for p in order:
+        # The rf least-loaded replicas host this partition (ties break
+        # by index, keeping the plan deterministic).
+        chosen = sorted(range(replicas),
+                        key=lambda r: (loads[r], r))[:replication_factor]
+        placement[p] = tuple(sorted(chosen))
+        for r in chosen:
+            loads[r] += normalised[p]
+    partition_map = PartitionMap(partitions, replicas, tuple(placement))
+    return PlacementPlan(
+        partition_map=partition_map,
+        weights=normalised,
+        replica_loads=tuple(loads),
+    )
+
+
+@dataclass(frozen=True)
 class ProvisioningSchedule:
     """Replica counts per forecast period."""
 

@@ -36,8 +36,8 @@ from ..core.params import (
 )
 from ..core.results import OperatingPoint, Prediction, ReplicaBreakdown
 from ..queueing.mva import (
-    MulticlassSolution,
     MVASolution,
+    MulticlassSolution,
     solve_mva,
     solve_mva_multiclass,
 )

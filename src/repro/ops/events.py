@@ -71,6 +71,13 @@ class OpsSummary:
     recovered_throughput: float
     #: Rolling-restart cycles completed.
     upgrades: int
+    #: MTTR breakdown: mean crash-to-detect and detect-to-restored times
+    #: (seconds; ``None`` without completed repairs).  Detection latency
+    #: is bounded by the monitor's detect interval, repair latency by
+    #: state-transfer time — the split the ``detect_interval`` knob of
+    #: :class:`~repro.ops.plan.OpsPlan` exists to expose.
+    mean_detection_latency: Optional[float] = None
+    mean_repair_latency: Optional[float] = None
 
     @property
     def recovery_ratio(self) -> float:
@@ -90,6 +97,12 @@ class OpsSummary:
             lines.append(
                 f"  MTTR {self.mttr:.1f}s (worst {self.worst_mttr:.1f}s), "
                 f"degraded for {self.unavailability:.1f}s"
+            )
+        if (self.mean_detection_latency is not None
+                and self.mean_repair_latency is not None):
+            lines.append(
+                f"  breakdown: {self.mean_detection_latency:.1f}s "
+                f"detection + {self.mean_repair_latency:.1f}s repair"
             )
         if self.crashes:
             lines.append(
@@ -130,15 +143,25 @@ def summarize(result) -> OpsSummary:
     )
 
     crash_at: Dict[str, float] = {}
+    detect_at: Dict[str, float] = {}
     repairs: List[Tuple[float, float]] = []
+    detection_legs: List[float] = []
+    repair_legs: List[float] = []
     upgrades = 0
     for event in events:
         if event.kind == CRASH:
             crash_at.setdefault(event.replica, event.time)
+        elif event.kind == DETECT:
+            detect_at.setdefault(event.replica, event.time)
         elif event.kind == RESTORED and event.detail.startswith("replaces "):
             name = event.detail[len("replaces "):]
             if name in crash_at:
-                repairs.append((crash_at.pop(name), event.time))
+                crashed = crash_at.pop(name)
+                repairs.append((crashed, event.time))
+                detected = detect_at.pop(name, None)
+                if detected is not None:
+                    detection_legs.append(detected - crashed)
+                    repair_legs.append(event.time - detected)
         elif event.kind == UPGRADED:
             upgrades += 1
     crashes = len(repairs) + len(crash_at)
@@ -188,4 +211,11 @@ def summarize(result) -> OpsSummary:
         baseline_throughput=baseline,
         recovered_throughput=recovered,
         upgrades=upgrades,
+        mean_detection_latency=(
+            sum(detection_legs) / len(detection_legs)
+            if detection_legs else None
+        ),
+        mean_repair_latency=(
+            sum(repair_legs) / len(repair_legs) if repair_legs else None
+        ),
     )

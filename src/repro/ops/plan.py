@@ -38,6 +38,13 @@ class OpsPlan:
     rolling_settle: float = 2.0
     #: Bulk-replay charge of every state-transfer join the plan performs.
     transfer_writesets: int = 16
+    #: Health-monitor detection cadence (virtual seconds).  ``None``
+    #: keeps the historical behaviour — detection rides the control
+    #: interval — while an explicit value runs detection on its own
+    #: timer, so MTTR reports can separate detection latency (crash →
+    #: detect, bounded by this knob) from repair latency (detect →
+    #: back in rotation, bounded by state-transfer time).
+    detect_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(self.faults))
@@ -47,6 +54,8 @@ class OpsPlan:
             raise ConfigurationError("rolling_settle must be >= 0")
         if self.transfer_writesets < 0:
             raise ConfigurationError("transfer_writesets must be >= 0")
+        if self.detect_interval is not None and self.detect_interval <= 0:
+            raise ConfigurationError("detect_interval must be positive")
 
     @property
     def active(self) -> bool:

@@ -394,6 +394,7 @@ SELFHEAL_LIVE = register_scenario(Scenario(
         "selfheal-crashstorm-live", LIVE_SPEC, "cluster", results
     ),
     aliases=("selfheal-live",),
+    tags=("live",),
 ))
 
 ROLLING_LIVE = register_scenario(Scenario(
@@ -408,6 +409,7 @@ ROLLING_LIVE = register_scenario(Scenario(
         "rolling-upgrade-live", LIVE_SPEC, "cluster", results
     ),
     aliases=("rolling-live",),
+    tags=("live",),
 ))
 
 
@@ -461,6 +463,7 @@ HETERO_LIVE = register_scenario(Scenario(
     points=_hetero_live_points,
     assemble=_assemble_hetero_live,
     aliases=("hetero-live",),
+    tags=("live",),
 ))
 
 #: Scenario names grouped for the ``repro ops`` verb.

@@ -1,0 +1,22 @@
+"""Partial replication: partitioned placement across all three pillars.
+
+The paper's model and both execution pillars assume full replication —
+every replica installs every writeset.  This package opens the sharding
+axis: a declarative :class:`~repro.partition.placement.PartitionMap`
+places partitions on replica subsets, certification is scoped per
+partition set, writesets propagate only to hosting replicas, and the
+load balancer routes each transaction to a replica hosting everything it
+touches.  :mod:`repro.partition.scenarios` registers the
+``partial-replication-sweep`` and ``placement-ablation`` scenario
+families (plus their ``-live`` validation cells).
+"""
+
+from .placement import (
+    PartitionMap,
+    resolve_partition_map,
+)
+
+__all__ = [
+    "PartitionMap",
+    "resolve_partition_map",
+]

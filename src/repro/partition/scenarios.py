@@ -1,0 +1,602 @@
+"""Registered partial-replication scenarios.
+
+Two families, each with a deterministic simulator cell set and a
+live-cluster validation cell set:
+
+* ``partial-replication-sweep`` — full vs partial replication across an
+  update-fraction sweep on one fleet: the A/B that quantifies how much
+  of the paper's update-propagation ceiling placement buys back.  Sim
+  cells pair with partition-aware model predictions so the bench can
+  hold the model-vs-simulator deviation inside the crossval envelope.
+* ``placement-ablation`` — weight-balanced placement
+  (:func:`~repro.models.planning.plan_placement`) vs a weight-oblivious
+  ring on a skewed partition popularity: the planner's win condition.
+
+All cells are ordinary engine sweep points: simulator cells are cached
+and fan out over ``--jobs``; live cells re-execute.  The CLI front end
+is ``repro partition``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.params import ConflictProfile, WorkloadMix
+from ..engine import Scenario, register_scenario
+from ..engine.scenario import (
+    cluster_point,
+    model_point,
+    profile_task,
+    sim_point,
+)
+from ..models.planning import plan_placement
+from ..simulator.runner import MULTI_MASTER
+from ..simulator.systems import PARTITION_AWARE
+from ..workloads.spec import WorkloadSpec, demands_ms
+from .placement import PartitionMap
+
+#: Fleet and placement of the update-fraction sweep.
+SWEEP_FLEET = 6
+SWEEP_PARTITIONS = 6
+SWEEP_FACTOR = 2
+#: Update fractions swept (the claim lives at the update-heavy end).
+WRITE_FRACTIONS = (0.1, 0.3, 0.5)
+#: Cross-partition transaction fraction of every partitioned workload.
+CROSS_FRACTION = 0.1
+
+#: Skewed partition popularity of the placement ablation.
+ABLATION_PARTITIONS = 8
+ABLATION_FLEET = 4
+ABLATION_WEIGHTS = (8.0, 4.0, 2.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+ABLATION_WRITE_FRACTION = 0.5
+
+#: Live-cell dimensions (millisecond-scale workload, real threads).
+LIVE_FLEET = 3
+LIVE_PARTITIONS = 3
+LIVE_WRITE_FRACTION = 0.5
+LIVE_TIME_SCALE = 0.25
+LIVE_WARMUP = 2.0
+LIVE_DURATION = 16.0
+LIVE_ABLATION_PARTITIONS = 6
+LIVE_ABLATION_WEIGHTS = (6.0, 3.0, 1.0, 1.0, 1.0, 1.0)
+
+
+def sweep_spec(write_fraction: float) -> WorkloadSpec:
+    """The sweep's workload at one update fraction.
+
+    Short service demands keep simulated points cheap; the writeset
+    demand is deliberately substantial relative to the update demand so
+    the ``(N-1) * Pw * ws`` propagation term — the thing partial
+    replication attacks — is a first-order cost at high Pw.
+    """
+    return WorkloadSpec(
+        benchmark="micro",
+        mix_name=f"partition-w{int(round(write_fraction * 100)):02d}",
+        mix=WorkloadMix.from_write_fraction(write_fraction),
+        demands=demands_ms(
+            read_cpu=6.0, read_disk=3.0,
+            write_cpu=8.0, write_disk=5.0,
+            writeset_cpu=2.5, writeset_disk=1.5,
+        ),
+        clients_per_replica=32,
+        think_time=0.25,
+        conflict=ConflictProfile(db_update_size=4200,
+                                 updates_per_transaction=2),
+        description=(
+            f"partition sweep mix at Pw={write_fraction:g} "
+            f"({SWEEP_PARTITIONS} partitions)"
+        ),
+        partitions=SWEEP_PARTITIONS,
+        cross_partition_fraction=CROSS_FRACTION,
+    )
+
+
+def ablation_spec() -> WorkloadSpec:
+    """Skew-weighted workload of the placement ablation.
+
+    Routing feedback (least-loaded among hosts) can re-balance *client*
+    work across each partition's hosts, but writeset application is
+    pinned: every update to a partition is applied at **all** of its
+    hosts.  A heavy writeset demand makes that pinned, placement-
+    determined load the bottleneck — exactly what weight-balanced
+    placement optimises.
+    """
+    return WorkloadSpec(
+        benchmark="micro",
+        mix_name="partition-skew",
+        mix=WorkloadMix.from_write_fraction(ABLATION_WRITE_FRACTION),
+        demands=demands_ms(
+            read_cpu=6.0, read_disk=3.0,
+            write_cpu=8.0, write_disk=5.0,
+            writeset_cpu=10.0, writeset_disk=4.0,
+        ),
+        clients_per_replica=28,
+        think_time=0.25,
+        conflict=ConflictProfile(db_update_size=4800,
+                                 updates_per_transaction=2),
+        description="skewed partition popularity for placement planning",
+        partitions=ABLATION_PARTITIONS,
+        cross_partition_fraction=CROSS_FRACTION,
+        partition_weights=ABLATION_WEIGHTS,
+    )
+
+
+def live_sweep_spec() -> WorkloadSpec:
+    """Millisecond-scale update-heavy mix for the live A/B cells.
+
+    The writeset demand matches the update demand, so full replication's
+    propagation load is a first-order cost on a 3-replica fleet and the
+    partial-placement win clears live measurement noise.
+    """
+    return WorkloadSpec(
+        benchmark="micro",
+        mix_name="partition-live",
+        mix=WorkloadMix.from_write_fraction(LIVE_WRITE_FRACTION),
+        demands=demands_ms(
+            read_cpu=30.0, read_disk=12.0,
+            write_cpu=20.0, write_disk=8.0,
+            writeset_cpu=20.0, writeset_disk=8.0,
+        ),
+        clients_per_replica=8,
+        think_time=0.2,
+        conflict=ConflictProfile(db_update_size=1200,
+                                 updates_per_transaction=2),
+        description="update-heavy mix for live partial-replication cells",
+        partitions=LIVE_PARTITIONS,
+        cross_partition_fraction=CROSS_FRACTION,
+    )
+
+
+def live_ablation_spec() -> WorkloadSpec:
+    """Skew-weighted millisecond-scale mix for the live placement cells."""
+    return WorkloadSpec(
+        benchmark="micro",
+        mix_name="partition-live-skew",
+        mix=WorkloadMix.from_write_fraction(0.4),
+        demands=demands_ms(
+            read_cpu=30.0, read_disk=12.0,
+            write_cpu=20.0, write_disk=8.0,
+            writeset_cpu=20.0, writeset_disk=8.0,
+        ),
+        clients_per_replica=8,
+        think_time=0.2,
+        conflict=ConflictProfile(db_update_size=1200,
+                                 updates_per_transaction=2),
+        description="skewed live mix for placement planning validation",
+        partitions=LIVE_ABLATION_PARTITIONS,
+        cross_partition_fraction=CROSS_FRACTION,
+        partition_weights=LIVE_ABLATION_WEIGHTS,
+    )
+
+
+# ----------------------------------------------------------------------
+# Artifacts
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PartialReplicationRow:
+    """Full vs partial replication at one update fraction."""
+
+    write_fraction: float
+    #: Simulator measurements (``SimulationResult``).
+    sim_full: object
+    sim_partial: object
+    #: Model predictions (``Prediction``).
+    model_full: object
+    model_partial: object
+
+    @property
+    def speedup(self) -> float:
+        """Partial over full simulated throughput."""
+        if self.sim_full.throughput <= 0:
+            return 0.0
+        return self.sim_partial.throughput / self.sim_full.throughput
+
+    @property
+    def model_vs_sim_deviation(self) -> float:
+        """Relative throughput deviation of the partial-replication
+        model against the partial-replication simulation."""
+        if self.sim_partial.throughput <= 0:
+            return float("inf")
+        return abs(
+            self.model_partial.throughput - self.sim_partial.throughput
+        ) / self.sim_partial.throughput
+
+
+@dataclass(frozen=True)
+class PartialReplicationReport:
+    """The ``partial-replication-sweep`` artifact."""
+
+    workload: str
+    pillar: str
+    partition_map: PartitionMap
+    rows: Tuple[PartialReplicationRow, ...]
+
+    def row_for(self, write_fraction: float) -> Optional[PartialReplicationRow]:
+        """Look up one update fraction's row."""
+        for row in self.rows:
+            if abs(row.write_fraction - write_fraction) < 1e-9:
+                return row
+        return None
+
+    def to_text(self) -> str:
+        """Render the sweep table."""
+        lines = [
+            f"partial replication sweep — {self.workload}, {self.pillar} "
+            f"pillar, {self.partition_map.partitions} partitions x "
+            f"factor {self.partition_map.replication_factor:g} over "
+            f"{self.partition_map.replicas} replicas",
+            f"  {'Pw':>5s} {'full(sim)':>10s} {'partial(sim)':>13s} "
+            f"{'speedup':>8s} {'partial(model)':>15s} {'model dev':>10s}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"  {row.write_fraction:>5.2f} "
+                f"{row.sim_full.throughput:>6.1f} tps "
+                f"{row.sim_partial.throughput:>9.1f} tps "
+                f"{row.speedup:>7.2f}x "
+                f"{row.model_partial.throughput:>11.1f} tps "
+                f"{row.model_vs_sim_deviation:>9.1%}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class LiveCell:
+    """One live cluster measurement (labelled)."""
+
+    label: str
+    result: object  # ClusterResult
+
+    @property
+    def converged(self) -> bool:
+        """Replication correctness of the cell."""
+        return self.result.state_converged
+
+
+@dataclass(frozen=True)
+class PartialReplicationLiveReport:
+    """The ``partial-replication-sweep-live`` artifact."""
+
+    workload: str
+    partition_map: PartitionMap
+    cells: Tuple[LiveCell, ...]
+
+    @property
+    def results(self) -> Tuple[object, ...]:
+        """Raw per-cell results (CLI convergence screening)."""
+        return tuple(cell.result for cell in self.cells)
+
+    def cell(self, label: str) -> Optional[object]:
+        """Result of one labelled cell."""
+        for candidate in self.cells:
+            if candidate.label == label:
+                return candidate.result
+        return None
+
+    def to_text(self) -> str:
+        """Render the live A/B."""
+        lines = [
+            f"partial replication (live cluster) — {self.workload}, "
+            f"{self.partition_map.partitions} partitions x factor "
+            f"{self.partition_map.replication_factor:g} over "
+            f"{self.partition_map.replicas} replicas",
+            f"  {'placement':<10s} {'throughput':>11s} {'response':>9s} "
+            f"{'aborts':>7s} {'replication':>22s}",
+        ]
+        for cell in self.cells:
+            result = cell.result
+            state = (
+                "converged, identical" if result.state_converged
+                else "DIVERGED"
+            )
+            lines.append(
+                f"  {cell.label:<10s} {result.throughput:>7.1f} tps "
+                f"{result.response_time * 1000:>6.0f} ms "
+                f"{result.abort_rate:>6.2%} {state:>22s}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PlacementAblationReport:
+    """The ``placement-ablation`` artifact (sim or live pillar)."""
+
+    workload: str
+    pillar: str
+    weights: Tuple[float, ...]
+    #: (label, result) per placement cell.
+    cells: Tuple[Tuple[str, object], ...]
+    #: The planner's own rendering of the balanced placement.
+    plan_text: str = ""
+
+    @property
+    def results(self) -> Tuple[object, ...]:
+        """Raw per-cell results (CLI convergence screening)."""
+        return tuple(result for _, result in self.cells)
+
+    def cell(self, label: str) -> Optional[object]:
+        """Result of one placement cell."""
+        for name, result in self.cells:
+            if name == label:
+                return result
+        return None
+
+    def to_text(self) -> str:
+        """Render the placement comparison."""
+        skew = " ".join(f"{w:g}" for w in self.weights)
+        lines = [
+            f"placement ablation — {self.workload}, {self.pillar} pillar, "
+            f"partition weights [{skew}]",
+            f"  {'placement':<16s} {'throughput':>11s} {'response':>9s} "
+            f"{'aborts':>7s}",
+        ]
+        for name, result in self.cells:
+            lines.append(
+                f"  {name:<16s} {result.throughput:>7.1f} tps "
+                f"{result.response_time * 1000:>6.0f} ms "
+                f"{result.abort_rate:>6.2%}"
+            )
+        if self.plan_text:
+            lines.append("  balanced plan:")
+            for line in self.plan_text.splitlines():
+                lines.append("    " + line)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# partial-replication-sweep (simulator + model)
+# ----------------------------------------------------------------------
+
+def sweep_map() -> PartitionMap:
+    """The sweep's partial placement (ring, factor 2)."""
+    return PartitionMap.ring(SWEEP_PARTITIONS, SWEEP_FLEET, SWEEP_FACTOR)
+
+
+def _sweep_points(settings) -> List:
+    partial = sweep_map()
+    points = []
+    for write_fraction in WRITE_FRACTIONS:
+        spec = sweep_spec(write_fraction)
+        config = spec.replication_config(
+            SWEEP_FLEET,
+            load_balancer_delay=settings.load_balancer_delay,
+            certifier_delay=settings.certifier_delay,
+        )
+        task = profile_task(spec, settings)
+        prefix = f"{write_fraction:g}"
+        # Full replication is the partitioned spec with no map (the
+        # resolver defaults to PartitionMap.full): identical workload,
+        # identical routing policy, only the placement differs.
+        points.append(sim_point(
+            spec, config, MULTI_MASTER,
+            seed=settings.seed,
+            warmup=settings.sim_warmup,
+            duration=settings.sim_duration,
+            lb_policy=PARTITION_AWARE,
+            tag=f"{prefix}:sim-full",
+        ))
+        points.append(sim_point(
+            spec, config, MULTI_MASTER,
+            seed=settings.seed,
+            warmup=settings.sim_warmup,
+            duration=settings.sim_duration,
+            lb_policy=PARTITION_AWARE,
+            partition_map=partial,
+            tag=f"{prefix}:sim-partial",
+        ))
+        points.append(model_point(
+            spec, config, MULTI_MASTER,
+            profile=task,
+            tag=f"{prefix}:model-full",
+        ))
+        points.append(model_point(
+            spec, config, MULTI_MASTER,
+            profile=task,
+            partition_map=partial,
+            tag=f"{prefix}:model-partial",
+        ))
+    return points
+
+
+def _assemble_sweep(settings, points, results) -> PartialReplicationReport:
+    by_tag = dict(zip((p.tag for p in points), results))
+    rows = tuple(
+        PartialReplicationRow(
+            write_fraction=wf,
+            sim_full=by_tag[f"{wf:g}:sim-full"],
+            sim_partial=by_tag[f"{wf:g}:sim-partial"],
+            model_full=by_tag[f"{wf:g}:model-full"],
+            model_partial=by_tag[f"{wf:g}:model-partial"],
+        )
+        for wf in WRITE_FRACTIONS
+    )
+    return PartialReplicationReport(
+        workload="micro/partition-sweep",
+        pillar="simulator",
+        partition_map=sweep_map(),
+        rows=rows,
+    )
+
+
+SWEEP = register_scenario(Scenario(
+    name="partial-replication-sweep",
+    title="Partial vs full replication across update fractions (sim + model)",
+    kind="partition",
+    metrics=("throughput", "speedup", "model_vs_sim_deviation"),
+    points=_sweep_points,
+    assemble=_assemble_sweep,
+    aliases=("partial-replication", "partition-sweep"),
+))
+
+
+# ----------------------------------------------------------------------
+# partial-replication-sweep-live (live cluster)
+# ----------------------------------------------------------------------
+
+def live_sweep_map() -> PartitionMap:
+    """The live A/B's partial placement (ring, factor 2)."""
+    return PartitionMap.ring(LIVE_PARTITIONS, LIVE_FLEET, SWEEP_FACTOR)
+
+
+def _live_sweep_points(settings) -> List:
+    spec = live_sweep_spec()
+    config = spec.replication_config(
+        LIVE_FLEET, load_balancer_delay=0.0005, certifier_delay=0.002,
+    )
+    shared = dict(
+        seed=settings.seed,
+        warmup=LIVE_WARMUP,
+        duration=LIVE_DURATION,
+        time_scale=LIVE_TIME_SCALE,
+        lb_policy=PARTITION_AWARE,
+    )
+    return [
+        cluster_point(spec, config, MULTI_MASTER, tag="full", **shared),
+        cluster_point(spec, config, MULTI_MASTER, tag="partial",
+                      partition_map=live_sweep_map(), **shared),
+    ]
+
+
+def _assemble_live_sweep(settings, points, results):
+    cells = tuple(
+        LiveCell(label=point.tag, result=result)
+        for point, result in zip(points, results)
+    )
+    return PartialReplicationLiveReport(
+        workload=live_sweep_spec().name,
+        partition_map=live_sweep_map(),
+        cells=cells,
+    )
+
+
+SWEEP_LIVE = register_scenario(Scenario(
+    name="partial-replication-sweep-live",
+    title="Live-cluster partial vs full replication (scoped propagation)",
+    kind="partition",
+    metrics=("throughput", "response_time", "converged"),
+    points=_live_sweep_points,
+    assemble=_assemble_live_sweep,
+    aliases=("partial-replication-live",),
+    tags=("live",),
+))
+
+
+# ----------------------------------------------------------------------
+# placement-ablation (simulator)
+# ----------------------------------------------------------------------
+
+def balanced_map(partitions: int, replicas: int,
+                 weights: Tuple[float, ...]) -> PartitionMap:
+    """The planner's weight-balanced placement for one ablation cell."""
+    return plan_placement(partitions, replicas, SWEEP_FACTOR,
+                          weights=weights).partition_map
+
+
+def _ablation_points(settings) -> List:
+    spec = ablation_spec()
+    config = spec.replication_config(
+        ABLATION_FLEET,
+        load_balancer_delay=settings.load_balancer_delay,
+        certifier_delay=settings.certifier_delay,
+    )
+    shared = dict(
+        seed=settings.seed,
+        warmup=settings.sim_warmup,
+        duration=settings.sim_duration,
+        lb_policy=PARTITION_AWARE,
+    )
+    oblivious = PartitionMap.ring(ABLATION_PARTITIONS, ABLATION_FLEET,
+                                  SWEEP_FACTOR)
+    balanced = balanced_map(ABLATION_PARTITIONS, ABLATION_FLEET,
+                            ABLATION_WEIGHTS)
+    return [
+        sim_point(spec, config, MULTI_MASTER, tag="ring-oblivious",
+                  partition_map=oblivious, **shared),
+        sim_point(spec, config, MULTI_MASTER, tag="weight-balanced",
+                  partition_map=balanced, **shared),
+    ]
+
+
+def _assemble_ablation(settings, points, results) -> PlacementAblationReport:
+    plan = plan_placement(ABLATION_PARTITIONS, ABLATION_FLEET, SWEEP_FACTOR,
+                          weights=ABLATION_WEIGHTS)
+    return PlacementAblationReport(
+        workload=ablation_spec().name,
+        pillar="simulator",
+        weights=ABLATION_WEIGHTS,
+        cells=tuple(
+            (point.tag, result) for point, result in zip(points, results)
+        ),
+        plan_text=plan.to_text(),
+    )
+
+
+ABLATION = register_scenario(Scenario(
+    name="placement-ablation",
+    title="Placement planning: weight-balanced vs oblivious ring (skewed load)",
+    kind="partition",
+    metrics=("throughput", "response_time"),
+    points=_ablation_points,
+    assemble=_assemble_ablation,
+    aliases=("placement",),
+))
+
+
+# ----------------------------------------------------------------------
+# placement-ablation-live (live cluster)
+# ----------------------------------------------------------------------
+
+def _live_ablation_points(settings) -> List:
+    spec = live_ablation_spec()
+    config = spec.replication_config(
+        LIVE_FLEET, load_balancer_delay=0.0005, certifier_delay=0.002,
+    )
+    shared = dict(
+        seed=settings.seed,
+        warmup=LIVE_WARMUP,
+        duration=LIVE_DURATION,
+        time_scale=LIVE_TIME_SCALE,
+        lb_policy=PARTITION_AWARE,
+    )
+    oblivious = PartitionMap.ring(LIVE_ABLATION_PARTITIONS, LIVE_FLEET,
+                                  SWEEP_FACTOR)
+    balanced = balanced_map(LIVE_ABLATION_PARTITIONS, LIVE_FLEET,
+                            LIVE_ABLATION_WEIGHTS)
+    return [
+        cluster_point(spec, config, MULTI_MASTER, tag="ring-oblivious",
+                      partition_map=oblivious, **shared),
+        cluster_point(spec, config, MULTI_MASTER, tag="weight-balanced",
+                      partition_map=balanced, **shared),
+    ]
+
+
+def _assemble_live_ablation(settings, points, results) -> PlacementAblationReport:
+    plan = plan_placement(LIVE_ABLATION_PARTITIONS, LIVE_FLEET, SWEEP_FACTOR,
+                          weights=LIVE_ABLATION_WEIGHTS)
+    return PlacementAblationReport(
+        workload=live_ablation_spec().name,
+        pillar="cluster",
+        weights=LIVE_ABLATION_WEIGHTS,
+        cells=tuple(
+            (point.tag, result) for point, result in zip(points, results)
+        ),
+        plan_text=plan.to_text(),
+    )
+
+
+ABLATION_LIVE = register_scenario(Scenario(
+    name="placement-ablation-live",
+    title="Live-cluster placement planning: balanced vs oblivious ring",
+    kind="partition",
+    metrics=("throughput", "response_time", "converged"),
+    points=_live_ablation_points,
+    assemble=_assemble_live_ablation,
+    aliases=("placement-live",),
+    tags=("live",),
+))
+
+#: Scenario names grouped for the ``repro partition`` verb.
+SIM_SCENARIOS = ("partial-replication-sweep", "placement-ablation")
+LIVE_SCENARIOS = ("partial-replication-sweep-live", "placement-ablation-live")

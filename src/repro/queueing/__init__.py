@@ -8,9 +8,9 @@ from .bounds import (
     max_useful_replicas,
 )
 from .mva import (
-    MulticlassSolution,
     MVASolution,
     MVAStepper,
+    MulticlassSolution,
     approximate_mva,
     solve_mva,
     solve_mva_multiclass,

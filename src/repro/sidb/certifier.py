@@ -7,6 +7,16 @@ writesets of every transaction that committed *after* the snapshot the
 transaction read from; any key overlap is a write-write conflict and the
 transaction must abort (first-committer-wins).
 
+Partial replication scopes certification *per partition set*: a writeset
+carrying a non-empty ``partitions`` tuple is compared only against
+history entries whose partition sets intersect it — writesets touching
+disjoint partition sets can never conflict, no matter their keys.  (An
+empty partition set is the unpartitioned wildcard: it certifies against
+everything, preserving the full-replication behaviour byte for byte.)
+Commit versions stay a single global sequence either way: the version
+store and the replication channel rely on one total commit order, so
+partitioning narrows the *conflict check*, not the version clock.
+
 The same logic certifies commits on a standalone/master database, where the
 "service" is the local concurrency-control subsystem.
 
@@ -65,7 +75,11 @@ class Certifier:
         # Guards all mutable state; see the module docstring for the
         # locking discipline shared with the live cluster runtime.
         self._lock = threading.RLock()
-        self._history: Deque[Tuple[int, FrozenSet[object]]] = deque()
+        # (version, keys, partition set) per retained commit; an empty
+        # partition set is the unpartitioned wildcard.
+        self._history: Deque[
+            Tuple[int, FrozenSet[object], FrozenSet[int]]
+        ] = deque()
         self._max_history = max_history
         self._next_version = 1
         self._oldest_retained = 1
@@ -89,7 +103,9 @@ class Certifier:
                     f"snapshot {snapshot} is newer than the latest commit "
                     f"{self.latest_version}"
                 )
-            conflicts = self._find_conflicts(snapshot, writeset.keys)
+            conflicts = self._find_conflicts(
+                snapshot, writeset.keys, writeset.partition_set
+            )
             if conflicts:
                 self.aborts += 1
                 return CertificationOutcome(
@@ -99,13 +115,18 @@ class Certifier:
                 )
             version = self._next_version
             self._next_version += 1
-            self._history.append((version, writeset.keys))
+            self._history.append(
+                (version, writeset.keys, writeset.partition_set)
+            )
             self._trim()
             self.commits += 1
             return CertificationOutcome(committed=True, commit_version=version)
 
     def _find_conflicts(
-        self, snapshot: int, keys: FrozenSet[object]
+        self,
+        snapshot: int,
+        keys: FrozenSet[object],
+        partitions: FrozenSet[int],
     ) -> Set[object]:
         if snapshot + 1 < self._oldest_retained:
             # History needed for an exact answer was pruned; conservatively
@@ -115,9 +136,20 @@ class Certifier:
         conflicts: Set[object] = set()
         # History is version-ordered; scan newest-first and stop at the
         # snapshot boundary.
-        for version, committed_keys in reversed(self._history):
+        for version, committed_keys, committed_partitions in reversed(
+            self._history
+        ):
             if version <= snapshot:
                 break
+            if (
+                partitions
+                and committed_partitions
+                and partitions.isdisjoint(committed_partitions)
+            ):
+                # Disjoint partition sets cannot write-write conflict;
+                # the key comparison is skipped entirely (per-partition
+                # certification).
+                continue
             overlap = keys & committed_keys
             conflicts.update(overlap)
         return conflicts
@@ -133,7 +165,7 @@ class Certifier:
             self._popleft()
 
     def _popleft(self) -> None:
-        version, _ = self._history.popleft()
+        version, _, _ = self._history.popleft()
         self._oldest_retained = version + 1
 
     @property

@@ -167,16 +167,39 @@ class SIDatabase:
             else:
                 self.update_commits += 1
 
-    def apply_writeset(self, writeset: Writeset) -> None:
+    def apply_writeset(
+        self, writeset: Writeset, hosted_partitions=None
+    ) -> None:
         """Apply a remotely-certified writeset (replica update propagation).
 
         The writeset must already carry its global commit version; versions
         must arrive in order, which the propagation channel guarantees.
+        *hosted_partitions* scopes the install to this replica's share of
+        a cross-partition writeset (see :meth:`Writeset.writes_for`);
+        ``None`` installs everything.
         """
         with self._lock:
             if writeset.commit_version <= 0:
                 raise ConfigurationError("writeset has no commit version")
-            self._store.install(writeset.commit_version, writeset.as_dict)
+            self._store.install(
+                writeset.commit_version,
+                writeset.writes_for(hosted_partitions),
+            )
+
+    def apply_version_marker(self, commit_version: int) -> None:
+        """Advance the version clock without installing any data.
+
+        Partial replication: a replica that hosts none of a writeset's
+        partitions skips the data (it will never be read here) but must
+        still account for the global commit version, or every later
+        *hosted* writeset would be rejected as out of order.  Installing
+        an empty write batch is exactly that lightweight commit-log
+        marker.
+        """
+        with self._lock:
+            if commit_version <= 0:
+                raise ConfigurationError("marker needs a positive version")
+            self._store.install(commit_version, {})
 
     def run(self, operations) -> Optional[Writeset]:
         """Execute a whole transaction from an operation list and commit it.

@@ -41,6 +41,9 @@ class Transaction:
         self.status = TransactionStatus.ACTIVE
         #: Commit version assigned at commit (-1 until then).
         self.commit_version = -1
+        #: Data partitions the buffered writes touch (partial replication);
+        #: empty means unpartitioned.
+        self.partitions: tuple = ()
 
     def _require_active(self) -> None:
         if self.status is not TransactionStatus.ACTIVE:
@@ -91,7 +94,10 @@ class Transaction:
         """Extract the writeset, or ``None`` for a read-only transaction."""
         if self.is_read_only:
             return None
-        return Writeset.from_dict(self.txn_id, self.snapshot_version, self._writes)
+        return Writeset.from_dict(
+            self.txn_id, self.snapshot_version, self._writes,
+            partitions=self.partitions,
+        )
 
     def pending_writes(self) -> Iterator:
         """Iterate buffered (key, value) pairs (engine internal)."""

@@ -32,14 +32,28 @@ class Writeset:
     writes: Tuple[Tuple[object, object], ...]
     #: Commit version; assigned by the certifier/master at commit, -1 before.
     commit_version: int = -1
+    #: Data partitions the writes touch (partial replication: certification
+    #: is scoped to these and propagation covers only their hosting
+    #: replicas).  Empty means *unpartitioned* — the full-replication
+    #: default, which conflicts with and propagates to everything.
+    partitions: Tuple[int, ...] = ()
 
     @classmethod
     def from_dict(
-        cls, txn_id: int, snapshot_version: int, writes: Dict[object, object]
+        cls,
+        txn_id: int,
+        snapshot_version: int,
+        writes: Dict[object, object],
+        partitions: Tuple[int, ...] = (),
     ) -> "Writeset":
         """Build a writeset from a plain dict of writes."""
         items = tuple(sorted(writes.items(), key=lambda kv: repr(kv[0])))
-        return cls(txn_id=txn_id, snapshot_version=snapshot_version, writes=items)
+        return cls(
+            txn_id=txn_id,
+            snapshot_version=snapshot_version,
+            writes=items,
+            partitions=tuple(sorted(set(partitions))),
+        )
 
     def __post_init__(self) -> None:
         if not self.writes:
@@ -53,9 +67,32 @@ class Writeset:
         return frozenset(key for key, _ in self.writes)
 
     @property
+    def partition_set(self) -> FrozenSet[int]:
+        """The touched partitions as a set (empty = unpartitioned)."""
+        return frozenset(self.partitions)
+
+    @property
     def as_dict(self) -> Dict[object, object]:
         """The writes as a dict (last write wins is already resolved)."""
         return dict(self.writes)
+
+    def writes_for(self, hosted_partitions) -> Dict[object, object]:
+        """The writes landing in *hosted_partitions* (partial replication).
+
+        Partitioned writesets qualify every key with its partition as the
+        second tuple element — ``("updatable", partition, row)``, the
+        convention the workload sampler establishes — so a replica
+        hosting only some of a cross-partition writeset's partitions can
+        install exactly its own rows.  Unpartitioned writesets (and
+        ``hosted_partitions=None``) return everything.
+        """
+        if hosted_partitions is None or not self.partitions:
+            return self.as_dict
+        return {
+            key: value
+            for key, value in self.writes
+            if key[1] in hosted_partitions
+        }
 
     def encoded_size(self) -> int:
         """Approximate wire size in bytes (for network-budget experiments)."""
@@ -74,4 +111,5 @@ class Writeset:
             snapshot_version=self.snapshot_version,
             writes=self.writes,
             commit_version=version,
+            partitions=self.partitions,
         )

@@ -65,6 +65,11 @@ class SimReplica:
         #: the load balancer routes around it (``available`` is cleared
         #: too) and it leaves the system once its resident count hits 0.
         self.draining = False
+        #: Partitions this replica hosts (partial replication); ``None``
+        #: means everything — the full-replication default.  Routing and
+        #: propagation consult this through
+        #: :func:`repro.simulator.systems.hosts_any` / ``hosts_all``.
+        self.hosted_partitions = None
 
     # ------------------------------------------------------------------
     # Transaction execution (generators composed by the system assemblies)

@@ -97,6 +97,7 @@ def simulate(
     faults: Sequence[ReplicaFault] = (),
     arrival_rate: Optional[float] = None,
     capacities: Optional[Sequence[float]] = None,
+    partition_map=None,
 ) -> SimulationResult:
     """Simulate *spec* on *design* with *config* and measure steady state.
 
@@ -111,6 +112,12 @@ def simulate(
     *capacities* builds a heterogeneous fleet: one speed multiplier per
     replica (single-master: index 0 is the master), scaling that
     replica's CPU and disk rates.
+
+    *partition_map* places a partitioned workload's data on replica
+    subsets (:class:`~repro.partition.placement.PartitionMap`): writesets
+    propagate only to hosting replicas and transactions route to hosts of
+    everything they touch.  Partitioned specs with no explicit map run
+    fully replicated (the A/B baseline).
     """
     if design not in _SYSTEM_CLASSES:
         raise ConfigurationError(f"unknown design {design!r}; one of {DESIGNS}")
@@ -133,8 +140,12 @@ def simulate(
     system = _SYSTEM_CLASSES[design](
         env, spec, config, seed, metrics,
         distribution=distribution, lb_policy=lb_policy,
-        capacities=capacities,
+        capacities=capacities, partition_map=partition_map,
     )
+    if faults:
+        from ..partition.placement import check_faults_against_map
+
+        check_faults_against_map(faults, system.partition_map)
     clients = (
         config.clients_per_replica
         if design == STANDALONE

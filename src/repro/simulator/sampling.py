@@ -10,6 +10,7 @@ update transactions touch ``U`` uniformly chosen rows of the updatable set.
 from __future__ import annotations
 
 import itertools
+from typing import Tuple
 
 import numpy as np
 
@@ -38,13 +39,25 @@ def next_txn_id() -> int:
 
 
 class WorkloadSampler:
-    """Draws transaction classes, service times, and conflict footprints."""
+    """Draws transaction classes, service times, and conflict footprints.
+
+    For partitioned workloads (``spec.partitions > 1``) the sampler also
+    draws each transaction's partition set: a weighted primary partition,
+    plus — for updates, with probability
+    ``spec.cross_partition_fraction`` — a second partition *co-located*
+    with the primary under *partition_map* (so some replica can execute
+    the whole transaction; no distributed commit is modelled).  All
+    partition draws are guarded behind ``spec.partitions > 1``:
+    unpartitioned workloads consume exactly the RNG stream they always
+    did, keeping every existing run byte-identical.
+    """
 
     def __init__(
         self,
         spec: WorkloadSpec,
         rng: np.random.Generator,
         distribution: str = EXPONENTIAL,
+        partition_map=None,
     ) -> None:
         if distribution not in DISTRIBUTIONS:
             raise ConfigurationError(
@@ -53,6 +66,26 @@ class WorkloadSampler:
         self._spec = spec
         self._rng = rng
         self._distribution = distribution
+        self._partition_weights = None
+        self._partners = None
+        if spec.partitions > 1:
+            if spec.partition_weights is not None:
+                total = float(sum(spec.partition_weights))
+                self._partition_weights = tuple(
+                    w / total for w in spec.partition_weights
+                )
+            # Precompute each partition's co-located partners once: the
+            # map is frozen and this runs on every cross-partition draw.
+            if partition_map is not None:
+                self._partners = tuple(
+                    partition_map.colocated_partners(p)
+                    for p in range(spec.partitions)
+                )
+            else:
+                self._partners = tuple(
+                    tuple(q for q in range(spec.partitions) if q != p)
+                    for p in range(spec.partitions)
+                )
 
     @property
     def spec(self) -> WorkloadSpec:
@@ -108,22 +141,81 @@ class WorkloadSampler:
         """Disk time to apply one propagated writeset."""
         return self._draw(self._spec.demands.writeset.disk)
 
+    # Partition footprint ------------------------------------------------
+
+    def _sample_primary_partition(self) -> int:
+        """Weighted draw of one partition (uniform without weights)."""
+        if self._partition_weights is None:
+            return int(self._rng.integers(0, self._spec.partitions))
+        return rng_util.choice_index(self._rng, self._partition_weights)
+
+    def sample_partition_set(self, is_update: bool) -> Tuple[int, ...]:
+        """Draw the partitions one transaction touches.
+
+        Unpartitioned workloads return ``()`` without consuming the RNG.
+        Reads touch their primary partition only; updates additionally
+        touch one *co-located* partition with probability
+        ``cross_partition_fraction`` (co-location taken from the
+        partition map; without a map any partner qualifies, matching the
+        full-replication default).
+        """
+        if self._spec.partitions <= 1:
+            return ()
+        primary = self._sample_primary_partition()
+        if (
+            not is_update
+            or self._spec.cross_partition_fraction <= 0.0
+            or self._rng.random() >= self._spec.cross_partition_fraction
+        ):
+            return (primary,)
+        partners = self._partners[primary]
+        if not partners:
+            return (primary,)
+        partner = partners[int(self._rng.integers(0, len(partners)))]
+        return tuple(sorted((primary, partner)))
+
     # Conflict footprint -------------------------------------------------
 
-    def sample_writeset(self, snapshot_version: int) -> Writeset:
+    def sample_writeset(
+        self, snapshot_version: int, partitions: Tuple[int, ...] = ()
+    ) -> Writeset:
         """Build the writeset of one update attempt.
 
         Each attempt (including retries) re-samples its rows, modelling the
-        re-execution of the transaction logic against fresh data.
+        re-execution of the transaction logic against fresh data.  With a
+        non-empty *partitions* tuple the ``U`` rows are drawn from the
+        touched partitions' own row ranges (the updatable set splits
+        evenly: ``DbUpdateSize // partitions`` rows each) and keys are
+        partition-qualified, so disjoint partitions never share a key.
         """
         conflict = self._spec.conflict
         if conflict is None:
             raise ConfigurationError(
                 f"workload {self._spec.name} has no conflict profile"
             )
-        rows = rng_util.sample_rows(
-            self._rng, conflict.db_update_size, conflict.updates_per_transaction
-        )
         txn_id = next_txn_id()
-        writes = {("updatable", row): txn_id for row in rows}
-        return Writeset.from_dict(txn_id, snapshot_version, writes)
+        if not partitions:
+            rows = rng_util.sample_rows(
+                self._rng, conflict.db_update_size,
+                conflict.updates_per_transaction,
+            )
+            writes = {("updatable", row): txn_id for row in rows}
+            return Writeset.from_dict(txn_id, snapshot_version, writes)
+
+        per_partition = conflict.db_update_size // self._spec.partitions
+        count = conflict.updates_per_transaction
+        writes = {}
+        touched = []
+        # Spread U rows over the touched partitions, first partitions
+        # taking the remainder (a 2-partition U=3 update writes 2 + 1).
+        base, extra = divmod(count, len(partitions))
+        for index, partition in enumerate(partitions):
+            share = base + (1 if index < extra else 0)
+            if share == 0:
+                continue
+            touched.append(partition)
+            for row in rng_util.sample_rows(self._rng, per_partition, share):
+                writes[("updatable", partition, row)] = txn_id
+        return Writeset.from_dict(
+            txn_id, snapshot_version, writes, partitions=tuple(touched)
+        )

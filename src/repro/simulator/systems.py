@@ -42,14 +42,20 @@ from .stats import MetricsCollector
 #: certification aborts shrink) and reads to the least-loaded one;
 #: "capacity-weighted" divides the resident count by each replica's
 #: ``capacity`` multiplier, so a twice-as-fast box carries twice the load
-#: (the right policy for heterogeneous fleets).
+#: (the right policy for heterogeneous fleets); "partition-aware" is the
+#: canonical policy for partially replicated fleets — capacity-normalized
+#: least-loaded among the replicas hosting the transaction's partitions.
+#: (Under a partition map the *hosting filter* applies to every policy —
+#: a replica without the data simply cannot serve the transaction — the
+#: named policy just makes the partitioned default explicit.)
 LEAST_LOADED = "least-loaded"
 PINNED = "pinned"
 RANDOM = "random"
 CONFLICT_AWARE = "conflict-aware"
 CAPACITY_WEIGHTED = "capacity-weighted"
+PARTITION_AWARE = "partition-aware"
 LB_POLICIES = (LEAST_LOADED, PINNED, RANDOM, CONFLICT_AWARE,
-               CAPACITY_WEIGHTED)
+               CAPACITY_WEIGHTED, PARTITION_AWARE)
 
 
 def check_capacities(
@@ -73,18 +79,48 @@ def check_capacities(
     return caps
 
 
-def select_replica(policy, candidates, client_id, is_update, rng):
+def hosts_all(replica, partitions) -> bool:
+    """True when *replica* hosts every partition in *partitions*
+    (``hosted_partitions is None`` means the replica hosts everything)."""
+    hosted = getattr(replica, "hosted_partitions", None)
+    return hosted is None or hosted.issuperset(partitions)
+
+
+def hosts_any(replica, partitions) -> bool:
+    """True when *replica* hosts at least one of *partitions* (an empty
+    set — the unpartitioned wildcard — is hosted everywhere)."""
+    if not partitions:
+        return True
+    hosted = getattr(replica, "hosted_partitions", None)
+    return hosted is None or not hosted.isdisjoint(partitions)
+
+
+def select_replica(policy, candidates, client_id, is_update, rng,
+                   partitions=()):
     """Pick an *available* replica according to *policy*.
 
     The single routing implementation shared by the simulator and the
     live cluster runtime (:mod:`repro.cluster.balancer`); candidates only
     need ``available``, ``active``, ``applied_version``, and ``name``.
+
+    *partitions* restricts routing to replicas hosting the transaction's
+    data (partial replication): replicas hosting *all* touched partitions
+    are preferred, falling back to hosts of *any* of them, falling back
+    to everyone (total-outage liveness, as below).  The filter applies to
+    every policy — a replica without the data cannot serve the
+    transaction.
     """
     alive = [r for r in candidates if r.available]
     if not alive:
         # Total outage: keep routing so clients block on queues rather
         # than deadlocking the closed loop.
         alive = list(candidates)
+    if partitions:
+        hosting = [r for r in alive if hosts_all(r, partitions)]
+        if not hosting:
+            hosting = [r for r in alive if hosts_any(r, partitions)]
+        if hosting:
+            alive = hosting
     if policy == PINNED:
         return alive[client_id % len(alive)]
     if policy == RANDOM:
@@ -98,7 +134,7 @@ def select_replica(policy, candidates, client_id, is_update, rng):
         versions = [(r.applied_version, r) for r in alive]
         freshest = max(v for v, _ in versions)
         alive = [r for v, r in versions if v == freshest]
-    if policy == CAPACITY_WEIGHTED:
+    if policy in (CAPACITY_WEIGHTED, PARTITION_AWARE):
         return min(
             alive,
             key=lambda r: (r.active / getattr(r, "capacity", 1.0), r.name),
@@ -113,6 +149,9 @@ class _BaseSystem:
     #: finished its in-flight transactions (simulated seconds).
     _DRAIN_POLL = 0.025
 
+    #: Design name used to validate partition maps (subclasses override).
+    design = "multi-master"
+
     def __init__(
         self,
         env: Environment,
@@ -123,12 +162,18 @@ class _BaseSystem:
         distribution: str = "exponential",
         lb_policy: str = LEAST_LOADED,
         capacities: Optional[Sequence[float]] = None,
+        partition_map=None,
     ) -> None:
+        from ..partition.placement import resolve_partition_map
+
         if lb_policy not in LB_POLICIES:
             raise SimulationError(
                 f"unknown lb_policy {lb_policy!r}; one of {LB_POLICIES}"
             )
         self._capacities = check_capacities(capacities, config.replicas)
+        self.partition_map = resolve_partition_map(
+            spec, config, partition_map, self.design
+        )
         self.env = env
         self.spec = spec
         self.config = config
@@ -155,7 +200,8 @@ class _BaseSystem:
         return self._capacities[index]
 
     def _make_replica(
-        self, name: str, path: object, capacity: float = 1.0
+        self, name: str, path: object, capacity: float = 1.0,
+        hosted_partitions=None,
     ) -> SimReplica:
         sampler = WorkloadSampler(
             self.spec,
@@ -163,6 +209,7 @@ class _BaseSystem:
             distribution=self._distribution,
         )
         replica = SimReplica(self.env, name, sampler, capacity=capacity)
+        replica.hosted_partitions = hosted_partitions
         # Admission control: the connection pool bounds how many client
         # transactions execute concurrently (config.max_concurrency).
         if self.config.max_concurrency is not None:
@@ -183,6 +230,13 @@ class _BaseSystem:
         if replica.admission is not None:
             replica.admission.release()
 
+    def _hosted_for_index(self, index: int):
+        """Hosted-partition set of the *index*-th initial replica
+        (``None`` — host everything — without a partial map)."""
+        if self.partition_map is None or self.partition_map.is_full:
+            return None
+        return self.partition_map.hosted_by(index)
+
     def start_clients(self, count: int) -> None:
         """Launch *count* closed-loop client processes."""
         for client_id in range(count):
@@ -190,6 +244,7 @@ class _BaseSystem:
                 self.spec,
                 rng_util.spawn(self._seed, "client", client_id),
                 distribution=self._distribution,
+                partition_map=self.partition_map,
             )
             self.env.start(self._client_loop(client_id, sampler))
 
@@ -211,6 +266,7 @@ class _BaseSystem:
             self.spec,
             rng_util.spawn(self._seed, "open-client"),
             distribution=self._distribution,
+            partition_map=self.partition_map,
         )
         sequence = 0
         while self._arrivals_on:
@@ -240,6 +296,7 @@ class _BaseSystem:
             self.spec,
             rng_util.spawn(self._seed, "trace-client"),
             distribution=self._distribution,
+            partition_map=self.partition_map,
         )
         peak = trace.max_rate
         sequence = 0
@@ -283,10 +340,12 @@ class _BaseSystem:
         candidates: List[SimReplica],
         client_id: int,
         is_update: bool = False,
+        partitions: Tuple[int, ...] = (),
     ) -> SimReplica:
         """Pick an *available* replica according to the LB policy."""
         return select_replica(
-            self.lb_policy, candidates, client_id, is_update, self._lb_rng
+            self.lb_policy, candidates, client_id, is_update, self._lb_rng,
+            partitions=partitions,
         )
 
     # ------------------------------------------------------------------
@@ -306,6 +365,19 @@ class _BaseSystem:
         the master cannot be detached)."""
         pool = getattr(self, "slaves", self.replicas)
         return [r for r in pool if not r.draining and not r.failed]
+
+    def _require_elastic_placement(self) -> None:
+        """Partial partition maps pin the fleet: membership is static.
+
+        (Re-placing partitions on join/leave — split, merge, migrate —
+        is the natural follow-on; until then a partial map and elastic
+        membership are mutually exclusive, loudly.)
+        """
+        if self.partition_map is not None and not self.partition_map.is_full:
+            raise SimulationError(
+                "elastic membership requires full replication; the "
+                "partition map places data on a fixed fleet"
+            )
 
     def add_replica(self, transfer_writesets: int = 0,
                     capacity: float = 1.0) -> SimReplica:
@@ -363,11 +435,13 @@ class _BaseSystem:
 class StandaloneSystem(_BaseSystem):
     """A single snapshot-isolated database with directly attached clients."""
 
+    design = "standalone"
+
     def __init__(self, env, spec, config, seed, metrics,
                  distribution="exponential", lb_policy=LEAST_LOADED,
-                 capacities=None):
+                 capacities=None, partition_map=None):
         super().__init__(env, spec, config, seed, metrics, distribution,
-                         lb_policy, capacities)
+                         lb_policy, capacities, partition_map)
         self.database = self._make_replica("standalone", 0,
                                            capacity=self._initial_capacity(0))
         self.certifier = Certifier()
@@ -383,6 +457,7 @@ class StandaloneSystem(_BaseSystem):
             if not is_update:
                 yield from replica.serve_read()
                 return aborts
+            partitions = sampler.sample_partition_set(is_update=True)
             for _ in range(self.config.max_retries):
                 # The snapshot is taken at begin; the conflict window is the
                 # full execution time on the standalone database (§2).
@@ -390,7 +465,7 @@ class StandaloneSystem(_BaseSystem):
                 token = self._register_snapshot(snapshot)
                 try:
                     yield from replica.serve_update_attempt()
-                    writeset = sampler.sample_writeset(snapshot)
+                    writeset = sampler.sample_writeset(snapshot, partitions)
                     self.metrics.record_certification()
                     outcome = self.certifier.certify(writeset)
                 finally:
@@ -422,14 +497,17 @@ class StandaloneSystem(_BaseSystem):
 class MultiMasterSystem(_BaseSystem):
     """Figure 4: N symmetric replicas behind a load balancer + certifier."""
 
+    design = "multi-master"
+
     def __init__(self, env, spec, config, seed, metrics,
                  distribution="exponential", lb_policy=LEAST_LOADED,
-                 capacities=None):
+                 capacities=None, partition_map=None):
         super().__init__(env, spec, config, seed, metrics, distribution,
-                         lb_policy, capacities)
+                         lb_policy, capacities, partition_map)
         for index in range(config.replicas):
             self._make_replica(f"replica{index}", index,
-                               capacity=self._initial_capacity(index))
+                               capacity=self._initial_capacity(index),
+                               hosted_partitions=self._hosted_for_index(index))
         self._members_created = config.replicas
         self.certifier = Certifier()
         self._active_snapshots: Dict[int, int] = {}
@@ -445,6 +523,7 @@ class MultiMasterSystem(_BaseSystem):
         normally afterwards) and pays for it with a bulk writeset replay
         of *transfer_writesets* applications before entering rotation.
         """
+        self._require_elastic_placement()
         index = self._members_created
         self._members_created += 1
         replica = self._make_replica(f"replica{index}", index,
@@ -463,6 +542,7 @@ class MultiMasterSystem(_BaseSystem):
         immediately without draining — the replacement path for crashed
         replicas, whose state is already lost.
         """
+        self._require_elastic_placement()
         if replica is None:
             candidates = [
                 r for r in self.replicas if not r.draining and r.available
@@ -490,7 +570,10 @@ class MultiMasterSystem(_BaseSystem):
 
     def execute(self, sampler: WorkloadSampler, is_update: bool, client_id: int = 0):
         yield Timeout(self.config.load_balancer_delay)
-        replica = self.route(self.replicas, client_id, is_update)
+        # Partitioned workloads pick their data before routing: the
+        # transaction must land on a replica hosting what it touches.
+        partitions = sampler.sample_partition_set(is_update)
+        replica = self.route(self.replicas, client_id, is_update, partitions)
         replica.active += 1
         aborts = 0
         yield from self._admit(replica)
@@ -508,7 +591,7 @@ class MultiMasterSystem(_BaseSystem):
                 token = self._register_snapshot(snapshot)
                 try:
                     yield from replica.serve_update_attempt()
-                    writeset = sampler.sample_writeset(snapshot)
+                    writeset = sampler.sample_writeset(snapshot, partitions)
                     self.metrics.record_certification()
                     # The certifier orders and checks the writeset on
                     # arrival; the response (and update propagation) reach
@@ -518,7 +601,8 @@ class MultiMasterSystem(_BaseSystem):
                 finally:
                     self._release_snapshot(token)
                 if outcome.committed:
-                    self._propagate(outcome.commit_version, origin=replica)
+                    self._propagate(outcome.commit_version, origin=replica,
+                                    partitions=writeset.partitions)
                     return aborts
                 aborts += 1
             raise RetryLimitExceeded(
@@ -528,10 +612,19 @@ class MultiMasterSystem(_BaseSystem):
             self._release(replica)
             replica.active -= 1
 
-    def _propagate(self, commit_version: int, origin: SimReplica) -> None:
+    def _propagate(self, commit_version: int, origin: SimReplica,
+                   partitions: Tuple[int, ...] = ()) -> None:
+        """Hand one committed version to every replica.
+
+        Partial replication: only replicas hosting one of the writeset's
+        partitions pay the application work; everyone else advances its
+        watermark for free (the version-marker bookkeeping that keeps the
+        single global snapshot clock contiguous).
+        """
         self._propagated_version = commit_version
         for replica in self.replicas:
-            replica.enqueue_writeset(commit_version, charged=replica is not origin)
+            charged = replica is not origin and hosts_any(replica, partitions)
+            replica.enqueue_writeset(commit_version, charged=charged)
 
     def _register_snapshot(self, snapshot: int) -> int:
         self._snapshot_token += 1
@@ -554,16 +647,23 @@ class MultiMasterSystem(_BaseSystem):
 class SingleMasterSystem(_BaseSystem):
     """Figure 5: one master for updates, N-1 slaves for reads."""
 
+    design = "single-master"
+
     def __init__(self, env, spec, config, seed, metrics,
                  distribution="exponential", lb_policy=LEAST_LOADED,
-                 capacities=None):
+                 capacities=None, partition_map=None):
         super().__init__(env, spec, config, seed, metrics, distribution,
-                         lb_policy, capacities)
+                         lb_policy, capacities, partition_map)
+        # The master executes every update, so it hosts every partition
+        # implicitly; a partition map only constrains the slaves.
         self.master = self._make_replica("master", "master",
                                          capacity=self._initial_capacity(0))
         self.slaves = [
-            self._make_replica(f"slave{index}", index,
-                               capacity=self._initial_capacity(index + 1))
+            self._make_replica(
+                f"slave{index}", index,
+                capacity=self._initial_capacity(index + 1),
+                hosted_partitions=self._hosted_for_index(index + 1),
+            )
             for index in range(config.replicas - 1)
         ]
         self._members_created = config.replicas - 1
@@ -574,6 +674,7 @@ class SingleMasterSystem(_BaseSystem):
     def add_replica(self, transfer_writesets: int = 0,
                     capacity: float = 1.0) -> SimReplica:
         """Grow the system by one read-only slave (the master is fixed)."""
+        self._require_elastic_placement()
         index = self._members_created
         self._members_created += 1
         slave = self._make_replica(f"slave{index}", index, capacity=capacity)
@@ -586,6 +687,7 @@ class SingleMasterSystem(_BaseSystem):
     def remove_replica(self, replica: Optional[SimReplica] = None,
                        force: bool = False) -> SimReplica:
         """Drain (or force-detach) one slave — never the master."""
+        self._require_elastic_placement()
         if replica is None:
             candidates = [
                 r for r in self.slaves if not r.draining and r.available
@@ -609,8 +711,12 @@ class SingleMasterSystem(_BaseSystem):
 
     def execute(self, sampler: WorkloadSampler, is_update: bool, client_id: int = 0):
         yield Timeout(self.config.load_balancer_delay)
+        partitions = sampler.sample_partition_set(is_update)
         if not is_update:
-            replica = self.route(self.replicas, client_id)
+            # Reads may only land on replicas hosting their partition
+            # (the master hosts everything).
+            replica = self.route(self.replicas, client_id,
+                                 partitions=partitions)
             replica.active += 1
             yield from self._admit(replica)
             try:
@@ -632,7 +738,7 @@ class SingleMasterSystem(_BaseSystem):
                 token = self._register_snapshot(snapshot)
                 try:
                     yield from self.master.serve_update_attempt()
-                    writeset = sampler.sample_writeset(snapshot)
+                    writeset = sampler.sample_writeset(snapshot, partitions)
                     self.metrics.record_certification()
                     outcome = self.certifier.certify(writeset)
                 finally:
@@ -643,7 +749,12 @@ class SingleMasterSystem(_BaseSystem):
                         outcome.commit_version, charged=False
                     )
                     for slave in self.slaves:
-                        slave.enqueue_writeset(outcome.commit_version, charged=True)
+                        # Partial replication: non-hosting slaves advance
+                        # their watermark for free (version marker).
+                        slave.enqueue_writeset(
+                            outcome.commit_version,
+                            charged=hosts_any(slave, writeset.partitions),
+                        )
                     return aborts
                 aborts += 1
             raise RetryLimitExceeded(

@@ -52,6 +52,17 @@ class WorkloadSpec:
     #: Database size in MB (documentation / §6.1 reporting only).
     database_size_mb: float = 0.0
     description: str = ""
+    #: Data partitions the workload addresses (1 = unpartitioned, the
+    #: paper's full-replication setting).  Partitioned workloads split the
+    #: updatable set evenly: each partition owns
+    #: ``DbUpdateSize // partitions`` rows.
+    partitions: int = 1
+    #: Fraction of update transactions touching a second (co-located)
+    #: partition — the tunable cost knob of partial replication.
+    cross_partition_fraction: float = 0.0
+    #: Relative partition popularity (uniform when ``None``); drives both
+    #: the sampler and weight-balanced placement planning.
+    partition_weights: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         if self.clients_per_replica < 1:
@@ -62,6 +73,47 @@ class WorkloadSpec:
             raise ConfigurationError(
                 f"{self.name}: update mixes need a ConflictProfile"
             )
+        if self.partitions < 1:
+            raise ConfigurationError("partitions must be >= 1")
+        if not 0.0 <= self.cross_partition_fraction <= 1.0:
+            raise ConfigurationError(
+                "cross-partition fraction must be in [0, 1]"
+            )
+        if self.cross_partition_fraction > 0.0 and self.partitions < 2:
+            raise ConfigurationError(
+                "cross-partition transactions need at least 2 partitions"
+            )
+        if (
+            self.cross_partition_fraction > 0.0
+            and self.conflict is not None
+            and self.conflict.updates_per_transaction < 2
+        ):
+            # A cross-partition update must write at least one row in
+            # each touched partition, or its footprint silently collapses
+            # to one partition while routing and the model charge both.
+            raise ConfigurationError(
+                f"{self.name}: cross-partition updates need U >= 2 "
+                f"(one row per touched partition), got "
+                f"U={self.conflict.updates_per_transaction}"
+            )
+        if self.partitions > 1 and self.conflict is not None:
+            per_partition = self.conflict.db_update_size // self.partitions
+            if per_partition < self.conflict.updates_per_transaction:
+                raise ConfigurationError(
+                    f"{self.name}: {self.partitions} partitions leave only "
+                    f"{per_partition} rows per partition, fewer than "
+                    f"U={self.conflict.updates_per_transaction}"
+                )
+        if self.partition_weights is not None:
+            if len(self.partition_weights) != self.partitions:
+                raise ConfigurationError(
+                    f"{self.name}: {len(self.partition_weights)} partition "
+                    f"weights for {self.partitions} partitions"
+                )
+            if any(w <= 0.0 for w in self.partition_weights):
+                raise ConfigurationError(
+                    "every partition weight must be positive"
+                )
 
     @property
     def name(self) -> str:
@@ -72,6 +124,11 @@ class WorkloadSpec:
     def has_updates(self) -> bool:
         """True when the mix contains update transactions."""
         return self.mix.write_fraction > 0.0
+
+    @property
+    def partitioned(self) -> bool:
+        """True when the workload addresses more than one partition."""
+        return self.partitions > 1
 
     def replication_config(
         self,
@@ -120,6 +177,32 @@ class WorkloadSpec:
     def with_demands(self, demands: ServiceDemands) -> "WorkloadSpec":
         """Return a copy with different ground-truth demands (ablations)."""
         return dataclasses.replace(self, demands=demands)
+
+    def with_partitions(
+        self,
+        partitions: int,
+        cross_partition_fraction: float = 0.0,
+        partition_weights: Optional[tuple] = None,
+    ) -> "WorkloadSpec":
+        """Return a partitioned copy (renamed so cache keys never collide).
+
+        The updatable set splits evenly over the partitions; update
+        transactions touch a second, co-located partition with probability
+        *cross_partition_fraction*.
+        """
+        renamed = f"{self.mix_name}-p{partitions}"
+        if cross_partition_fraction > 0.0:
+            renamed += f"-x{cross_partition_fraction:g}"
+        return dataclasses.replace(
+            self,
+            mix_name=renamed,
+            partitions=partitions,
+            cross_partition_fraction=cross_partition_fraction,
+            partition_weights=(
+                None if partition_weights is None
+                else tuple(partition_weights)
+            ),
+        )
 
 
 def demands_ms(

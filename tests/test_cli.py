@@ -234,3 +234,45 @@ class TestArtifactFailures:
         )
         assert _artifact_failures(comparison) == []
         assert _artifact_failures(["plain", "rows"]) == []
+
+
+class TestPartitionCli:
+    def test_partition_parses_options(self):
+        args = build_parser().parse_args(
+            ["partition", "--family", "sweep", "--live", "--fast",
+             "--jobs", "2"]
+        )
+        assert args.command == "partition"
+        assert args.family == "sweep"
+        assert args.live
+        assert args.jobs == 2
+
+    def test_partition_rejects_unknown_family(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition", "--family", "shards"])
+
+    def test_scenarios_tag_filter_lists_partition_family(self, capsys):
+        assert main(["scenarios", "--tag", "partition"]) == 0
+        out = capsys.readouterr().out
+        assert "partial-replication-sweep" in out
+        assert "placement-ablation" in out
+        assert "figure6" not in out
+
+    def test_scenarios_tag_live_lists_cluster_cells(self, capsys):
+        assert main(["scenarios", "--tag", "live"]) == 0
+        out = capsys.readouterr().out
+        assert "partial-replication-sweep-live" in out
+        assert "autoscale-diurnal-live" in out
+
+    def test_scenarios_unknown_tag_exits_2_with_suggestion(self, capsys):
+        assert main(["scenarios", "--tag", "partitoin"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "partition" in err
+
+    def test_scenarios_tag_restricts_explicit_names(self, capsys):
+        assert main(["scenarios", "figure6", "placement-ablation",
+                     "--tag", "partition"]) == 0
+        out = capsys.readouterr().out
+        assert "placement-ablation" in out
+        assert "figure6" not in out

@@ -13,20 +13,20 @@ import time
 
 import pytest
 
-from repro.cluster.cluster import MultiMasterCluster, SingleMasterCluster
 from repro.cluster.clock import VirtualClock
+from repro.cluster.cluster import MultiMasterCluster, SingleMasterCluster
 from repro.control import (
     DiurnalTrace,
     FeedforwardPolicy,
     StaticPeakPolicy,
     autoscale_cluster,
 )
+from repro.core import rng as rng_util
 from repro.core.errors import ConfigurationError
 from repro.core.params import ConflictProfile, ReplicationConfig, WorkloadMix
 from repro.simulator.sampling import WorkloadSampler
 from repro.simulator.stats import MetricsCollector
 from repro.workloads.spec import WorkloadSpec, demands_ms
-from repro.core import rng as rng_util
 
 
 @pytest.fixture(scope="module")

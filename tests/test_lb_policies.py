@@ -205,10 +205,12 @@ def test_cluster_conflict_aware_routing_live(tiny_spec):
     original_init = MultiMasterCluster.__init__
 
     class RecordingBalancer(LoadBalancer):
-        def select(self, candidates, client_id, is_update=False):
+        def select(self, candidates, client_id, is_update=False,
+                   partitions=()):
             alive = [r for r in candidates if r.available] or list(candidates)
             freshest_before = max(r.applied_version for r in alive)
-            chosen = super().select(candidates, client_id, is_update)
+            chosen = super().select(candidates, client_id, is_update,
+                                    partitions)
             if is_update:
                 decisions.append(chosen.name)
                 if chosen.applied_version < freshest_before:

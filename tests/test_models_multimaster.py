@@ -184,3 +184,61 @@ class TestDiagnostics:
             cfg.think_time + prediction.response_time
         )
         assert per_replica == pytest.approx(implied, rel=1e-6)
+
+
+class TestPartialReplicationModel:
+    """The partition-aware extension: per-replica update load as the sum
+    over hosted partitions (writeset fan-in ``h - 1`` instead of
+    ``N - 1``)."""
+
+    def _maps(self):
+        from repro.partition import PartitionMap
+
+        return (
+            PartitionMap.full(6, 6),
+            PartitionMap.ring(6, 6, 2),
+        )
+
+    def test_partial_replication_raises_predicted_throughput(
+        self, simple_profile
+    ):
+        full_map, ring_map = self._maps()
+        full = predict_multimaster(simple_profile, config(6),
+                                   partition_map=full_map)
+        partial = predict_multimaster(simple_profile, config(6),
+                                      partition_map=ring_map)
+        assert partial.throughput > full.throughput
+
+    def test_full_map_matches_unpartitioned_model(self, simple_profile):
+        full_map, _ = self._maps()
+        plain = predict_multimaster(simple_profile, config(6))
+        mapped = predict_multimaster(simple_profile, config(6),
+                                     partition_map=full_map)
+        assert mapped.throughput == pytest.approx(plain.throughput)
+        assert mapped.response_time == pytest.approx(plain.response_time)
+
+    def test_cross_partition_fraction_costs_throughput(self, simple_profile):
+        _, ring_map = self._maps()
+        local = predict_multimaster(simple_profile, config(6),
+                                    partition_map=ring_map,
+                                    cross_partition_fraction=0.0)
+        crossy = predict_multimaster(simple_profile, config(6),
+                                     partition_map=ring_map,
+                                     cross_partition_fraction=0.5)
+        assert crossy.throughput < local.throughput
+
+    def test_map_replica_count_must_match(self, simple_profile):
+        _, ring_map = self._maps()
+        with pytest.raises(ConfigurationError):
+            predict_multimaster(simple_profile, config(4),
+                                partition_map=ring_map)
+
+    def test_api_rejects_partition_map_for_single_master(
+        self, simple_profile
+    ):
+        from repro.models.api import predict
+        from repro.partition import PartitionMap
+
+        with pytest.raises(ConfigurationError):
+            predict("single-master", simple_profile, config(4),
+                    partition_map=PartitionMap.ring(4, 4, 2))

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.errors import ConfigurationError
-from repro.models.network import GIGABIT, NetworkBudget, budget_for_prediction
 from repro.models.multimaster import predict_multimaster
+from repro.models.network import GIGABIT, NetworkBudget, budget_for_prediction
 
 
 def make(updates=150.0, replicas=16, writeset=275):

@@ -110,3 +110,59 @@ class TestSummarize:
         assert summary.worst_mttr == pytest.approx(18.0)
         # Windows [10, 20] and [12, 30] overlap: merged to [10, 30].
         assert summary.unavailability == pytest.approx(20.0)
+
+
+class TestDetectInterval:
+    """Detection cadence decoupled from the control interval."""
+
+    def _run(self, spec, detect_interval):
+        return autoscale_sim(
+            spec,
+            _steady(30.0),
+            FixedPolicy(replicas=3),
+            design=MULTI_MASTER,
+            seed=11,
+            warmup=10.0,
+            duration=90.0,
+            control_interval=10.0,
+            slo_response=1.5,
+            max_replicas=6,
+            ops=OpsPlan(
+                faults=(crash_fault(1, 35.0),),
+                self_heal=True,
+                detect_interval=detect_interval,
+            ),
+        )
+
+    def test_fast_detection_bounds_detection_latency(self, shopping_spec):
+        result = self._run(shopping_spec, detect_interval=1.0)
+        summary = summarize(result)
+        assert summary.crashes == 1 and summary.replacements == 1
+        assert summary.mean_detection_latency is not None
+        # Detection rides its own 1 s timer, not the 10 s control loop.
+        assert summary.mean_detection_latency <= 1.0 + 1e-9
+        assert summary.mean_repair_latency is not None
+        assert summary.mean_detection_latency + summary.mean_repair_latency \
+            == pytest.approx(summary.mttr)
+
+    def test_default_detection_rides_the_control_interval(
+        self, shopping_spec
+    ):
+        result = self._run(shopping_spec, detect_interval=None)
+        summary = summarize(result)
+        assert summary.replacements == 1
+        # Without the knob, worst-case detection is one control interval.
+        assert summary.mean_detection_latency <= 10.0 + 1e-9
+
+    def test_faster_detection_shrinks_mttr(self, shopping_spec):
+        slow = summarize(self._run(shopping_spec, detect_interval=None))
+        fast = summarize(self._run(shopping_spec, detect_interval=1.0))
+        assert fast.mttr <= slow.mttr + 1e-9
+
+    def test_detect_interval_must_be_positive(self):
+        with pytest.raises(Exception):
+            OpsPlan(self_heal=True, detect_interval=0.0)
+
+    def test_breakdown_rendered(self, shopping_spec):
+        summary = summarize(self._run(shopping_spec, detect_interval=1.0))
+        assert "detection" in summary.to_text()

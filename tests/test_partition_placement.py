@@ -1,0 +1,224 @@
+"""Unit tests for partition maps, resolution, and placement planning."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.models.planning import plan_placement
+from repro.partition import PartitionMap, resolve_partition_map
+from repro.workloads import tpcw
+
+
+class TestPartitionMap:
+    def test_full_map_hosts_everything(self):
+        pm = PartitionMap.full(4, 3)
+        assert pm.is_full
+        assert pm.replication_factor == 3.0
+        for p in range(4):
+            assert pm.hosts(p) == (0, 1, 2)
+        assert pm.hosted_by(1) == frozenset({0, 1, 2, 3})
+
+    def test_ring_map_shape(self):
+        pm = PartitionMap.ring(4, 4, 2)
+        assert pm.hosts(0) == (0, 1)
+        assert pm.hosts(3) == (0, 3)
+        assert not pm.is_full
+        assert pm.replication_factor == 2.0
+
+    def test_ring_adjacent_partitions_share_a_host(self):
+        pm = PartitionMap.ring(8, 5, 2)
+        for p in range(8):
+            partners = pm.colocated_partners(p)
+            assert partners, f"partition {p} has no co-located partner"
+
+    def test_common_hosts_intersection(self):
+        pm = PartitionMap.ring(4, 4, 2)
+        assert pm.common_hosts((0, 1)) == (1,)
+        assert pm.common_hosts(()) == (0, 1, 2, 3)
+
+    def test_placement_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionMap(2, 2, ((0,),))  # wrong partition count
+        with pytest.raises(ConfigurationError):
+            PartitionMap(1, 2, ((),))  # hosted nowhere
+        with pytest.raises(ConfigurationError):
+            PartitionMap(1, 2, ((0, 2),))  # replica index out of range
+        with pytest.raises(ConfigurationError):
+            PartitionMap(1, 2, ((0, 0),))  # duplicate host
+
+    def test_placement_is_sorted_and_frozen(self):
+        pm = PartitionMap(2, 3, ((2, 0), (1,)))
+        assert pm.hosts(0) == (0, 2)
+
+    def test_ring_factor_bounds(self):
+        with pytest.raises(ConfigurationError):
+            PartitionMap.ring(4, 3, 4)
+        with pytest.raises(ConfigurationError):
+            PartitionMap.ring(4, 3, 0)
+
+
+class TestExpectedFanout:
+    def test_full_map_fanout_is_fleet_size(self):
+        pm = PartitionMap.full(4, 5)
+        assert pm.expected_update_fanout(0.0) == pytest.approx(5.0)
+        assert pm.expected_update_fanout(0.5) == pytest.approx(5.0)
+
+    def test_single_partition_fanout_is_replication_factor(self):
+        pm = PartitionMap.ring(6, 6, 2)
+        assert pm.expected_update_fanout(0.0) == pytest.approx(2.0)
+
+    def test_cross_fraction_raises_fanout(self):
+        pm = PartitionMap.ring(6, 6, 2)
+        lo = pm.expected_update_fanout(0.0)
+        hi = pm.expected_update_fanout(0.5)
+        assert hi > lo
+        # Cross-partition unions of a factor-2 ring never exceed rf + 2.
+        assert hi <= 4.0
+
+    def test_weights_shift_fanout(self):
+        # Partition 0 hosted once, partition 1 hosted twice.
+        pm = PartitionMap(2, 3, ((0,), (1, 2)))
+        light = pm.expected_update_fanout(0.0, weights=(10.0, 1.0))
+        heavy = pm.expected_update_fanout(0.0, weights=(1.0, 10.0))
+        assert light < heavy
+
+    def test_weight_validation(self):
+        pm = PartitionMap.ring(4, 4, 2)
+        with pytest.raises(ConfigurationError):
+            pm.expected_update_fanout(0.0, weights=(1.0,))
+        with pytest.raises(ConfigurationError):
+            pm.expected_update_fanout(0.0, weights=(1.0, -1.0, 1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            pm.expected_update_fanout(1.5)
+
+
+class TestResolvePartitionMap:
+    def test_unpartitioned_spec_returns_none(self, shopping_spec):
+        config = shopping_spec.replication_config(4)
+        assert resolve_partition_map(shopping_spec, config, None) is None
+
+    def test_unpartitioned_spec_rejects_map(self, shopping_spec):
+        config = shopping_spec.replication_config(4)
+        with pytest.raises(ConfigurationError):
+            resolve_partition_map(
+                shopping_spec, config, PartitionMap.full(4, 4)
+            )
+
+    def test_partitioned_spec_defaults_to_full(self):
+        spec = tpcw.SHOPPING.with_partitions(4)
+        config = spec.replication_config(3)
+        pm = resolve_partition_map(spec, config, None)
+        assert pm is not None and pm.is_full
+        assert pm.partitions == 4 and pm.replicas == 3
+
+    def test_partition_count_must_match(self):
+        spec = tpcw.SHOPPING.with_partitions(4)
+        config = spec.replication_config(3)
+        with pytest.raises(ConfigurationError):
+            resolve_partition_map(spec, config, PartitionMap.ring(5, 3, 2))
+
+    def test_replica_count_must_match(self):
+        spec = tpcw.SHOPPING.with_partitions(4)
+        config = spec.replication_config(3)
+        with pytest.raises(ConfigurationError):
+            resolve_partition_map(spec, config, PartitionMap.ring(4, 4, 2))
+
+    def test_every_replica_must_host_something(self):
+        spec = tpcw.SHOPPING.with_partitions(2)
+        config = spec.replication_config(3)
+        # Replica 2 hosts nothing.
+        lopsided = PartitionMap(2, 3, ((0, 1), (0, 1)))
+        with pytest.raises(ConfigurationError):
+            resolve_partition_map(spec, config, lopsided)
+
+    def test_single_master_exempts_the_master(self):
+        spec = tpcw.SHOPPING.with_partitions(2)
+        config = spec.replication_config(3)
+        # Index 0 (the master) hosts nothing explicitly; slaves cover all.
+        slaves_only = PartitionMap(2, 3, ((1, 2), (1, 2)))
+        resolved = resolve_partition_map(
+            spec, config, slaves_only, design="single-master"
+        )
+        assert resolved is slaves_only
+        with pytest.raises(ConfigurationError):
+            resolve_partition_map(
+                spec, config, slaves_only, design="multi-master"
+            )
+
+
+class TestSpecPartitionFields:
+    def test_with_partitions_renames(self, shopping_spec):
+        spec = shopping_spec.with_partitions(4, 0.2)
+        assert spec.partitions == 4
+        assert spec.cross_partition_fraction == 0.2
+        assert spec.name != shopping_spec.name
+        assert spec.partitioned
+
+    def test_cross_fraction_needs_partitions(self, shopping_spec):
+        with pytest.raises(ConfigurationError):
+            shopping_spec.with_partitions(1, 0.2)
+
+    def test_partitions_bounded_by_conflict_rows(self, shopping_spec):
+        too_many = shopping_spec.conflict.db_update_size
+        with pytest.raises(ConfigurationError):
+            shopping_spec.with_partitions(too_many)
+
+    def test_weights_must_match_partition_count(self, shopping_spec):
+        with pytest.raises(ConfigurationError):
+            shopping_spec.with_partitions(4, 0.1, partition_weights=(1.0,))
+
+    def test_cross_partition_updates_need_two_rows(self, shopping_spec):
+        import dataclasses
+
+        from repro.core.params import ConflictProfile
+
+        single_row = dataclasses.replace(
+            shopping_spec,
+            conflict=ConflictProfile(db_update_size=1000,
+                                     updates_per_transaction=1),
+        )
+        # U=1 cannot put a row in each of two touched partitions.
+        with pytest.raises(ConfigurationError):
+            single_row.with_partitions(4, 0.1)
+        # Without cross-partition traffic U=1 stays legal.
+        assert single_row.with_partitions(4, 0.0).partitions == 4
+
+
+class TestPlanPlacement:
+    def test_respects_replication_factor(self):
+        plan = plan_placement(8, 4, 2)
+        for p in range(8):
+            assert len(plan.partition_map.hosts(p)) == 2
+
+    def test_covers_every_replica(self):
+        plan = plan_placement(8, 4, 2, weights=(100, 1, 1, 1, 1, 1, 1, 1))
+        for r in range(4):
+            assert plan.partition_map.hosted_by(r)
+
+    def test_balances_skewed_weights(self):
+        plan = plan_placement(8, 4, 2, weights=(8, 4, 2, 1, 1, 1, 1, 1))
+        # Greedy LPT keeps the imbalance close to 1 even under heavy skew.
+        assert plan.imbalance <= 1.25
+        assert plan.max_load == max(plan.replica_loads)
+
+    def test_uniform_weights_balance_exactly(self):
+        plan = plan_placement(8, 4, 2)
+        assert plan.imbalance == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = plan_placement(8, 4, 2, weights=(8, 4, 2, 1, 1, 1, 1, 1))
+        b = plan_placement(8, 4, 2, weights=(8, 4, 2, 1, 1, 1, 1, 1))
+        assert a == b
+
+    def test_coverage_requirement(self):
+        with pytest.raises(ConfigurationError):
+            plan_placement(2, 5, 2)  # 2 partitions x 2 < 5 replicas
+
+    def test_factor_bounds(self):
+        with pytest.raises(ConfigurationError):
+            plan_placement(4, 3, 4)
+        with pytest.raises(ConfigurationError):
+            plan_placement(4, 3, 0)
+
+    def test_to_text_mentions_imbalance(self):
+        plan = plan_placement(4, 2, 1)
+        assert "imbalance" in plan.to_text()

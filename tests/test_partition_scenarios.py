@@ -1,0 +1,67 @@
+"""Integration tests for the registered partial-replication scenarios."""
+
+import pytest
+
+from repro.engine import get_scenario, run_scenario, scenario_names_with_tag
+from repro.partition.scenarios import (
+    WRITE_FRACTIONS,
+    PartialReplicationReport,
+    sweep_map,
+)
+
+
+class TestRegistration:
+    def test_partition_scenarios_registered(self):
+        names = scenario_names_with_tag("partition")
+        assert names == [
+            "partial-replication-sweep",
+            "partial-replication-sweep-live",
+            "placement-ablation",
+            "placement-ablation-live",
+        ]
+
+    def test_live_cells_carry_the_live_tag(self):
+        assert "partial-replication-sweep-live" in scenario_names_with_tag(
+            "live"
+        )
+
+    def test_aliases_resolve(self):
+        assert get_scenario("partition-sweep").name == (
+            "partial-replication-sweep"
+        )
+        assert get_scenario("placement").name == "placement-ablation"
+
+
+class TestPartialReplicationSweep:
+    @pytest.fixture(scope="class")
+    def report(self, tiny_settings) -> PartialReplicationReport:
+        scenario = get_scenario("partial-replication-sweep")
+        return run_scenario(scenario, tiny_settings, jobs=1, cache=None)
+
+    def test_rows_cover_the_write_fraction_sweep(self, report):
+        assert tuple(row.write_fraction for row in report.rows) == (
+            WRITE_FRACTIONS
+        )
+
+    def test_partial_at_least_matches_full_at_high_update_fraction(
+        self, report
+    ):
+        row = report.row_for(max(WRITE_FRACTIONS))
+        assert row is not None
+        assert row.sim_partial.throughput >= row.sim_full.throughput
+        assert row.speedup >= 1.0
+
+    def test_model_tracks_simulator_within_crossval_envelope(self, report):
+        for row in report.rows:
+            assert row.model_vs_sim_deviation < 0.25, (
+                f"Pw={row.write_fraction}: model deviates "
+                f"{row.model_vs_sim_deviation:.1%}"
+            )
+
+    def test_report_renders(self, report):
+        text = report.to_text()
+        assert "partial replication sweep" in text
+        assert "speedup" in text
+
+    def test_sweep_map_is_partial(self):
+        assert not sweep_map().is_full

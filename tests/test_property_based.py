@@ -10,10 +10,9 @@ import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
-from repro.core.params import ResourceDemand, WorkloadMix
+from repro.core.params import ResourceDemand, ServiceDemands, WorkloadMix
 from repro.models.aborts import retry_inflation, scale_abort_rate
 from repro.models.demands import multimaster_demand, standalone_demand
-from repro.core.params import ServiceDemands
 from repro.queueing.bounds import asymptotic_bounds
 from repro.queueing.mva import solve_mva
 from repro.queueing.network import ClosedNetwork, delay_center, queueing_center
@@ -239,6 +238,96 @@ class TestCertifierProperties:
                 txn_id, certifier.latest_version, {k: txn_id for k in keys}
             )
             assert certifier.certify(writeset).committed
+
+
+class TestPartitionedCertifierProperties:
+    """Per-partition certification (partial replication)."""
+
+    # (partition, keys) pairs: keys are partition-qualified the way the
+    # workload sampler builds them, so key overlap implies partition
+    # overlap — the certifier must additionally *skip* the key check for
+    # disjoint partition sets.
+    partitioned_writesets = st.lists(
+        st.tuples(
+            st.integers(0, 3),  # partition
+            st.frozensets(st.integers(0, 5), min_size=1, max_size=3),
+        ),
+        min_size=2,
+        max_size=12,
+    )
+
+    @given(entries=partitioned_writesets)
+    @settings(max_examples=100, deadline=None)
+    def test_disjoint_partition_sets_never_conflict(self, entries):
+        """Writesets touching disjoint partition sets never abort each
+        other, even when all are concurrent (shared snapshot 0)."""
+        certifier = Certifier()
+        outcomes = []
+        for txn_id, (partition, rows) in enumerate(entries, start=1):
+            writeset = Writeset.from_dict(
+                txn_id, 0,
+                {("updatable", partition, row): txn_id for row in rows},
+                partitions=(partition,),
+            )
+            outcome = certifier.certify(writeset)
+            outcomes.append((partition, rows, outcome))
+        for index, (partition, rows, outcome) in enumerate(outcomes):
+            if outcome.committed:
+                continue
+            # Every abort must be justified by a *same-partition*
+            # committed overlap that preceded it in certification order.
+            culprit = [
+                (p, r) for p, r, o in outcomes[:index]
+                if o.committed and p == partition and r & rows
+            ]
+            assert culprit, (
+                f"partition {partition} aborted without a same-partition "
+                f"conflict"
+            )
+
+    @given(
+        keysets=st.lists(
+            st.frozensets(st.integers(0, 8), min_size=1, max_size=3),
+            min_size=2, max_size=12,
+        ),
+        partition=st.integers(0, 3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_single_partition_agrees_with_global_certifier(
+        self, keysets, partition
+    ):
+        """When every writeset shares one partition, the partition-aware
+        certifier and a plain keys-only certifier decide identically."""
+        scoped = Certifier()
+        unscoped = Certifier()
+        for txn_id, keys in enumerate(keysets, start=1):
+            writes = {("updatable", partition, k): txn_id for k in keys}
+            a = scoped.certify(Writeset.from_dict(
+                txn_id, 0, writes, partitions=(partition,)
+            ))
+            b = unscoped.certify(Writeset.from_dict(txn_id, 0, writes))
+            assert a.committed == b.committed
+            assert a.commit_version == b.commit_version
+        assert scoped.aborts == unscoped.aborts
+
+    @given(entries=partitioned_writesets)
+    @settings(max_examples=60, deadline=None)
+    def test_unpartitioned_writeset_is_a_wildcard(self, entries):
+        """An unpartitioned writeset conflicts across every partition."""
+        certifier = Certifier()
+        keys = set()
+        for txn_id, (partition, rows) in enumerate(entries, start=1):
+            writes = {("updatable", partition, row): txn_id for row in rows}
+            if certifier.certify(Writeset.from_dict(
+                txn_id, 0, writes, partitions=(partition,)
+            )).committed:
+                keys.update(writes)
+        if not keys:
+            return
+        wildcard = Writeset.from_dict(
+            9999, 0, {key: 9999 for key in keys}
+        )
+        assert not certifier.certify(wildcard).committed
 
 
 class TestRunningStatsProperties:

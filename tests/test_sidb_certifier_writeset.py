@@ -151,3 +151,78 @@ class TestCertifierPruning:
         second = certifier.certify(ws(2, snapshot, ["y", "z"]))
         assert first.committed
         assert not second.committed
+
+
+def pws(txn_id, snapshot, partition, rows):
+    """A partitioned writeset with partition-qualified keys."""
+    return Writeset.from_dict(
+        txn_id, snapshot,
+        {("updatable", partition, row): txn_id for row in rows},
+        partitions=(partition,),
+    )
+
+
+class TestPartitionedWriteset:
+    def test_partitions_sorted_and_deduplicated(self):
+        writeset = Writeset.from_dict(
+            1, 0, {"a": 1}, partitions=(2, 0, 2)
+        )
+        assert writeset.partitions == (0, 2)
+        assert writeset.partition_set == frozenset({0, 2})
+
+    def test_committed_preserves_partitions(self):
+        committed = pws(1, 0, 3, ["r"]).committed(7)
+        assert committed.partitions == (3,)
+
+    def test_writes_for_scopes_cross_partition_payload(self):
+        writeset = Writeset.from_dict(
+            1, 0,
+            {("updatable", 0, 5): 1, ("updatable", 1, 9): 1},
+            partitions=(0, 1),
+        )
+        assert writeset.writes_for(frozenset({0})) == {("updatable", 0, 5): 1}
+        assert writeset.writes_for(None) == writeset.as_dict
+
+    def test_writes_for_unpartitioned_returns_everything(self):
+        writeset = ws(1, 0, ["a"])
+        assert writeset.writes_for(frozenset({0})) == {"a": 1}
+
+
+class TestPartitionedCertification:
+    def test_disjoint_partitions_never_conflict(self):
+        certifier = Certifier()
+        first = certifier.certify(pws(1, 0, 0, [1, 2]))
+        second = certifier.certify(pws(2, 0, 1, [1, 2]))
+        assert first.committed and second.committed
+
+    def test_same_partition_overlap_still_conflicts(self):
+        certifier = Certifier()
+        assert certifier.certify(pws(1, 0, 0, [1, 2])).committed
+        outcome = certifier.certify(pws(2, 0, 0, [2, 3]))
+        assert not outcome.committed
+        assert ("updatable", 0, 2) in outcome.conflicting_keys
+
+    def test_partition_sets_share_one_global_version_sequence(self):
+        certifier = Certifier()
+        a = certifier.certify(pws(1, 0, 0, [1]))
+        b = certifier.certify(pws(2, 1, 1, [1]))
+        assert (a.commit_version, b.commit_version) == (1, 2)
+
+    def test_unpartitioned_wildcard_conflicts_with_partitioned(self):
+        certifier = Certifier()
+        assert certifier.certify(pws(1, 0, 0, [4])).committed
+        wildcard = Writeset.from_dict(2, 0, {("updatable", 0, 4): 2})
+        assert not certifier.certify(wildcard).committed
+
+    def test_cross_partition_writesets_conflict_on_shared_partition(self):
+        certifier = Certifier()
+        first = Writeset.from_dict(
+            1, 0, {("updatable", 0, 1): 1, ("updatable", 1, 1): 1},
+            partitions=(0, 1),
+        )
+        second = Writeset.from_dict(
+            2, 0, {("updatable", 1, 1): 2, ("updatable", 2, 1): 2},
+            partitions=(1, 2),
+        )
+        assert certifier.certify(first).committed
+        assert not certifier.certify(second).committed
