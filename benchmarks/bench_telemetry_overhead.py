@@ -1,0 +1,85 @@
+"""Telemetry overhead guard: disabled is free, enabled is <5%.
+
+Two contracts from the observability layer's design budget:
+
+* **Telemetry off** — a run without telemetry must produce results
+  *identical* to an instrumented run of the same point (the recording
+  hooks sit behind ``if telemetry is not None`` guards and must not
+  perturb seeds, virtual clocks, or commit counts).
+* **Telemetry on** — instrumenting the live cluster (metrics + spans +
+  fleet snapshots) must cost less than 5% wall-clock, because the
+  instrument updates are tiny compared to the cluster's scaled sleeps.
+
+The wall-clock comparison runs on the live cluster — the only pillar
+where real time is the measurement — with the simulator covered by the
+result-equality check (its cost model is virtual, so overhead can only
+show up as perturbed results, never as wall-clock).
+"""
+
+import dataclasses
+import time
+
+from conftest import run_once
+
+from repro.cluster import run_cluster
+from repro.simulator.runner import simulate
+from repro.telemetry import TelemetryConfig
+from repro.workloads import get_workload
+
+REPLICAS = 2
+
+#: Full tracing pressure: every transaction sampled, 0.5s snapshots.
+HEAVY = TelemetryConfig(span_sample_rate=1.0, snapshot_interval=0.5)
+
+
+def test_telemetry_off_results_identical(benchmark):
+    spec = get_workload("tpcw/shopping")
+    config = spec.replication_config(REPLICAS)
+    kwargs = dict(design="multi-master", seed=7, warmup=5.0, duration=20.0)
+
+    def both():
+        off = simulate(spec, config, **kwargs)
+        on = simulate(spec, config, telemetry=HEAVY, **kwargs)
+        return off, on
+
+    off, on = run_once(benchmark, both)
+    assert off.telemetry is None
+    assert on.telemetry is not None and on.telemetry.spans
+    assert dataclasses.replace(on, telemetry=None) == off
+
+
+def test_telemetry_on_live_overhead_under_five_percent(benchmark, fast_mode):
+    spec = get_workload("tpcw/shopping")
+    config = spec.replication_config(REPLICAS)
+    kwargs = dict(
+        design="multi-master", seed=7,
+        warmup=2.0 if fast_mode else 4.0,
+        duration=8.0 if fast_mode else 20.0,
+        time_scale=0.05 if fast_mode else 0.1,
+    )
+
+    def timed(telemetry):
+        started = time.perf_counter()
+        result = run_cluster(spec, config, telemetry=telemetry, **kwargs)
+        return time.perf_counter() - started, result
+
+    def compare():
+        # Off first: both runs then share warm code paths.
+        off_seconds, off = timed(None)
+        on_seconds, on = timed(HEAVY)
+        return off_seconds, off, on_seconds, on
+
+    off_seconds, off, on_seconds, on = run_once(benchmark, compare)
+    assert off.converged and on.converged
+    assert off.telemetry is None
+    assert on.telemetry is not None and on.telemetry.timeline
+
+    ratio = on_seconds / off_seconds
+    benchmark.extra_info["off_seconds"] = off_seconds
+    benchmark.extra_info["on_seconds"] = on_seconds
+    benchmark.extra_info["overhead_ratio"] = ratio
+    print(f"\ntelemetry overhead: off {off_seconds:.2f}s, "
+          f"on {on_seconds:.2f}s, ratio {ratio:.3f}")
+    # The live cluster's pacing is dominated by scaled sleeps; the
+    # instrument updates must disappear into that budget.
+    assert ratio < 1.05

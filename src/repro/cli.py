@@ -26,6 +26,7 @@ interrupted or repeated runs are incremental.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
 from typing import List, Optional
@@ -117,14 +118,24 @@ def _cmd_scenarios(args) -> int:
     return 0
 
 
+def _quantile(ordered: List[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending list (0.0 when empty)."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
 def _profile_scenarios(args, tagged=None) -> int:
     """Run the named scenarios and break down per-point wall-clock.
 
     The sweep runner times every point it executes (and notes cache
-    serves); this view rolls those timings up per scenario and prints the
-    slowest points, so contributors can see exactly where a reproduction's
-    wall-clock goes.  *tagged* is the --tag selection: it stands in for
-    explicit names, and restricts them when both are given.
+    serves); this view aggregates those timings per scenario — the
+    p50/p95/max of executed-point seconds — and reports scenarios
+    sorted by total wall-clock, slowest first, so contributors see
+    exactly where a reproduction's time goes.  *tagged* is the --tag
+    selection: it stands in for explicit names, and restricts them
+    when both are given.
     """
     if not args.names and tagged is None:
         # Running the whole registry (live-cluster scenarios included, at
@@ -141,26 +152,33 @@ def _profile_scenarios(args, tagged=None) -> int:
             if get_scenario(name).name in tagged
         ]
     settings = _settings(args)
-    grand_total = 0.0
+    profiles = []
     for name in names:
         scenario = get_scenario(name)
         started = time.time()
         # run_scenario scopes the timing log to this run.
         run_scenario(scenario, settings, jobs=_jobs(args), cache=_cache(args))
-        elapsed = time.time() - started
-        grand_total += elapsed
-        timings = point_timings()
+        profiles.append((scenario, time.time() - started, point_timings()))
+    # Slowest scenario first: the profile exists to answer "where does
+    # the wall-clock go", so lead with the biggest consumer.
+    for scenario, elapsed, timings in sorted(profiles, key=lambda p: -p[1]):
         executed = [t for t in timings if not t.cached]
         cached = len(timings) - len(executed)
         busy = sum(t.seconds for t in executed)
+        seconds = sorted(t.seconds for t in executed)
         print(f"{scenario.name}: {elapsed:.2f}s wall "
               f"({len(timings)} points: {cached} cached, "
-              f"{len(executed)} executed, {busy:.2f}s point work)")
+              f"{len(executed)} executed, {busy:.2f}s point work; "
+              f"p50 {_quantile(seconds, 0.5):.2f}s "
+              f"p95 {_quantile(seconds, 0.95):.2f}s "
+              f"max {_quantile(seconds, 1.0):.2f}s per point)")
         for timing in sorted(executed, key=lambda t: -t.seconds)[:8]:
             share = timing.seconds / busy if busy > 0 else 0.0
             print(f"    {timing.seconds:>8.2f}s {share:>5.0%}  "
                   f"{timing.description}")
-    print(f"total: {grand_total:.2f}s wall across {len(names)} scenario(s)")
+    grand_total = sum(elapsed for _, elapsed, _ in profiles)
+    print(f"total: {grand_total:.2f}s wall across {len(profiles)} "
+          f"scenario(s)")
     return 0
 
 
@@ -215,6 +233,111 @@ def _cmd_simulate(args) -> int:
               f"{to_ms(result.response_time):>7.1f} ms "
               f"{result.abort_rate:>7.3%}")
     return 0
+
+
+def _cmd_metrics(args) -> int:
+    """One instrumented run (or pillar pair) with exports.
+
+    ``--pillar both`` is the schema-parity check in command form: the
+    simulator and the live cluster must emit the same shared metric
+    names from the same workload, or the command fails.
+    """
+    from .cluster import run_cluster
+    from .telemetry import TelemetryConfig, render_dashboard
+    from .telemetry import export as tel_export
+    from .telemetry.schema import SHARED_SCHEMA
+
+    spec = get_workload(args.workload)
+    config = spec.replication_config(args.replicas)
+    telemetry = TelemetryConfig(
+        span_sample_rate=args.span_rate,
+        snapshot_interval=args.interval,
+    )
+    pillars = (
+        ("simulator", "cluster") if args.pillar == "both"
+        else (args.pillar,)
+    )
+    results = {}
+    for pillar in pillars:
+        print(f"running {args.workload} on {args.design} "
+              f"(N={args.replicas}, {pillar} pillar)...", file=sys.stderr)
+        if pillar == "simulator":
+            run = simulate(
+                spec, config, design=args.design, seed=args.seed,
+                warmup=args.warmup, duration=args.duration,
+                telemetry=telemetry,
+            )
+        else:
+            run = run_cluster(
+                spec, config, design=args.design, seed=args.seed,
+                warmup=args.warmup, duration=args.duration,
+                time_scale=args.time_scale, telemetry=telemetry,
+            )
+        results[pillar] = run.telemetry
+        print(render_dashboard(run.telemetry))
+        print()
+
+    code = 0
+    for pillar, result in results.items():
+        missing = SHARED_SCHEMA - result.metric_names()
+        if missing:
+            print(f"FAIL: {pillar} pillar did not emit "
+                  f"{', '.join(sorted(missing))}")
+            code = 1
+    if len(results) == 2 and code == 0:
+        live_only = (results["cluster"].metric_names()
+                     - results["simulator"].metric_names())
+        print(f"schema parity: both pillars emitted all "
+              f"{len(SHARED_SCHEMA)} shared metric names"
+              + (f" (live adds {', '.join(sorted(live_only))})"
+                 if live_only else ""))
+
+    if args.trace_out:
+        spans = [(pillar, span)
+                 for pillar, result in results.items()
+                 for span in result.spans]
+        written = tel_export.write_spans_jsonl(args.trace_out, spans)
+        print(f"wrote {written} spans to {args.trace_out}")
+    if args.chrome_out:
+        span_dicts = [tel_export.span_to_dict(span, pillar)
+                      for pillar, result in results.items()
+                      for span in result.spans]
+        tel_export.write_chrome_trace(args.chrome_out, span_dicts)
+        print(f"wrote Chrome trace to {args.chrome_out} "
+              f"(load via chrome://tracing or ui.perfetto.dev)")
+    if args.prom_out:
+        with open(args.prom_out, "w", encoding="utf-8") as handle:
+            for pillar, result in results.items():
+                handle.write(f"# pillar: {pillar}\n")
+                handle.write(tel_export.prometheus_text(result.samples))
+        print(f"wrote Prometheus text exposition to {args.prom_out}")
+    if args.json_out:
+        import json
+
+        payload = {
+            pillar: {
+                "metrics": [
+                    {"name": s.name, "kind": s.kind,
+                     "labels": dict(s.labels), "value": s.value,
+                     "max_value": s.max_value, "sum": s.sum,
+                     "count": s.count}
+                    for s in result.samples
+                ],
+                "spans": len(result.spans),
+                "spans_dropped": result.spans_dropped,
+                "snapshots": len(result.timeline),
+                "events": [
+                    {"time": e.time, "kind": e.kind,
+                     "subject": e.subject, "detail": e.detail}
+                    for e in result.events
+                ],
+            }
+            for pillar, result in results.items()
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote metrics JSON to {args.json_out}")
+    return code
 
 
 def _cmd_crossval(args) -> int:
@@ -552,6 +675,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=float, default=10.0)
     p.add_argument("--duration", type=float, default=60.0)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run one instrumented point and show the telemetry "
+        "dashboard (spans, metrics, timeline; exportable)",
+    )
+    p.add_argument("--workload", default="tpcw/shopping")
+    p.add_argument("--design", choices=DESIGNS, default="multi-master")
+    p.add_argument("--pillar", choices=("simulator", "cluster", "both"),
+                   default="simulator",
+                   help="execution pillar; 'both' also checks that the "
+                   "two pillars emit the same shared metric schema")
+    p.add_argument("--replicas", type=int, default=3)
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--warmup", type=float, default=5.0)
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--time-scale", type=float, default=0.1,
+                   help="wall seconds per virtual second (cluster pillar)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="timeline snapshot interval (virtual seconds)")
+    p.add_argument("--span-rate", type=float, default=0.1,
+                   help="fraction of transactions traced as spans (0-1)")
+    p.add_argument("--trace-out", default=None,
+                   help="write sampled spans to this JSONL file")
+    p.add_argument("--chrome-out", default=None,
+                   help="write a Chrome-trace JSON conversion of the spans")
+    p.add_argument("--prom-out", default=None,
+                   help="write metrics in Prometheus text format")
+    p.add_argument("--json-out", default=None,
+                   help="write the full metric/event payload as JSON")
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser(
         "crossval",

@@ -38,6 +38,7 @@ from ..sidb.certifier import Certifier
 from ..simulator.sampling import EXPONENTIAL, WorkloadSampler
 from ..simulator.stats import MetricsCollector
 from ..simulator.systems import check_capacities
+from ..telemetry import schema as tel_schema
 from ..workloads.spec import WorkloadSpec
 from .balancer import LoadBalancer
 from .channel import ReplicationChannel
@@ -54,6 +55,11 @@ class Cluster:
     """Shared plumbing of the live topologies: replicas, balancer, metrics."""
 
     design = "abstract"
+
+    #: Optional :class:`repro.telemetry.Telemetry` hook (see
+    #: :meth:`attach_telemetry`); ``None`` keeps every hot path exactly
+    #: as it was before the telemetry layer existed.
+    telemetry = None
 
     def __init__(
         self,
@@ -137,6 +143,8 @@ class Cluster:
         with self.metrics_lock:
             self.metrics.watch_resource(f"{name}.cpu", replica.cpu)
             self.metrics.watch_resource(f"{name}.disk", replica.disk)
+        if self.telemetry is not None:
+            replica.telemetry = self.telemetry
         return replica
 
     def _make_replica(
@@ -148,6 +156,20 @@ class Cluster:
                                     hosted_partitions)
         self.replicas.append(replica)
         return replica
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire a :class:`repro.telemetry.Telemetry` into the cluster.
+
+        Called once after construction by a telemetry-enabled run; the
+        certifier, every current replica, and every replica created
+        later (elastic joins) share the same recorder.
+        """
+        self.telemetry = telemetry
+        certifier = getattr(self, "certifier", None)
+        if certifier is not None:
+            certifier.telemetry = telemetry
+        for replica in self.replicas:
+            replica.telemetry = telemetry
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -498,25 +520,47 @@ class MultiMasterCluster(Cluster):
         self.certifier.observe_snapshot(max(0, floor))
 
     def execute(self, sampler, is_update, client_id):
+        telemetry = self.telemetry
+        trace = (
+            telemetry.tracer.start_trace()
+            if telemetry is not None else None
+        )
+        route_start = self.clock.now()
         # Partitioned workloads pick their data before routing: the
         # transaction must land on a replica hosting what it touches.
         partitions = sampler.sample_partition_set(is_update)
         replica = self._route(client_id, is_update, partitions)
+        if telemetry is not None:
+            telemetry.count_route(replica.name, is_update)
+            if trace is not None:
+                telemetry.tracer.add_span(
+                    trace, tel_schema.SPAN_ROUTE, route_start,
+                    self.clock.now(), subject=replica.name,
+                    policy=self.balancer.policy,
+                )
         self._acquire(replica)
         aborts = 0
         try:
             if not is_update:
                 # Reads execute entirely locally and always commit (§2:
                 # GSI read-only transactions never abort).
+                work_start = self.clock.now()
                 self._serve_read_txn(replica, sampler)
+                if trace is not None:
+                    telemetry.tracer.add_span(
+                        trace, tel_schema.SPAN_EXECUTE, work_start,
+                        self.clock.now(), subject=replica.name,
+                        kind="read",
+                    )
                 return aborts
-            for _ in range(self.config.max_retries):
+            for attempt in range(1, self.config.max_retries + 1):
                 # GSI: the snapshot is the replica's locally-latest
                 # version, which may lag the certifier.
                 txn = replica.db.begin()
                 self._record_snapshot_age(
                     self.certifier.latest_version - txn.snapshot_version
                 )
+                work_start = self.clock.now()
                 replica.serve_update_attempt(sampler)
                 # Each attempt re-samples its rows (re-execution of the
                 # transaction logic against fresh data).
@@ -529,17 +573,58 @@ class MultiMasterCluster(Cluster):
                 # scoped and propagation covers only hosting replicas.
                 txn.partitions = sampled.partitions
                 writeset = txn.writeset()
+                if trace is not None:
+                    telemetry.tracer.add_span(
+                        trace, tel_schema.SPAN_EXECUTE, work_start,
+                        self.clock.now(), subject=replica.name,
+                        kind="update", attempt=attempt,
+                    )
                 self._record_certification()
-                with self._order_lock:
-                    outcome = self.certifier.certify(writeset)
-                    if outcome.committed:
-                        self.channel.publish(
-                            writeset.committed(outcome.commit_version),
-                            origin=replica,
+                certify_start = self.clock.now()
+                if telemetry is not None:
+                    telemetry.certify_begin()
+                try:
+                    with self._order_lock:
+                        outcome = self.certifier.certify(writeset)
+                        if outcome.committed:
+                            if trace is not None:
+                                # Appliers find the trace through the
+                                # version map — register it before the
+                                # publish makes the writeset poppable.
+                                telemetry.tracer.note_version(
+                                    outcome.commit_version, trace
+                                )
+                            self.channel.publish(
+                                writeset.committed(outcome.commit_version),
+                                origin=replica,
+                            )
+                    if telemetry is not None and outcome.committed:
+                        telemetry.note_commit(
+                            outcome.commit_version, self.clock.now()
                         )
-                # The response (like the propagated writesets) reaches the
-                # replica one certification delay later (§6.3.2).
-                self.clock.sleep(self.config.certifier_delay)
+                        if trace is not None:
+                            telemetry.tracer.add_span(
+                                trace, tel_schema.SPAN_PROPAGATE,
+                                certify_start, self.clock.now(),
+                                subject="channel",
+                                fanout=len(self.replicas),
+                            )
+                    # The response (like the propagated writesets) reaches
+                    # the replica one certification delay later (§6.3.2).
+                    self.clock.sleep(self.config.certifier_delay)
+                finally:
+                    if telemetry is not None:
+                        telemetry.certify_end()
+                if trace is not None:
+                    tags = {"attempt": attempt,
+                            "committed": outcome.committed}
+                    if not outcome.committed:
+                        tags["abort"] = tel_schema.ABORT_WW_CONFLICT
+                        tags["conflicts"] = len(outcome.conflicting_keys)
+                    telemetry.tracer.add_span(
+                        trace, tel_schema.SPAN_CERTIFY, certify_start,
+                        self.clock.now(), subject="certifier", **tags,
+                    )
                 if outcome.committed:
                     replica.db.finish_remote(txn, outcome.commit_version)
                     return aborts
@@ -653,14 +738,35 @@ class SingleMasterCluster(Cluster):
         self.master.db.vacuum()
 
     def execute(self, sampler, is_update, client_id):
+        telemetry = self.telemetry
+        trace = (
+            telemetry.tracer.start_trace()
+            if telemetry is not None else None
+        )
+        route_start = self.clock.now()
         partitions = sampler.sample_partition_set(is_update)
         if not is_update:
             # Reads may only land on replicas hosting their partition
             # (the master hosts everything).
             replica = self._route(client_id, False, partitions)
+            if telemetry is not None:
+                telemetry.count_route(replica.name, False)
+                if trace is not None:
+                    telemetry.tracer.add_span(
+                        trace, tel_schema.SPAN_ROUTE, route_start,
+                        self.clock.now(), subject=replica.name,
+                        policy=self.balancer.policy,
+                    )
             self._acquire(replica)
             try:
+                work_start = self.clock.now()
                 self._serve_read_txn(replica, sampler)
+                if trace is not None:
+                    telemetry.tracer.add_span(
+                        trace, tel_schema.SPAN_EXECUTE, work_start,
+                        self.clock.now(), subject=replica.name,
+                        kind="read",
+                    )
                 return 0
             finally:
                 self._release(replica)
@@ -669,13 +775,22 @@ class SingleMasterCluster(Cluster):
         self.clock.sleep(self.config.load_balancer_delay)
         master = self.master
         master.enter()
+        if telemetry is not None:
+            telemetry.count_route(master.name, True)
+            if trace is not None:
+                telemetry.tracer.add_span(
+                    trace, tel_schema.SPAN_ROUTE, route_start,
+                    self.clock.now(), subject=master.name,
+                    policy="master",
+                )
         self._acquire(master)
         aborts = 0
         try:
-            for _ in range(self.config.max_retries):
+            for attempt in range(1, self.config.max_retries + 1):
                 # Plain SI on the master: snapshot is its latest committed
                 # version; the conflict window is the execution time here.
                 txn = master.db.begin()
+                work_start = self.clock.now()
                 master.serve_update_attempt(sampler)
                 sampled = sampler.sample_writeset(
                     txn.snapshot_version, partitions
@@ -685,14 +800,56 @@ class SingleMasterCluster(Cluster):
                 # Stamp the partition footprint: slaves that host none of
                 # these partitions apply only a version marker.
                 txn.partitions = sampled.partitions
+                if trace is not None:
+                    telemetry.tracer.add_span(
+                        trace, tel_schema.SPAN_EXECUTE, work_start,
+                        self.clock.now(), subject=master.name,
+                        kind="update", attempt=attempt,
+                    )
                 self._record_certification()
+                certify_start = self.clock.now()
+                if telemetry is not None:
+                    telemetry.certify_begin()
                 try:
                     with self._order_lock:
                         committed = master.db.commit(txn)
+                        if trace is not None:
+                            # Register the trace before the publish makes
+                            # the writeset poppable by slave appliers.
+                            telemetry.tracer.note_version(
+                                committed.commit_version, trace
+                            )
                         self.channel.publish(committed, origin=master)
-                except TransactionAborted:
+                except TransactionAborted as exc:
+                    if telemetry is not None:
+                        telemetry.certify_end()
+                        if trace is not None:
+                            telemetry.tracer.add_span(
+                                trace, tel_schema.SPAN_CERTIFY,
+                                certify_start, self.clock.now(),
+                                subject="certifier", attempt=attempt,
+                                committed=False,
+                                abort=tel_schema.ABORT_WW_CONFLICT,
+                                conflicts=len(exc.conflicting_keys),
+                            )
                     aborts += 1
                     continue
+                if telemetry is not None:
+                    telemetry.certify_end()
+                    telemetry.note_commit(
+                        committed.commit_version, self.clock.now()
+                    )
+                    if trace is not None:
+                        telemetry.tracer.add_span(
+                            trace, tel_schema.SPAN_CERTIFY, certify_start,
+                            self.clock.now(), subject="certifier",
+                            attempt=attempt, committed=True,
+                        )
+                        telemetry.tracer.add_span(
+                            trace, tel_schema.SPAN_PROPAGATE,
+                            certify_start, self.clock.now(),
+                            subject="channel", fanout=len(self.slaves) + 1,
+                        )
                 return aborts
             raise RetryLimitExceeded(
                 self.design, "update", self.config.max_retries

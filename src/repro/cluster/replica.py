@@ -86,7 +86,9 @@ class ClusterReplica:
         # _state guards the apply queue, availability, the active counter,
         # and the applied-writeset counter; the applier waits on it.
         self._state = threading.Condition()
-        self._queue: Deque[Tuple[Writeset, bool]] = deque()
+        # (writeset, charged, enqueued_at) — the timestamp is None while
+        # telemetry is detached, keeping the clock off the hot path.
+        self._queue: Deque[Tuple[Writeset, bool, Optional[float]]] = deque()
         self._available = True
         self._stopping = False
         # Elastic-membership lifecycle: a *joining* replica applies its
@@ -99,6 +101,9 @@ class ClusterReplica:
         self._failed = False
         self._active = 0
         self.writesets_applied = 0
+        #: Optional :class:`repro.telemetry.Telemetry` hook (``None``
+        #: keeps the enqueue/apply path allocation-free).
+        self.telemetry = None
         #: First exception that killed the applier thread (None while
         #: healthy); the runner surfaces it instead of letting a dead
         #: applier masquerade as a quiesce timeout.
@@ -263,10 +268,13 @@ class ClusterReplica:
         Dropped silently once the replica has crashed: the dead replica
         no longer consumes writesets, and its state is discarded anyway.
         """
+        enqueued_at = (
+            self._clock.now() if self.telemetry is not None else None
+        )
         with self._state:
             if self._failed:
                 return
-            self._queue.append((writeset, charged))
+            self._queue.append((writeset, charged, enqueued_at))
             self._state.notify_all()
 
     @property
@@ -303,7 +311,7 @@ class ClusterReplica:
                     return
                 # On shutdown the remaining backlog is drained regardless
                 # of availability (quiesce implies recovery).
-                writeset, charged = self._queue.popleft()
+                writeset, charged, enqueued_at = self._queue.popleft()
             if not self.hosts_writeset(writeset):
                 # Partial replication: the data is not placed here.  Skip
                 # the payload and its resource cost, but advance the
@@ -319,6 +327,13 @@ class ClusterReplica:
             self.db.apply_writeset(writeset, self.hosted_partitions)
             with self._state:
                 self.writesets_applied += 1
+            telemetry = self.telemetry
+            if telemetry is not None and enqueued_at is not None:
+                now = self._clock.now()
+                telemetry.observe_apply(self.name, now - enqueued_at)
+                telemetry.apply_span(
+                    writeset.commit_version, self.name, enqueued_at, now
+                )
             applied_since_vacuum += 1
             if applied_since_vacuum >= _VACUUM_INTERVAL:
                 applied_since_vacuum = 0

@@ -43,6 +43,7 @@ from ..simulator.runner import MULTI_MASTER, SINGLE_MASTER
 from ..simulator.sampling import DISTRIBUTIONS, EXPONENTIAL, WorkloadSampler
 from ..simulator.stats import MetricsCollector
 from ..simulator.systems import LB_POLICIES, LEAST_LOADED
+from ..telemetry import Telemetry, active_config
 from ..workloads.spec import WorkloadSpec
 from .clock import VirtualClock
 from .cluster import Cluster, MultiMasterCluster, SingleMasterCluster
@@ -92,6 +93,10 @@ class ClusterResult:
     #: True when every replica applied every certified commit in time —
     #: with :attr:`final_versions` identical, replication was correct.
     converged: bool = False
+    #: :class:`repro.telemetry.TelemetryResult` when the run was
+    #: telemetry-enabled; ``None`` otherwise (the default keeps results
+    #: from older cached runs loading unchanged).
+    telemetry: object = None
 
     @property
     def throughput(self) -> float:
@@ -180,6 +185,8 @@ def _closed_loop_client(
         now = clock.now()
         with cluster.metrics_lock:
             metrics.record_commit(is_update, now - started, aborts, now=now)
+        if cluster.telemetry is not None:
+            cluster.telemetry.count_commit(is_update)
 
 
 def _open_loop_source(
@@ -230,6 +237,19 @@ def _one_shot(cluster: Cluster, sampler: WorkloadSampler, sequence: int) -> None
     now = clock.now()
     with cluster.metrics_lock:
         metrics.record_commit(is_update, now - started, aborts, now=now)
+    if cluster.telemetry is not None:
+        cluster.telemetry.count_commit(is_update)
+
+
+def _telemetry_sampler(cluster: Cluster, recorder, drivers: _Drivers) -> None:
+    """Snapshot fleet state every (virtual) snapshot interval."""
+    interval = max(
+        cluster.clock.to_wall(recorder.config.snapshot_interval), 0.001
+    )
+    while not drivers.stop.wait(interval):
+        recorder.sample_fleet(
+            cluster.clock.now(), cluster.replicas, cluster.certifier
+        )
 
 
 def _fault_process(
@@ -272,6 +292,7 @@ def run_cluster(
     quiesce_timeout: float = 30.0,
     capacities: Optional[Sequence[float]] = None,
     partition_map=None,
+    telemetry=None,
 ) -> ClusterResult:
     """Execute *spec* on a live *design* cluster and measure steady state.
 
@@ -279,7 +300,10 @@ def run_cluster(
     ``(warmup + duration) * time_scale`` plus drain time.  See
     :func:`repro.simulator.runner.simulate` for the shared parameter
     semantics (*faults*, *arrival_rate*, *lb_policy*, *distribution*,
-    *partition_map*).
+    *partition_map*, *telemetry*).  Telemetry samples the fleet from a
+    dedicated thread on the configured virtual interval and attaches a
+    :class:`repro.telemetry.TelemetryResult` (``pillar="cluster"``) with
+    the same metric-name schema the simulator emits.
     """
     if design not in _CLUSTER_CLASSES:
         raise ConfigurationError(
@@ -303,6 +327,11 @@ def run_cluster(
         distribution=distribution, lb_policy=lb_policy,
         capacities=capacities, partition_map=partition_map,
     )
+    telemetry_config = active_config(telemetry)
+    recorder = None
+    if telemetry_config is not None:
+        recorder = Telemetry(telemetry_config, pillar="cluster")
+        cluster.attach_telemetry(recorder)
     if faults:
         from ..partition.placement import check_faults_against_map
 
@@ -310,6 +339,13 @@ def run_cluster(
     cluster.start()
 
     drivers = _Drivers()
+    if recorder is not None:
+        drivers.launch(
+            lambda: drivers.guard(
+                lambda: _telemetry_sampler(cluster, recorder, drivers)
+            ),
+            name="telemetry-sampler",
+        )
     for fault in validate_faults(faults, config.replicas, design):
         drivers.launch(
             lambda f=fault: _fault_process(cluster, f, drivers),
@@ -359,6 +395,12 @@ def run_cluster(
                 "the cluster can drain — lower arrival_rate or clients"
             )
         converged = cluster.quiesce(timeout=quiesce_timeout)
+        if recorder is not None:
+            # One closing sample so end-of-run (post-quiesce) state is
+            # always captured, even on runs shorter than the interval.
+            recorder.sample_fleet(
+                clock.now(), cluster.replicas, cluster.certifier
+            )
         final_versions = cluster.replica_versions()
         dead_appliers = cluster.applier_errors()
         if dead_appliers:
@@ -400,4 +442,5 @@ def run_cluster(
         time_scale=time_scale,
         final_versions=final_versions,
         converged=converged,
+        telemetry=None if recorder is None else recorder.result(),
     )

@@ -43,6 +43,7 @@ from ..simulator.systems import (
     MultiMasterSystem,
     SingleMasterSystem,
 )
+from ..telemetry import Telemetry, active_config, render_events
 from ..workloads.spec import WorkloadSpec
 from .controller import ControlObservation, make_controller
 from .trace import LoadTrace
@@ -114,6 +115,10 @@ class AutoscaleResult:
     ops_events: Tuple[OpsEvent, ...] = ()
     #: Capacity multipliers of the initial fleet (uniform when empty).
     capacities: Tuple[float, ...] = ()
+    #: :class:`repro.telemetry.TelemetryResult` when the run was
+    #: telemetry-enabled; ``None`` otherwise (the default keeps results
+    #: from older cached runs loading unchanged).
+    telemetry: object = None
 
     @property
     def slo_violation_fraction(self) -> float:
@@ -224,8 +229,7 @@ def render_timeline(result: AutoscaleResult, width: int = 24) -> str:
         )
     if result.ops_events:
         lines.append("  ops events:")
-        for event in result.ops_events:
-            lines.append(f"    {event.to_text()}")
+        lines.extend(render_events(result.ops_events))
     return "\n".join(lines)
 
 
@@ -348,6 +352,7 @@ def _control_tick(
     window_start: float,
     window_end: float,
     reconcile: bool = True,
+    telemetry=None,
 ) -> None:
     """One control interval, identical for both pillars.
 
@@ -378,6 +383,14 @@ def _control_tick(
     )
     target = max(min_replicas,
                  min(max_replicas, controller.target(observation)))
+    if telemetry is not None:
+        if target > observation.members:
+            action = "scale-up"
+        elif target < observation.members:
+            action = "scale-down"
+        else:
+            action = "hold"
+        telemetry.count_decision(action, target)
     if reconcile:
         _reconcile_membership(member_count, add, remove, target, state)
     state.integrate(now, len(replicas()), window_start, window_end)
@@ -469,6 +482,7 @@ def autoscale_sim(
     compact_min: Optional[int] = None,
     ops: Optional[OpsPlan] = None,
     capacities: Optional[Tuple[float, ...]] = None,
+    telemetry=None,
 ) -> AutoscaleResult:
     """Run one autoscaling policy on the DES simulator.
 
@@ -483,7 +497,10 @@ def autoscale_sim(
     replacement, rolling restart); while attached, the operations layer
     is the only membership authority — the controller observes but does
     not reconcile.  *capacities* builds a heterogeneous initial fleet
-    (one multiplier per initial replica).
+    (one multiplier per initial replica).  *telemetry* opts into the
+    observability layer (see :func:`repro.simulator.runner.simulate`);
+    controller decisions and the operations event log land on the
+    recorder alongside the transaction-level metrics.
     """
     _validate(design, trace, distribution, lb_policy, warmup, duration,
               control_interval, slo_response)
@@ -504,6 +521,21 @@ def autoscale_sim(
         distribution=distribution, lb_policy=lb_policy,
         capacities=capacities,
     )
+    telemetry_config = active_config(telemetry)
+    recorder = None
+    if telemetry_config is not None:
+        recorder = Telemetry(telemetry_config, pillar="simulator")
+        system.attach_telemetry(recorder)
+
+        def telemetry_sampler():
+            while True:
+                yield Timeout(recorder.config.snapshot_interval)
+                recorder.sample_fleet(
+                    env.now, system.replicas,
+                    getattr(system, "certifier", None),
+                )
+
+        env.start(telemetry_sampler())
     system.start_trace_arrivals(trace)
 
     window_start = warmup
@@ -570,6 +602,7 @@ def autoscale_sim(
                 slo_response=slo_response,
                 window_start=window_start, window_end=window_end,
                 reconcile=manage_membership,
+                telemetry=recorder,
             )
             if monitor is not None and ops.detect_interval is None:
                 monitor.tick(env.now)
@@ -596,6 +629,12 @@ def autoscale_sim(
     committed, violations = _window_slo(
         metrics.samples, window_start, window_end, slo_response
     )
+    telemetry_result = None
+    if recorder is not None:
+        recorder.sample_fleet(env.now, system.replicas,
+                              getattr(system, "certifier", None))
+        recorder.ingest_events(state.events)
+        telemetry_result = recorder.result()
     return AutoscaleResult(
         design=design,
         policy=controller.name,
@@ -616,6 +655,7 @@ def autoscale_sim(
         abort_rate=metrics.abort_rate(),
         ops_events=tuple(sorted(state.events, key=lambda e: e.time)),
         capacities=tuple(capacities) if capacities else (),
+        telemetry=telemetry_result,
     )
 
 
@@ -648,6 +688,7 @@ def autoscale_cluster(
     drain_timeout: float = 30.0,
     ops: Optional[OpsPlan] = None,
     capacities: Optional[Tuple[float, ...]] = None,
+    telemetry=None,
 ) -> AutoscaleResult:
     """Run one autoscaling policy on the live cluster runtime.
 
@@ -668,6 +709,7 @@ def autoscale_cluster(
         _Drivers,
         _fault_process,
         _open_loop_source,
+        _telemetry_sampler,
     )
 
     _validate(design, trace, distribution, lb_policy, warmup, duration,
@@ -689,6 +731,11 @@ def autoscale_cluster(
         distribution=distribution, lb_policy=lb_policy,
         capacities=capacities,
     )
+    telemetry_config = active_config(telemetry)
+    tel_recorder = None
+    if telemetry_config is not None:
+        tel_recorder = Telemetry(telemetry_config, pillar="cluster")
+        cluster.attach_telemetry(tel_recorder)
     cluster.start()
 
     window_start = warmup
@@ -696,6 +743,13 @@ def autoscale_cluster(
     state = _ControlState(last_attached=len(cluster.replicas),
                           busy=_busy_snapshot(cluster.replicas))
     drivers = _Drivers()
+    if tel_recorder is not None:
+        drivers.launch(
+            lambda: drivers.guard(
+                lambda: _telemetry_sampler(cluster, tel_recorder, drivers)
+            ),
+            name="telemetry-sampler",
+        )
 
     monitor: Optional[HealthMonitor] = None
     manage_membership = ops is None or not ops.active
@@ -764,6 +818,7 @@ def autoscale_cluster(
                 slo_response=slo_response,
                 window_start=window_start, window_end=window_end,
                 reconcile=manage_membership,
+                telemetry=tel_recorder,
             )
             if monitor is not None and ops.detect_interval is None:
                 monitor.tick(now)
@@ -790,6 +845,10 @@ def autoscale_cluster(
         state.integrate(min(clock.now(), window_end),
                         len(cluster.replicas), window_start, window_end)
         converged = cluster.quiesce(timeout=quiesce_timeout)
+        if tel_recorder is not None:
+            tel_recorder.sample_fleet(
+                clock.now(), cluster.replicas, cluster.certifier
+            )
         final_versions = cluster.replica_versions()
         dead = cluster.applier_errors()
         if dead:
@@ -804,6 +863,10 @@ def autoscale_cluster(
     committed, violations = _window_slo(
         metrics.samples, window_start, window_end, slo_response
     )
+    telemetry_result = None
+    if tel_recorder is not None:
+        tel_recorder.ingest_events(state.events)
+        telemetry_result = tel_recorder.result()
     return AutoscaleResult(
         design=design,
         policy=controller.name,
@@ -824,4 +887,5 @@ def autoscale_cluster(
         abort_rate=metrics.abort_rate(),
         ops_events=tuple(sorted(state.events, key=lambda e: e.time)),
         capacities=tuple(capacities) if capacities else (),
+        telemetry=telemetry_result,
     )

@@ -90,6 +90,7 @@ class SimulatorBackend:
             arrival_rate=opts.get("arrival_rate"),
             capacities=opts.get("capacities"),
             partition_map=opts.get("partition_map"),
+            telemetry=opts.get("telemetry"),
         )
 
 
@@ -113,6 +114,7 @@ class ClusterBackend:
             capacities=opts.get("capacities"),
             arrival_rate=opts.get("arrival_rate"),
             partition_map=opts.get("partition_map"),
+            telemetry=opts.get("telemetry"),
         )
 
 

@@ -196,9 +196,16 @@ def sim_point(
     arrival_rate: Optional[float] = None,
     capacities: Optional[Tuple[float, ...]] = None,
     partition_map: object = None,
+    telemetry: object = None,
     tag: str = "",
 ) -> SweepPoint:
-    """A discrete-event-simulator measurement point."""
+    """A discrete-event-simulator measurement point.
+
+    *telemetry* (a frozen :class:`repro.telemetry.TelemetryConfig`) opts
+    the point into the observability layer; ``None`` — the default —
+    drops out of the options entirely, so every pre-telemetry cache key
+    is preserved byte-for-byte.
+    """
     options = {
         "warmup": warmup,
         "duration": duration,
@@ -213,6 +220,8 @@ def sim_point(
         options["capacities"] = tuple(capacities)
     if partition_map is not None:
         options["partition_map"] = partition_map
+    if telemetry is not None:
+        options["telemetry"] = telemetry
     return SweepPoint(
         backend=SIMULATOR,
         spec=spec,
@@ -302,6 +311,7 @@ def cluster_point(
     capacities: Optional[Tuple[float, ...]] = None,
     arrival_rate: Optional[float] = None,
     partition_map: object = None,
+    telemetry: object = None,
     tag: str = "",
 ) -> SweepPoint:
     """A live-cluster execution point (never cached: it measures real
@@ -319,6 +329,8 @@ def cluster_point(
         options["arrival_rate"] = arrival_rate
     if partition_map is not None:
         options["partition_map"] = partition_map
+    if telemetry is not None:
+        options["telemetry"] = telemetry
     return SweepPoint(
         backend=CLUSTER,
         spec=spec,

@@ -86,6 +86,11 @@ class CrossValidationResult:
     #: The live run's full result, including the replication-correctness
     #: evidence (convergence flag and per-replica final versions).
     live_result: ClusterResult
+    #: The simulator's full result; with telemetry enabled the two
+    #: pillars' :class:`~repro.telemetry.TelemetryResult` objects hang
+    #: off ``sim_result.telemetry`` / ``live_result.telemetry`` and emit
+    #: one shared metric-name schema (the DES-vs-live parity contract).
+    sim_result: object = None
 
     @property
     def converged(self) -> bool:
@@ -178,6 +183,7 @@ def _crossval_points(
     distribution: str,
     lb_policy: str,
     settings: ExperimentSettings,
+    telemetry: object = None,
 ):
     if profile is None:
         profile = profile_task(spec, settings)
@@ -190,6 +196,7 @@ def _crossval_points(
             duration=sim_duration,
             distribution=distribution,
             lb_policy=lb_policy,
+            telemetry=telemetry,
             tag="simulator",
         ),
         cluster_point(
@@ -200,6 +207,7 @@ def _crossval_points(
             time_scale=time_scale,
             distribution=distribution,
             lb_policy=lb_policy,
+            telemetry=telemetry,
             tag="cluster",
         ),
     ]
@@ -240,6 +248,7 @@ def _crossval_assemble(
             live_result.abort_rate,
         ),
         live_result=live_result,
+        sim_result=sim_result,
     )
 
 
@@ -257,12 +266,13 @@ def _crossval_scenario(
     distribution: str = EXPONENTIAL,
     lb_policy: str = LEAST_LOADED,
     name: str = "crossval",
+    telemetry: object = None,
 ) -> Scenario:
     def points(settings):
         return _crossval_points(
             spec, config, design, seed, profile, sim_warmup, sim_duration,
             cluster_warmup, cluster_duration, time_scale, distribution,
-            lb_policy, settings,
+            lb_policy, settings, telemetry,
         )
 
     def assemble(settings, pts, results):
@@ -309,6 +319,7 @@ def cross_validate(
     *,
     jobs: Optional[int] = 1,
     cache: object = None,
+    telemetry: object = None,
 ) -> CrossValidationResult:
     """Run all three pillars on the same configuration and compare.
 
@@ -316,14 +327,16 @@ def cross_validate(
     ground-truth profile); by default the profile is measured with
     :func:`repro.experiments.context.get_profile` under *settings*
     (default: :meth:`ExperimentSettings.fast`).  ``jobs=3`` runs the three
-    pillars concurrently.
+    pillars concurrently.  *telemetry* (a
+    :class:`repro.telemetry.TelemetryConfig`) records both executable
+    pillars with one shared metric-name schema.
     """
     from ..engine.runner import run_scenario
 
     scenario = _crossval_scenario(
         spec, config, design, seed, profile, sim_warmup, sim_duration,
         cluster_warmup, cluster_duration, time_scale, distribution,
-        lb_policy,
+        lb_policy, telemetry=telemetry,
     )
     return run_scenario(
         scenario, settings or ExperimentSettings.fast(), jobs=jobs,

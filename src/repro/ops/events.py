@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 # The fault layer stamps crash events with its own kind constant; one
 # definition keeps summarize()'s matching and the recorder in lockstep.
 from ..simulator.faults import CRASH
+from ..telemetry.events import TelemetryEvent
 
 #: Event kinds, in roughly the order they occur in a replacement.
 DETECT = "detect"
@@ -28,24 +29,37 @@ UPGRADED = "upgraded"
 ROLLING_DONE = "rolling-complete"
 
 
-@dataclass(frozen=True)
-class OpsEvent:
-    """One timestamped operations action."""
+class OpsEvent(TelemetryEvent):
+    """One timestamped operations action.
 
-    #: Virtual time of the event (seconds from run start).
-    time: float
-    #: Event kind (``crash`` | ``detect`` | ``detach`` | ``replace`` |
-    #: ``restored`` | ``drain`` | ``rejoin`` | ``upgraded`` | ...).
-    kind: str
-    #: Replica the event concerns.
-    replica: str = ""
-    #: Free-form context (e.g. ``replaces replica1``).
-    detail: str = ""
+    Originally its own dataclass; now a
+    :class:`~repro.telemetry.events.TelemetryEvent` so the ``repro ops``
+    and ``repro metrics`` timelines share one event schema and renderer.
+    The historical ``replica`` field survives as an alias of
+    ``subject`` — third positional constructor argument included — so
+    existing call sites, tests, and cached results keep working.
+    """
 
-    def to_text(self) -> str:
-        """One log line."""
-        detail = f" ({self.detail})" if self.detail else ""
-        return f"t={self.time:8.2f}s  {self.kind:<16s} {self.replica}{detail}"
+    def __init__(self, time: float, kind: str, replica: str = "",
+                 detail: str = "", *, subject: Optional[str] = None) -> None:
+        TelemetryEvent.__init__(
+            self, time=time, kind=kind,
+            subject=replica if subject is None else subject,
+            detail=detail,
+        )
+
+    @property
+    def replica(self) -> str:
+        """The replica the event concerns (alias of ``subject``)."""
+        return self.subject
+
+    def __setstate__(self, state):
+        # Pickles from before the telemetry layer stored the subject
+        # under the old field name.
+        if isinstance(state, dict) and "replica" in state:
+            state = dict(state)
+            state.setdefault("subject", state.pop("replica"))
+        self.__dict__.update(state)
 
 
 @dataclass(frozen=True)

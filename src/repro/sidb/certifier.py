@@ -87,11 +87,21 @@ class Certifier:
         self.certifications = 0
         self.commits = 0
         self.aborts = 0
+        #: Optional :class:`repro.telemetry.Telemetry` hook.  ``None``
+        #: (the default) keeps the commit path allocation-free; a
+        #: telemetry-enabled run sets it after construction.
+        self.telemetry = None
 
     @property
     def latest_version(self) -> int:
         """The most recently assigned commit version."""
         return self._next_version - 1
+
+    @property
+    def history_size(self) -> int:
+        """Writesets currently retained for conflict checks."""
+        with self._lock:
+            return len(self._history)
 
     def certify(self, writeset: Writeset) -> CertificationOutcome:
         """Certify *writeset* against transactions concurrent with it."""
@@ -106,8 +116,11 @@ class Certifier:
             conflicts = self._find_conflicts(
                 snapshot, writeset.keys, writeset.partition_set
             )
+            telemetry = self.telemetry
             if conflicts:
                 self.aborts += 1
+                if telemetry is not None:
+                    telemetry.on_certification(False, len(conflicts))
                 return CertificationOutcome(
                     committed=False,
                     commit_version=-1,
@@ -120,6 +133,8 @@ class Certifier:
             )
             self._trim()
             self.commits += 1
+            if telemetry is not None:
+                telemetry.on_certification(True, 0)
             return CertificationOutcome(committed=True, commit_version=version)
 
     def _find_conflicts(

@@ -268,6 +268,10 @@ class SIDatabase:
         """Garbage-collect versions invisible to every active snapshot."""
         return self._store.vacuum(self.oldest_active_snapshot())
 
+    def retained_versions(self) -> int:
+        """Total row versions currently held by the version store."""
+        return self._store.retained_versions()
+
     @property
     def measured_abort_rate(self) -> float:
         """Observed update abort fraction: aborts / (aborts + commits)."""

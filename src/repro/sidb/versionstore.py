@@ -123,6 +123,16 @@ class VersionedStore:
         with self._lock:
             return len(self._versions.get(key, ()))
 
+    def retained_versions(self) -> int:
+        """Total retained row versions across all keys.
+
+        The space cost of SI's space-for-concurrency trade, sampled by
+        the telemetry layer as ``version_store_versions`` and driven
+        back down by :meth:`vacuum`.
+        """
+        with self._lock:
+            return sum(len(versions) for versions in self._versions.values())
+
     def vacuum(self, oldest_active_snapshot: int) -> int:
         """Drop versions no snapshot can see anymore; return versions freed.
 

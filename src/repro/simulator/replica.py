@@ -70,6 +70,12 @@ class SimReplica:
         #: propagation consult this through
         #: :func:`repro.simulator.systems.hosts_any` / ``hosts_all``.
         self.hosted_partitions = None
+        #: Optional :class:`repro.telemetry.Telemetry` hook (``None``
+        #: keeps the apply path allocation-free).
+        self.telemetry = None
+        # Enqueue timestamps for apply-latency measurement; only
+        # populated while telemetry is attached.
+        self._enqueue_times = {}
 
     # ------------------------------------------------------------------
     # Transaction execution (generators composed by the system assemblies)
@@ -126,6 +132,8 @@ class SimReplica:
             self._deferred.append((commit_version, charged))
             return
         if charged:
+            if self.telemetry is not None:
+                self._enqueue_times[commit_version] = self._env.now
             self._env.start(self._apply_one(commit_version))
         else:
             self._mark_applied(commit_version)
@@ -136,6 +144,12 @@ class SimReplica:
         yield Service(self.disk, self._sampler.writeset_disk())
         self.writesets_applied += 1
         self._mark_applied(commit_version)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            now = self._env.now
+            start = self._enqueue_times.pop(commit_version, now)
+            telemetry.observe_apply(self.name, now - start)
+            telemetry.apply_span(commit_version, self.name, start, now)
 
     def _mark_applied(self, commit_version: int) -> None:
         heapq.heappush(self._completed_out_of_order, commit_version)
@@ -203,6 +217,8 @@ class SimReplica:
         deferred, self._deferred = self._deferred, []
         for commit_version, charged in deferred:
             if charged:
+                if self.telemetry is not None:
+                    self._enqueue_times[commit_version] = self._env.now
                 self._env.start(self._apply_one(commit_version))
             else:
                 self._mark_applied(commit_version)

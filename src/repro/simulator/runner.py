@@ -16,8 +16,9 @@ from ..core.errors import ConfigurationError
 from ..core.params import ReplicationConfig
 from ..core.results import OperatingPoint, ScalabilityCurve
 from ..core.rng import DEFAULT_SEED
+from ..telemetry import Telemetry, active_config
 from ..workloads.spec import WorkloadSpec
-from .des import Environment
+from .des import Environment, Timeout
 from .faults import ReplicaFault, install_faults, validate_faults
 from .sampling import DISTRIBUTIONS, EXPONENTIAL
 from .stats import MetricsCollector
@@ -68,6 +69,10 @@ class SimulationResult:
     #: Committed tps per second of the window (failure-injection runs read
     #: the dip and recovery off this series).
     throughput_timeline: Sequence[float] = ()
+    #: :class:`repro.telemetry.TelemetryResult` when the run was
+    #: telemetry-enabled; ``None`` otherwise (the default keeps results
+    #: from older cached runs loading unchanged).
+    telemetry: object = None
 
     @property
     def throughput(self) -> float:
@@ -98,6 +103,7 @@ def simulate(
     arrival_rate: Optional[float] = None,
     capacities: Optional[Sequence[float]] = None,
     partition_map=None,
+    telemetry=None,
 ) -> SimulationResult:
     """Simulate *spec* on *design* with *config* and measure steady state.
 
@@ -118,6 +124,16 @@ def simulate(
     propagate only to hosting replicas and transactions route to hosts of
     everything they touch.  Partitioned specs with no explicit map run
     fully replicated (the A/B baseline).
+
+    *telemetry* opts into the observability layer: ``None`` (default)
+    records nothing and changes nothing; a
+    :class:`repro.telemetry.TelemetryConfig` (or ``True`` for defaults)
+    threads a recorder through the certifier, replicas and load
+    balancer, samples the fleet on the configured interval (a DES
+    process in virtual time), and attaches a
+    :class:`~repro.telemetry.TelemetryResult` to the result.  Telemetry
+    never perturbs workload randomness or charges simulated time, so
+    measurements are identical with it on or off.
     """
     if design not in _SYSTEM_CLASSES:
         raise ConfigurationError(f"unknown design {design!r}; one of {DESIGNS}")
@@ -142,6 +158,21 @@ def simulate(
         distribution=distribution, lb_policy=lb_policy,
         capacities=capacities, partition_map=partition_map,
     )
+    telemetry_config = active_config(telemetry)
+    recorder = None
+    if telemetry_config is not None:
+        recorder = Telemetry(telemetry_config, pillar="simulator")
+        system.attach_telemetry(recorder)
+
+        def _telemetry_sampler():
+            while True:
+                yield Timeout(recorder.config.snapshot_interval)
+                recorder.sample_fleet(
+                    env.now, system.replicas,
+                    getattr(system, "certifier", None),
+                )
+
+        env.start(_telemetry_sampler())
     if faults:
         from ..partition.placement import check_faults_against_map
 
@@ -163,7 +194,13 @@ def simulate(
     metrics.end_window(env.now)
 
     certifier = getattr(system, "certifier", None)
-    return _collect(design, config, metrics, certifier)
+    telemetry_result = None
+    if recorder is not None:
+        # One closing sample so end-of-run state is always captured
+        # (even when the interval exceeds the run length).
+        recorder.sample_fleet(env.now, system.replicas, certifier)
+        telemetry_result = recorder.result()
+    return _collect(design, config, metrics, certifier, telemetry_result)
 
 
 def _collect(
@@ -171,6 +208,7 @@ def _collect(
     config: ReplicationConfig,
     metrics: MetricsCollector,
     certifier=None,
+    telemetry=None,
 ) -> SimulationResult:
     utilizations = metrics.utilizations()
     busiest = _busiest_by_resource(utilizations)
@@ -196,6 +234,7 @@ def _collect(
         committed_transactions=metrics.committed,
         window=metrics.window,
         throughput_timeline=tuple(metrics.throughput_timeline()),
+        telemetry=telemetry,
     )
 
 

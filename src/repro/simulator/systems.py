@@ -28,6 +28,7 @@ from ..core.errors import (
 )
 from ..core.params import ReplicationConfig
 from ..sidb.certifier import Certifier
+from ..telemetry import schema as tel_schema
 from ..workloads.spec import WorkloadSpec
 from .des import Acquire, Environment, Semaphore, Timeout
 from .replica import SimReplica
@@ -152,6 +153,11 @@ class _BaseSystem:
     #: Design name used to validate partition maps (subclasses override).
     design = "multi-master"
 
+    #: Optional :class:`repro.telemetry.Telemetry` hook (see
+    #: :meth:`attach_telemetry`); ``None`` keeps every hot path exactly
+    #: as it was before the telemetry layer existed.
+    telemetry = None
+
     def __init__(
         self,
         env: Environment,
@@ -218,8 +224,24 @@ class _BaseSystem:
             replica.admission = None
         self.metrics.watch_resource(f"{name}.cpu", replica.cpu)
         self.metrics.watch_resource(f"{name}.disk", replica.disk)
+        if self.telemetry is not None:
+            replica.telemetry = self.telemetry
         self.replicas.append(replica)
         return replica
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire a :class:`repro.telemetry.Telemetry` into the system.
+
+        Called once after construction by a telemetry-enabled run; the
+        certifier, every current replica, and every replica created
+        later (elastic joins) share the same recorder.
+        """
+        self.telemetry = telemetry
+        certifier = getattr(self, "certifier", None)
+        if certifier is not None:
+            certifier.telemetry = telemetry
+        for replica in self.replicas:
+            replica.telemetry = telemetry
 
     def _admit(self, replica: SimReplica):
         """Wait for an execution slot at *replica* (no-op without a limit)."""
@@ -320,6 +342,8 @@ class _BaseSystem:
         self.metrics.record_commit(
             is_update, self.env.now - started, aborts, now=self.env.now
         )
+        if self.telemetry is not None:
+            self.telemetry.count_commit(is_update)
 
     def _client_loop(self, client_id: int, sampler: WorkloadSampler):
         while True:
@@ -330,6 +354,8 @@ class _BaseSystem:
             self.metrics.record_commit(
                 is_update, self.env.now - started, aborts, now=self.env.now
             )
+            if self.telemetry is not None:
+                self.telemetry.count_commit(is_update)
 
     def execute(self, sampler: WorkloadSampler, is_update: bool, client_id: int):
         """Run one transaction to commit; returns the abort (retry) count."""
@@ -569,11 +595,25 @@ class MultiMasterSystem(_BaseSystem):
         return replica
 
     def execute(self, sampler: WorkloadSampler, is_update: bool, client_id: int = 0):
+        telemetry = self.telemetry
+        trace = (
+            telemetry.tracer.start_trace()
+            if telemetry is not None else None
+        )
+        route_start = self.env.now
         yield Timeout(self.config.load_balancer_delay)
         # Partitioned workloads pick their data before routing: the
         # transaction must land on a replica hosting what it touches.
         partitions = sampler.sample_partition_set(is_update)
         replica = self.route(self.replicas, client_id, is_update, partitions)
+        if telemetry is not None:
+            telemetry.count_route(replica.name, is_update)
+            if trace is not None:
+                telemetry.tracer.add_span(
+                    trace, tel_schema.SPAN_ROUTE, route_start,
+                    self.env.now, subject=replica.name,
+                    policy=self.lb_policy,
+                )
         replica.active += 1
         aborts = 0
         yield from self._admit(replica)
@@ -581,26 +621,76 @@ class MultiMasterSystem(_BaseSystem):
             if not is_update:
                 # Read-only transactions execute entirely locally and always
                 # commit (§2: GSI read-only transactions never abort).
+                work_start = self.env.now
                 yield from replica.serve_read()
+                if trace is not None:
+                    telemetry.tracer.add_span(
+                        trace, tel_schema.SPAN_EXECUTE, work_start,
+                        self.env.now, subject=replica.name, kind="read",
+                    )
                 return aborts
-            for _ in range(self.config.max_retries):
+            for attempt in range(1, self.config.max_retries + 1):
                 snapshot = replica.applied_version
                 self.metrics.record_snapshot_age(
                     self.certifier.latest_version - snapshot
                 )
                 token = self._register_snapshot(snapshot)
                 try:
+                    work_start = self.env.now
                     yield from replica.serve_update_attempt()
                     writeset = sampler.sample_writeset(snapshot, partitions)
+                    if trace is not None:
+                        telemetry.tracer.add_span(
+                            trace, tel_schema.SPAN_EXECUTE, work_start,
+                            self.env.now, subject=replica.name,
+                            kind="update", attempt=attempt,
+                        )
                     self.metrics.record_certification()
                     # The certifier orders and checks the writeset on
                     # arrival; the response (and update propagation) reach
                     # the replicas one certification delay later (§6.3.2).
-                    outcome = self.certifier.certify(writeset)
-                    yield Timeout(self.config.certifier_delay)
+                    certify_start = self.env.now
+                    if telemetry is not None:
+                        telemetry.certify_begin()
+                    try:
+                        outcome = self.certifier.certify(writeset)
+                        yield Timeout(self.config.certifier_delay)
+                    finally:
+                        if telemetry is not None:
+                            telemetry.certify_end()
                 finally:
                     self._release_snapshot(token)
+                if telemetry is not None:
+                    if outcome.committed:
+                        telemetry.note_commit(
+                            outcome.commit_version, self.env.now
+                        )
+                    if trace is not None:
+                        tags = {"attempt": attempt,
+                                "committed": outcome.committed}
+                        if not outcome.committed:
+                            tags["abort"] = tel_schema.ABORT_WW_CONFLICT
+                            tags["conflicts"] = len(
+                                outcome.conflicting_keys
+                            )
+                        telemetry.tracer.add_span(
+                            trace, tel_schema.SPAN_CERTIFY, certify_start,
+                            self.env.now, subject="certifier", **tags,
+                        )
                 if outcome.committed:
+                    if trace is not None:
+                        # The appliers find the trace via the version map
+                        # (note before propagation starts), and the
+                        # propagation span rides the certification
+                        # response (§6.3.2): decision to fan-out.
+                        telemetry.tracer.note_version(
+                            outcome.commit_version, trace
+                        )
+                        telemetry.tracer.add_span(
+                            trace, tel_schema.SPAN_PROPAGATE,
+                            certify_start, self.env.now,
+                            subject="channel", fanout=len(self.replicas),
+                        )
                     self._propagate(outcome.commit_version, origin=replica,
                                     partitions=writeset.partitions)
                     return aborts
@@ -710,6 +800,12 @@ class SingleMasterSystem(_BaseSystem):
         return replica
 
     def execute(self, sampler: WorkloadSampler, is_update: bool, client_id: int = 0):
+        telemetry = self.telemetry
+        trace = (
+            telemetry.tracer.start_trace()
+            if telemetry is not None else None
+        )
+        route_start = self.env.now
         yield Timeout(self.config.load_balancer_delay)
         partitions = sampler.sample_partition_set(is_update)
         if not is_update:
@@ -717,33 +813,96 @@ class SingleMasterSystem(_BaseSystem):
             # (the master hosts everything).
             replica = self.route(self.replicas, client_id,
                                  partitions=partitions)
+            if telemetry is not None:
+                telemetry.count_route(replica.name, False)
+                if trace is not None:
+                    telemetry.tracer.add_span(
+                        trace, tel_schema.SPAN_ROUTE, route_start,
+                        self.env.now, subject=replica.name,
+                        policy=self.lb_policy,
+                    )
             replica.active += 1
             yield from self._admit(replica)
             try:
+                work_start = self.env.now
                 yield from replica.serve_read()
+                if trace is not None:
+                    telemetry.tracer.add_span(
+                        trace, tel_schema.SPAN_EXECUTE, work_start,
+                        self.env.now, subject=replica.name, kind="read",
+                    )
                 return 0
             finally:
                 self._release(replica)
                 replica.active -= 1
 
+        if telemetry is not None:
+            telemetry.count_route(self.master.name, True)
+            if trace is not None:
+                telemetry.tracer.add_span(
+                    trace, tel_schema.SPAN_ROUTE, route_start,
+                    self.env.now, subject=self.master.name,
+                    policy="master",
+                )
         self.master.active += 1
         aborts = 0
         yield from self._admit(self.master)
         try:
-            for _ in range(self.config.max_retries):
+            for attempt in range(1, self.config.max_retries + 1):
                 # The master runs plain SI: the snapshot is its latest
                 # committed version, and the conflict window is the
                 # execution time on the master (§2).
                 snapshot = self.certifier.latest_version
                 token = self._register_snapshot(snapshot)
                 try:
+                    work_start = self.env.now
                     yield from self.master.serve_update_attempt()
                     writeset = sampler.sample_writeset(snapshot, partitions)
+                    if trace is not None:
+                        telemetry.tracer.add_span(
+                            trace, tel_schema.SPAN_EXECUTE, work_start,
+                            self.env.now, subject=self.master.name,
+                            kind="update", attempt=attempt,
+                        )
                     self.metrics.record_certification()
-                    outcome = self.certifier.certify(writeset)
+                    certify_start = self.env.now
+                    if telemetry is not None:
+                        telemetry.certify_begin()
+                    try:
+                        outcome = self.certifier.certify(writeset)
+                    finally:
+                        if telemetry is not None:
+                            telemetry.certify_end()
                 finally:
                     self._release_snapshot(token)
+                if telemetry is not None:
+                    if outcome.committed:
+                        telemetry.note_commit(
+                            outcome.commit_version, self.env.now
+                        )
+                    if trace is not None:
+                        tags = {"attempt": attempt,
+                                "committed": outcome.committed}
+                        if not outcome.committed:
+                            tags["abort"] = tel_schema.ABORT_WW_CONFLICT
+                            tags["conflicts"] = len(
+                                outcome.conflicting_keys
+                            )
+                        telemetry.tracer.add_span(
+                            trace, tel_schema.SPAN_CERTIFY, certify_start,
+                            self.env.now, subject="certifier", **tags,
+                        )
                 if outcome.committed:
+                    if trace is not None:
+                        telemetry.tracer.note_version(
+                            outcome.commit_version, trace
+                        )
+                        telemetry.tracer.add_span(
+                            trace, tel_schema.SPAN_PROPAGATE,
+                            certify_start, self.env.now,
+                            subject="channel",
+                            fanout=len(self.slaves) + 1,
+                        )
                     self._propagated_version = outcome.commit_version
                     self.master.enqueue_writeset(
                         outcome.commit_version, charged=False

@@ -1,0 +1,72 @@
+"""Unified telemetry: metrics registry, trace spans, run timelines.
+
+One layer, three pillars: the analytical model has no runtime to
+observe, but the simulator and the live cluster thread one
+:class:`Telemetry` object through their certifier, replicas and load
+balancer so both emit the **same metric-name schema**
+(:data:`~repro.telemetry.schema.SHARED_SCHEMA`) — certifier queue
+depth, per-replica replication lag (versions and seconds), channel
+backlog, routing counts, writeset apply latency.  Per-transaction trace
+spans (route → execute → certify → propagate → apply) are sampled
+deterministically and export as JSONL or Chrome traces; run-level
+timeline snapshots feed the ``repro metrics`` ASCII dashboard.
+
+Telemetry is opt-in per run and strictly zero-cost when off: the
+``telemetry`` attribute on instrumented components defaults to ``None``
+and every call site is guarded, so disabled runs are byte-identical to
+a build without this package.
+"""
+
+from . import schema
+from .core import (
+    Telemetry,
+    TelemetryConfig,
+    TelemetryResult,
+    active_config,
+)
+from .events import TelemetryEvent, render_events
+from .export import (
+    chrome_trace,
+    load_spans_jsonl,
+    prometheus_text,
+    span_to_dict,
+    validate_span_dict,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+)
+from .spans import Span, Tracer
+from .timeline import TimelineSnapshot, render_dashboard, render_timeline
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "TelemetryConfig",
+    "TelemetryEvent",
+    "TelemetryResult",
+    "TimelineSnapshot",
+    "Tracer",
+    "active_config",
+    "chrome_trace",
+    "load_spans_jsonl",
+    "prometheus_text",
+    "render_dashboard",
+    "render_events",
+    "render_timeline",
+    "schema",
+    "span_to_dict",
+    "validate_span_dict",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,244 @@
+"""Telemetry exporters: span JSONL, Chrome trace, Prometheus text.
+
+The JSONL form is the interchange format (one span object per line,
+validated by :func:`validate_span_dict` — the CI telemetry-smoke job
+runs ``python -m repro.telemetry.export validate <file>``).  The Chrome
+trace converter emits the ``chrome://tracing`` / Perfetto JSON object
+format (``ph: "X"`` complete events in microseconds, with process and
+thread name metadata mapping pillars and replicas).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from .registry import COUNTER, GAUGE, MetricSample
+from .spans import Span
+
+#: Required span-JSONL fields and their types (the span schema).
+SPAN_SCHEMA = {
+    "trace_id": int,
+    "span_id": int,
+    "parent_id": int,
+    "name": str,
+    "start": (int, float),
+    "end": (int, float),
+    "subject": str,
+    "pillar": str,
+    "tags": dict,
+}
+
+
+def span_to_dict(span: Span, pillar: str = "") -> Dict[str, object]:
+    """Flatten one span into its JSONL object form."""
+    return {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "start": span.start,
+        "end": span.end,
+        "subject": span.subject,
+        "pillar": pillar,
+        "tags": dict(span.tags),
+    }
+
+
+def validate_span_dict(obj: object) -> List[str]:
+    """Return the schema violations of one decoded JSONL line."""
+    if not isinstance(obj, dict):
+        return [f"span must be an object, got {type(obj).__name__}"]
+    errors = []
+    for field, types in SPAN_SCHEMA.items():
+        if field not in obj:
+            errors.append(f"missing field {field!r}")
+        elif not isinstance(obj[field], types):
+            # bool is an int subclass; ids must be real integers.
+            errors.append(
+                f"field {field!r} has type {type(obj[field]).__name__}"
+            )
+    if not errors:
+        if isinstance(obj.get("start"), bool) or isinstance(
+            obj.get("end"), bool
+        ):
+            errors.append("start/end must be numbers")
+        elif obj["end"] < obj["start"]:
+            errors.append("span ends before it starts")
+        if any(
+            not isinstance(k, str) or not isinstance(v, str)
+            for k, v in obj["tags"].items()
+        ):
+            errors.append("tags must map strings to strings")
+    return errors
+
+
+def write_spans_jsonl(path: str, spans: Iterable[Span],
+                      pillar: str = "") -> int:
+    """Write spans as JSONL; returns the number written.
+
+    *spans* may also yield ``(pillar, span)`` pairs for multi-pillar
+    files (``repro metrics --pillar both``)."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for item in spans:
+            if isinstance(item, tuple):
+                span_pillar, span = item
+            else:
+                span_pillar, span = pillar, item
+            handle.write(json.dumps(span_to_dict(span, span_pillar),
+                                    sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_spans_jsonl(path: str) -> List[Dict[str, object]]:
+    """Load and validate a span JSONL file (raises on violations)."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: bad JSON: {exc}")
+            errors = validate_span_dict(obj)
+            if errors:
+                raise ValueError(
+                    f"{path}:{lineno}: " + "; ".join(errors)
+                )
+            spans.append(obj)
+    return spans
+
+
+def chrome_trace(span_dicts: Sequence[Dict[str, object]]) -> Dict:
+    """Convert span objects to the Chrome trace-event JSON format.
+
+    Pillars become processes and subjects become threads (with ``M``
+    metadata naming events), spans become ``ph: "X"`` complete events
+    with microsecond timestamps — loadable in ``chrome://tracing`` and
+    Perfetto.
+    """
+    events: List[Dict[str, object]] = []
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    for span in span_dicts:
+        pillar = str(span.get("pillar") or "run")
+        subject = str(span.get("subject") or "txn")
+        if pillar not in pids:
+            pids[pillar] = len(pids) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pids[pillar],
+                "tid": 0, "args": {"name": pillar},
+            })
+        pid = pids[pillar]
+        if (pid, subject) not in tids:
+            tids[(pid, subject)] = len(tids) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid,
+                "tid": tids[(pid, subject)], "args": {"name": subject},
+            })
+        args = dict(span["tags"])
+        args["trace_id"] = span["trace_id"]
+        args["span_id"] = span["span_id"]
+        events.append({
+            "ph": "X",
+            "name": span["name"],
+            "cat": pillar,
+            "pid": pid,
+            "tid": tids[(pid, subject)],
+            "ts": float(span["start"]) * 1e6,
+            "dur": (float(span["end"]) - float(span["start"])) * 1e6,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str,
+                       span_dicts: Sequence[Dict[str, object]]) -> None:
+    """Write the Chrome-trace conversion of *span_dicts* to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(span_dicts), handle)
+
+
+def prometheus_text(samples: Sequence[MetricSample]) -> str:
+    """Render metric samples in the Prometheus text exposition format.
+
+    Histograms are rendered with cumulative ``_bucket`` series (upper
+    bounds inclusive, closing ``+Inf``), ``_sum`` and ``_count``; gauge
+    high-water marks get a ``_max`` companion series.
+    """
+    lines: List[str] = []
+    seen_types = set()
+    for sample in samples:
+        if sample.name not in seen_types:
+            seen_types.add(sample.name)
+            kind = sample.kind if sample.kind != COUNTER else "counter"
+            lines.append(f"# TYPE {sample.name} {kind}")
+        labels = sample.label_text()
+        if sample.kind in (COUNTER, GAUGE):
+            lines.append(f"{sample.name}{labels} {sample.value:g}")
+            if sample.kind == GAUGE and sample.max_value:
+                lines.append(
+                    f"{sample.name}_max{labels} {sample.max_value:g}"
+                )
+        else:
+            cumulative = 0
+            for bound, count in zip(sample.bounds, sample.buckets):
+                cumulative += count
+                le = dict(sample.labels)
+                le["le"] = f"{bound:g}"
+                inner = ",".join(
+                    f'{k}="{v}"' for k, v in sorted(le.items())
+                )
+                lines.append(
+                    f"{sample.name}_bucket{{{inner}}} {cumulative}"
+                )
+            le = dict(sample.labels)
+            le["le"] = "+Inf"
+            inner = ",".join(f'{k}="{v}"' for k, v in sorted(le.items()))
+            lines.append(
+                f"{sample.name}_bucket{{{inner}}} {sample.count}"
+            )
+            lines.append(f"{sample.name}_sum{labels} {sample.sum:g}")
+            lines.append(f"{sample.name}_count{labels} {sample.count}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    """CLI: ``validate <spans.jsonl>`` / ``chrome <in.jsonl> <out.json>``.
+
+    The CI telemetry-smoke job uses ``validate`` to assert an exported
+    span file conforms to :data:`SPAN_SCHEMA`.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.export",
+        description="Validate or convert exported span JSONL files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    validate = sub.add_parser("validate", help="validate a span JSONL file")
+    validate.add_argument("path")
+    chrome = sub.add_parser("chrome", help="convert JSONL to Chrome trace")
+    chrome.add_argument("path")
+    chrome.add_argument("output")
+    args = parser.parse_args(argv)
+    try:
+        spans = load_spans_jsonl(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+    if args.command == "validate":
+        print(f"{args.path}: {len(spans)} spans, schema OK")
+        return 0
+    write_chrome_trace(args.output, spans)
+    print(f"{args.output}: {len(spans)} spans converted")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

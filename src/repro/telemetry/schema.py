@@ -1,0 +1,126 @@
+"""The shared metric-name schema every pillar emits.
+
+The paper's analysis decomposes replicated-SI performance into a small
+set of component signals — certification conflicts (§5), propagation and
+application of writesets (§3.2), snapshot staleness under GSI (§2) — and
+the whole point of the telemetry layer is that the **simulator and the
+live cluster emit the same metric names** for those signals, so a
+cross-validation run can diff component-level behaviour instead of just
+end-to-end throughput.
+
+Names follow the Prometheus conventions: ``*_total`` for counters,
+``*_seconds`` for time histograms, bare nouns for gauges.  Labels are
+free-form key/value pairs; the conventional ones are ``replica`` (the
+subject replica's name), ``kind`` (``read``/``update``) and ``action``
+(controller decisions).
+
+``SHARED_SCHEMA`` is the parity contract: both execution pillars must
+emit every name in it.  ``LIVE_ONLY`` documents the metrics that only
+exist where a real data store exists (the simulator models timing, not
+data, so it has no per-replica version store).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------
+# Transaction flow
+# ---------------------------------------------------------------------
+
+#: Committed transactions, labelled ``kind=read|update``.
+TXN_COMMITS = "txn_commits_total"
+#: Load-balancer routing decisions, labelled ``replica`` and ``kind``.
+LB_ROUTED = "lb_routed_total"
+
+# ---------------------------------------------------------------------
+# Certifier (the shared commit path of §4 / §5)
+# ---------------------------------------------------------------------
+
+#: Certification requests processed (commits + conflicts).
+CERTIFICATIONS = "certifier_certifications_total"
+#: Certification requests that committed.
+CERTIFIER_COMMITS = "certifier_commits_total"
+#: Certification requests aborted on a write-write conflict.
+CERTIFIER_CONFLICTS = "certifier_conflicts_total"
+#: In-flight certification requests: from the moment a writeset is
+#: submitted until its certification round-trip (the configured
+#: ``certifier_delay``) completes.  Measured at the certifier service
+#: boundary in both pillars so the values are comparable.
+CERTIFIER_QUEUE_DEPTH = "certifier_queue_depth"
+#: Writesets the certifier retains for conflict checks against old
+#: snapshots (its version-history window).
+CERTIFIER_HISTORY = "certifier_history_size"
+
+# ---------------------------------------------------------------------
+# Replication (per-replica, labelled ``replica``)
+# ---------------------------------------------------------------------
+
+#: How many certified versions the replica has not applied yet.
+REPLICATION_LAG_VERSIONS = "replication_lag_versions"
+#: Age of the oldest unapplied certified version (virtual seconds in
+#: both pillars — the live cluster's clock also runs in virtual time).
+REPLICATION_LAG_SECONDS = "replication_lag_seconds"
+#: Writesets enqueued at the replica but not yet folded into its
+#: contiguous ``applied_version`` watermark.
+CHANNEL_BACKLOG = "channel_backlog"
+#: Enqueue-to-applied latency of one writeset at one replica.
+APPLY_LATENCY = "writeset_apply_latency_seconds"
+#: Retained row versions in the replica's multi-version store.  Live
+#: pillar only: the simulator models timing, not data, so it has no
+#: version store to measure (see ``LIVE_ONLY``).
+VERSION_STORE = "version_store_versions"
+
+# ---------------------------------------------------------------------
+# Control plane and operations
+# ---------------------------------------------------------------------
+
+#: Autoscale controller decisions, labelled ``action=scale_up|
+#: scale_down|hold``.
+CONTROLLER_DECISIONS = "controller_decisions_total"
+#: The controller's most recent membership target.
+CONTROLLER_TARGET = "controller_target_replicas"
+#: Operations events (crash/detect/replace/...), labelled ``kind``.
+OPS_EVENTS = "ops_events_total"
+
+# ---------------------------------------------------------------------
+# Contracts
+# ---------------------------------------------------------------------
+
+#: Metric names both execution pillars must emit on a replicated run —
+#: the schema-parity set the crossval test asserts on.
+SHARED_SCHEMA = frozenset({
+    TXN_COMMITS,
+    LB_ROUTED,
+    CERTIFICATIONS,
+    CERTIFIER_COMMITS,
+    CERTIFIER_CONFLICTS,
+    CERTIFIER_QUEUE_DEPTH,
+    CERTIFIER_HISTORY,
+    REPLICATION_LAG_VERSIONS,
+    REPLICATION_LAG_SECONDS,
+    CHANNEL_BACKLOG,
+    APPLY_LATENCY,
+})
+
+#: Metrics only the live pillar can emit (it alone holds real data).
+LIVE_ONLY = frozenset({VERSION_STORE})
+
+#: The transaction lifecycle span names, in paper order: the load
+#: balancer routes (§3.1), the replica executes, the certifier decides
+#: (§4), the writeset propagates to the fleet (§3.2) and each replica
+#: applies it.
+SPAN_ROUTE = "route"
+SPAN_EXECUTE = "execute"
+SPAN_CERTIFY = "certify"
+SPAN_PROPAGATE = "propagate"
+SPAN_APPLY = "apply"
+SPAN_NAMES = (SPAN_ROUTE, SPAN_EXECUTE, SPAN_CERTIFY, SPAN_PROPAGATE,
+              SPAN_APPLY)
+
+#: Abort-reason tag value for first-committer-wins conflicts.
+ABORT_WW_CONFLICT = "ww-conflict"
+
+#: Default histogram bucket upper bounds for apply latency (seconds).
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0,
+)

@@ -1,0 +1,144 @@
+"""Per-transaction trace spans for the replicated-SI lifecycle.
+
+A sampled transaction produces one *trace* of spans named after the
+pipeline stages of §3–§4: ``route`` (load balancer), ``execute``
+(replica work, one span per attempt), ``certify`` (the certification
+round-trip, tagged with the outcome and the abort reason on a
+first-committer-wins conflict), ``propagate`` (commit decision to
+fan-out at the replicas) and ``apply`` (enqueue to applied at each
+replica, recorded by the applier via the version → trace map).
+
+Sampling is **deterministic and count-based** (an error-diffusion
+accumulator), not random: the simulator's results must be bit-for-bit
+reproducible for a given seed, so tracing may not consume workload
+randomness or branch on wall-clock time.  Every pillar therefore traces
+the same transactions for the same sample rate.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: How many recent commit versions keep their trace association for the
+#: appliers to look up (bounds memory on long runs).
+_VERSION_MAP_LIMIT = 8192
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed stage of one traced transaction."""
+
+    trace_id: int
+    span_id: int
+    name: str
+    start: float
+    end: float
+    subject: str = ""
+    parent_id: int = 0
+    tags: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        """Span length in (virtual) seconds."""
+        return self.end - self.start
+
+    def tag(self, key: str, default: str = "") -> str:
+        """Look up one tag value."""
+        for k, v in self.tags:
+            if k == key:
+                return v
+        return default
+
+
+@dataclass
+class Tracer:
+    """Collects spans for a deterministic sample of transactions."""
+
+    sample_rate: float = 0.0
+    max_spans: int = 50_000
+    spans: List[Span] = field(default_factory=list)
+    #: Spans discarded after :attr:`max_spans` filled up.
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        self.sample_rate = min(1.0, max(0.0, float(self.sample_rate)))
+        self._lock = threading.Lock()
+        self._accumulator = 0.0
+        self._next_trace = 0
+        self._next_span = 0
+        self._version_traces: Dict[int, int] = {}
+        self._version_order: Deque[int] = deque()
+
+    # ------------------------------------------------------------------
+    # Trace lifecycle
+    # ------------------------------------------------------------------
+
+    def start_trace(self) -> Optional[int]:
+        """Begin a trace for the next transaction if it is sampled.
+
+        Returns a trace id, or ``None`` when this transaction falls
+        outside the sample (the caller then skips all span recording).
+        """
+        if self.sample_rate <= 0.0:
+            return None
+        with self._lock:
+            self._accumulator += self.sample_rate
+            if self._accumulator < 1.0:
+                return None
+            self._accumulator -= 1.0
+            self._next_trace += 1
+            return self._next_trace
+
+    def add_span(
+        self,
+        trace_id: int,
+        name: str,
+        start: float,
+        end: float,
+        subject: str = "",
+        parent_id: int = 0,
+        **tags,
+    ) -> int:
+        """Record one completed span; returns its span id."""
+        with self._lock:
+            self._next_span += 1
+            span_id = self._next_span
+            if len(self.spans) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self.spans.append(Span(
+                    trace_id=trace_id,
+                    span_id=span_id,
+                    name=name,
+                    start=start,
+                    end=end,
+                    subject=subject,
+                    parent_id=parent_id,
+                    tags=tuple(sorted(
+                        (k, str(v)) for k, v in tags.items()
+                    )),
+                ))
+            return span_id
+
+    # ------------------------------------------------------------------
+    # Version → trace correlation (for the asynchronous appliers)
+    # ------------------------------------------------------------------
+
+    def note_version(self, commit_version: int, trace_id: int) -> None:
+        """Associate a committed version with its trace, so the replica
+        appliers — which only see the writeset — can tag their ``apply``
+        spans onto the right trace."""
+        with self._lock:
+            self._version_traces[commit_version] = trace_id
+            self._version_order.append(commit_version)
+            while len(self._version_order) > _VERSION_MAP_LIMIT:
+                old = self._version_order.popleft()
+                self._version_traces.pop(old, None)
+
+    def trace_for(self, commit_version: int) -> Optional[int]:
+        """The trace id that committed *commit_version* (if sampled)."""
+        with self._lock:
+            return self._version_traces.get(commit_version)

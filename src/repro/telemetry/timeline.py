@@ -1,0 +1,124 @@
+"""Run-level timeline snapshots and the ASCII dashboard.
+
+A telemetry-enabled run samples the fleet on a configurable interval
+(a DES process in the simulator, a daemon thread in the live cluster —
+both in virtual time) and appends a :class:`TimelineSnapshot` of the
+headline series.  ``repro metrics`` renders the result as an ASCII
+dashboard; :mod:`repro.telemetry.export` turns the same data into JSON
+or Prometheus text exposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .registry import COUNTER, GAUGE, HISTOGRAM
+
+#: Timeline series sampled every interval (cumulative commits become a
+#: per-interval rate in the renderer).
+SERIES_QUEUE_DEPTH = "certifier_queue_depth"
+SERIES_LAG_VERSIONS = "replication_lag_versions(max)"
+SERIES_LAG_SECONDS = "replication_lag_seconds(max)"
+SERIES_BACKLOG = "channel_backlog(max)"
+SERIES_COMMITS = "commits_total"
+
+
+@dataclass(frozen=True)
+class TimelineSnapshot:
+    """Headline gauge values at one sampling instant."""
+
+    time: float
+    values: Tuple[Tuple[str, float], ...]
+
+    def value(self, series: str, default: float = 0.0) -> float:
+        """Look up one series value."""
+        for name, value in self.values:
+            if name == series:
+                return value
+        return default
+
+
+def _bar(value: float, peak: float, width: int = 24) -> str:
+    if peak <= 0.0:
+        return ""
+    filled = int(round(width * min(1.0, value / peak)))
+    return "#" * filled
+
+
+def render_timeline(
+    snapshots: Sequence[TimelineSnapshot],
+    series: str = SERIES_LAG_VERSIONS,
+    width: int = 24,
+    max_rows: int = 40,
+) -> List[str]:
+    """Render one timeline series as ``t=..  value  bar`` rows.
+
+    Long runs are decimated to at most *max_rows* evenly spaced
+    snapshots so the dashboard stays terminal-sized.
+    """
+    if not snapshots:
+        return ["  (no timeline snapshots)"]
+    rows = list(snapshots)
+    if len(rows) > max_rows:
+        step = len(rows) / max_rows
+        rows = [rows[int(i * step)] for i in range(max_rows)]
+    peak = max(snap.value(series) for snap in rows)
+    lines = [f"  {series} (peak {peak:g}):"]
+    for snap in rows:
+        value = snap.value(series)
+        lines.append(
+            f"    t={snap.time:8.2f}s  {value:10.3f}  "
+            f"{_bar(value, peak, width)}"
+        )
+    return lines
+
+
+def render_dashboard(result, width: int = 24) -> str:
+    """Render a :class:`~repro.telemetry.TelemetryResult` as text.
+
+    Sections: counters, gauges (last/max), histogram summaries
+    (p50/p95/max-bucket), one timeline series, and the event timeline.
+    Accepts any object with ``pillar``, ``samples``, ``timeline``,
+    ``events`` and ``spans`` attributes.
+    """
+    from .events import render_events
+
+    lines = [f"telemetry dashboard — {result.pillar} pillar"]
+    counters = [s for s in result.samples if s.kind == COUNTER]
+    gauges = [s for s in result.samples if s.kind == GAUGE]
+    histograms = [s for s in result.samples if s.kind == HISTOGRAM]
+    if counters:
+        lines.append("  counters:")
+        for sample in counters:
+            lines.append(
+                f"    {sample.name + sample.label_text():<52s} "
+                f"{sample.value:12.0f}"
+            )
+    if gauges:
+        lines.append("  gauges (last / max):")
+        for sample in gauges:
+            lines.append(
+                f"    {sample.name + sample.label_text():<52s} "
+                f"{sample.value:10.3f} / {sample.max_value:10.3f}"
+            )
+    if histograms:
+        lines.append("  histograms (p50 / p95 / mean, seconds):")
+        for sample in histograms:
+            lines.append(
+                f"    {sample.name + sample.label_text():<52s} "
+                f"{sample.quantile(0.50):8.4f} / "
+                f"{sample.quantile(0.95):8.4f} / {sample.mean:8.4f} "
+                f"(n={sample.count})"
+            )
+    if result.timeline:
+        lines.extend(render_timeline(result.timeline, width=width))
+    if result.events:
+        lines.append("  events:")
+        lines.extend(render_events(result.events))
+    if result.spans:
+        lines.append(
+            f"  spans: {len(result.spans)} recorded "
+            f"({len({s.trace_id for s in result.spans})} traces)"
+        )
+    return "\n".join(lines)
