@@ -1,0 +1,294 @@
+"""The online invariant auditor shared by both executable pillars."""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+
+#: Invariant identifiers (the ``invariant`` field of a violation).
+COMMIT_ORDER = "commit-order"
+DELIVERY_ORDER = "delivery-order"
+DELIVERY_GAP = "delivery-gap"
+APPLY_ONCE = "apply-once"
+PARTITION_SCOPE = "partition-scope"
+
+INVARIANTS = (COMMIT_ORDER, DELIVERY_ORDER, DELIVERY_GAP, APPLY_ONCE,
+              PARTITION_SCOPE)
+
+#: Commit versions whose (partitions, origin) metadata is retained for
+#: partition-scope checks; older applies skip the scope check rather
+#: than grow memory without bound.
+_COMMIT_META_LIMIT = 16_384
+
+#: Violations retained verbatim (counters keep counting past this).
+_VIOLATION_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One observed breach of a replication safety invariant."""
+
+    invariant: str
+    subject: str
+    version: int
+    detail: str
+
+    def to_text(self) -> str:
+        return (f"{self.invariant:<16s} {self.subject:<12s} "
+                f"v{self.version}: {self.detail}")
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Frozen outcome of one run's continuous invariant auditing."""
+
+    #: Per-invariant check counts (how much evidence "zero violations"
+    #: rests on).
+    checks: Tuple[Tuple[str, int], ...]
+    violations: Tuple[AuditViolation, ...] = ()
+    #: Violations observed beyond the retained sample.
+    violations_dropped: int = 0
+    commits_seen: int = 0
+    deliveries_seen: int = 0
+    applies_seen: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return not self.violations and not self.violations_dropped
+
+    @property
+    def total_checks(self) -> int:
+        return sum(count for _, count in self.checks)
+
+    @property
+    def total_violations(self) -> int:
+        return len(self.violations) + self.violations_dropped
+
+
+@dataclass
+class _ReplicaLedger:
+    """Delivery/apply bookkeeping for one tracked replica."""
+
+    #: Join baseline: versions at or below it arrived as transferred
+    #: state and are never delivered individually.
+    baseline: int = 0
+    last_delivered: int = 0
+    #: Contiguously applied watermark plus out-of-order completions —
+    #: mirrors the replicas' own watermark logic, bounding memory to
+    #: the apply backlog.
+    applied_watermark: int = 0
+    applied_ahead: Set[int] = field(default_factory=set)
+
+    def reset(self, baseline: int) -> None:
+        self.baseline = baseline
+        self.last_delivered = baseline
+        self.applied_watermark = baseline
+        self.applied_ahead.clear()
+
+    def mark_applied(self, version: int) -> None:
+        self.applied_ahead.add(version)
+        while self.applied_watermark + 1 in self.applied_ahead:
+            self.applied_watermark += 1
+            self.applied_ahead.discard(self.applied_watermark)
+
+
+class Auditor:
+    """Continuously verifies replication safety from lifecycle hooks.
+
+    Pure bookkeeping: no clocks, no randomness, no simulated time, so a
+    DES run is bit-identical with the auditor on or off.  One internal
+    lock makes it safe under the live cluster's concurrent appliers.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._last_commit = 0
+        # version -> (partition set, origin name) for scope checks.
+        self._commit_meta: Dict[int, Tuple[FrozenSet[int], str]] = {}
+        self._commit_order: Deque[int] = deque()
+        self._replicas: Dict[str, _ReplicaLedger] = {}
+        self._dead: Set[str] = set()
+        self._checks: Dict[str, int] = {name: 0 for name in INVARIANTS}
+        self._violations: List[AuditViolation] = []
+        self._violations_dropped = 0
+        self.commits_seen = 0
+        self.deliveries_seen = 0
+        self.applies_seen = 0
+
+    # ------------------------------------------------------------------
+    # Internal helpers (called with the lock held)
+    # ------------------------------------------------------------------
+
+    def _flag(self, invariant: str, subject: str, version: int,
+              detail: str) -> None:
+        if len(self._violations) >= _VIOLATION_LIMIT:
+            self._violations_dropped += 1
+            return
+        self._violations.append(AuditViolation(
+            invariant=invariant, subject=subject, version=version,
+            detail=detail,
+        ))
+
+    def _ledger(self, replica: str) -> Optional[_ReplicaLedger]:
+        """The replica's ledger, or ``None`` for dead/unknown replicas.
+
+        Unknown replicas are registered lazily at a baseline just below
+        their first observation, so an assembly that never called
+        :meth:`on_attach` still gets monotonicity (though not gap)
+        coverage.
+        """
+        if replica in self._dead:
+            return None
+        return self._replicas.get(replica)
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+
+    def on_attach(self, replica: str, baseline: int) -> None:
+        """Track *replica* from *baseline* (join / state-transfer sync).
+
+        Versions at or below the baseline are part of the transferred
+        state; delivery is expected to resume contiguously above it.
+        """
+        with self._lock:
+            self._dead.discard(replica)
+            ledger = self._replicas.get(replica)
+            if ledger is None:
+                ledger = _ReplicaLedger()
+                self._replicas[replica] = ledger
+            ledger.reset(baseline)
+
+    def on_crash(self, replica: str) -> None:
+        """Stop auditing *replica*: its state is lost, later deliveries
+        are dropped by design and must not count as violations."""
+        with self._lock:
+            self._dead.add(replica)
+            self._replicas.pop(replica, None)
+
+    def on_commit(self, version: int, partitions, origin: str) -> None:
+        """One writeset was certified and assigned a global version."""
+        with self._lock:
+            self.commits_seen += 1
+            self._checks[COMMIT_ORDER] += 1
+            if version != self._last_commit + 1:
+                self._flag(
+                    COMMIT_ORDER, "certifier", version,
+                    f"expected v{self._last_commit + 1} next "
+                    f"(duplicate or gap in the global sequence)",
+                )
+            self._last_commit = max(self._last_commit, version)
+            self._commit_meta[version] = (
+                frozenset(partitions or ()), origin,
+            )
+            self._commit_order.append(version)
+            while len(self._commit_order) > _COMMIT_META_LIMIT:
+                old = self._commit_order.popleft()
+                self._commit_meta.pop(old, None)
+
+    def on_deliver(self, replica: str, version: int) -> None:
+        """One writeset reached *replica*'s apply queue."""
+        with self._lock:
+            if replica in self._dead:
+                return
+            ledger = self._replicas.get(replica)
+            if ledger is None:
+                # Lazy registration: monotonicity coverage from here on
+                # even without an explicit on_attach.
+                ledger = _ReplicaLedger()
+                ledger.reset(version - 1)
+                self._replicas[replica] = ledger
+            self.deliveries_seen += 1
+            self._checks[DELIVERY_ORDER] += 1
+            if version <= ledger.last_delivered:
+                self._flag(
+                    DELIVERY_ORDER, replica, version,
+                    f"already delivered up to v{ledger.last_delivered} "
+                    f"(duplicated writeset)",
+                )
+                return
+            self._checks[DELIVERY_GAP] += 1
+            if version != ledger.last_delivered + 1:
+                self._flag(
+                    DELIVERY_GAP, replica, version,
+                    f"v{ledger.last_delivered + 1}..v{version - 1} "
+                    f"never delivered (lost writesets)",
+                )
+            ledger.last_delivered = version
+
+    def on_apply(self, replica: str, version: int, charged: bool,
+                 hosted_partitions=None) -> None:
+        """One delivered writeset advanced *replica*'s watermark.
+
+        ``charged`` is whether the replica paid application work;
+        ``hosted_partitions`` is its partial-replication hosting set
+        (``None`` = hosts everything).
+        """
+        with self._lock:
+            ledger = self._ledger(replica)
+            if ledger is None:
+                return
+            self.applies_seen += 1
+            self._checks[APPLY_ONCE] += 1
+            if (version <= ledger.applied_watermark
+                    or version in ledger.applied_ahead):
+                self._flag(
+                    APPLY_ONCE, replica, version,
+                    "applied more than once",
+                )
+                return
+            if version <= ledger.baseline:
+                self._flag(
+                    APPLY_ONCE, replica, version,
+                    f"at or below the v{ledger.baseline} join baseline "
+                    f"(transferred state re-applied)",
+                )
+                return
+            ledger.mark_applied(version)
+            meta = self._commit_meta.get(version)
+            if meta is None:
+                return  # metadata aged out: skip the scope check
+            partitions, origin = meta
+            self._checks[PARTITION_SCOPE] += 1
+            hosts = (
+                not partitions
+                or hosted_partitions is None
+                or not hosted_partitions.isdisjoint(partitions)
+            )
+            if charged:
+                if replica == origin:
+                    self._flag(
+                        PARTITION_SCOPE, replica, version,
+                        "origin replica charged for its own writeset",
+                    )
+                elif not hosts:
+                    self._flag(
+                        PARTITION_SCOPE, replica, version,
+                        "charged for a writeset whose partitions it "
+                        "does not host",
+                    )
+            elif replica != origin and hosts:
+                self._flag(
+                    PARTITION_SCOPE, replica, version,
+                    "hosting replica advanced its watermark without "
+                    "applying the writeset",
+                )
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+
+    def report(self) -> AuditReport:
+        """Freeze everything audited so far."""
+        with self._lock:
+            return AuditReport(
+                checks=tuple(sorted(self._checks.items())),
+                violations=tuple(self._violations),
+                violations_dropped=self._violations_dropped,
+                commits_seen=self.commits_seen,
+                deliveries_seen=self.deliveries_seen,
+                applies_seen=self.applies_seen,
+            )

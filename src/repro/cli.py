@@ -57,9 +57,14 @@ _TABLE_NAMES = ("table2", "table3", "table4", "table5")
 
 
 def _settings(args) -> experiments.ExperimentSettings:
-    if getattr(args, "fast", False):
-        return experiments.ExperimentSettings.fast()
-    return experiments.ExperimentSettings()
+    settings = (
+        experiments.ExperimentSettings.fast()
+        if getattr(args, "fast", False)
+        else experiments.ExperimentSettings()
+    )
+    if getattr(args, "audit", False):
+        settings = settings.audited()
+    return settings
 
 
 def _cache(args) -> object:
@@ -235,6 +240,13 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _telemetry_empty(result) -> bool:
+    """True when a run recorded no telemetry at all (or none attached)."""
+    if result is None:
+        return True
+    return not (result.spans or result.events or result.samples)
+
+
 def _cmd_metrics(args) -> int:
     """One instrumented run (or pillar pair) with exports.
 
@@ -252,6 +264,9 @@ def _cmd_metrics(args) -> int:
     telemetry = TelemetryConfig(
         span_sample_rate=args.span_rate,
         snapshot_interval=args.interval,
+        max_spans=args.max_spans,
+        span_ring=args.span_ring,
+        audit=args.audit,
     )
     pillars = (
         ("simulator", "cluster") if args.pillar == "both"
@@ -274,11 +289,21 @@ def _cmd_metrics(args) -> int:
                 time_scale=args.time_scale, telemetry=telemetry,
             )
         results[pillar] = run.telemetry
-        print(render_dashboard(run.telemetry))
+
+    if all(_telemetry_empty(result) for result in results.values()):
+        print("no telemetry recorded (telemetry disabled?)")
+        return 0
+    for result in results.values():
+        print(render_dashboard(result))
         print()
 
     code = 0
     for pillar, result in results.items():
+        audit = getattr(result, "audit", None)
+        if audit is not None and not audit.ok:
+            print(f"FAIL: {pillar} pillar audit found "
+                  f"{audit.total_violations} invariant violation(s)")
+            code = 1
         missing = SHARED_SCHEMA - result.metric_names()
         if missing:
             print(f"FAIL: {pillar} pillar did not emit "
@@ -340,6 +365,89 @@ def _cmd_metrics(args) -> int:
     return code
 
 
+def _cmd_trace(args) -> int:
+    """Causal replication tracing: one instrumented run, analysed.
+
+    Traces every transaction (``--span-rate 1`` by default), links each
+    committed writeset's certify span to its per-replica apply spans,
+    and prints the critical-path breakdown (certifier queue / channel /
+    apply) plus the snapshot-staleness distributions.  ``--audit`` runs
+    the online invariant auditor alongside and fails on any violation;
+    ``--chrome-out`` exports the multi-track Chrome trace (one track
+    per replica plus the shared certifier track).
+    """
+    from .cluster import run_cluster
+    from .telemetry import (
+        TelemetryConfig,
+        causal_traces,
+        critical_path,
+        render_critical_path,
+        staleness_summary,
+        write_causal_chrome_trace,
+    )
+
+    spec = get_workload(args.workload)
+    config = spec.replication_config(args.replicas)
+    telemetry = TelemetryConfig(
+        span_sample_rate=args.span_rate,
+        snapshot_interval=args.interval,
+        max_spans=args.max_spans,
+        span_ring=args.span_ring,
+        audit=args.audit,
+    )
+    print(f"tracing {args.workload} on {args.design} "
+          f"(N={args.replicas}, {args.pillar} pillar)...", file=sys.stderr)
+    if args.pillar == "simulator":
+        run = simulate(
+            spec, config, design=args.design, seed=args.seed,
+            warmup=args.warmup, duration=args.duration,
+            telemetry=telemetry,
+        )
+    else:
+        run = run_cluster(
+            spec, config, design=args.design, seed=args.seed,
+            warmup=args.warmup, duration=args.duration,
+            time_scale=args.time_scale, telemetry=telemetry,
+        )
+    result = run.telemetry
+    if _telemetry_empty(result):
+        print("no telemetry recorded (telemetry disabled?)")
+        return 0
+
+    traces = causal_traces(result)
+    committed = sum(1 for trace in traces if trace.committed)
+    print(f"causal graph: {len(traces)} traces ({committed} committed), "
+          f"{len(result.spans)} spans")
+    print(render_critical_path(critical_path(result)))
+    staleness = staleness_summary(result)
+    if staleness:
+        print()
+        for line in staleness:
+            print(line)
+    if result.spans_dropped:
+        mode = "oldest evicted" if args.span_ring else "newest discarded"
+        print(f"!! SPANS DROPPED: {result.spans_dropped} ({mode}; "
+              f"max_spans={args.max_spans})")
+
+    if args.chrome_out:
+        write_causal_chrome_trace(args.chrome_out, result)
+        print(f"wrote multi-track Chrome trace to {args.chrome_out} "
+              f"(load via chrome://tracing or ui.perfetto.dev)")
+
+    audit = getattr(result, "audit", None)
+    if audit is not None:
+        if audit.ok:
+            print(f"audit: PASS — {audit.total_checks} checks, "
+                  f"zero invariant violations")
+        else:
+            print(f"FAIL: audit found {audit.total_violations} "
+                  f"invariant violation(s)")
+            for violation in audit.violations[:20]:
+                print("  " + violation.to_text())
+            return 1
+    return 0
+
+
 def _cmd_crossval(args) -> int:
     spec = experiments.resolve_workload(args.workload)
     print(
@@ -375,25 +483,60 @@ def _render_artifact(result) -> str:
     return str(result)
 
 
+def _entry_label(entry) -> str:
+    """Best-effort label for one artifact entry in failure lines."""
+    return " ".join(
+        str(part) for part in (getattr(entry, "design", ""),
+                               getattr(entry, "policy", ""),
+                               getattr(entry, "label", ""))
+        if part
+    ) or repr(entry)
+
+
+def _audit_failure(label: str, obj) -> Optional[str]:
+    """One FAIL line when *obj* carries a failed audit report."""
+    telemetry = getattr(obj, "telemetry", None)
+    audit = getattr(telemetry, "audit", None)
+    if audit is None or audit.ok:
+        return None
+    worst = "; ".join(v.to_text() for v in audit.violations[:3])
+    return (f"{label}: {audit.total_violations} audit violation(s) "
+            f"[{worst}]")
+
+
 def _artifact_failures(result) -> List[str]:
     """Correctness failures an artifact may carry.
 
     Cluster-backed artifacts (autoscale comparisons, crossval results)
     record whether the live replicas converged to identical state; a
     non-converged entry must fail the command, not exit 0 behind a
-    pretty table.
+    pretty table.  Audited runs (``--audit``) additionally attach an
+    :class:`repro.audit.AuditReport` to each result's telemetry — any
+    invariant violation fails the command the same way.
     """
     failures = []
     if getattr(result, "converged", True) is False:
         failures.append("artifact did not converge")
+    audited = [("artifact", result)]
     for entry in getattr(result, "results", None) or ():
         if getattr(entry, "converged", True) is False:
-            label = " ".join(
-                str(part) for part in (getattr(entry, "design", ""),
-                                       getattr(entry, "policy", ""))
-                if part
-            ) or repr(entry)
-            failures.append(f"{label} did not converge")
+            failures.append(f"{_entry_label(entry)} did not converge")
+        audited.append((_entry_label(entry), entry))
+        inner = getattr(entry, "result", None)
+        if inner is not None:
+            audited.append((_entry_label(entry), inner))
+    for row in getattr(result, "rows", None) or ():
+        for attr in ("sim_full", "sim_partial"):
+            cell = getattr(row, attr, None)
+            if cell is not None:
+                audited.append(
+                    (f"Pw={getattr(row, 'write_fraction', '?')} {attr}",
+                     cell)
+                )
+    for label, obj in audited:
+        failure = _audit_failure(label, obj)
+        if failure is not None:
+            failures.append(failure)
     return failures
 
 
@@ -616,6 +759,11 @@ def _add_engine_options(parser: argparse.ArgumentParser,
         "--no-cache", action="store_true",
         help="do not read or write the on-disk result cache",
     )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="run every executable point with telemetry and the online "
+        "invariant auditor attached; any violation fails the command",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -697,6 +845,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timeline snapshot interval (virtual seconds)")
     p.add_argument("--span-rate", type=float, default=0.1,
                    help="fraction of transactions traced as spans (0-1)")
+    p.add_argument("--max-spans", type=int, default=50_000,
+                   help="retained-span cap (drops are counted loudly)")
+    p.add_argument("--span-ring", action="store_true",
+                   help="ring-buffer span retention: keep the latest "
+                   "max-spans spans instead of the first")
+    p.add_argument("--audit", action="store_true",
+                   help="run the online invariant auditor alongside; "
+                   "any violation fails the command")
     p.add_argument("--trace-out", default=None,
                    help="write sampled spans to this JSONL file")
     p.add_argument("--chrome-out", default=None,
@@ -706,6 +862,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json-out", default=None,
                    help="write the full metric/event payload as JSON")
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "trace",
+        help="causal replication tracing: critical-path breakdown of "
+        "one instrumented run (optionally audited)",
+    )
+    p.add_argument("--workload", default="tpcw/shopping")
+    p.add_argument("--design", choices=DESIGNS, default="multi-master")
+    p.add_argument("--pillar", choices=("simulator", "cluster"),
+                   default="simulator")
+    p.add_argument("--replicas", type=int, default=3)
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--warmup", type=float, default=5.0)
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--time-scale", type=float, default=0.1,
+                   help="wall seconds per virtual second (cluster pillar)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="timeline snapshot interval (virtual seconds)")
+    p.add_argument("--span-rate", type=float, default=1.0,
+                   help="fraction of transactions traced (default: all, "
+                   "so the causal graph is complete)")
+    p.add_argument("--max-spans", type=int, default=50_000,
+                   help="retained-span cap (drops are counted loudly)")
+    p.add_argument("--span-ring", action="store_true",
+                   help="ring-buffer span retention: keep the latest "
+                   "max-spans spans instead of the first")
+    p.add_argument("--audit", action="store_true",
+                   help="run the online invariant auditor alongside; "
+                   "any violation fails the command")
+    p.add_argument("--chrome-out", default=None,
+                   help="write the multi-track causal Chrome trace "
+                   "(one track per replica) to this JSON file")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "crossval",

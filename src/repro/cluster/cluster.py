@@ -145,6 +145,10 @@ class Cluster:
             self.metrics.watch_resource(f"{name}.disk", replica.disk)
         if self.telemetry is not None:
             replica.telemetry = self.telemetry
+            if self.telemetry.auditor is not None:
+                self.telemetry.auditor.on_attach(
+                    replica.name, replica.db.latest_version
+                )
         return replica
 
     def _make_replica(
@@ -170,6 +174,10 @@ class Cluster:
             certifier.telemetry = telemetry
         for replica in self.replicas:
             replica.telemetry = telemetry
+            if telemetry.auditor is not None:
+                telemetry.auditor.on_attach(
+                    replica.name, replica.db.latest_version
+                )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -311,6 +319,13 @@ class Cluster:
         replaying the channel history above the replica's snapshot and
         then subscribing hands it every committed writeset exactly once.
         """
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.auditor is not None:
+            # Baseline = the transferred snapshot; the replay below
+            # delivers exactly the versions above it.
+            telemetry.auditor.on_attach(
+                replica.name, replica.db.latest_version
+            )
         for writeset in self.channel.history_after(replica.db.latest_version):
             replica.enqueue_writeset(writeset, charged=True)
         self.channel.subscribe(replica)
@@ -545,6 +560,11 @@ class MultiMasterCluster(Cluster):
                 # Reads execute entirely locally and always commit (§2:
                 # GSI read-only transactions never abort).
                 work_start = self.clock.now()
+                if telemetry is not None:
+                    telemetry.observe_staleness(
+                        replica.name, replica.applied_version,
+                        self.certifier.latest_version, self.clock.now(),
+                    )
                 self._serve_read_txn(replica, sampler)
                 if trace is not None:
                     telemetry.tracer.add_span(
@@ -560,6 +580,11 @@ class MultiMasterCluster(Cluster):
                 self._record_snapshot_age(
                     self.certifier.latest_version - txn.snapshot_version
                 )
+                if telemetry is not None:
+                    telemetry.observe_staleness(
+                        replica.name, txn.snapshot_version,
+                        self.certifier.latest_version, self.clock.now(),
+                    )
                 work_start = self.clock.now()
                 replica.serve_update_attempt(sampler)
                 # Each attempt re-samples its rows (re-execution of the
@@ -587,6 +612,16 @@ class MultiMasterCluster(Cluster):
                     with self._order_lock:
                         outcome = self.certifier.certify(writeset)
                         if outcome.committed:
+                            if (telemetry is not None
+                                    and telemetry.auditor is not None):
+                                # Inside the order lock: commits reach
+                                # the auditor in version order, before
+                                # the publish triggers any delivery.
+                                telemetry.auditor.on_commit(
+                                    outcome.commit_version,
+                                    writeset.partitions,
+                                    replica.name,
+                                )
                             if trace is not None:
                                 # Appliers find the trace through the
                                 # version map — register it before the
@@ -760,6 +795,11 @@ class SingleMasterCluster(Cluster):
             self._acquire(replica)
             try:
                 work_start = self.clock.now()
+                if telemetry is not None:
+                    telemetry.observe_staleness(
+                        replica.name, replica.applied_version,
+                        self.certifier.latest_version, self.clock.now(),
+                    )
                 self._serve_read_txn(replica, sampler)
                 if trace is not None:
                     telemetry.tracer.add_span(
@@ -790,6 +830,13 @@ class SingleMasterCluster(Cluster):
                 # Plain SI on the master: snapshot is its latest committed
                 # version; the conflict window is the execution time here.
                 txn = master.db.begin()
+                if telemetry is not None:
+                    # The master reads its own latest version, so this is
+                    # the (near-zero) floor of the staleness distribution.
+                    telemetry.observe_staleness(
+                        master.name, txn.snapshot_version,
+                        self.certifier.latest_version, self.clock.now(),
+                    )
                 work_start = self.clock.now()
                 master.serve_update_attempt(sampler)
                 sampled = sampler.sample_writeset(
@@ -813,6 +860,15 @@ class SingleMasterCluster(Cluster):
                 try:
                     with self._order_lock:
                         committed = master.db.commit(txn)
+                        if (telemetry is not None
+                                and telemetry.auditor is not None):
+                            # Inside the order lock, before the publish:
+                            # commits reach the auditor in version order.
+                            telemetry.auditor.on_commit(
+                                committed.commit_version,
+                                committed.partitions,
+                                master.name,
+                            )
                         if trace is not None:
                             # Register the trace before the publish makes
                             # the writeset poppable by slave appliers.

@@ -207,6 +207,9 @@ class ClusterReplica:
             self._failed = True
             self._available = False
             self._queue.clear()
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.auditor is not None:
+            telemetry.auditor.on_crash(self.name)
 
     @property
     def joining(self) -> bool:
@@ -268,12 +271,17 @@ class ClusterReplica:
         Dropped silently once the replica has crashed: the dead replica
         no longer consumes writesets, and its state is discarded anyway.
         """
-        enqueued_at = (
-            self._clock.now() if self.telemetry is not None else None
-        )
+        telemetry = self.telemetry
+        enqueued_at = self._clock.now() if telemetry is not None else None
         with self._state:
             if self._failed:
                 return
+            if telemetry is not None and telemetry.auditor is not None:
+                # Publishers hold the cluster's order lock, so deliveries
+                # are audited in commit order.
+                telemetry.auditor.on_deliver(
+                    self.name, writeset.commit_version
+                )
             self._queue.append((writeset, charged, enqueued_at))
             self._state.notify_all()
 
@@ -318,6 +326,14 @@ class ClusterReplica:
                 # version clock so later *hosted* writesets still install
                 # in global commit order.
                 self.db.apply_version_marker(writeset.commit_version)
+                telemetry = self.telemetry
+                if telemetry is not None and telemetry.auditor is not None:
+                    # No application work was charged: this is a version
+                    # marker, whatever the channel's charge flag said.
+                    telemetry.auditor.on_apply(
+                        self.name, writeset.commit_version, False,
+                        self.hosted_partitions,
+                    )
                 continue
             if charged:
                 self.cpu.serve(self._sampler.writeset_cpu())
@@ -328,12 +344,19 @@ class ClusterReplica:
             with self._state:
                 self.writesets_applied += 1
             telemetry = self.telemetry
-            if telemetry is not None and enqueued_at is not None:
-                now = self._clock.now()
-                telemetry.observe_apply(self.name, now - enqueued_at)
-                telemetry.apply_span(
-                    writeset.commit_version, self.name, enqueued_at, now
-                )
+            if telemetry is not None:
+                if enqueued_at is not None:
+                    now = self._clock.now()
+                    telemetry.observe_apply(self.name, now - enqueued_at)
+                    telemetry.apply_span(
+                        writeset.commit_version, self.name, enqueued_at,
+                        now,
+                    )
+                if telemetry.auditor is not None:
+                    telemetry.auditor.on_apply(
+                        self.name, writeset.commit_version, charged,
+                        self.hosted_partitions,
+                    )
             applied_since_vacuum += 1
             if applied_since_vacuum >= _VACUUM_INTERVAL:
                 applied_since_vacuum = 0

@@ -16,7 +16,11 @@ offline.  It has three layers:
   a trace against an *elastic* execution pillar (the DES simulator or the
   live cluster, both of which grow and shrink via
   ``add_replica``/``remove_replica``) and records the full timeline:
-  offered load, replica count, p95 latency, SLO violations, replica-hours.
+  offered load, replica count, p95 latency, SLO violations, replica-hours;
+* :mod:`repro.control.slo` — the **SLO monitor** computing multi-window
+  error-budget burn rates (latency and abort signals) at every control
+  tick, surfaced on the timeline, exported as a telemetry gauge, and
+  consumable by controllers via ``ControlObservation.slo_burn``.
 
 Scenario registrations (``autoscale-diurnal``, ``autoscale-flashcrowd``,
 ...) live in :mod:`repro.control.scenarios`, imported by
@@ -40,6 +44,7 @@ from .controller import (
     StaticPeakPolicy,
     make_controller,
 )
+from .slo import BurnRate, SLOMonitor, max_burn
 from .trace import (
     DiurnalTrace,
     FlashCrowdTrace,
@@ -51,6 +56,7 @@ from .trace import (
 __all__ = [
     "AutoscaleComparison",
     "AutoscaleResult",
+    "BurnRate",
     "ControlObservation",
     "Controller",
     "DiurnalTrace",
@@ -61,10 +67,12 @@ __all__ = [
     "POLICY_KINDS",
     "PiecewiseTrace",
     "ReactivePolicy",
+    "SLOMonitor",
     "StaticPeakPolicy",
     "TimelinePoint",
     "autoscale_cluster",
     "autoscale_sim",
     "make_controller",
+    "max_burn",
     "render_timeline",
 ]

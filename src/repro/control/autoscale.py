@@ -46,6 +46,7 @@ from ..simulator.systems import (
 from ..telemetry import Telemetry, active_config, render_events
 from ..workloads.spec import WorkloadSpec
 from .controller import ControlObservation, make_controller
+from .slo import BurnRate, SLOMonitor, max_burn
 from .trace import LoadTrace
 
 #: Designs that support elastic membership (standalone has nothing to grow).
@@ -78,6 +79,9 @@ class TimelinePoint:
     slo_violations: int
     #: Busiest resource utilization over the interval.
     max_utilization: float
+    #: Multi-window error-budget burn rates at this tick (empty on
+    #: points recorded before the SLO monitor existed).
+    slo_burn: Tuple[BurnRate, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -216,16 +220,19 @@ def render_timeline(result: AutoscaleResult, width: int = 24) -> str:
     top = max(max(p.attached for p in result.timeline), 1)
     lines.append(
         f"  {'t(s)':>7s} {'load(tps)':>10s} {'load':<{width}s} "
-        f"{'N':>3s} {'members':<{top}s} {'p95(ms)':>8s} {'viol':>5s}"
+        f"{'N':>3s} {'members':<{top}s} {'p95(ms)':>8s} {'viol':>5s} "
+        f"{'burn':>6s}"
     )
     for p in result.timeline:
         bar = "#" * max(1, round(width * p.offered_rate / peak))
         members = "#" * p.members + (
             "+" * max(0, p.attached - p.members))
+        burn = max_burn(getattr(p, "slo_burn", ()))
         lines.append(
             f"  {p.time:>7.1f} {p.offered_rate:>10.1f} {bar:<{width}s} "
             f"{p.members:>3d} {members:<{top}s} "
-            f"{p.p95_response * 1000:>8.0f} {p.slo_violations:>5d}"
+            f"{p.p95_response * 1000:>8.0f} {p.slo_violations:>5d} "
+            f"{burn:>6.2f}"
         )
     if result.ops_events:
         lines.append("  ops events:")
@@ -250,11 +257,15 @@ class _SampledMetrics(MetricsCollector):
     def __init__(self) -> None:
         super().__init__()
         self.samples: List[Tuple[float, float]] = []
+        #: Retry count of each sampled commit, index-aligned with
+        #: ``samples`` (the burn monitor's abort signal).
+        self.abort_counts: List[int] = []
 
     def record_commit(self, is_update, response_time, aborts, now=None):
         super().record_commit(is_update, response_time, aborts, now=now)
         if now is not None:
             self.samples.append((now, response_time))
+            self.abort_counts.append(aborts)
 
 
 def _p95(values: Sequence[float]) -> float:
@@ -353,6 +364,8 @@ def _control_tick(
     window_end: float,
     reconcile: bool = True,
     telemetry=None,
+    slo_monitor: Optional[SLOMonitor] = None,
+    interval_aborts: int = 0,
 ) -> None:
     """One control interval, identical for both pillars.
 
@@ -370,6 +383,10 @@ def _control_tick(
     busy = _busy_snapshot(replicas())
     utilization = _max_utilization(state.busy, busy, control_interval)
     state.busy = busy
+    burns: Tuple[BurnRate, ...] = ()
+    if slo_monitor is not None:
+        burns = slo_monitor.observe(now, commits, violations,
+                                    interval_aborts)
     observation = ControlObservation(
         now=now,
         members=member_count(),
@@ -380,6 +397,7 @@ def _control_tick(
         mean_response=mean,
         p95_response=p95,
         max_utilization=utilization,
+        slo_burn=burns,
     )
     target = max(min_replicas,
                  min(max_replicas, controller.target(observation)))
@@ -391,6 +409,8 @@ def _control_tick(
         else:
             action = "hold"
         telemetry.count_decision(action, target)
+        for burn in burns:
+            telemetry.observe_slo_burn(burn.window, burn.signal, burn.burn)
     if reconcile:
         _reconcile_membership(member_count, add, remove, target, state)
     state.integrate(now, len(replicas()), window_start, window_end)
@@ -406,6 +426,7 @@ def _control_tick(
             p95_response=p95,
             slo_violations=violations,
             max_utilization=utilization,
+            slo_burn=burns,
         ))
 
 
@@ -584,13 +605,17 @@ def autoscale_sim(
                 )
             env.start(rolling_process())
 
+    slo_monitor = SLOMonitor()
+
     def control_loop():
         while state.running:
             yield Timeout(control_interval)
             if not state.running:
                 return
-            chunk = metrics.samples[state.sample_index:]
-            state.sample_index = len(metrics.samples)
+            end = len(metrics.samples)
+            chunk = metrics.samples[state.sample_index:end]
+            aborts = sum(metrics.abort_counts[state.sample_index:end])
+            state.sample_index = end
             _control_tick(
                 state, env.now, chunk, trace, controller,
                 replicas=lambda: system.replicas,
@@ -603,6 +628,8 @@ def autoscale_sim(
                 window_start=window_start, window_end=window_end,
                 reconcile=manage_membership,
                 telemetry=recorder,
+                slo_monitor=slo_monitor,
+                interval_aborts=aborts,
             )
             if monitor is not None and ops.detect_interval is None:
                 monitor.tick(env.now)
@@ -801,12 +828,16 @@ def autoscale_cluster(
     def trace_source():
         _open_loop_source(cluster, 0.0, seed, drivers, trace=trace)
 
+    slo_monitor = SLOMonitor()
+
     def control_thread():
         while not drivers.stop.wait(clock.to_wall(control_interval)):
             now = clock.now()
             with cluster.metrics_lock:
-                chunk = metrics.samples[state.sample_index:]
-                state.sample_index = len(metrics.samples)
+                end = len(metrics.samples)
+                chunk = metrics.samples[state.sample_index:end]
+                aborts = sum(metrics.abort_counts[state.sample_index:end])
+                state.sample_index = end
             _control_tick(
                 state, now, chunk, trace, controller,
                 replicas=lambda: cluster.replicas,
@@ -819,6 +850,8 @@ def autoscale_cluster(
                 window_start=window_start, window_end=window_end,
                 reconcile=manage_membership,
                 telemetry=tel_recorder,
+                slo_monitor=slo_monitor,
+                interval_aborts=aborts,
             )
             if monitor is not None and ops.detect_interval is None:
                 monitor.tick(now)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import ClassVar, Dict, Optional
+from typing import ClassVar, Dict, Optional, Tuple
 
 from ..core.errors import ConfigurationError, ConvergenceError
 from ..core.params import ReplicationConfig, StandaloneProfile
@@ -61,6 +61,17 @@ class ControlObservation:
     p95_response: float
     #: Busiest resource's utilization over the last interval, in [0, 1+).
     max_utilization: float
+    #: Multi-window error-budget burn rates
+    #: (:class:`repro.control.slo.BurnRate` tuples) from the harness's
+    #: SLO monitor — an input signal any policy may consume; empty when
+    #: no monitor is attached, and ignored by the built-in policies so
+    #: existing decisions are unchanged.
+    slo_burn: Tuple = ()
+
+    @property
+    def max_slo_burn(self) -> float:
+        """The worst burn across all windows and signals (0 if none)."""
+        return max((b.burn for b in self.slo_burn), default=0.0)
 
 
 class Controller:

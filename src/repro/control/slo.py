@@ -1,0 +1,134 @@
+"""Multi-window SLO error-budget burn rates for the control plane.
+
+An SLO is an error budget: "at most 5% of commits may exceed the latency
+target".  The **burn rate** is how fast a run is spending that budget —
+the observed bad fraction divided by the budgeted fraction, so burn 1.0
+exactly exhausts the budget over the window and burn 3.0 exhausts it 3×
+too fast.  Following the multi-window alerting practice, the monitor
+evaluates every budget over several trailing windows at once (default
+5 m and 1 h): the short window catches a fast regression quickly, the
+long one filters noise — paging only when *both* burn is the classic
+rule, and both are surfaced here for the controller and the timeline.
+
+Two signals are tracked per window:
+
+* ``latency`` — the fraction of interval commits whose response time
+  exceeded the run's SLO, against :attr:`SLOMonitor.latency_budget`;
+* ``abort``  — the certification-abort fraction (aborts over attempts),
+  against :attr:`SLOMonitor.abort_budget`.
+
+The monitor is pure bookkeeping over the interval statistics the
+autoscale harness already computes — no clocks, no randomness — so it
+runs identically on the DES and live pillars and never perturbs either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.errors import ConfigurationError
+
+#: Signal names (the ``signal`` label of the burn-rate gauge).
+LATENCY = "latency"
+ABORT = "abort"
+
+#: Default trailing windows: (label, seconds).
+DEFAULT_WINDOWS: Tuple[Tuple[str, float], ...] = (
+    ("5m", 300.0),
+    ("1h", 3600.0),
+)
+
+
+@dataclass(frozen=True)
+class BurnRate:
+    """One (window, signal) burn measurement at a control tick."""
+
+    #: Window label (``5m``, ``1h``, ...).
+    window: str
+    #: ``latency`` or ``abort``.
+    signal: str
+    #: Observed bad fraction divided by the budgeted fraction;
+    #: burn >= 1.0 means the budget is being spent too fast.
+    burn: float
+
+    def to_text(self) -> str:
+        return f"{self.signal}[{self.window}]={self.burn:.2f}"
+
+
+def max_burn(burns: Tuple[BurnRate, ...], signal: str = None) -> float:
+    """The worst burn across windows (optionally for one signal)."""
+    values = [
+        b.burn for b in burns if signal is None or b.signal == signal
+    ]
+    return max(values, default=0.0)
+
+
+class SLOMonitor:
+    """Compute multi-window error-budget burn rates from interval stats.
+
+    The autoscale control loop calls :meth:`observe` once per control
+    tick with that interval's commit, violation, and abort counts; the
+    monitor aggregates them over each trailing window and returns the
+    burn rates, newest evaluation also available via :meth:`latest`.
+    """
+
+    def __init__(
+        self,
+        latency_budget: float = 0.05,
+        abort_budget: float = 0.05,
+        windows: Tuple[Tuple[str, float], ...] = DEFAULT_WINDOWS,
+    ) -> None:
+        if latency_budget <= 0.0 or abort_budget <= 0.0:
+            raise ConfigurationError("error budgets must be positive")
+        if not windows:
+            raise ConfigurationError("need at least one burn window")
+        for label, seconds in windows:
+            if seconds <= 0.0:
+                raise ConfigurationError(
+                    f"window {label!r} must span positive seconds"
+                )
+        self.latency_budget = latency_budget
+        self.abort_budget = abort_budget
+        self.windows = tuple(windows)
+        self._horizon = max(seconds for _, seconds in self.windows)
+        #: (time, commits, violations, aborts) per observed interval.
+        self._intervals: List[Tuple[float, int, int, int]] = []
+        self._latest: Tuple[BurnRate, ...] = ()
+
+    def observe(
+        self, now: float, commits: int, violations: int, aborts: int = 0
+    ) -> Tuple[BurnRate, ...]:
+        """Record one control interval and return the current burns."""
+        self._intervals.append((now, commits, violations, aborts))
+        # Drop intervals no window can reach (bounded memory over long
+        # runs; strictly older than the longest trailing window).
+        cutoff = now - self._horizon
+        while self._intervals and self._intervals[0][0] < cutoff:
+            self._intervals.pop(0)
+        burns = []
+        for label, seconds in self.windows:
+            start = now - seconds
+            commits_w = violations_w = aborts_w = 0
+            for time, c, v, a in reversed(self._intervals):
+                if time < start:
+                    break
+                commits_w += c
+                violations_w += v
+                aborts_w += a
+            if commits_w > 0:
+                bad = violations_w / commits_w
+            else:
+                bad = 0.0
+            burns.append(BurnRate(label, LATENCY, bad / self.latency_budget))
+            attempts = commits_w + aborts_w
+            abort_fraction = aborts_w / attempts if attempts else 0.0
+            burns.append(
+                BurnRate(label, ABORT, abort_fraction / self.abort_budget)
+            )
+        self._latest = tuple(burns)
+        return self._latest
+
+    def latest(self) -> Tuple[BurnRate, ...]:
+        """The burns from the most recent :meth:`observe` call."""
+        return self._latest

@@ -148,6 +148,7 @@ class AutoscaleBackend:
             config=point.config,
             ops=opts.get("ops"),
             capacities=opts.get("capacities"),
+            telemetry=opts.get("telemetry"),
         )
         if opts.get("pillar") == CLUSTER:
             return autoscale_cluster(

@@ -252,6 +252,7 @@ def autoscale_point(
     transfer_writesets: int = 16,
     ops: object = None,
     capacities: Optional[Tuple[float, ...]] = None,
+    telemetry: object = None,
     profile: object = None,
     tag: str = "",
 ) -> SweepPoint:
@@ -264,7 +265,11 @@ def autoscale_point(
     rolling restarts) and the *capacities* vector of a heterogeneous
     fleet.  ``pillar`` picks the elastic execution engine: simulator
     points are deterministic and cacheable, live-cluster points measure
-    wall-clock behaviour and are not.
+    wall-clock behaviour and are not.  *telemetry* (a frozen
+    :class:`repro.telemetry.TelemetryConfig`) opts the run into the
+    observability layer — and, with ``audit=True``, the online invariant
+    auditor; ``None`` drops out of the options, preserving every
+    pre-telemetry cache key byte-for-byte.
     """
     options = {
         "trace": trace,
@@ -282,6 +287,8 @@ def autoscale_point(
         options["ops"] = ops
     if capacities is not None:
         options["capacities"] = tuple(capacities)
+    if telemetry is not None:
+        options["telemetry"] = telemetry
     if pillar == CLUSTER:
         options["time_scale"] = time_scale
     return SweepPoint(

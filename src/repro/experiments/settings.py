@@ -42,6 +42,12 @@ class ExperimentSettings:
     autoscale_duration: float = 480.0
     autoscale_control_interval: float = 10.0
     autoscale_peak_replicas: int = 6
+    #: Optional frozen :class:`repro.telemetry.TelemetryConfig` threaded
+    #: into every executable scenario point (simulator, cluster, and
+    #: autoscale cells).  ``None`` — the default — keeps telemetry out of
+    #: the point options entirely, so pre-telemetry cache keys are
+    #: preserved byte-for-byte.
+    telemetry: object = None
 
     @classmethod
     def fast(cls) -> "ExperimentSettings":
@@ -61,3 +67,10 @@ class ExperimentSettings:
     def with_replica_counts(self, counts: Tuple[int, ...]) -> "ExperimentSettings":
         """Return a copy sweeping different replica counts."""
         return replace(self, replica_counts=tuple(counts))
+
+    def audited(self) -> "ExperimentSettings":
+        """Return a copy that runs every executable point under the
+        online invariant auditor (``repro ... --audit``)."""
+        from ..telemetry import TelemetryConfig
+
+        return replace(self, telemetry=TelemetryConfig(audit=True))

@@ -190,6 +190,7 @@ def _ops_sim_points(settings, spec, load_fraction: float,
             control_interval=settings.autoscale_control_interval,
             max_replicas=2 * FLEET,
             ops=plan_for(settings),
+            telemetry=getattr(settings, "telemetry", None),
             tag=design,
         ))
     return points
@@ -298,6 +299,7 @@ def _hetero_points(settings) -> List:
             lb_policy=policy,
             capacities=HETERO_CAPACITIES,
             arrival_rate=rate,
+            telemetry=getattr(settings, "telemetry", None),
             tag=policy,
         ))
     return points
@@ -365,6 +367,7 @@ def _ops_live_points(settings, load_fraction: float, plan) -> List:
         max_replicas=2 * LIVE_FLEET,
         transfer_writesets=8,
         ops=plan,
+        telemetry=getattr(settings, "telemetry", None),
         tag="live",
     )]
 
@@ -437,6 +440,7 @@ def _hetero_live_points(settings) -> List:
             lb_policy=policy,
             capacities=LIVE_HETERO_CAPACITIES,
             arrival_rate=rate,
+            telemetry=getattr(settings, "telemetry", None),
             tag=policy,
         ))
     return points

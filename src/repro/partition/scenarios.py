@@ -375,6 +375,7 @@ def _sweep_points(settings) -> List:
             warmup=settings.sim_warmup,
             duration=settings.sim_duration,
             lb_policy=PARTITION_AWARE,
+            telemetry=getattr(settings, "telemetry", None),
             tag=f"{prefix}:sim-full",
         ))
         points.append(sim_point(
@@ -384,6 +385,7 @@ def _sweep_points(settings) -> List:
             duration=settings.sim_duration,
             lb_policy=PARTITION_AWARE,
             partition_map=partial,
+            telemetry=getattr(settings, "telemetry", None),
             tag=f"{prefix}:sim-partial",
         ))
         points.append(model_point(
@@ -451,6 +453,7 @@ def _live_sweep_points(settings) -> List:
         duration=LIVE_DURATION,
         time_scale=LIVE_TIME_SCALE,
         lb_policy=PARTITION_AWARE,
+        telemetry=getattr(settings, "telemetry", None),
     )
     return [
         cluster_point(spec, config, MULTI_MASTER, tag="full", **shared),
@@ -506,6 +509,7 @@ def _ablation_points(settings) -> List:
         warmup=settings.sim_warmup,
         duration=settings.sim_duration,
         lb_policy=PARTITION_AWARE,
+        telemetry=getattr(settings, "telemetry", None),
     )
     oblivious = PartitionMap.ring(ABLATION_PARTITIONS, ABLATION_FLEET,
                                   SWEEP_FACTOR)
@@ -559,6 +563,7 @@ def _live_ablation_points(settings) -> List:
         duration=LIVE_DURATION,
         time_scale=LIVE_TIME_SCALE,
         lb_policy=PARTITION_AWARE,
+        telemetry=getattr(settings, "telemetry", None),
     )
     oblivious = PartitionMap.ring(LIVE_ABLATION_PARTITIONS, LIVE_FLEET,
                                   SWEEP_FACTOR)

@@ -120,6 +120,9 @@ class SimReplica:
                 f"{self.name}: writeset {commit_version} arrived out of order "
                 f"(latest is {self._enqueued_version})"
             )
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.auditor is not None:
+            telemetry.auditor.on_deliver(self.name, commit_version)
         self._enqueued_version = commit_version
         if self.failed:
             # The replica is dead and its state will be thrown away:
@@ -137,6 +140,11 @@ class SimReplica:
             self._env.start(self._apply_one(commit_version))
         else:
             self._mark_applied(commit_version)
+            if telemetry is not None and telemetry.auditor is not None:
+                telemetry.auditor.on_apply(
+                    self.name, commit_version, False,
+                    self.hosted_partitions,
+                )
 
     def _apply_one(self, commit_version: int):
         """Apply one writeset, charging CPU and disk work."""
@@ -150,6 +158,11 @@ class SimReplica:
             start = self._enqueue_times.pop(commit_version, now)
             telemetry.observe_apply(self.name, now - start)
             telemetry.apply_span(commit_version, self.name, start, now)
+            if telemetry.auditor is not None:
+                telemetry.auditor.on_apply(
+                    self.name, commit_version, True,
+                    self.hosted_partitions,
+                )
 
     def _mark_applied(self, commit_version: int) -> None:
         heapq.heappush(self._completed_out_of_order, commit_version)
@@ -183,6 +196,9 @@ class SimReplica:
             raise SimulationError(f"negative sync version {commit_version}")
         self.applied_version = commit_version
         self._enqueued_version = commit_version
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.auditor is not None:
+            telemetry.auditor.on_attach(self.name, commit_version)
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -211,14 +227,23 @@ class SimReplica:
         self.failed = True
         self._available = False
         self._deferred.clear()
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.auditor is not None:
+            telemetry.auditor.on_crash(self.name)
 
     def _flush_deferred(self) -> None:
         """Start catch-up on the writesets missed while down."""
         deferred, self._deferred = self._deferred, []
+        telemetry = self.telemetry
         for commit_version, charged in deferred:
             if charged:
-                if self.telemetry is not None:
+                if telemetry is not None:
                     self._enqueue_times[commit_version] = self._env.now
                 self._env.start(self._apply_one(commit_version))
             else:
                 self._mark_applied(commit_version)
+                if telemetry is not None and telemetry.auditor is not None:
+                    telemetry.auditor.on_apply(
+                        self.name, commit_version, False,
+                        self.hosted_partitions,
+                    )

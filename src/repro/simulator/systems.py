@@ -226,6 +226,10 @@ class _BaseSystem:
         self.metrics.watch_resource(f"{name}.disk", replica.disk)
         if self.telemetry is not None:
             replica.telemetry = self.telemetry
+            if self.telemetry.auditor is not None:
+                self.telemetry.auditor.on_attach(
+                    replica.name, replica.applied_version
+                )
         self.replicas.append(replica)
         return replica
 
@@ -242,6 +246,10 @@ class _BaseSystem:
             certifier.telemetry = telemetry
         for replica in self.replicas:
             replica.telemetry = telemetry
+            if telemetry.auditor is not None:
+                telemetry.auditor.on_attach(
+                    replica.name, replica.applied_version
+                )
 
     def _admit(self, replica: SimReplica):
         """Wait for an execution slot at *replica* (no-op without a limit)."""
@@ -621,6 +629,11 @@ class MultiMasterSystem(_BaseSystem):
             if not is_update:
                 # Read-only transactions execute entirely locally and always
                 # commit (§2: GSI read-only transactions never abort).
+                if telemetry is not None:
+                    telemetry.observe_staleness(
+                        replica.name, replica.applied_version,
+                        self.certifier.latest_version, self.env.now,
+                    )
                 work_start = self.env.now
                 yield from replica.serve_read()
                 if trace is not None:
@@ -634,6 +647,11 @@ class MultiMasterSystem(_BaseSystem):
                 self.metrics.record_snapshot_age(
                     self.certifier.latest_version - snapshot
                 )
+                if telemetry is not None:
+                    telemetry.observe_staleness(
+                        replica.name, snapshot,
+                        self.certifier.latest_version, self.env.now,
+                    )
                 token = self._register_snapshot(snapshot)
                 try:
                     work_start = self.env.now
@@ -665,6 +683,11 @@ class MultiMasterSystem(_BaseSystem):
                         telemetry.note_commit(
                             outcome.commit_version, self.env.now
                         )
+                        if telemetry.auditor is not None:
+                            telemetry.auditor.on_commit(
+                                outcome.commit_version,
+                                writeset.partitions, replica.name,
+                            )
                     if trace is not None:
                         tags = {"attempt": attempt,
                                 "committed": outcome.committed}
@@ -824,6 +847,11 @@ class SingleMasterSystem(_BaseSystem):
             replica.active += 1
             yield from self._admit(replica)
             try:
+                if telemetry is not None:
+                    telemetry.observe_staleness(
+                        replica.name, replica.applied_version,
+                        self.certifier.latest_version, self.env.now,
+                    )
                 work_start = self.env.now
                 yield from replica.serve_read()
                 if trace is not None:
@@ -853,6 +881,11 @@ class SingleMasterSystem(_BaseSystem):
                 # committed version, and the conflict window is the
                 # execution time on the master (§2).
                 snapshot = self.certifier.latest_version
+                if telemetry is not None:
+                    telemetry.observe_staleness(
+                        self.master.name, snapshot,
+                        self.certifier.latest_version, self.env.now,
+                    )
                 token = self._register_snapshot(snapshot)
                 try:
                     work_start = self.env.now
@@ -880,6 +913,11 @@ class SingleMasterSystem(_BaseSystem):
                         telemetry.note_commit(
                             outcome.commit_version, self.env.now
                         )
+                        if telemetry.auditor is not None:
+                            telemetry.auditor.on_commit(
+                                outcome.commit_version,
+                                writeset.partitions, self.master.name,
+                            )
                     if trace is not None:
                         tags = {"attempt": attempt,
                                 "committed": outcome.committed}

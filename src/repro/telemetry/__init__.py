@@ -18,6 +18,19 @@ a build without this package.
 """
 
 from . import schema
+from .causal import (
+    CausalEdge,
+    CausalTrace,
+    CriticalPathReport,
+    ReplicationHop,
+    causal_chrome_trace,
+    causal_traces,
+    critical_path,
+    edge_schema,
+    render_critical_path,
+    staleness_summary,
+    write_causal_chrome_trace,
+)
 from .core import (
     Telemetry,
     TelemetryConfig,
@@ -45,11 +58,15 @@ from .spans import Span, Tracer
 from .timeline import TimelineSnapshot, render_dashboard, render_timeline
 
 __all__ = [
+    "CausalEdge",
+    "CausalTrace",
     "Counter",
+    "CriticalPathReport",
     "Gauge",
     "Histogram",
     "MetricSample",
     "MetricsRegistry",
+    "ReplicationHop",
     "Span",
     "Telemetry",
     "TelemetryConfig",
@@ -58,15 +75,22 @@ __all__ = [
     "TimelineSnapshot",
     "Tracer",
     "active_config",
+    "causal_chrome_trace",
+    "causal_traces",
     "chrome_trace",
+    "critical_path",
+    "edge_schema",
     "load_spans_jsonl",
     "prometheus_text",
+    "render_critical_path",
     "render_dashboard",
     "render_events",
     "render_timeline",
     "schema",
     "span_to_dict",
+    "staleness_summary",
     "validate_span_dict",
+    "write_causal_chrome_trace",
     "write_chrome_trace",
     "write_spans_jsonl",
 ]

@@ -1,0 +1,431 @@
+"""Causal replication tracing: link commit → certify → apply per replica.
+
+A sampled update transaction leaves spans at every pipeline stage
+(:mod:`.spans`); the appliers hang their ``apply`` spans onto the same
+trace through the (commit version → trace) map, so after a run the
+spans of one trace form a small causal graph:
+
+    route ─ execute ─ certify ─ propagate ─┬─ apply@replica0
+                                           ├─ apply@replica1
+                                           └─ ...
+
+This module reconstructs that graph from a frozen
+:class:`~repro.telemetry.TelemetryResult` and answers the paper's
+central observability question — *where does a committed writeset spend
+its replication lag?* — by attributing each replica's end-to-end lag
+(certification start to local apply completion) to three hops:
+
+* **queue** — inside the certifier service (the certification
+  round-trip, §6.3.2's certifier delay);
+* **channel** — between the commit decision leaving the certifier and
+  the replica starting to apply (propagation + apply-queue wait);
+* **apply** — the local writeset application itself.
+
+Everything here is pure post-processing: deterministic for a given
+result, no clocks, no randomness.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import schema
+from .spans import Span
+
+
+@dataclass(frozen=True)
+class CausalEdge:
+    """One happened-before edge in a transaction's causal graph."""
+
+    parent: str
+    child: str
+    subject: str = ""
+
+
+@dataclass(frozen=True)
+class CausalTrace:
+    """One traced transaction's spans, stitched into a causal graph."""
+
+    trace_id: int
+    #: Global commit version (``None`` for aborted/read-only traces).
+    version: Optional[int]
+    spans: Tuple[Span, ...]
+    edges: Tuple[CausalEdge, ...]
+
+    @property
+    def committed(self) -> bool:
+        return self.version is not None
+
+
+@dataclass(frozen=True)
+class ReplicationHop:
+    """One writeset's per-hop lag breakdown at one replica."""
+
+    trace_id: int
+    version: int
+    replica: str
+    queue: float
+    channel: float
+    apply: float
+
+    @property
+    def total(self) -> float:
+        """End-to-end lag: certification start to local apply end."""
+        return self.queue + self.channel + self.apply
+
+
+@dataclass(frozen=True)
+class ReplicaPath:
+    """Aggregate hop attribution for one replica."""
+
+    replica: str
+    hops: int
+    mean_queue: float
+    mean_channel: float
+    mean_apply: float
+    max_total: float
+
+    @property
+    def mean_total(self) -> float:
+        return self.mean_queue + self.mean_channel + self.mean_apply
+
+
+@dataclass(frozen=True)
+class CriticalPathReport:
+    """Replication critical-path analysis of one telemetry result."""
+
+    pillar: str
+    hops: Tuple[ReplicationHop, ...]
+    replicas: Tuple[ReplicaPath, ...]
+    #: Fraction of summed end-to-end lag the three hops account for
+    #: (clamping negative channel gaps is the only loss, so this should
+    #: sit at ~1.0; the acceptance bar is >= 0.95).
+    attributed_fraction: float
+    traces_seen: int
+    traces_committed: int
+
+
+def _spans_by_trace(spans: Sequence[Span]) -> Dict[int, List[Span]]:
+    grouped: Dict[int, List[Span]] = defaultdict(list)
+    for span in spans:
+        grouped[span.trace_id].append(span)
+    for group in grouped.values():
+        group.sort(key=lambda s: (s.start, s.span_id))
+    return grouped
+
+
+def _committed_certify(spans: Sequence[Span]) -> Optional[Span]:
+    for span in reversed(spans):
+        if span.name == schema.SPAN_CERTIFY and span.tag("committed") == "True":
+            return span
+    return None
+
+
+def _trace_version(spans: Sequence[Span]) -> Optional[int]:
+    for span in spans:
+        if span.name == schema.SPAN_APPLY:
+            version = span.tag("version")
+            if version:
+                return int(version)
+    return None
+
+
+def causal_traces(result) -> Tuple[CausalTrace, ...]:
+    """Reconstruct every trace's causal graph from *result*'s spans."""
+    traces: List[CausalTrace] = []
+    for trace_id, spans in sorted(_spans_by_trace(result.spans).items()):
+        edges: List[CausalEdge] = []
+        route = next(
+            (s for s in spans if s.name == schema.SPAN_ROUTE), None
+        )
+        executes = [s for s in spans if s.name == schema.SPAN_EXECUTE]
+        certifies = [s for s in spans if s.name == schema.SPAN_CERTIFY]
+        propagate = next(
+            (s for s in spans if s.name == schema.SPAN_PROPAGATE), None
+        )
+        applies = [s for s in spans if s.name == schema.SPAN_APPLY]
+        if route is not None:
+            for execute in executes:
+                edges.append(CausalEdge(
+                    schema.SPAN_ROUTE, schema.SPAN_EXECUTE,
+                    execute.subject,
+                ))
+        for execute in executes:
+            attempt = execute.tag("attempt")
+            match = next(
+                (c for c in certifies if c.tag("attempt") == attempt),
+                None,
+            )
+            if match is not None:
+                edges.append(CausalEdge(
+                    schema.SPAN_EXECUTE, schema.SPAN_CERTIFY,
+                    match.subject,
+                ))
+        committed = _committed_certify(spans)
+        if committed is not None and propagate is not None:
+            edges.append(CausalEdge(
+                schema.SPAN_CERTIFY, schema.SPAN_PROPAGATE,
+                propagate.subject,
+            ))
+        for apply_span in applies:
+            parent = (
+                schema.SPAN_PROPAGATE if propagate is not None
+                else schema.SPAN_CERTIFY
+            )
+            edges.append(CausalEdge(
+                parent, schema.SPAN_APPLY, apply_span.subject,
+            ))
+        traces.append(CausalTrace(
+            trace_id=trace_id,
+            version=_trace_version(spans),
+            spans=tuple(spans),
+            edges=tuple(edges),
+        ))
+    return tuple(traces)
+
+
+def edge_schema(result) -> frozenset:
+    """The set of (parent, child) span-name pairs the run produced.
+
+    The DES-vs-live parity contract: the same scenario on both pillars
+    yields the same edge schema, because both emit the same span
+    lifecycle.
+    """
+    return frozenset(
+        (edge.parent, edge.child)
+        for trace in causal_traces(result)
+        for edge in trace.edges
+    )
+
+
+def critical_path(result) -> CriticalPathReport:
+    """Attribute per-replica replication lag to queue/channel/apply."""
+    hops: List[ReplicationHop] = []
+    traces = causal_traces(result)
+    committed = 0
+    measured = attributed = 0.0
+    for trace in traces:
+        spans = trace.spans
+        certify = _committed_certify(spans)
+        if certify is None:
+            continue
+        committed += 1
+        for span in spans:
+            if span.name != schema.SPAN_APPLY or trace.version is None:
+                continue
+            channel = span.start - certify.end
+            hop = ReplicationHop(
+                trace_id=trace.trace_id,
+                version=trace.version,
+                replica=span.subject,
+                queue=certify.duration,
+                channel=max(0.0, channel),
+                apply=span.duration,
+            )
+            hops.append(hop)
+            # End-to-end lag as independently measured off the span
+            # endpoints; the hop sum differs only where a negative
+            # channel gap was clamped.
+            measured += span.end - certify.start
+            attributed += hop.total
+    per_replica: Dict[str, List[ReplicationHop]] = defaultdict(list)
+    for hop in hops:
+        per_replica[hop.replica].append(hop)
+    replicas = tuple(
+        ReplicaPath(
+            replica=name,
+            hops=len(group),
+            mean_queue=sum(h.queue for h in group) / len(group),
+            mean_channel=sum(h.channel for h in group) / len(group),
+            mean_apply=sum(h.apply for h in group) / len(group),
+            max_total=max(h.total for h in group),
+        )
+        for name, group in sorted(per_replica.items())
+    )
+    fraction = 1.0 if measured <= 0.0 else min(1.0, attributed / measured)
+    return CriticalPathReport(
+        pillar=result.pillar,
+        hops=tuple(hops),
+        replicas=replicas,
+        attributed_fraction=fraction,
+        traces_seen=len(traces),
+        traces_committed=committed,
+    )
+
+
+def _segments(path: ReplicaPath, width: int) -> str:
+    total = path.mean_total
+    if total <= 0.0:
+        return ""
+    cells = []
+    for char, value in (("Q", path.mean_queue), ("C", path.mean_channel),
+                        ("A", path.mean_apply)):
+        cells.append(char * int(round(width * value / total)))
+    return "".join(cells)[:width]
+
+
+def render_critical_path(report: CriticalPathReport,
+                         width: int = 24) -> str:
+    """ASCII critical-path view: one attribution bar per replica."""
+    lines = [
+        f"replication critical path — {report.pillar} pillar",
+        f"  traces: {report.traces_seen} sampled, "
+        f"{report.traces_committed} committed, "
+        f"{len(report.hops)} apply hops",
+    ]
+    if not report.replicas:
+        lines.append("  (no committed apply hops traced — raise the "
+                     "span sample rate?)")
+        return "\n".join(lines)
+    lines.append(
+        "  mean lag per hop (Q=certifier queue, C=channel, A=apply):"
+    )
+    for path in report.replicas:
+        lines.append(
+            f"    {path.replica:<12s} n={path.hops:<5d} "
+            f"total {1e3 * path.mean_total:8.2f}ms  "
+            f"[{_segments(path, width):<{width}s}]  "
+            f"q {1e3 * path.mean_queue:7.2f}  "
+            f"c {1e3 * path.mean_channel:7.2f}  "
+            f"a {1e3 * path.mean_apply:7.2f}"
+        )
+    lines.append(
+        f"  attributed: {100.0 * report.attributed_fraction:.1f}% of "
+        f"measured end-to-end replication lag"
+    )
+    return "\n".join(lines)
+
+
+def causal_chrome_trace(result) -> dict:
+    """A multi-track Chrome trace: one track per replica.
+
+    Each committed writeset appears as a ``channel`` slice (commit
+    decision to apply start) followed by an ``apply`` slice on its
+    replica's track, plus a ``certify`` slice on the shared certifier
+    track — load the JSON in ``chrome://tracing`` / Perfetto to scrub
+    the replication critical path visually.
+    """
+    report = critical_path(result)
+    traces = {t.trace_id: t for t in causal_traces(result)}
+    pid = 1
+    tids: Dict[str, int] = {"certifier": 0}
+    events: List[dict] = [{
+        "ph": "M", "pid": pid, "tid": 0, "name": "thread_name",
+        "args": {"name": f"certifier [{result.pillar}]"},
+    }]
+    certified: set = set()
+    for hop in report.hops:
+        tid = tids.get(hop.replica)
+        if tid is None:
+            tid = len(tids)
+            tids[hop.replica] = tid
+            events.append({
+                "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                "args": {"name": f"{hop.replica} [{result.pillar}]"},
+            })
+        trace = traces.get(hop.trace_id)
+        certify_span = apply_span = None
+        if trace is not None:
+            certify_span = _committed_certify(trace.spans)
+            apply_span = next(
+                (s for s in trace.spans
+                 if s.name == schema.SPAN_APPLY
+                 and s.subject == hop.replica),
+                None,
+            )
+        if certify_span is None or apply_span is None:
+            continue
+        if hop.version not in certified:
+            certified.add(hop.version)
+            events.append({
+                "ph": "X", "pid": pid, "tid": 0,
+                "name": f"certify v{hop.version}",
+                "ts": certify_span.start * 1e6,
+                "dur": max(0.0, certify_span.duration) * 1e6,
+                "args": {"version": hop.version},
+            })
+        events.append({
+            "ph": "X", "pid": pid, "tid": tid,
+            "name": f"channel v{hop.version}",
+            "ts": certify_span.end * 1e6,
+            "dur": max(0.0, apply_span.start - certify_span.end) * 1e6,
+            "args": {"version": hop.version},
+        })
+        events.append({
+            "ph": "X", "pid": pid, "tid": tid,
+            "name": f"apply v{hop.version}",
+            "ts": apply_span.start * 1e6,
+            "dur": max(0.0, apply_span.duration) * 1e6,
+            "args": {"version": hop.version},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"pillar": result.pillar, "kind": "causal"},
+    }
+
+
+def write_causal_chrome_trace(path, result) -> None:
+    """Write :func:`causal_chrome_trace` JSON to *path*."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(causal_chrome_trace(result), handle, indent=1)
+
+
+def staleness_summary(result, hosted: Optional[Dict[str, Sequence[int]]]
+                      = None) -> List[str]:
+    """Per-replica (and optionally per-partition) snapshot staleness.
+
+    *hosted* maps replica names to the partitions they host; when
+    given, per-partition rows aggregate the histograms of the hosting
+    replicas (the partial-replication view of GSI staleness).
+    """
+    lines: List[str] = []
+    by_replica: Dict[str, Tuple[object, object]] = {}
+    for sample in result.samples:
+        if sample.name not in (schema.SNAPSHOT_STALENESS_VERSIONS,
+                               schema.SNAPSHOT_STALENESS_SECONDS):
+            continue
+        replica = dict(sample.labels).get("replica", "")
+        slot = by_replica.setdefault(replica, [None, None])
+        if sample.name == schema.SNAPSHOT_STALENESS_VERSIONS:
+            slot[0] = sample
+        else:
+            slot[1] = sample
+    if not by_replica:
+        return lines
+    lines.append("  snapshot staleness (p50/p95 versions · p95 seconds):")
+    for replica, (versions, seconds) in sorted(by_replica.items()):
+        if versions is None:
+            continue
+        p95s = seconds.quantile(0.95) if seconds is not None else 0.0
+        lines.append(
+            f"    {replica:<12s} "
+            f"{versions.quantile(0.50):6.1f} / "
+            f"{versions.quantile(0.95):6.1f} v · "
+            f"{p95s:8.4f} s  (n={versions.count})"
+        )
+    if hosted:
+        partitions: Dict[int, List[str]] = defaultdict(list)
+        for replica, parts in hosted.items():
+            for part in parts or ():
+                partitions[part].append(replica)
+        if partitions:
+            lines.append("  per-partition staleness (max p95 versions "
+                         "over hosting replicas):")
+            for part, names in sorted(partitions.items()):
+                peaks = [
+                    by_replica[name][0].quantile(0.95)
+                    for name in names
+                    if name in by_replica and by_replica[name][0]
+                ]
+                if peaks:
+                    lines.append(
+                        f"    partition {part:<3d} "
+                        f"{max(peaks):6.1f} v  "
+                        f"(hosts: {', '.join(sorted(names))})"
+                    )
+    return lines

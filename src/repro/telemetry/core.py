@@ -50,6 +50,14 @@ class TelemetryConfig:
     snapshot_interval: float = 1.0
     #: Upper bound on retained spans (protects long runs).
     max_spans: int = 50_000
+    #: Ring-buffer span retention: keep the *latest* ``max_spans``
+    #: instead of the first (long autoscale runs want the recent
+    #: window; see :class:`repro.telemetry.spans.Tracer`).
+    span_ring: bool = False
+    #: Run the online invariant auditor (:mod:`repro.audit`) alongside
+    #: recording; the frozen :class:`repro.audit.AuditReport` lands on
+    #: :attr:`TelemetryResult.audit`.
+    audit: bool = False
 
 
 def active_config(telemetry) -> Optional[TelemetryConfig]:
@@ -82,6 +90,9 @@ class TelemetryResult:
     timeline: Tuple[TimelineSnapshot, ...]
     events: Tuple[TelemetryEvent, ...] = ()
     spans_dropped: int = 0
+    #: :class:`repro.audit.AuditReport` when the run was audited;
+    #: ``None`` otherwise (default keeps older cached results loading).
+    audit: object = None
 
     def metric_names(self) -> frozenset:
         """The set of metric names this run emitted."""
@@ -119,7 +130,17 @@ class Telemetry:
         self.tracer = Tracer(
             sample_rate=config.span_sample_rate,
             max_spans=config.max_spans,
+            ring=config.span_ring,
         )
+        if config.audit:
+            from ..audit import Auditor
+
+            self.auditor = Auditor()
+        else:
+            #: Call sites double-guard (``telemetry is not None`` and
+            #: ``telemetry.auditor is not None``), so an un-audited run
+            #: does no audit bookkeeping at all.
+            self.auditor = None
         self.events: List[TelemetryEvent] = []
         self.timeline: List[TimelineSnapshot] = []
         self._lock = threading.Lock()
@@ -201,6 +222,29 @@ class Telemetry:
     # Replication
     # ------------------------------------------------------------------
 
+    def observe_staleness(
+        self, replica: str, snapshot_version: int, latest_version: int,
+        now: float,
+    ) -> None:
+        """Record how stale the snapshot a transaction received was,
+        in versions behind the certifier and seconds behind the oldest
+        missed commit (sampled at begin time — GSI's staleness window).
+        """
+        versions = float(max(0, latest_version - snapshot_version))
+        self.registry.histogram(
+            schema.SNAPSHOT_STALENESS_VERSIONS,
+            bounds=schema.STALENESS_VERSION_BUCKETS,
+            replica=replica,
+        ).observe(versions)
+        seconds = (
+            self._lag_seconds(snapshot_version, now) if versions else 0.0
+        )
+        self.registry.histogram(
+            schema.SNAPSHOT_STALENESS_SECONDS,
+            bounds=schema.DEFAULT_LATENCY_BUCKETS,
+            replica=replica,
+        ).observe(seconds)
+
     def observe_apply(self, replica: str, latency: float) -> None:
         """Record one writeset's enqueue-to-applied latency."""
         self.registry.histogram(
@@ -230,6 +274,13 @@ class Telemetry:
             schema.CONTROLLER_DECISIONS, action=action
         ).inc()
         self.registry.gauge(schema.CONTROLLER_TARGET).set(float(target))
+
+    def observe_slo_burn(self, window: str, signal: str,
+                         burn: float) -> None:
+        """Record one (window, signal) error-budget burn rate."""
+        self.registry.gauge(
+            schema.SLO_BURN_RATE, window=window, signal=signal
+        ).set(burn)
 
     def record_event(self, event: TelemetryEvent) -> None:
         """Append one timeline event and count its kind."""
@@ -314,6 +365,15 @@ class Telemetry:
 
     def result(self) -> TelemetryResult:
         """Freeze everything recorded so far."""
+        audit = None
+        if self.auditor is not None:
+            audit = self.auditor.report()
+            self.registry.gauge(schema.AUDIT_CHECKS).set(
+                float(audit.total_checks)
+            )
+            self.registry.gauge(schema.AUDIT_VIOLATIONS).set(
+                float(audit.total_violations)
+            )
         return TelemetryResult(
             pillar=self.pillar,
             config=self.config,
@@ -324,4 +384,5 @@ class Telemetry:
                 self.events, key=lambda e: (e.time, e.kind, e.subject)
             )),
             spans_dropped=self.tracer.dropped,
+            audit=audit,
         )

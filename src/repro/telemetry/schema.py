@@ -70,6 +70,17 @@ APPLY_LATENCY = "writeset_apply_latency_seconds"
 VERSION_STORE = "version_store_versions"
 
 # ---------------------------------------------------------------------
+# Snapshot staleness (GSI, §2) — sampled when a transaction begins
+# ---------------------------------------------------------------------
+
+#: How many certified versions the snapshot a transaction received was
+#: behind the certifier at begin time (histogram, labelled ``replica``).
+SNAPSHOT_STALENESS_VERSIONS = "snapshot_staleness_versions"
+#: Age (virtual seconds) of the oldest commit the snapshot missed
+#: (histogram, labelled ``replica``).
+SNAPSHOT_STALENESS_SECONDS = "snapshot_staleness_seconds"
+
+# ---------------------------------------------------------------------
 # Control plane and operations
 # ---------------------------------------------------------------------
 
@@ -80,6 +91,14 @@ CONTROLLER_DECISIONS = "controller_decisions_total"
 CONTROLLER_TARGET = "controller_target_replicas"
 #: Operations events (crash/detect/replace/...), labelled ``kind``.
 OPS_EVENTS = "ops_events_total"
+#: Error-budget burn rate per monitoring window, labelled ``window``
+#: (seconds) and ``signal`` (``latency``/``abort``); 1.0 means the run
+#: consumes its budget exactly as fast as the SLO allows.
+SLO_BURN_RATE = "slo_burn_rate"
+#: Invariant-audit outcome gauges, labelled ``invariant``; non-zero
+#: violations mean the run broke a replication safety property.
+AUDIT_VIOLATIONS = "audit_violations"
+AUDIT_CHECKS = "audit_checks"
 
 # ---------------------------------------------------------------------
 # Contracts
@@ -99,6 +118,8 @@ SHARED_SCHEMA = frozenset({
     REPLICATION_LAG_SECONDS,
     CHANNEL_BACKLOG,
     APPLY_LATENCY,
+    SNAPSHOT_STALENESS_VERSIONS,
+    SNAPSHOT_STALENESS_SECONDS,
 })
 
 #: Metrics only the live pillar can emit (it alone holds real data).
@@ -123,4 +144,9 @@ ABORT_WW_CONFLICT = "ww-conflict"
 DEFAULT_LATENCY_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
     5.0,
+)
+
+#: Bucket upper bounds for snapshot staleness in versions behind.
+STALENESS_VERSION_BUCKETS = (
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
 )

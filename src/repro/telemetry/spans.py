@@ -59,12 +59,22 @@ class Tracer:
 
     sample_rate: float = 0.0
     max_spans: int = 50_000
+    #: Ring-buffer (streaming) mode: once :attr:`max_spans` is reached
+    #: the *oldest* span is evicted for each new one, so a long run
+    #: keeps its most recent window instead of its first.  The default
+    #: (``False``) keeps the original drop-new behaviour.  Either way
+    #: :attr:`dropped` counts every span lost.
+    ring: bool = False
     spans: List[Span] = field(default_factory=list)
     #: Spans discarded after :attr:`max_spans` filled up.
     dropped: int = 0
 
     def __post_init__(self) -> None:
         self.sample_rate = min(1.0, max(0.0, float(self.sample_rate)))
+        if self.ring:
+            # A deque gives O(1) eviction from the front; every consumer
+            # only iterates or takes len(), so the substitution is safe.
+            self.spans = deque(self.spans)
         self._lock = threading.Lock()
         self._accumulator = 0.0
         self._next_trace = 0
@@ -106,9 +116,12 @@ class Tracer:
         with self._lock:
             self._next_span += 1
             span_id = self._next_span
-            if len(self.spans) >= self.max_spans:
+            if len(self.spans) >= self.max_spans and not self.ring:
                 self.dropped += 1
             else:
+                if len(self.spans) >= self.max_spans:
+                    self.spans.popleft()
+                    self.dropped += 1
                 self.spans.append(Span(
                     trace_id=trace_id,
                     span_id=span_id,

@@ -111,6 +111,9 @@ def render_dashboard(result, width: int = 24) -> str:
                 f"{sample.quantile(0.95):8.4f} / {sample.mean:8.4f} "
                 f"(n={sample.count})"
             )
+    from .causal import staleness_summary
+
+    lines.extend(staleness_summary(result))
     if result.timeline:
         lines.extend(render_timeline(result.timeline, width=width))
     if result.events:
@@ -121,4 +124,30 @@ def render_dashboard(result, width: int = 24) -> str:
             f"  spans: {len(result.spans)} recorded "
             f"({len({s.trace_id for s in result.spans})} traces)"
         )
+    dropped = getattr(result, "spans_dropped", 0)
+    if dropped:
+        config = getattr(result, "config", None)
+        max_spans = getattr(config, "max_spans", "?")
+        ring = getattr(config, "span_ring", False)
+        mode = "oldest evicted" if ring else "newest discarded"
+        lines.append(
+            f"  !! SPANS DROPPED: {dropped} ({mode}; max_spans="
+            f"{max_spans} — raise it or lower the sample rate)"
+        )
+    audit = getattr(result, "audit", None)
+    if audit is not None:
+        lines.append(
+            f"  audit: {audit.total_checks} checks "
+            f"({audit.commits_seen} commits, "
+            f"{audit.deliveries_seen} deliveries, "
+            f"{audit.applies_seen} applies)"
+        )
+        if audit.ok:
+            lines.append("  audit: PASS — zero invariant violations")
+        else:
+            lines.append(
+                f"  !! AUDIT VIOLATIONS: {audit.total_violations}"
+            )
+            for violation in audit.violations[:20]:
+                lines.append("    " + violation.to_text())
     return "\n".join(lines)

@@ -62,7 +62,9 @@ class TestMVAProperties:
     def test_throughput_monotone_in_population(self, network, population):
         a = solve_mva(network, population).throughput
         b = solve_mva(network, population + 1).throughput
-        assert b >= a - 1e-12
+        # Relative tolerance: at saturation X approaches 1/demand, and
+        # a few ulps of rounding can nudge X(n+1) below X(n).
+        assert b >= a - 1e-9 * max(1.0, a)
 
     @given(network=networks(), population=st.integers(1, 40))
     @settings(max_examples=40, deadline=None)
