@@ -101,15 +101,30 @@ class Auditor:
     Pure bookkeeping: no clocks, no randomness, no simulated time, so a
     DES run is bit-identical with the auditor on or off.  One internal
     lock makes it safe under the live cluster's concurrent appliers.
+
+    Sharded certification passes ``shard=<partition>`` to every hook:
+    each shard is then an independent commit sequence and each
+    ``(replica, shard)`` pair an independent delivery/apply lane, so
+    the same contiguity invariants hold per shard instead of globally.
+    A cross-partition commit reports once per touched shard, with
+    ``primary=True`` only on its home shard — the one lane the hosting
+    replicas are charged apply work on; the other lanes are pure
+    version-vector markers and must never be charged.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._last_commit = 0
-        # version -> (partition set, origin name) for scope checks.
-        self._commit_meta: Dict[int, Tuple[FrozenSet[int], str]] = {}
-        self._commit_order: Deque[int] = deque()
-        self._replicas: Dict[str, _ReplicaLedger] = {}
+        # Last version per commit lane: ``None`` is the single global
+        # sequence, an int names a certifier shard.
+        self._last_commit: Dict[Optional[int], int] = {}
+        # Meta key (version, or (shard, version)) ->
+        # (partition set, origin name, primary) for scope checks.
+        self._commit_meta: Dict[
+            object, Tuple[FrozenSet[int], str, bool]
+        ] = {}
+        self._commit_order: Deque[object] = deque()
+        # Ledger key: replica name, or (replica, shard) per lane.
+        self._replicas: Dict[object, _ReplicaLedger] = {}
         self._dead: Set[str] = set()
         self._checks: Dict[str, int] = {name: 0 for name in INVARIANTS}
         self._violations: List[AuditViolation] = []
@@ -132,8 +147,17 @@ class Auditor:
             detail=detail,
         ))
 
-    def _ledger(self, replica: str) -> Optional[_ReplicaLedger]:
-        """The replica's ledger, or ``None`` for dead/unknown replicas.
+    @staticmethod
+    def _lane(replica: str, shard: Optional[int]) -> object:
+        return replica if shard is None else (replica, shard)
+
+    @staticmethod
+    def _subject(replica: str, shard: Optional[int]) -> str:
+        return replica if shard is None else f"{replica}[s{shard}]"
+
+    def _ledger(self, replica: str,
+                shard: Optional[int] = None) -> Optional[_ReplicaLedger]:
+        """The replica's (lane's) ledger, ``None`` for dead/unknown ones.
 
         Unknown replicas are registered lazily at a baseline just below
         their first observation, so an assembly that never called
@@ -142,24 +166,29 @@ class Auditor:
         """
         if replica in self._dead:
             return None
-        return self._replicas.get(replica)
+        return self._replicas.get(self._lane(replica, shard))
 
     # ------------------------------------------------------------------
     # Lifecycle hooks
     # ------------------------------------------------------------------
 
-    def on_attach(self, replica: str, baseline: int) -> None:
+    def on_attach(self, replica: str, baseline: int,
+                  shard: Optional[int] = None) -> None:
         """Track *replica* from *baseline* (join / state-transfer sync).
 
         Versions at or below the baseline are part of the transferred
         state; delivery is expected to resume contiguously above it.
+        With ``shard`` this attaches one ``(replica, shard)`` lane; the
+        sharded assemblies attach every hosted lane explicitly so gap
+        coverage starts at shard version 0.
         """
         with self._lock:
-            self._dead.discard(replica)
-            ledger = self._replicas.get(replica)
+            if shard is None:
+                self._dead.discard(replica)
+            ledger = self._replicas.get(self._lane(replica, shard))
             if ledger is None:
                 ledger = _ReplicaLedger()
-                self._replicas[replica] = ledger
+                self._replicas[self._lane(replica, shard)] = ledger
             ledger.reset(baseline)
 
     def on_crash(self, replica: str) -> None:
@@ -167,45 +196,65 @@ class Auditor:
         are dropped by design and must not count as violations."""
         with self._lock:
             self._dead.add(replica)
-            self._replicas.pop(replica, None)
+            self._replicas = {
+                lane: ledger for lane, ledger in self._replicas.items()
+                if (lane if isinstance(lane, str) else lane[0]) != replica
+            }
 
-    def on_commit(self, version: int, partitions, origin: str) -> None:
-        """One writeset was certified and assigned a global version."""
+    def on_commit(self, version: int, partitions, origin: str,
+                  shard: Optional[int] = None,
+                  primary: bool = True) -> None:
+        """One writeset was certified and assigned a commit version.
+
+        Global path: called once with the global version.  Sharded
+        path: called once per touched shard with that shard's version;
+        ``primary`` marks the home shard (the lane charged apply work
+        on), every other touched shard being a marker lane.
+        """
         with self._lock:
             self.commits_seen += 1
             self._checks[COMMIT_ORDER] += 1
-            if version != self._last_commit + 1:
+            last = self._last_commit.get(shard, 0)
+            if version != last + 1:
+                subject = ("certifier" if shard is None
+                           else f"certifier[s{shard}]")
+                sequence = ("global" if shard is None
+                            else f"shard {shard}") + " sequence"
                 self._flag(
-                    COMMIT_ORDER, "certifier", version,
-                    f"expected v{self._last_commit + 1} next "
-                    f"(duplicate or gap in the global sequence)",
+                    COMMIT_ORDER, subject, version,
+                    f"expected v{last + 1} next "
+                    f"(duplicate or gap in the {sequence})",
                 )
-            self._last_commit = max(self._last_commit, version)
-            self._commit_meta[version] = (
-                frozenset(partitions or ()), origin,
+            self._last_commit[shard] = max(last, version)
+            meta_key = version if shard is None else (shard, version)
+            self._commit_meta[meta_key] = (
+                frozenset(partitions or ()), origin, primary,
             )
-            self._commit_order.append(version)
+            self._commit_order.append(meta_key)
             while len(self._commit_order) > _COMMIT_META_LIMIT:
                 old = self._commit_order.popleft()
                 self._commit_meta.pop(old, None)
 
-    def on_deliver(self, replica: str, version: int) -> None:
-        """One writeset reached *replica*'s apply queue."""
+    def on_deliver(self, replica: str, version: int,
+                   shard: Optional[int] = None) -> None:
+        """One writeset reached *replica*'s apply queue (lane *shard*)."""
         with self._lock:
             if replica in self._dead:
                 return
-            ledger = self._replicas.get(replica)
+            lane = self._lane(replica, shard)
+            ledger = self._replicas.get(lane)
             if ledger is None:
                 # Lazy registration: monotonicity coverage from here on
                 # even without an explicit on_attach.
                 ledger = _ReplicaLedger()
                 ledger.reset(version - 1)
-                self._replicas[replica] = ledger
+                self._replicas[lane] = ledger
+            subject = self._subject(replica, shard)
             self.deliveries_seen += 1
             self._checks[DELIVERY_ORDER] += 1
             if version <= ledger.last_delivered:
                 self._flag(
-                    DELIVERY_ORDER, replica, version,
+                    DELIVERY_ORDER, subject, version,
                     f"already delivered up to v{ledger.last_delivered} "
                     f"(duplicated writeset)",
                 )
@@ -213,46 +262,62 @@ class Auditor:
             self._checks[DELIVERY_GAP] += 1
             if version != ledger.last_delivered + 1:
                 self._flag(
-                    DELIVERY_GAP, replica, version,
+                    DELIVERY_GAP, subject, version,
                     f"v{ledger.last_delivered + 1}..v{version - 1} "
                     f"never delivered (lost writesets)",
                 )
             ledger.last_delivered = version
 
     def on_apply(self, replica: str, version: int, charged: bool,
-                 hosted_partitions=None) -> None:
+                 hosted_partitions=None,
+                 shard: Optional[int] = None) -> None:
         """One delivered writeset advanced *replica*'s watermark.
 
         ``charged`` is whether the replica paid application work;
         ``hosted_partitions`` is its partial-replication hosting set
-        (``None`` = hosts everything).
+        (``None`` = hosts everything).  Sharded runs report once per
+        touched shard: charged (at most) on the home-shard lane, as a
+        free marker on the others.
         """
         with self._lock:
-            ledger = self._ledger(replica)
+            ledger = self._ledger(replica, shard)
             if ledger is None:
                 return
+            subject = self._subject(replica, shard)
             self.applies_seen += 1
             self._checks[APPLY_ONCE] += 1
             if (version <= ledger.applied_watermark
                     or version in ledger.applied_ahead):
                 self._flag(
-                    APPLY_ONCE, replica, version,
+                    APPLY_ONCE, subject, version,
                     "applied more than once",
                 )
                 return
             if version <= ledger.baseline:
                 self._flag(
-                    APPLY_ONCE, replica, version,
+                    APPLY_ONCE, subject, version,
                     f"at or below the v{ledger.baseline} join baseline "
                     f"(transferred state re-applied)",
                 )
                 return
             ledger.mark_applied(version)
-            meta = self._commit_meta.get(version)
+            meta_key = version if shard is None else (shard, version)
+            meta = self._commit_meta.get(meta_key)
             if meta is None:
                 return  # metadata aged out: skip the scope check
-            partitions, origin = meta
+            partitions, origin, primary = meta
             self._checks[PARTITION_SCOPE] += 1
+            if not primary:
+                # Non-home shard of a cross-partition commit: a pure
+                # version-vector marker everywhere — the data rides the
+                # home-shard lane.
+                if charged:
+                    self._flag(
+                        PARTITION_SCOPE, subject, version,
+                        "charged apply work on a non-home shard lane "
+                        "(cross-partition data rides the home shard)",
+                    )
+                return
             hosts = (
                 not partitions
                 or hosted_partitions is None
@@ -261,18 +326,18 @@ class Auditor:
             if charged:
                 if replica == origin:
                     self._flag(
-                        PARTITION_SCOPE, replica, version,
+                        PARTITION_SCOPE, subject, version,
                         "origin replica charged for its own writeset",
                     )
                 elif not hosts:
                     self._flag(
-                        PARTITION_SCOPE, replica, version,
+                        PARTITION_SCOPE, subject, version,
                         "charged for a writeset whose partitions it "
                         "does not host",
                     )
             elif replica != origin and hosts:
                 self._flag(
-                    PARTITION_SCOPE, replica, version,
+                    PARTITION_SCOPE, subject, version,
                     "hosting replica advanced its watermark without "
                     "applying the writeset",
                 )

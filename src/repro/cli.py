@@ -64,7 +64,20 @@ def _settings(args) -> experiments.ExperimentSettings:
     )
     if getattr(args, "audit", False):
         settings = settings.audited()
+    if getattr(args, "certifier", None) is not None:
+        settings = settings.with_certifier(args.certifier)
     return settings
+
+
+def _certifier_arg(value: str) -> str:
+    """Validate ``--certifier`` eagerly so typos exit 2 with a hint."""
+    from .sidb.certifier_api import UnknownCertifierError, resolve_certifier_spec
+
+    try:
+        resolve_certifier_spec(value)
+    except UnknownCertifierError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
 
 
 def _cache(args) -> object:
@@ -649,7 +662,7 @@ def _cmd_partition(args) -> int:
 
     # SIM_SCENARIOS and LIVE_SCENARIOS are aligned pairwise: the n-th
     # live scenario validates the n-th simulator one.
-    families = dict(zip(("sweep", "placement"),
+    families = dict(zip(("sweep", "placement", "certifier"),
                         zip(SIM_SCENARIOS, LIVE_SCENARIOS)))
     if args.family == "all":
         names = list(SIM_SCENARIOS) + (
@@ -763,6 +776,14 @@ def _add_engine_options(parser: argparse.ArgumentParser,
         "--audit", action="store_true",
         help="run every executable point with telemetry and the online "
         "invariant auditor attached; any violation fails the command",
+    )
+    parser.add_argument(
+        "--certifier", type=_certifier_arg, default=None,
+        metavar="{global,sharded}",
+        help="certification protocol for multi-master points: 'global' "
+        "(the default single sequencer; byte-identical results and "
+        "cache keys to omitting the flag) or 'sharded' (per-partition "
+        "certifier shards with distributed cross-partition commit)",
     )
 
 
@@ -993,7 +1014,7 @@ def build_parser() -> argparse.ArgumentParser:
         "placement, per-partition certification, placement planning)",
     )
     p.add_argument("--family",
-                   choices=("sweep", "placement", "all"),
+                   choices=("sweep", "placement", "certifier", "all"),
                    default="all", help="which scenario family to run")
     p.add_argument("--live", action="store_true",
                    help="also run the live-cluster validation cells "

@@ -34,6 +34,11 @@ from .cluster import Cluster, MultiMasterCluster, SingleMasterCluster
 from .replica import ClusterReplica
 from .resources import LiveResource
 from .runner import CLUSTER_DESIGNS, ClusterResult, run_cluster
+from .sharded import (
+    ShardDelivery,
+    ShardedClusterReplica,
+    ShardedMultiMasterCluster,
+)
 
 __all__ = [
     "CLUSTER_DESIGNS",
@@ -44,6 +49,9 @@ __all__ = [
     "LoadBalancer",
     "MultiMasterCluster",
     "ReplicationChannel",
+    "ShardDelivery",
+    "ShardedClusterReplica",
+    "ShardedMultiMasterCluster",
     "SingleMasterCluster",
     "VirtualClock",
     "run_cluster",

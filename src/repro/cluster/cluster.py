@@ -434,9 +434,15 @@ class MultiMasterCluster(Cluster):
 
     def __init__(self, spec, config, seed, clock, metrics,
                  distribution=EXPONENTIAL, lb_policy="least-loaded",
-                 capacities=None, partition_map=None):
+                 capacities=None, partition_map=None, certifier_spec=None):
         super().__init__(spec, config, seed, clock, metrics,
                          distribution, lb_policy, capacities, partition_map)
+        # Per-certification service occupancy of the shared certifier
+        # (the A/B knob against the sharded arm).  Zero — the default —
+        # keeps the path exactly as it was before the spec existed.
+        self._service_time = (
+            0.0 if certifier_spec is None else certifier_spec.service_time
+        )
         self.certifier = Certifier()
         for index in range(config.replicas):
             replica = self._make_replica(
@@ -610,6 +616,12 @@ class MultiMasterCluster(Cluster):
                     telemetry.certify_begin()
                 try:
                     with self._order_lock:
+                        if self._service_time > 0.0:
+                            # One service token for the whole system:
+                            # every certification holds the commit-order
+                            # lock for its service time, the serial
+                            # bottleneck the sharded arm removes.
+                            self.clock.sleep(self._service_time)
                         outcome = self.certifier.certify(writeset)
                         if outcome.committed:
                             if (telemetry is not None

@@ -38,6 +38,7 @@ from ..core.errors import ConfigurationError, SimulationError
 from ..core.params import ReplicationConfig
 from ..core.results import OperatingPoint
 from ..core.rng import DEFAULT_SEED
+from ..sidb.certifier_api import resolve_certifier_spec
 from ..simulator.faults import CRASH, ReplicaFault, validate_faults
 from ..simulator.runner import MULTI_MASTER, SINGLE_MASTER
 from ..simulator.sampling import DISTRIBUTIONS, EXPONENTIAL, WorkloadSampler
@@ -47,6 +48,7 @@ from ..telemetry import Telemetry, active_config
 from ..workloads.spec import WorkloadSpec
 from .clock import VirtualClock
 from .cluster import Cluster, MultiMasterCluster, SingleMasterCluster
+from .sharded import ShardedMultiMasterCluster
 
 #: System designs the live runtime can assemble.
 CLUSTER_DESIGNS = (MULTI_MASTER, SINGLE_MASTER)
@@ -293,6 +295,7 @@ def run_cluster(
     capacities: Optional[Sequence[float]] = None,
     partition_map=None,
     telemetry=None,
+    certifier=None,
 ) -> ClusterResult:
     """Execute *spec* on a live *design* cluster and measure steady state.
 
@@ -300,11 +303,18 @@ def run_cluster(
     ``(warmup + duration) * time_scale`` plus drain time.  See
     :func:`repro.simulator.runner.simulate` for the shared parameter
     semantics (*faults*, *arrival_rate*, *lb_policy*, *distribution*,
-    *partition_map*, *telemetry*).  Telemetry samples the fleet from a
-    dedicated thread on the configured virtual interval and attaches a
-    :class:`repro.telemetry.TelemetryResult` (``pillar="cluster"``) with
-    the same metric-name schema the simulator emits.
+    *partition_map*, *telemetry*, *certifier*).  Telemetry samples the
+    fleet from a dedicated thread on the configured virtual interval and
+    attaches a :class:`repro.telemetry.TelemetryResult`
+    (``pillar="cluster"``) with the same metric-name schema the
+    simulator emits.  ``certifier="sharded"`` (or a sharded
+    :class:`~repro.sidb.certifier_api.CertifierSpec`) assembles
+    :class:`~repro.cluster.sharded.ShardedMultiMasterCluster` —
+    per-partition certifier shards, channels and order locks — while
+    ``None`` keeps the single shared certifier byte-identical to before
+    the sharded path existed.
     """
+    certifier_spec = resolve_certifier_spec(certifier)
     if design not in _CLUSTER_CLASSES:
         raise ConfigurationError(
             f"unknown design {design!r}; one of {CLUSTER_DESIGNS}"
@@ -322,11 +332,32 @@ def run_cluster(
 
     clock = VirtualClock(time_scale)
     metrics = MetricsCollector()
-    cluster = _CLUSTER_CLASSES[design](
-        spec, config, seed, clock, metrics,
-        distribution=distribution, lb_policy=lb_policy,
-        capacities=capacities, partition_map=partition_map,
-    )
+    if certifier_spec is not None and not certifier_spec.is_default:
+        if design != MULTI_MASTER:
+            raise ConfigurationError(
+                "the certifier axis is multi-master only (the certifier "
+                f"spec {certifier_spec.kind!r} cannot apply to {design!r})"
+            )
+        if certifier_spec.is_sharded:
+            cluster = ShardedMultiMasterCluster(
+                spec, config, seed, clock, metrics,
+                distribution=distribution, lb_policy=lb_policy,
+                capacities=capacities, partition_map=partition_map,
+                certifier_spec=certifier_spec,
+            )
+        else:
+            cluster = MultiMasterCluster(
+                spec, config, seed, clock, metrics,
+                distribution=distribution, lb_policy=lb_policy,
+                capacities=capacities, partition_map=partition_map,
+                certifier_spec=certifier_spec,
+            )
+    else:
+        cluster = _CLUSTER_CLASSES[design](
+            spec, config, seed, clock, metrics,
+            distribution=distribution, lb_policy=lb_policy,
+            capacities=capacities, partition_map=partition_map,
+        )
     telemetry_config = active_config(telemetry)
     recorder = None
     if telemetry_config is not None:

@@ -1,0 +1,590 @@
+"""Sharded-certifier assembly for the live cluster runtime.
+
+:class:`ShardedMultiMasterCluster` is the live counterpart of
+:class:`~repro.simulator.sharded.ShardedMultiMasterSystem`: the
+multi-master topology with the single shared certifier replaced by
+per-partition :class:`~repro.sidb.sharded.ShardedCertifier` shards and
+the single replication channel replaced by one channel *per shard*.
+
+What changes on the live update path:
+
+* **Per-shard commit order.**  Each certifier shard has its own order
+  lock; a coordinator acquires the locks of every touched shard in
+  ascending partition order (deadlock-free), certifies, and publishes
+  one :class:`ShardDelivery` per touched shard while still holding
+  those locks — so every shard channel sees its shard's versions
+  strictly ascending, with no global ordering point anywhere.
+* **Per-lane installation.**  A delivery for shard ``p`` installs
+  exactly partition ``p``'s rows (the home shard's delivery is
+  ``primary`` and additionally pays the writeset's CPU/disk once).
+  Installing each partition's rows from its own lane keeps every key's
+  install order equal to its shard's commit order even when a
+  cross-partition writeset races a single-partition one on a shared
+  shard — the correctness condition replicated state convergence rests
+  on.  Replicas assign their own monotone *local* versions as
+  deliveries land; concurrently committed writesets have disjoint keys,
+  so the final state is order-independent across lanes.
+* **Snapshots are version vectors.**  A transaction's snapshot floors
+  are the originating replica's per-shard applied vector, read *before*
+  ``begin()`` (conservative: the snapshot can only contain more than
+  the floors claim, never less).
+* **Cross-partition commits pay a coordination round**: the response
+  path charges ``2 x certifier_delay`` where a single-partition commit
+  charges ``1 x`` (certification-forwarding to the home shard).
+* **The certifier can be a real serving centre.**  With
+  ``CertifierSpec.service_time > 0`` each commit occupies its touched
+  shards' order locks for that long; the global arm of the comparison
+  (:class:`~.cluster.MultiMasterCluster` with the same spec) serialises
+  every commit through the one order lock — the contention sharding
+  removes.
+
+Elastic membership is refused loudly: joins would need vector-valued
+state transfer and per-shard replay, the follow-on seam.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core import rng as rng_util
+from ..core.errors import (
+    ConfigurationError,
+    RetryLimitExceeded,
+    SimulationError,
+)
+from ..sidb.certifier_api import CertifierSpec, shard_version_key
+from ..sidb.sharded import ShardedCertifier
+from ..sidb.writeset import Writeset
+from ..simulator.sampling import EXPONENTIAL, WorkloadSampler
+from ..simulator.systems import hosts_any
+from ..telemetry import schema as tel_schema
+from .channel import ReplicationChannel
+from .cluster import Cluster
+from .replica import _VACUUM_INTERVAL, ClusterReplica
+
+
+@dataclass(frozen=True)
+class ShardDelivery:
+    """One commit's appearance on one certifier shard's channel.
+
+    The home shard's delivery is ``primary``: the one lane hosting
+    replicas are charged apply work on.  Every touched shard's delivery
+    installs that shard's rows, so installs stay in per-shard commit
+    order on every replica.
+    """
+
+    shard: int
+    shard_version: int
+    writeset: Writeset
+    primary: bool
+
+    @property
+    def commit_version(self) -> int:
+        """The shard-local version (the channel's ordering key)."""
+        return self.shard_version
+
+
+def _rows_for_shard(writeset: Writeset, shard: int) -> Dict[object, object]:
+    """The writes landing on *shard*, by the sampler's key convention.
+
+    Partition-qualified keys — ``("updatable", partition, row)`` — go to
+    their own shard; anything else (plain keys in tests) rides the home
+    shard, mirroring
+    :meth:`repro.sidb.sharded.ShardedCertifier._keys_by_partition`.
+    """
+    parts = sorted(writeset.partition_set)
+    home = parts[0]
+    members = set(parts)
+    rows: Dict[object, object] = {}
+    for key, value in writeset.writes:
+        partition = home
+        if isinstance(key, tuple) and len(key) > 2 and key[1] in members:
+            partition = key[1]
+        if partition == shard:
+            rows[key] = value
+    return rows
+
+
+class ShardedClusterReplica(ClusterReplica):
+    """A live replica whose replication state is a per-shard vector.
+
+    One applier thread drains one queue of :class:`ShardDelivery`
+    objects; each delivery installs its shard's rows at a fresh local
+    version and advances that shard's watermark.  Per-shard delivery
+    order is preserved end to end (publishers hold the shard's order
+    lock through publish; the queue is FIFO; the applier is serial), so
+    lane contiguity is asserted, not reconstructed.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock,
+        sampler: WorkloadSampler,
+        partitions: int,
+        max_concurrency: Optional[int] = None,
+        capacity: float = 1.0,
+        hosted_partitions=None,
+    ) -> None:
+        super().__init__(
+            name, clock, sampler,
+            max_concurrency=max_concurrency, capacity=capacity,
+            hosted_partitions=hosted_partitions,
+        )
+        if partitions < 1:
+            raise ConfigurationError(
+                f"{name}: partitions must be >= 1, got {partitions}"
+            )
+        #: Highest contiguously applied version per certifier shard
+        #: (guarded by ``_state``, like the rest of the apply state).
+        self.applied_vector: Dict[int, int] = {
+            p: 0 for p in range(partitions)
+        }
+
+    @property
+    def applied_version(self) -> int:
+        """Sum of the per-shard watermarks: advances by one per shard
+        version applied, comparable with the sharded certifier's summed
+        clock (and equal to the engine's local version count)."""
+        with self._state:
+            return sum(self.applied_vector.values())
+
+    def shard_floors(self) -> Dict[int, int]:
+        """Snapshot of the applied vector (a transaction's GSI floors)."""
+        with self._state:
+            return dict(self.applied_vector)
+
+    def caught_up(self, target: Tuple[Tuple[int, int], ...]) -> bool:
+        """True when every lane reached *target* (quiesce check)."""
+        with self._state:
+            return all(
+                self.applied_vector.get(p, 0) >= version
+                for p, version in target
+            )
+
+    def enqueue_writeset(self, delivery: ShardDelivery,
+                         charged: bool = True) -> None:
+        """Queue one shard delivery for in-order application."""
+        telemetry = self.telemetry
+        enqueued_at = self._clock.now() if telemetry is not None else None
+        with self._state:
+            if self._failed:
+                return
+            if telemetry is not None and telemetry.auditor is not None:
+                # Publishers hold the shard's order lock, so each lane's
+                # deliveries are audited in shard-commit order.
+                telemetry.auditor.on_deliver(
+                    self.name, delivery.shard_version, shard=delivery.shard
+                )
+            self._queue.append((delivery, charged, enqueued_at))
+            self._state.notify_all()
+
+    def _apply_writesets(self) -> None:
+        applied_since_vacuum = 0
+        while True:
+            with self._state:
+                while not self._stopping and (
+                    not self._queue or not self._available
+                ):
+                    self._state.wait()
+                if not self._queue:
+                    return
+                delivery, charged, enqueued_at = self._queue.popleft()
+            writeset = delivery.writeset
+            hosts_shard = (
+                self.hosted_partitions is None
+                or delivery.shard in self.hosted_partitions
+            )
+            # The home lane pays the whole writeset's application once,
+            # iff this replica hosts any touched partition and did not
+            # originate the transaction; every other lane is free.
+            pay = (charged and delivery.primary
+                   and hosts_any(self, writeset.partition_set))
+            if pay:
+                self.cpu.serve(self._sampler.writeset_cpu())
+                self.disk.serve(self._sampler.writeset_disk())
+            rows = _rows_for_shard(writeset, delivery.shard) if hosts_shard else {}
+            local_version = self.db.latest_version + 1
+            if rows:
+                self.db.apply_shard_rows(local_version, rows)
+            else:
+                # Not hosted (or no rows landed here): a version marker
+                # keeps the local clock equal to the watermark sum.
+                self.db.apply_version_marker(local_version)
+            with self._state:
+                watermark = self.applied_vector.get(delivery.shard)
+                if (watermark is None
+                        or delivery.shard_version != watermark + 1):
+                    raise SimulationError(
+                        f"{self.name}: shard {delivery.shard} delivery "
+                        f"v{delivery.shard_version} breaks lane contiguity "
+                        f"(watermark is {watermark})"
+                    )
+                self.applied_vector[delivery.shard] = delivery.shard_version
+                if delivery.primary:
+                    self.writesets_applied += 1
+            telemetry = self.telemetry
+            if telemetry is not None:
+                if delivery.primary and enqueued_at is not None:
+                    now = self._clock.now()
+                    telemetry.observe_apply(self.name, now - enqueued_at)
+                    telemetry.apply_span(
+                        shard_version_key(delivery.shard,
+                                          delivery.shard_version),
+                        self.name, enqueued_at, now,
+                    )
+                if telemetry.auditor is not None:
+                    telemetry.auditor.on_apply(
+                        self.name, delivery.shard_version, pay,
+                        self.hosted_partitions, shard=delivery.shard,
+                    )
+            applied_since_vacuum += 1
+            if applied_since_vacuum >= _VACUUM_INTERVAL:
+                applied_since_vacuum = 0
+                self.db.vacuum()
+
+
+class ShardedMultiMasterCluster(Cluster):
+    """Figure 4 with the write path sharded: N symmetric live replicas,
+    one certifier shard (and one replication channel) per partition."""
+
+    design = "multi-master"
+
+    def __init__(self, spec, config, seed, clock, metrics,
+                 distribution=EXPONENTIAL, lb_policy="least-loaded",
+                 capacities=None, partition_map=None,
+                 certifier_spec: Optional[CertifierSpec] = None):
+        if certifier_spec is None or not certifier_spec.is_sharded:
+            raise ConfigurationError(
+                "ShardedMultiMasterCluster requires a sharded CertifierSpec"
+            )
+        if spec.partitions < 2:
+            raise ConfigurationError(
+                "the sharded certifier needs a partitioned workload "
+                f"(spec {spec.name!r} has partitions={spec.partitions}); "
+                "use --certifier global for unpartitioned runs"
+            )
+        super().__init__(spec, config, seed, clock, metrics,
+                         distribution, lb_policy, capacities, partition_map)
+        self._certifier_spec = certifier_spec
+        self._service_time = certifier_spec.service_time
+        self._shard_count = spec.partitions
+        self.certifier = ShardedCertifier(partitions=spec.partitions)
+        #: One in-order channel per certifier shard: per-shard commit
+        #: order is the only order there is.
+        self._shard_channels: List[ReplicationChannel] = [
+            ReplicationChannel() for _ in range(spec.partitions)
+        ]
+        #: Per-shard commit-order locks; coordinators acquire their
+        #: touched set in ascending partition order (deadlock-free).
+        self._shard_locks: List[threading.Lock] = [
+            threading.Lock() for _ in range(spec.partitions)
+        ]
+        #: In-flight snapshot floors: every update attempt registers the
+        #: per-shard floors it will certify against, so the prune floor
+        #: never passes a floor still in use (mirrors the DES system's
+        #: active-snapshot registry).  Without this, long attempts hit
+        #: the certifier's conservative pruned-history fallback and
+        #: spuriously abort in droves.
+        self._floor_lock = threading.Lock()
+        self._active_floors: Dict[int, Dict[int, int]] = {}
+        self._floor_token = 0
+        for index in range(config.replicas):
+            replica = self._make_replica(
+                f"replica{index}", index,
+                capacity=self._initial_capacity(index),
+                hosted_partitions=self._hosted_for_index(index),
+            )
+            for channel in self._shard_channels:
+                channel.subscribe(replica)
+        self._members_created = config.replicas
+
+    # ------------------------------------------------------------------
+    # Replica construction / telemetry (vector-aware variants)
+    # ------------------------------------------------------------------
+
+    def _new_replica(self, name, path, certifier=None, capacity=1.0,
+                     hosted_partitions=None) -> ShardedClusterReplica:
+        sampler = WorkloadSampler(
+            self.spec,
+            rng_util.spawn(self._seed, "live-replica", path),
+            distribution=self._distribution,
+        )
+        replica = ShardedClusterReplica(
+            name, self.clock, sampler,
+            partitions=self._shard_count,
+            max_concurrency=self.config.max_concurrency,
+            capacity=capacity,
+            hosted_partitions=hosted_partitions,
+        )
+        with self.metrics_lock:
+            self.metrics.watch_resource(f"{name}.cpu", replica.cpu)
+            self.metrics.watch_resource(f"{name}.disk", replica.disk)
+        if self.telemetry is not None:
+            replica.telemetry = self.telemetry
+            self._audit_attach(replica)
+        return replica
+
+    def _audit_attach(self, replica: ShardedClusterReplica) -> None:
+        """Register every (replica, shard) delivery lane with the auditor."""
+        auditor = (self.telemetry.auditor
+                   if self.telemetry is not None else None)
+        if auditor is None:
+            return
+        for partition, watermark in replica.shard_floors().items():
+            auditor.on_attach(replica.name, watermark, shard=partition)
+
+    def attach_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+        self.certifier.telemetry = telemetry
+        for replica in self.replicas:
+            replica.telemetry = telemetry
+            self._audit_attach(replica)
+
+    # ------------------------------------------------------------------
+    # Lifecycle: vector-valued quiesce, per-shard prune
+    # ------------------------------------------------------------------
+
+    def quiesce(self, timeout: float = 30.0) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.applier_errors():
+                return False
+            target = self.certifier.version_vector()
+            if all(
+                r.caught_up(target) and r.apply_backlog == 0
+                for r in self.replicas
+                if not r.failed
+            ):
+                return True
+            time.sleep(0.005)
+        return False
+
+    def _register_floors(self, floors: Dict[int, int]) -> int:
+        """Pin *floors* against pruning for one certification attempt."""
+        with self._floor_lock:
+            self._floor_token += 1
+            self._active_floors[self._floor_token] = dict(floors)
+            return self._floor_token
+
+    def _release_floors(self, token: int) -> None:
+        with self._floor_lock:
+            self._active_floors.pop(token, None)
+
+    def _prune(self) -> None:
+        # Per-shard floors: the minimum applied watermark across the
+        # fleet, further held back by any in-flight attempt's registered
+        # floors.  An attempt begun after this prune reads floors at or
+        # above it (watermarks are monotone) and an attempt in flight is
+        # registered, so certification always gets an exact conflict
+        # answer; the certifier's conservative retained-history fallback
+        # stays a last-resort guard, not a steady-state abort source.
+        floors: Optional[Dict[int, int]] = None
+        for replica in self.replicas:
+            if replica.failed:
+                continue
+            vector = replica.shard_floors()
+            if floors is None:
+                floors = vector
+            else:
+                floors = {
+                    p: min(v, vector.get(p, 0)) for p, v in floors.items()
+                }
+        if not floors:
+            return
+        with self._floor_lock:
+            active = list(self._active_floors.values())
+        for vector in active:
+            for p, floor in vector.items():
+                if p in floors and floor < floors[p]:
+                    floors[p] = floor
+        self.certifier.observe_snapshot(floors)
+
+    # ------------------------------------------------------------------
+    # Elastic membership: refused loudly (vector state transfer needed)
+    # ------------------------------------------------------------------
+
+    def add_replica(self, transfer_writesets: int = 16,
+                    capacity: float = 1.0):
+        raise SimulationError(
+            "elastic membership is not supported with the sharded "
+            "certifier (joins need vector-valued state transfer)"
+        )
+
+    def remove_replica(self, drain_timeout: float = 30.0, replica=None,
+                       force: bool = False):
+        raise SimulationError(
+            "elastic membership is not supported with the sharded "
+            "certifier (joins need vector-valued state transfer)"
+        )
+
+    # ------------------------------------------------------------------
+    # Update path
+    # ------------------------------------------------------------------
+
+    def execute(self, sampler, is_update, client_id):
+        telemetry = self.telemetry
+        trace = (
+            telemetry.tracer.start_trace()
+            if telemetry is not None else None
+        )
+        route_start = self.clock.now()
+        partitions = sampler.sample_partition_set(is_update)
+        replica = self._route(client_id, is_update, partitions)
+        if telemetry is not None:
+            telemetry.count_route(replica.name, is_update)
+            if trace is not None:
+                telemetry.tracer.add_span(
+                    trace, tel_schema.SPAN_ROUTE, route_start,
+                    self.clock.now(), subject=replica.name,
+                    policy=self.balancer.policy,
+                )
+        self._acquire(replica)
+        aborts = 0
+        try:
+            if not is_update:
+                work_start = self.clock.now()
+                if telemetry is not None:
+                    telemetry.observe_staleness(
+                        replica.name, replica.applied_version,
+                        self.certifier.latest_version, self.clock.now(),
+                    )
+                self._serve_read_txn(replica, sampler)
+                if trace is not None:
+                    telemetry.tracer.add_span(
+                        trace, tel_schema.SPAN_EXECUTE, work_start,
+                        self.clock.now(), subject=replica.name,
+                        kind="read",
+                    )
+                return aborts
+            for attempt in range(1, self.config.max_retries + 1):
+                # GSI floors are read *before* begin(): installs landing
+                # in between make the snapshot strictly richer than the
+                # floors claim — conservative, never unsafe.  Registering
+                # them pins the certifier's prune floor for the attempt.
+                floors = replica.shard_floors()
+                floor_token = self._register_floors(floors)
+                txn = replica.db.begin()
+                self._record_snapshot_age(
+                    self.certifier.latest_version - txn.snapshot_version
+                )
+                if telemetry is not None:
+                    telemetry.observe_staleness(
+                        replica.name, txn.snapshot_version,
+                        self.certifier.latest_version, self.clock.now(),
+                    )
+                work_start = self.clock.now()
+                replica.serve_update_attempt(sampler)
+                sampled = sampler.sample_writeset(
+                    txn.snapshot_version, partitions
+                )
+                for key, value in sampled.writes:
+                    txn.write(key, value)
+                txn.partitions = sampled.partitions
+                writeset = txn.writeset().with_snapshot_vector({
+                    p: floors.get(p, 0) for p in sampled.partitions
+                })
+                if trace is not None:
+                    telemetry.tracer.add_span(
+                        trace, tel_schema.SPAN_EXECUTE, work_start,
+                        self.clock.now(), subject=replica.name,
+                        kind="update", attempt=attempt,
+                    )
+                self._record_certification()
+                parts = sorted(writeset.partition_set)
+                home = parts[0]
+                # Forwarding protocol: one round to a single shard, one
+                # extra coordination round for a cross-partition commit.
+                rounds = 2 if len(parts) > 1 else 1
+                certify_start = self.clock.now()
+                if telemetry is not None:
+                    telemetry.certify_begin()
+                try:
+                    locks = [self._shard_locks[p] for p in parts]
+                    for lock in locks:
+                        lock.acquire()
+                    try:
+                        if self._service_time > 0.0:
+                            # Service occupancy: the touched shards are
+                            # held for the certification's duration, so
+                            # disjoint-partition commits overlap while
+                            # same-shard ones serialise.
+                            self.clock.sleep(self._service_time)
+                        outcome = self.certifier.certify(writeset)
+                        if outcome.committed:
+                            if (telemetry is not None
+                                    and telemetry.auditor is not None):
+                                for p, v in outcome.shard_versions:
+                                    telemetry.auditor.on_commit(
+                                        v, writeset.partitions,
+                                        replica.name, shard=p,
+                                        primary=(p == home),
+                                    )
+                            if trace is not None:
+                                # Appliers find the trace through the
+                                # home shard's version key — register it
+                                # before any publish.
+                                telemetry.tracer.note_version(
+                                    shard_version_key(
+                                        home, outcome.commit_version
+                                    ),
+                                    trace,
+                                )
+                            committed_ws = writeset.committed(
+                                outcome.commit_version
+                            )
+                            for p, v in outcome.shard_versions:
+                                self._shard_channels[p].publish(
+                                    ShardDelivery(
+                                        shard=p, shard_version=v,
+                                        writeset=committed_ws,
+                                        primary=(p == home),
+                                    ),
+                                    origin=replica,
+                                )
+                    finally:
+                        for lock in reversed(locks):
+                            lock.release()
+                    if telemetry is not None and outcome.committed:
+                        telemetry.note_commit(
+                            self.certifier.latest_version, self.clock.now()
+                        )
+                        if trace is not None:
+                            telemetry.tracer.add_span(
+                                trace, tel_schema.SPAN_PROPAGATE,
+                                certify_start, self.clock.now(),
+                                subject="channel",
+                                fanout=len(self.replicas),
+                            )
+                    # The response reaches the replica after the
+                    # protocol's coordination rounds (§6.3.2).
+                    self.clock.sleep(self.config.certifier_delay * rounds)
+                finally:
+                    self._release_floors(floor_token)
+                    if telemetry is not None:
+                        telemetry.certify_end()
+                if trace is not None:
+                    tags = {"attempt": attempt,
+                            "committed": outcome.committed,
+                            "shards": len(parts)}
+                    if not outcome.committed:
+                        tags["abort"] = tel_schema.ABORT_WW_CONFLICT
+                        tags["conflicts"] = len(outcome.conflicting_keys)
+                    telemetry.tracer.add_span(
+                        trace, tel_schema.SPAN_CERTIFY, certify_start,
+                        self.clock.now(), subject="certifier", **tags,
+                    )
+                if outcome.committed:
+                    replica.db.finish_remote(txn, outcome.commit_version)
+                    return aborts
+                replica.db.finish_remote(txn, None)
+                aborts += 1
+            raise RetryLimitExceeded(
+                self.design, "update", self.config.max_retries
+            )
+        finally:
+            self._release(replica)
+            replica.exit()

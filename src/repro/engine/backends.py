@@ -67,6 +67,8 @@ class ModelBackend:
             partition_map=point.option("partition_map"),
             cross_partition_fraction=point.spec.cross_partition_fraction,
             partition_weights=point.spec.partition_weights,
+            certifier=point.option("certifier"),
+            partitions=point.spec.partitions,
         )
 
 
@@ -91,6 +93,7 @@ class SimulatorBackend:
             capacities=opts.get("capacities"),
             partition_map=opts.get("partition_map"),
             telemetry=opts.get("telemetry"),
+            certifier=opts.get("certifier"),
         )
 
 
@@ -115,6 +118,7 @@ class ClusterBackend:
             arrival_rate=opts.get("arrival_rate"),
             partition_map=opts.get("partition_map"),
             telemetry=opts.get("telemetry"),
+            certifier=opts.get("certifier"),
         )
 
 

@@ -162,6 +162,7 @@ def model_point(
     tag: str = "",
     cw_mode: Optional[str] = None,
     partition_map: object = None,
+    certifier: object = None,
 ) -> SweepPoint:
     """An analytical-model prediction point.
 
@@ -169,6 +170,9 @@ def model_point(
     :class:`~repro.partition.placement.PartitionMap`) switches the
     multi-master model to partial replication; like traces and ops
     plans, its stable ``repr`` makes it a cache-key citizen.
+    *certifier* (a frozen :class:`~repro.sidb.certifier_api.CertifierSpec`)
+    selects the certification protocol; ``None`` — the default — drops
+    out of the options, preserving every pre-sharding cache key.
     """
     return SweepPoint(
         backend=MODEL,
@@ -176,7 +180,8 @@ def model_point(
         config=config,
         design=design,
         options=_freeze_options({"cw_mode": cw_mode,
-                                 "partition_map": partition_map}),
+                                 "partition_map": partition_map,
+                                 "certifier": certifier}),
         profile=profile,
         tag=tag,
     )
@@ -197,6 +202,7 @@ def sim_point(
     capacities: Optional[Tuple[float, ...]] = None,
     partition_map: object = None,
     telemetry: object = None,
+    certifier: object = None,
     tag: str = "",
 ) -> SweepPoint:
     """A discrete-event-simulator measurement point.
@@ -204,7 +210,9 @@ def sim_point(
     *telemetry* (a frozen :class:`repro.telemetry.TelemetryConfig`) opts
     the point into the observability layer; ``None`` — the default —
     drops out of the options entirely, so every pre-telemetry cache key
-    is preserved byte-for-byte.
+    is preserved byte-for-byte.  *certifier* (a frozen
+    :class:`~repro.sidb.certifier_api.CertifierSpec`) selects the
+    certification protocol with the same ``None``-drop-out guarantee.
     """
     options = {
         "warmup": warmup,
@@ -222,6 +230,8 @@ def sim_point(
         options["partition_map"] = partition_map
     if telemetry is not None:
         options["telemetry"] = telemetry
+    if certifier is not None:
+        options["certifier"] = certifier
     return SweepPoint(
         backend=SIMULATOR,
         spec=spec,
@@ -319,6 +329,7 @@ def cluster_point(
     arrival_rate: Optional[float] = None,
     partition_map: object = None,
     telemetry: object = None,
+    certifier: object = None,
     tag: str = "",
 ) -> SweepPoint:
     """A live-cluster execution point (never cached: it measures real
@@ -338,6 +349,8 @@ def cluster_point(
         options["partition_map"] = partition_map
     if telemetry is not None:
         options["telemetry"] = telemetry
+    if certifier is not None:
+        options["certifier"] = certifier
     return SweepPoint(
         backend=CLUSTER,
         spec=spec,

@@ -48,6 +48,12 @@ class ExperimentSettings:
     #: the point options entirely, so pre-telemetry cache keys are
     #: preserved byte-for-byte.
     telemetry: object = None
+    #: Optional frozen :class:`repro.sidb.certifier_api.CertifierSpec`
+    #: threaded into every multi-master scenario point
+    #: (``repro ... --certifier sharded``).  ``None`` — the default —
+    #: keeps the spec out of the point options entirely, so pre-sharding
+    #: cache keys are preserved byte-for-byte.
+    certifier: object = None
 
     @classmethod
     def fast(cls) -> "ExperimentSettings":
@@ -74,3 +80,18 @@ class ExperimentSettings:
         from ..telemetry import TelemetryConfig
 
         return replace(self, telemetry=TelemetryConfig(audit=True))
+
+    def with_certifier(self, certifier: object) -> "ExperimentSettings":
+        """Return a copy running multi-master points under *certifier*
+        (``repro ... --certifier sharded``).
+
+        The default global spec normalises to ``None`` so that
+        ``--certifier global`` produces byte-identical point options —
+        and therefore cache keys — to omitting the flag entirely.
+        """
+        from ..sidb.certifier_api import resolve_certifier_spec
+
+        spec = resolve_certifier_spec(certifier)
+        if spec is not None and spec.is_default:
+            spec = None
+        return replace(self, certifier=spec)

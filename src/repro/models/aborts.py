@@ -74,6 +74,42 @@ def scale_abort_rate(a1: float, exposure_ratio: float) -> float:
     return min(scaled, 1.0 - 1e-12)
 
 
+def partition_abort_mixture(a1, exposure_ratio, weights) -> float:
+    """Skew-aware abort mixture over certifier shards (sharded path).
+
+    A transaction updates partition ``p`` with probability ``w_p``;
+    conditioned on landing there, the committed update traffic it can
+    conflict with is the system-wide rate *concentrated* on that
+    partition — ``S * w_p`` times the uniform share (the updatable rows
+    split evenly over partitions, so the pairwise row-conflict
+    probability gains the same factor the row pool loses).  The mixture
+
+        ``AN = sum_p  w_p * (1 - (1 - A1) ** (exposure * S * w_p))``
+
+    reduces *exactly* to :func:`scale_abort_rate` under uniform weights
+    (``S * w_p = 1``), so the sharded model's abort algebra coincides
+    with the global one whenever the placement planner balances load —
+    and rises above it under skew, when hot shards concentrate
+    conflicts.  Applied only on the sharded model path; the global path
+    keeps the paper's formula untouched.
+    """
+    ws = [float(w) for w in weights]
+    if not ws:
+        raise ConfigurationError("partition weights must not be empty")
+    if any(w < 0.0 for w in ws):
+        raise ConfigurationError(f"partition weights must be >= 0, got {ws}")
+    total = sum(ws)
+    if total <= 0.0:
+        raise ConfigurationError("partition weights must sum to > 0")
+    ws = [w / total for w in ws]
+    shards = len(ws)
+    return sum(
+        w * scale_abort_rate(a1, exposure_ratio * shards * w)
+        for w in ws
+        if w > 0.0
+    )
+
+
 def multimaster_abort_rate(
     a1: float, replicas: int, conflict_window: float, standalone_window: float
 ) -> float:

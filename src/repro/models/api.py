@@ -33,6 +33,8 @@ def predict(
     partition_map=None,
     cross_partition_fraction: float = 0.0,
     partition_weights=None,
+    certifier=None,
+    partitions: Optional[int] = None,
 ) -> Prediction:
     """Predict performance of *design* ("multi-master" or "single-master").
 
@@ -41,6 +43,11 @@ def predict(
     replication — see :func:`~repro.models.multimaster.predict_multimaster`.
     The single-master model keeps the full-replication assumption (its
     master must host everything); passing a map there is an error.
+
+    *certifier* (a :class:`~repro.sidb.certifier_api.CertifierSpec` or
+    spec name) selects the certification protocol on the multi-master
+    model; the single-master design has no shared certifier, so a
+    non-default spec there is an error.
     """
     if design == MULTI_MASTER:
         return predict_multimaster(
@@ -48,11 +55,21 @@ def predict(
             partition_map=partition_map,
             cross_partition_fraction=cross_partition_fraction,
             partition_weights=partition_weights,
+            certifier=certifier,
+            partitions=partitions,
         )
     if design == SINGLE_MASTER:
         if partition_map is not None:
             raise ConfigurationError(
                 "the partition-aware model covers multi-master only"
+            )
+        from ..sidb.certifier_api import resolve_certifier_spec
+
+        certifier_spec = resolve_certifier_spec(certifier)
+        if certifier_spec is not None and not certifier_spec.is_default:
+            raise ConfigurationError(
+                "the certifier axis is multi-master only (the certifier "
+                f"spec {certifier_spec.kind!r} cannot apply to {design!r})"
             )
         return predict_singlemaster(profile, config, options=sm_options)
     raise ConfigurationError(f"unknown design {design!r}; expected one of {DESIGNS}")

@@ -32,13 +32,19 @@ from ..core.params import (
 from ..core.results import OperatingPoint, Prediction, ReplicaBreakdown
 from ..queueing.mva import MVAStepper
 from ..queueing.network import ClosedNetwork, delay_center, queueing_center
-from .aborts import multimaster_abort_rate
+from ..sidb.certifier_api import resolve_certifier_spec
+from .aborts import multimaster_abort_rate, partition_abort_mixture
 from .demands import multimaster_demand
 
 #: Name of the load-balancer delay center.
 LB = "load_balancer"
 #: Name of the certifier delay center.
 CERTIFIER = "certifier"
+#: Name of the certification *queueing* center: present only when a
+#: :class:`~repro.sidb.certifier_api.CertifierSpec` gives the service a
+#: positive per-certification occupancy, turning it from a pure delay
+#: into a contended resource (the sharding comparison's bottleneck).
+CERTIFY_SERVICE = "certify_service"
 
 #: How the conflict window is updated across MVA iterations.
 CW_ONE_STEP_LAG = "one_step_lag"  # the paper's scheme (§4.1.1)
@@ -64,18 +70,51 @@ class MultiMasterOptions:
             )
 
 
-def _build_network(config: ReplicationConfig, write_fraction: float) -> ClosedNetwork:
-    return ClosedNetwork(
-        centers=(
-            queueing_center(CPU, 0.0),
-            queueing_center(DISK, 0.0),
-            delay_center(LB, config.load_balancer_delay),
-            # Only update transactions visit the certifier, so its
-            # per-transaction demand carries a visit ratio of Pw.
-            delay_center(CERTIFIER, write_fraction * config.certifier_delay),
+def _build_network(
+    config: ReplicationConfig,
+    write_fraction: float,
+    certify_rounds: float = 1.0,
+    service_demand: float = 0.0,
+) -> ClosedNetwork:
+    centers = [
+        queueing_center(CPU, 0.0),
+        queueing_center(DISK, 0.0),
+        delay_center(LB, config.load_balancer_delay),
+        # Only update transactions visit the certifier, so its
+        # per-transaction demand carries a visit ratio of Pw.
+        # *certify_rounds* charges the sharded path's cross-partition
+        # coordination round (1 + x on average); exactly 1.0 — an exact
+        # multiplicative identity — on the global path.
+        delay_center(
+            CERTIFIER,
+            write_fraction * config.certifier_delay * certify_rounds,
         ),
-        think_time=config.think_time,
-    )
+    ]
+    if service_demand > 0.0:
+        centers.append(queueing_center(CERTIFY_SERVICE, service_demand))
+    return ClosedNetwork(centers=tuple(centers), think_time=config.think_time)
+
+
+def _shard_weights(partition_weights, partitions):
+    """Normalised per-shard load weights for the sharded model path."""
+    if partition_weights is not None:
+        weights = [float(w) for w in partition_weights]
+        if not weights or any(w < 0.0 for w in weights):
+            raise ConfigurationError(
+                f"partition weights must be non-negative and non-empty, "
+                f"got {partition_weights!r}"
+            )
+        total = sum(weights)
+        if total <= 0.0:
+            raise ConfigurationError("partition weights must sum to > 0")
+        return tuple(w / total for w in weights)
+    if partitions is None or partitions < 2:
+        raise ConfigurationError(
+            "the sharded certifier model needs partitions >= 2 (pass "
+            "partitions= or partition_weights=); use the global "
+            "certifier for unpartitioned predictions"
+        )
+    return tuple(1.0 / partitions for _ in range(partitions))
 
 
 def predict_multimaster(
@@ -85,6 +124,8 @@ def predict_multimaster(
     partition_map=None,
     cross_partition_fraction: float = 0.0,
     partition_weights=None,
+    certifier=None,
+    partitions: Optional[int] = None,
 ) -> Prediction:
     """Predict throughput/response time of an N-replica multi-master system.
 
@@ -103,11 +144,71 @@ def predict_multimaster(
     (``(1/P) * (P/DbUpdateSize) = 1/DbUpdateSize``); skewed weights
     concentrate conflicts and are probed by the placement-ablation
     scenario rather than modelled.
+
+    *certifier* selects the certification protocol (a
+    :class:`~repro.sidb.certifier_api.CertifierSpec`, spec name, or
+    ``None`` for the default global certifier).  The global path is
+    byte-identical to the historical model.  The sharded path charges a
+    second certification round for the *cross_partition_fraction* of
+    updates that must coordinate across shards, divides any positive
+    per-certification ``service_time`` across shards (weighted by the
+    inverse Simpson concentration of *partition_weights*, so skew erodes
+    the parallelism), and replaces the abort algebra with the
+    skew-aware :func:`~repro.models.aborts.partition_abort_mixture`.
     """
     options = options or MultiMasterOptions()
     mix = profile.mix
     demands = profile.demands
     n = config.replicas
+
+    certifier_spec = resolve_certifier_spec(certifier)
+    sharded = certifier_spec is not None and certifier_spec.is_sharded
+    service_time = 0.0 if certifier_spec is None else certifier_spec.service_time
+    certify_rounds = 1.0
+    shard_weights = None
+    if sharded:
+        shard_weights = _shard_weights(partition_weights, partitions)
+        # Cross-partition commits pay one extra coordination round
+        # between the home shard and the other touched shards.
+        certify_rounds = 1.0 + max(0.0, float(cross_partition_fraction))
+
+    # A positive per-certification occupancy turns the certifier into a
+    # queueing center shared by all N replicas' update streams; the
+    # one-replica MVA network sees it scaled by N so the single modelled
+    # replica saturates exactly when the system-wide service would.
+    service_demand = 0.0
+    if service_time > 0.0 and mix.write_fraction > 0.0:
+        service_demand = n * mix.write_fraction * service_time
+        if sharded:
+            # Sharding splits the service across shards; the effective
+            # parallelism is the inverse Simpson index of the load
+            # weights (= P when uniform, -> 1 under extreme skew).
+            s_eff = 1.0 / sum(w * w for w in shard_weights)
+            service_demand *= certify_rounds / s_eff
+
+    # Certification latency seen by one update transaction: propagation
+    # delay per round plus its own service occupancy.  Exactly
+    # ``config.certifier_delay`` on the default path.
+    certify_latency = config.certifier_delay * certify_rounds + service_time
+
+    if sharded:
+        weights = shard_weights
+
+        def abort_fn(conflict_window: float) -> float:
+            if profile.update_response_time <= 0.0:
+                if profile.abort_rate == 0.0:
+                    return 0.0
+                raise ConfigurationError("L(1) must be positive when A1 > 0")
+            exposure = n * conflict_window / profile.update_response_time
+            return partition_abort_mixture(profile.abort_rate, exposure, weights)
+
+    else:
+
+        def abort_fn(conflict_window: float) -> float:
+            return multimaster_abort_rate(
+                profile.abort_rate, n, conflict_window,
+                profile.update_response_time,
+            )
 
     writeset_fanin = None
     if partition_map is not None:
@@ -121,17 +222,20 @@ def predict_multimaster(
         )
         writeset_fanin = max(0.0, fanout - 1.0)
 
-    network = _build_network(config, mix.write_fraction)
+    network = _build_network(
+        config,
+        mix.write_fraction,
+        certify_rounds=certify_rounds,
+        service_demand=service_demand,
+    )
     stepper = MVAStepper(network)
 
     # Initial conflict window: the standalone window plus certification,
     # evaluated before any queueing builds up.
     abort_rate = 0.0
-    conflict_window = profile.update_response_time + config.certifier_delay
+    conflict_window = profile.update_response_time + certify_latency
     if mix.write_fraction > 0.0:
-        abort_rate = multimaster_abort_rate(
-            profile.abort_rate, n, conflict_window, profile.update_response_time
-        )
+        abort_rate = abort_fn(conflict_window)
 
     solution = None
     for _ in range(config.clients_per_replica):
@@ -141,7 +245,8 @@ def predict_multimaster(
         solution = stepper.step()
         if mix.write_fraction > 0.0:
             conflict_window, abort_rate = _update_conflict_state(
-                profile, config, solution, options, abort_rate
+                profile, config, solution, options, abort_rate,
+                abort_fn, certify_latency,
             )
 
     assert solution is not None
@@ -167,24 +272,24 @@ def predict_multimaster(
     )
 
 
-def _update_conflict_state(profile, config, solution, options, abort_rate):
+def _update_conflict_state(
+    profile, config, solution, options, abort_rate, abort_fn, certify_latency
+):
     """Recompute (CW, AN) from the latest MVA solution."""
     if options.cw_mode == CW_ONE_STEP_LAG:
-        cw = _conflict_window(profile, config, solution, abort_rate)
-        an = multimaster_abort_rate(
-            profile.abort_rate, config.replicas, cw, profile.update_response_time
-        )
+        cw = _conflict_window(profile, config, solution, abort_rate,
+                              certify_latency)
+        an = abort_fn(cw)
         return cw, an
 
     # Fixed-point mode: iterate CW -> AN -> update-demand residence until
     # the abort rate stabilises for this population.
     an = abort_rate
-    cw = _conflict_window(profile, config, solution, an)
+    cw = _conflict_window(profile, config, solution, an, certify_latency)
     for iteration in range(options.max_fixed_point_iterations):
-        new_an = multimaster_abort_rate(
-            profile.abort_rate, config.replicas, cw, profile.update_response_time
-        )
-        new_cw = _conflict_window(profile, config, solution, new_an)
+        new_an = abort_fn(cw)
+        new_cw = _conflict_window(profile, config, solution, new_an,
+                                  certify_latency)
         if abs(new_an - an) < options.tolerance:
             return new_cw, new_an
         an, cw = new_an, new_cw
@@ -194,7 +299,8 @@ def _update_conflict_state(profile, config, solution, options, abort_rate):
     )
 
 
-def _conflict_window(profile, config, solution, abort_rate) -> float:
+def _conflict_window(profile, config, solution, abort_rate,
+                     certify_latency=None) -> float:
     """CW = update-transaction CPU + disk residence + certification (§4.1.1).
 
     Residence times are evaluated for the *update class* via the arrival
@@ -214,4 +320,6 @@ def _conflict_window(profile, config, solution, abort_rate) -> float:
         {CPU: update_demand.cpu, DISK: update_demand.disk},
         queue_cap=queue_cap,
     )
-    return residence + config.certifier_delay
+    if certify_latency is None:
+        certify_latency = config.certifier_delay
+    return residence + certify_latency

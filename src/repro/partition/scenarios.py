@@ -11,6 +11,11 @@ live-cluster validation cell set:
 * ``placement-ablation`` — weight-balanced placement
   (:func:`~repro.models.planning.plan_placement`) vs a weight-oblivious
   ring on a skewed partition popularity: the planner's win condition.
+* ``certifier-sharding`` — the global sequencer vs per-partition
+  certifier shards when certification itself has a positive service
+  time: the sharded write path's win condition (high update fraction,
+  many partitions).  Model + simulator cells, plus a live validation
+  pair on real threads.
 
 All cells are ordinary engine sweep points: simulator cells are cached
 and fan out over ``--jobs``; live cells re-execute.  The CLI front end
@@ -31,8 +36,10 @@ from ..engine.scenario import (
     sim_point,
 )
 from ..models.planning import plan_placement
+from ..sidb.certifier_api import CertifierSpec
 from ..simulator.runner import MULTI_MASTER
 from ..simulator.systems import PARTITION_AWARE
+from ..workloads import get_workload
 from ..workloads.spec import WorkloadSpec, demands_ms
 from .placement import PartitionMap
 
@@ -60,6 +67,23 @@ LIVE_WARMUP = 2.0
 LIVE_DURATION = 16.0
 LIVE_ABLATION_PARTITIONS = 6
 LIVE_ABLATION_WEIGHTS = (6.0, 3.0, 1.0, 1.0, 1.0, 1.0)
+
+#: Certifier-sharding A/B: an update-heavy partitioned workload on a
+#: fleet large enough that a contended global sequencer saturates.
+CERT_PARTITIONS = 8
+CERT_CROSS_FRACTION = 0.2
+CERT_FLEET = 12
+CERT_DELAY = 0.012
+#: Per-certification service occupancy.  Each pillar gets the occupancy
+#: that makes the sequencer the bottleneck *in that pillar's throughput
+#: regime*: the live cluster's absolute rate is far below the
+#: simulator's (real threads), so it needs a proportionally longer
+#: service time for the same comparison.
+CERT_SERVICE_SIM = 0.008
+CERT_SERVICE_LIVE = 0.04
+CERT_LIVE_TIME_SCALE = 0.04
+CERT_LIVE_WARMUP = 4.0
+CERT_LIVE_DURATION = 20.0
 
 
 def sweep_spec(write_fraction: float) -> WorkloadSpec:
@@ -454,6 +478,7 @@ def _live_sweep_points(settings) -> List:
         time_scale=LIVE_TIME_SCALE,
         lb_policy=PARTITION_AWARE,
         telemetry=getattr(settings, "telemetry", None),
+        certifier=getattr(settings, "certifier", None),
     )
     return [
         cluster_point(spec, config, MULTI_MASTER, tag="full", **shared),
@@ -510,6 +535,7 @@ def _ablation_points(settings) -> List:
         duration=settings.sim_duration,
         lb_policy=PARTITION_AWARE,
         telemetry=getattr(settings, "telemetry", None),
+        certifier=getattr(settings, "certifier", None),
     )
     oblivious = PartitionMap.ring(ABLATION_PARTITIONS, ABLATION_FLEET,
                                   SWEEP_FACTOR)
@@ -564,6 +590,7 @@ def _live_ablation_points(settings) -> List:
         time_scale=LIVE_TIME_SCALE,
         lb_policy=PARTITION_AWARE,
         telemetry=getattr(settings, "telemetry", None),
+        certifier=getattr(settings, "certifier", None),
     )
     oblivious = PartitionMap.ring(LIVE_ABLATION_PARTITIONS, LIVE_FLEET,
                                   SWEEP_FACTOR)
@@ -602,6 +629,201 @@ ABLATION_LIVE = register_scenario(Scenario(
     tags=("live",),
 ))
 
+# ----------------------------------------------------------------------
+# certifier-sharding (simulator + model)
+# ----------------------------------------------------------------------
+
+def certifier_workload() -> WorkloadSpec:
+    """Update-heavy partitioned workload of the certifier A/B.
+
+    TPC-W ordering (Pw=0.5) partitioned eight ways: enough update
+    traffic that a contended global sequencer saturates a 12-replica
+    fleet, and enough partitions that sharding buys real parallelism.
+    """
+    return get_workload("tpcw/ordering").with_partitions(
+        CERT_PARTITIONS, cross_partition_fraction=CERT_CROSS_FRACTION
+    )
+
+
+@dataclass(frozen=True)
+class CertifierShardingReport:
+    """The ``certifier-sharding`` artifact (sim or live pillar)."""
+
+    workload: str
+    pillar: str
+    partitions: int
+    service_time: float
+    #: (label, result) per certifier cell.
+    cells: Tuple[Tuple[str, object], ...]
+
+    @property
+    def results(self) -> Tuple[object, ...]:
+        """Raw per-cell results (CLI convergence/audit screening)."""
+        return tuple(result for _, result in self.cells)
+
+    @property
+    def converged(self) -> bool:
+        """Replication correctness of every live cell (sim cells pass)."""
+        return all(
+            getattr(result, "state_converged", True) for result in self.results
+        )
+
+    def cell(self, label: str) -> Optional[object]:
+        """Result of one certifier cell."""
+        for name, result in self.cells:
+            if name == label:
+                return result
+        return None
+
+    def speedup(self, pillar_prefix: str) -> float:
+        """Sharded over global throughput within one pillar's cells."""
+        sharded = self.cell(f"{pillar_prefix}-sharded")
+        global_ = self.cell(f"{pillar_prefix}-global")
+        if sharded is None or global_ is None or global_.throughput <= 0:
+            return 0.0
+        return sharded.throughput / global_.throughput
+
+    def to_text(self) -> str:
+        """Render the certifier comparison."""
+        lines = [
+            f"certifier sharding — {self.workload}, {self.pillar} pillar, "
+            f"{self.partitions} certifier shards, per-certification "
+            f"service {self.service_time * 1000:g} ms",
+            f"  {'certifier':<16s} {'throughput':>11s} {'response':>9s} "
+            f"{'aborts':>7s}",
+        ]
+        for name, result in self.cells:
+            lines.append(
+                f"  {name:<16s} {result.throughput:>7.1f} tps "
+                f"{result.response_time * 1000:>6.0f} ms "
+                f"{result.abort_rate:>6.2%}"
+            )
+        for prefix in ("sim", "live", "model"):
+            ratio = self.speedup(prefix)
+            if ratio > 0.0:
+                lines.append(f"  {prefix} speedup (sharded/global): "
+                             f"{ratio:.2f}x")
+        return "\n".join(lines)
+
+
+def _certifier_points(settings) -> List:
+    spec = certifier_workload()
+    config = spec.replication_config(
+        CERT_FLEET,
+        load_balancer_delay=settings.load_balancer_delay,
+        certifier_delay=CERT_DELAY,
+    )
+    task = profile_task(spec, settings)
+    shared = dict(
+        seed=settings.seed,
+        warmup=settings.sim_warmup,
+        duration=settings.sim_duration,
+        lb_policy=PARTITION_AWARE,
+        telemetry=getattr(settings, "telemetry", None),
+    )
+    # Both arms carry the SAME positive service time: the A/B isolates
+    # the protocol (one sequencer vs per-partition shards), not the cost
+    # of certification itself.
+    return [
+        sim_point(spec, config, MULTI_MASTER, tag="sim-global",
+                  certifier=CertifierSpec("global",
+                                          service_time=CERT_SERVICE_SIM),
+                  **shared),
+        sim_point(spec, config, MULTI_MASTER, tag="sim-sharded",
+                  certifier=CertifierSpec("sharded",
+                                          service_time=CERT_SERVICE_SIM),
+                  **shared),
+        model_point(spec, config, MULTI_MASTER, profile=task,
+                    tag="model-global",
+                    certifier=CertifierSpec("global",
+                                            service_time=CERT_SERVICE_SIM)),
+        model_point(spec, config, MULTI_MASTER, profile=task,
+                    tag="model-sharded",
+                    certifier=CertifierSpec("sharded",
+                                            service_time=CERT_SERVICE_SIM)),
+    ]
+
+
+def _assemble_certifier(settings, points, results) -> CertifierShardingReport:
+    return CertifierShardingReport(
+        workload=certifier_workload().name,
+        pillar="simulator+model",
+        partitions=CERT_PARTITIONS,
+        service_time=CERT_SERVICE_SIM,
+        cells=tuple(
+            (point.tag, result) for point, result in zip(points, results)
+        ),
+    )
+
+
+CERTIFIER = register_scenario(Scenario(
+    name="certifier-sharding",
+    title="Certifier sharding: global sequencer vs per-partition shards "
+    "(sim + model)",
+    kind="partition",
+    metrics=("throughput", "speedup", "abort_rate"),
+    points=_certifier_points,
+    assemble=_assemble_certifier,
+    aliases=("sharded-certifier",),
+))
+
+
+# ----------------------------------------------------------------------
+# certifier-sharding-live (live cluster)
+# ----------------------------------------------------------------------
+
+def _live_certifier_points(settings) -> List:
+    spec = certifier_workload()
+    config = spec.replication_config(
+        CERT_FLEET,
+        load_balancer_delay=settings.load_balancer_delay,
+        certifier_delay=CERT_DELAY,
+    )
+    shared = dict(
+        seed=settings.seed,
+        warmup=CERT_LIVE_WARMUP,
+        duration=CERT_LIVE_DURATION,
+        time_scale=CERT_LIVE_TIME_SCALE,
+        lb_policy=PARTITION_AWARE,
+        telemetry=getattr(settings, "telemetry", None),
+    )
+    return [
+        cluster_point(spec, config, MULTI_MASTER, tag="live-global",
+                      certifier=CertifierSpec("global",
+                                              service_time=CERT_SERVICE_LIVE),
+                      **shared),
+        cluster_point(spec, config, MULTI_MASTER, tag="live-sharded",
+                      certifier=CertifierSpec("sharded",
+                                              service_time=CERT_SERVICE_LIVE),
+                      **shared),
+    ]
+
+
+def _assemble_live_certifier(settings, points, results):
+    return CertifierShardingReport(
+        workload=certifier_workload().name,
+        pillar="cluster",
+        partitions=CERT_PARTITIONS,
+        service_time=CERT_SERVICE_LIVE,
+        cells=tuple(
+            (point.tag, result) for point, result in zip(points, results)
+        ),
+    )
+
+
+CERTIFIER_LIVE = register_scenario(Scenario(
+    name="certifier-sharding-live",
+    title="Live-cluster certifier sharding: global vs per-partition shards",
+    kind="partition",
+    metrics=("throughput", "response_time", "converged"),
+    points=_live_certifier_points,
+    assemble=_assemble_live_certifier,
+    aliases=("sharded-certifier-live",),
+    tags=("live",),
+))
+
 #: Scenario names grouped for the ``repro partition`` verb.
-SIM_SCENARIOS = ("partial-replication-sweep", "placement-ablation")
-LIVE_SCENARIOS = ("partial-replication-sweep-live", "placement-ablation-live")
+SIM_SCENARIOS = ("partial-replication-sweep", "placement-ablation",
+                 "certifier-sharding")
+LIVE_SCENARIOS = ("partial-replication-sweep-live", "placement-ablation-live",
+                  "certifier-sharding-live")

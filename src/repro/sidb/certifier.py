@@ -39,25 +39,16 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from dataclasses import dataclass
 from typing import Deque, FrozenSet, Set, Tuple
 
 from ..core.errors import ConfigurationError
+from .certifier_api import CertificationOutcome
 from .writeset import Writeset
 
-
-@dataclass(frozen=True)
-class CertificationOutcome:
-    """Result of certifying one writeset."""
-
-    committed: bool
-    #: Commit version assigned on success; -1 on abort.
-    commit_version: int
-    #: Keys that conflicted on failure (empty on success).
-    conflicting_keys: FrozenSet[object] = frozenset()
+__all__ = ["CertificationOutcome", "Certifier", "GlobalCertifier"]
 
 
-class Certifier:
+class GlobalCertifier:
     """Detects write-write conflicts and assigns global commit versions.
 
     The history is pruned in two ways:
@@ -196,3 +187,10 @@ class Certifier:
             self.certifications = 0
             self.commits = 0
             self.aborts = 0
+
+
+#: Deprecation alias: the concrete class every call site imported before
+#: the :mod:`repro.sidb.certifier_api` seam existed.  New code should
+#: depend on :class:`~repro.sidb.certifier_api.CertifierProtocol` and
+#: name :class:`GlobalCertifier` explicitly.
+Certifier = GlobalCertifier

@@ -38,7 +38,8 @@ import threading
 from typing import Dict, Optional, Set
 
 from ..core.errors import ConfigurationError, TransactionAborted
-from .certifier import Certifier
+from .certifier import GlobalCertifier
+from .certifier_api import CertifierProtocol
 from .transaction import Transaction, TransactionStatus
 from .versionstore import VersionedStore
 from .writeset import Writeset
@@ -50,10 +51,10 @@ class SIDatabase:
     def __init__(
         self,
         initial: Optional[Dict[object, object]] = None,
-        certifier: Optional[Certifier] = None,
+        certifier: Optional[CertifierProtocol] = None,
     ) -> None:
         self._store = VersionedStore(initial)
-        self._certifier = certifier or Certifier()
+        self._certifier = certifier or GlobalCertifier()
         # Guards transaction bookkeeping and spans certify+install in
         # commit(); see the module docstring for the locking discipline.
         self._lock = threading.RLock()
@@ -71,7 +72,7 @@ class SIDatabase:
         return self._store
 
     @property
-    def certifier(self) -> Certifier:
+    def certifier(self) -> CertifierProtocol:
         """The conflict-detection service used by the commit path."""
         return self._certifier
 
@@ -185,6 +186,20 @@ class SIDatabase:
                 writeset.commit_version,
                 writeset.writes_for(hosted_partitions),
             )
+
+    def apply_shard_rows(self, version: int, rows: Dict[object, object]) -> None:
+        """Install one shard lane's rows at a locally-assigned *version*.
+
+        The sharded live cluster orders installs per certifier shard, not
+        globally, so each replica assigns its own monotone local versions
+        as deliveries land (safe: concurrently committed writesets have
+        disjoint keys, so the final state is order-independent across
+        lanes while each key still installs in its shard's commit order).
+        """
+        with self._lock:
+            if version <= 0:
+                raise ConfigurationError("shard rows need a positive version")
+            self._store.install(version, dict(rows))
 
     def apply_version_marker(self, commit_version: int) -> None:
         """Advance the version clock without installing any data.

@@ -37,6 +37,13 @@ class Writeset:
     #: replicas).  Empty means *unpartitioned* — the full-replication
     #: default, which conflicts with and propagates to everything.
     partitions: Tuple[int, ...] = ()
+    #: Per-shard snapshot floors for the sharded certifier, as sorted
+    #: ``(partition, shard version)`` pairs: the transaction has seen all
+    #: commits at or below each floor on that partition.  Empty — the
+    #: default — on the global path, where :attr:`snapshot_version`
+    #: carries the single global snapshot; a missing partition is a
+    #: floor of 0, which is conservative (more conflicts, never fewer).
+    snapshot_vector: Tuple[Tuple[int, int], ...] = ()
 
     @classmethod
     def from_dict(
@@ -112,4 +119,21 @@ class Writeset:
             writes=self.writes,
             commit_version=version,
             partitions=self.partitions,
+            snapshot_vector=self.snapshot_vector,
+        )
+
+    def with_snapshot_vector(self, floors) -> "Writeset":
+        """Return a copy carrying per-shard snapshot floors.
+
+        *floors* is a ``{partition: shard version}`` mapping (or pair
+        iterable); the sharded pillars stamp sampled writesets with the
+        originating replica's applied vector before certification.
+        """
+        return Writeset(
+            txn_id=self.txn_id,
+            snapshot_version=self.snapshot_version,
+            writes=self.writes,
+            commit_version=self.commit_version,
+            partitions=self.partitions,
+            snapshot_vector=tuple(sorted(dict(floors).items())),
         )

@@ -16,11 +16,13 @@ from ..core.errors import ConfigurationError
 from ..core.params import ReplicationConfig
 from ..core.results import OperatingPoint, ScalabilityCurve
 from ..core.rng import DEFAULT_SEED
+from ..sidb.certifier_api import resolve_certifier_spec
 from ..telemetry import Telemetry, active_config
 from ..workloads.spec import WorkloadSpec
 from .des import Environment, Timeout
 from .faults import ReplicaFault, install_faults, validate_faults
 from .sampling import DISTRIBUTIONS, EXPONENTIAL
+from .sharded import ShardedMultiMasterSystem
 from .stats import MetricsCollector
 from .systems import (
     LB_POLICIES,
@@ -104,6 +106,7 @@ def simulate(
     capacities: Optional[Sequence[float]] = None,
     partition_map=None,
     telemetry=None,
+    certifier=None,
 ) -> SimulationResult:
     """Simulate *spec* on *design* with *config* and measure steady state.
 
@@ -134,7 +137,16 @@ def simulate(
     :class:`~repro.telemetry.TelemetryResult` to the result.  Telemetry
     never perturbs workload randomness or charges simulated time, so
     measurements are identical with it on or off.
+
+    *certifier* selects the certification service: ``None`` (default)
+    and the default :class:`~repro.sidb.certifier_api.CertifierSpec`
+    keep the single global certifier byte-identical to before the
+    sharded path existed; ``"sharded"`` (or a sharded spec) runs
+    per-partition certifier shards with version vectors and the
+    cross-partition forwarding coordinator
+    (:class:`~repro.simulator.sharded.ShardedMultiMasterSystem`).
     """
+    certifier_spec = resolve_certifier_spec(certifier)
     if design not in _SYSTEM_CLASSES:
         raise ConfigurationError(f"unknown design {design!r}; one of {DESIGNS}")
     if distribution not in DISTRIBUTIONS:
@@ -153,11 +165,32 @@ def simulate(
             "capacities describe a replicated fleet; standalone systems "
             "have exactly one machine"
         )
-    system = _SYSTEM_CLASSES[design](
-        env, spec, config, seed, metrics,
-        distribution=distribution, lb_policy=lb_policy,
-        capacities=capacities, partition_map=partition_map,
-    )
+    if certifier_spec is not None and not certifier_spec.is_default:
+        if design != MULTI_MASTER:
+            raise ConfigurationError(
+                "the certifier axis is multi-master only (the certifier "
+                f"spec {certifier_spec.kind!r} cannot apply to {design!r})"
+            )
+        if certifier_spec.is_sharded:
+            system = ShardedMultiMasterSystem(
+                env, spec, config, seed, metrics,
+                distribution=distribution, lb_policy=lb_policy,
+                capacities=capacities, partition_map=partition_map,
+                certifier_spec=certifier_spec,
+            )
+        else:
+            system = MultiMasterSystem(
+                env, spec, config, seed, metrics,
+                distribution=distribution, lb_policy=lb_policy,
+                capacities=capacities, partition_map=partition_map,
+                certifier_spec=certifier_spec,
+            )
+    else:
+        system = _SYSTEM_CLASSES[design](
+            env, spec, config, seed, metrics,
+            distribution=distribution, lb_policy=lb_policy,
+            capacities=capacities, partition_map=partition_map,
+        )
     telemetry_config = active_config(telemetry)
     recorder = None
     if telemetry_config is not None:

@@ -535,7 +535,7 @@ class MultiMasterSystem(_BaseSystem):
 
     def __init__(self, env, spec, config, seed, metrics,
                  distribution="exponential", lb_policy=LEAST_LOADED,
-                 capacities=None, partition_map=None):
+                 capacities=None, partition_map=None, certifier_spec=None):
         super().__init__(env, spec, config, seed, metrics, distribution,
                          lb_policy, capacities, partition_map)
         for index in range(config.replicas):
@@ -546,6 +546,17 @@ class MultiMasterSystem(_BaseSystem):
         self.certifier = Certifier()
         self._active_snapshots: Dict[int, int] = {}
         self._snapshot_token = 0
+        # Optional certifier occupancy (CertifierSpec.service_time): the
+        # global certifier becomes a single-token queueing centre every
+        # commit serialises through — the contention the sharded arm of
+        # the certifier comparison removes.  ``None`` (the default, and
+        # any spec with service_time == 0) leaves the commit path with
+        # zero extra simulation events: byte-identical to before.
+        self._certifier_spec = certifier_spec
+        if certifier_spec is not None and certifier_spec.service_time > 0.0:
+            self._certify_service = Semaphore(env, 1)
+        else:
+            self._certify_service = None
 
     def add_replica(self, transfer_writesets: int = 0,
                     capacity: float = 1.0) -> SimReplica:
@@ -671,7 +682,19 @@ class MultiMasterSystem(_BaseSystem):
                     if telemetry is not None:
                         telemetry.certify_begin()
                     try:
-                        outcome = self.certifier.certify(writeset)
+                        if self._certify_service is not None:
+                            # Single-token occupancy: every commit holds
+                            # the one certifier server for service_time.
+                            yield Acquire(self._certify_service)
+                            try:
+                                yield Timeout(
+                                    self._certifier_spec.service_time
+                                )
+                                outcome = self.certifier.certify(writeset)
+                            finally:
+                                self._certify_service.release()
+                        else:
+                            outcome = self.certifier.certify(writeset)
                         yield Timeout(self.config.certifier_delay)
                     finally:
                         if telemetry is not None:

@@ -49,8 +49,11 @@ class CausalTrace:
     """One traced transaction's spans, stitched into a causal graph."""
 
     trace_id: int
-    #: Global commit version (``None`` for aborted/read-only traces).
-    version: Optional[int]
+    #: Commit version key (``None`` for aborted/read-only traces): a
+    #: global version int, or a per-shard string key like ``"s2v17"``
+    #: (:func:`repro.sidb.certifier_api.shard_version_key`) when the
+    #: run used the sharded certifier.
+    version: Optional[object]
     spans: Tuple[Span, ...]
     edges: Tuple[CausalEdge, ...]
 
@@ -64,7 +67,8 @@ class ReplicationHop:
     """One writeset's per-hop lag breakdown at one replica."""
 
     trace_id: int
-    version: int
+    #: Global version int or per-shard string key ("s2v17").
+    version: object
     replica: str
     queue: float
     channel: float
@@ -123,12 +127,17 @@ def _committed_certify(spans: Sequence[Span]) -> Optional[Span]:
     return None
 
 
-def _trace_version(spans: Sequence[Span]) -> Optional[int]:
+def _trace_version(spans: Sequence[Span]) -> Optional[object]:
     for span in spans:
         if span.name == schema.SPAN_APPLY:
             version = span.tag("version")
             if version:
-                return int(version)
+                try:
+                    return int(version)
+                except ValueError:
+                    # Sharded runs key apply spans by a per-shard string
+                    # ("s2v17"); the key only needs to be hashable here.
+                    return version
     return None
 
 

@@ -242,3 +242,122 @@ class TestPartialReplicationModel:
         with pytest.raises(ConfigurationError):
             predict("single-master", simple_profile, config(4),
                     partition_map=PartitionMap.ring(4, 4, 2))
+
+
+class TestCertifierModel:
+    """The certifier axis: a global sequencer as one N-scaled service
+    center vs per-partition shards (service demand divided by the
+    effective shard count, cross-partition commits charged an extra
+    coordination round)."""
+
+    def _contended(self, simple_demands):
+        return StandaloneProfile(
+            mix=WorkloadMix(read_fraction=0.5, write_fraction=0.5),
+            demands=simple_demands,
+            abort_rate=0.001,
+            update_response_time=0.050,
+        )
+
+    def _spec(self, kind, service_time=0.008):
+        from repro.sidb.certifier_api import CertifierSpec
+
+        return CertifierSpec(kind, service_time=service_time)
+
+    def test_default_global_spec_is_byte_identical(self, simple_profile):
+        plain = predict_multimaster(simple_profile, config(8))
+        spec = predict_multimaster(simple_profile, config(8),
+                                   certifier=self._spec("global", 0.0))
+        named = predict_multimaster(simple_profile, config(8),
+                                    certifier="global")
+        assert spec == plain
+        assert named == plain
+
+    def test_zero_cost_sharding_matches_the_default(self, simple_profile):
+        plain = predict_multimaster(simple_profile, config(8), partitions=8)
+        sharded = predict_multimaster(simple_profile, config(8),
+                                      certifier=self._spec("sharded", 0.0),
+                                      partitions=8)
+        assert sharded.throughput == pytest.approx(plain.throughput)
+
+    def test_certifier_service_time_costs_throughput(self, simple_demands):
+        profile = self._contended(simple_demands)
+        free = predict_multimaster(profile, config(12))
+        busy = predict_multimaster(profile, config(12),
+                                   certifier=self._spec("global"))
+        assert busy.throughput < free.throughput
+
+    def test_sharded_dominates_contended_global(self, simple_demands):
+        """The tentpole claim: at high Pw and many partitions, sharding
+        the sequencer strictly beats the global certifier."""
+        profile = self._contended(simple_demands)
+        cfg = config(12, certifier_delay=0.012)
+        global_ = predict_multimaster(profile, cfg,
+                                      certifier=self._spec("global"),
+                                      partitions=8)
+        sharded = predict_multimaster(profile, cfg,
+                                      certifier=self._spec("sharded"),
+                                      partitions=8,
+                                      cross_partition_fraction=0.2)
+        assert sharded.throughput > global_.throughput
+
+    def test_more_shards_never_hurt(self, simple_demands):
+        profile = self._contended(simple_demands)
+        cfg = config(12, certifier_delay=0.012)
+        values = [
+            predict_multimaster(profile, cfg,
+                                certifier=self._spec("sharded"),
+                                partitions=p).throughput
+            for p in (2, 4, 8)
+        ]
+        assert values == sorted(values)
+
+    def test_cross_partition_rounds_cost_sharded_throughput(
+        self, simple_demands
+    ):
+        profile = self._contended(simple_demands)
+        cfg = config(12, certifier_delay=0.012)
+        local = predict_multimaster(profile, cfg,
+                                    certifier=self._spec("sharded"),
+                                    partitions=8,
+                                    cross_partition_fraction=0.0)
+        crossy = predict_multimaster(profile, cfg,
+                                     certifier=self._spec("sharded"),
+                                     partitions=8,
+                                     cross_partition_fraction=0.5)
+        assert crossy.throughput < local.throughput
+
+    def test_skewed_shards_certify_worse_than_uniform(self, simple_demands):
+        profile = self._contended(simple_demands)
+        cfg = config(12, certifier_delay=0.012)
+        uniform = predict_multimaster(profile, cfg,
+                                      certifier=self._spec("sharded"),
+                                      partitions=4)
+        skewed = predict_multimaster(profile, cfg,
+                                     certifier=self._spec("sharded"),
+                                     partitions=4,
+                                     partition_weights=(0.85, 0.05,
+                                                        0.05, 0.05))
+        assert skewed.throughput < uniform.throughput
+
+    def test_unknown_certifier_rejected_with_suggestion(
+        self, simple_profile
+    ):
+        from repro.sidb.certifier_api import UnknownCertifierError
+
+        with pytest.raises(UnknownCertifierError, match="did you mean"):
+            predict_multimaster(simple_profile, config(4),
+                                certifier="shraded")
+
+    def test_api_rejects_certifier_for_single_master(self, simple_profile):
+        from repro.models.api import predict
+
+        with pytest.raises(ConfigurationError, match="multi-master only"):
+            predict("single-master", simple_profile, config(4),
+                    certifier="sharded")
+
+    def test_api_allows_default_spec_for_single_master(self, simple_profile):
+        from repro.models.api import predict
+
+        prediction = predict("single-master", simple_profile, config(4),
+                             certifier="global")
+        assert prediction.throughput > 0

@@ -14,6 +14,8 @@ class TestRegistration:
     def test_partition_scenarios_registered(self):
         names = scenario_names_with_tag("partition")
         assert names == [
+            "certifier-sharding",
+            "certifier-sharding-live",
             "partial-replication-sweep",
             "partial-replication-sweep-live",
             "placement-ablation",
@@ -30,6 +32,10 @@ class TestRegistration:
             "partial-replication-sweep"
         )
         assert get_scenario("placement").name == "placement-ablation"
+        assert get_scenario("sharded-certifier").name == "certifier-sharding"
+        assert get_scenario("sharded-certifier-live").name == (
+            "certifier-sharding-live"
+        )
 
 
 class TestPartialReplicationSweep:
@@ -65,3 +71,51 @@ class TestPartialReplicationSweep:
 
     def test_sweep_map_is_partial(self):
         assert not sweep_map().is_full
+
+
+class TestCertifierSharding:
+    @pytest.fixture(scope="class")
+    def report(self, tiny_settings):
+        from repro.partition.scenarios import CertifierShardingReport
+
+        scenario = get_scenario("certifier-sharding")
+        report = run_scenario(scenario, tiny_settings, jobs=1, cache=None)
+        assert isinstance(report, CertifierShardingReport)
+        return report
+
+    def test_cells_cover_both_arms_on_both_pillars(self, report):
+        labels = tuple(name for name, _ in report.cells)
+        assert labels == ("sim-global", "sim-sharded",
+                          "model-global", "model-sharded")
+
+    def test_sharded_dominates_global_in_the_simulator(self, report):
+        assert report.speedup("sim") > 1.0
+
+    def test_sharded_dominates_global_in_the_model(self, report):
+        assert report.speedup("model") > 1.0
+
+    def test_model_tracks_simulator_within_crossval_envelope(self, report):
+        for arm in ("global", "sharded"):
+            sim = report.cell(f"sim-{arm}").throughput
+            model = report.cell(f"model-{arm}").throughput
+            assert abs(model - sim) / sim < 0.25, (
+                f"{arm}: model {model:.1f} vs sim {sim:.1f}"
+            )
+
+    def test_report_renders(self, report):
+        text = report.to_text()
+        assert "certifier sharding" in text
+        assert "sim speedup (sharded/global)" in text
+
+
+class TestCertifierShardingLive:
+    @pytest.fixture(scope="class")
+    def report(self, tiny_settings):
+        scenario = get_scenario("certifier-sharding-live")
+        return run_scenario(scenario, tiny_settings, jobs=1, cache=None)
+
+    def test_live_cells_converge(self, report):
+        assert report.converged
+
+    def test_sharded_dominates_global_live(self, report):
+        assert report.speedup("live") > 1.0
