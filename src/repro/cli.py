@@ -66,6 +66,8 @@ def _settings(args) -> experiments.ExperimentSettings:
         settings = settings.audited()
     if getattr(args, "certifier", None) is not None:
         settings = settings.with_certifier(args.certifier)
+    if getattr(args, "capacity_source", None) is not None:
+        settings = settings.with_capacity_source(args.capacity_source)
     return settings
 
 
@@ -76,6 +78,18 @@ def _certifier_arg(value: str) -> str:
     try:
         resolve_certifier_spec(value)
     except UnknownCertifierError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
+
+
+def _capacity_source_arg(value: str) -> str:
+    """Validate ``--capacity-source`` eagerly so typos exit 2 with a hint."""
+    from .control.estimator import resolve_capacity_source
+    from .core.errors import ConfigurationError
+
+    try:
+        resolve_capacity_source(value)
+    except ConfigurationError as exc:
         raise argparse.ArgumentTypeError(str(exc))
     return value
 
@@ -631,6 +645,8 @@ def _cmd_ops(args) -> int:
         "selfheal": ("selfheal-crashstorm", "selfheal-crashstorm-live"),
         "rolling": ("rolling-upgrade", "rolling-upgrade-live"),
         "hetero": ("hetero-fleet", "hetero-fleet-live"),
+        "brownout": ("brownout-detection", "brownout-detection-live"),
+        "capest": ("capacity-estimation", "capacity-estimation-live"),
         "all": (SIM_SCENARIOS, LIVE_SCENARIOS),
     }
     if args.operation == "all":
@@ -653,6 +669,31 @@ def _cmd_ops(args) -> int:
         code = max(code, _run_registered(
             args, name,
             after_render=print_detail if args.timeline else None,
+        ))
+    return code
+
+
+def _cmd_perf(args) -> int:
+    from .control.autoscale import render_timeline
+
+    def print_report(artifact) -> None:
+        for result in getattr(artifact, "results", ()) or ():
+            perf = getattr(result, "perf", None)
+            if perf is None:
+                continue
+            print()
+            print(perf.to_text())
+            if args.timeline:
+                print()
+                print(render_timeline(result))
+
+    names = ["capacity-estimation"]
+    if args.live:
+        names.append("capacity-estimation-live")
+    code = 0
+    for name in names:
+        code = max(code, _run_registered(
+            args, name, after_render=print_report,
         ))
     return code
 
@@ -784,6 +825,15 @@ def _add_engine_options(parser: argparse.ArgumentParser,
         "(the default single sequencer; byte-identical results and "
         "cache keys to omitting the flag) or 'sharded' (per-partition "
         "certifier shards with distributed cross-partition commit)",
+    )
+    parser.add_argument(
+        "--capacity-source", type=_capacity_source_arg, default=None,
+        metavar="{declared,estimated}",
+        help="where autoscale points take per-replica capacities from: "
+        "'declared' (the configured multipliers; byte-identical results "
+        "and cache keys to omitting the flag) or 'estimated' (the online "
+        "capacity estimator's live values drive the LB weights and the "
+        "controller's target)",
     )
 
 
@@ -996,7 +1046,8 @@ def build_parser() -> argparse.ArgumentParser:
         "replacement, rolling upgrades, heterogeneous fleets)",
     )
     p.add_argument("--operation",
-                   choices=("selfheal", "rolling", "hetero", "all"),
+                   choices=("selfheal", "rolling", "hetero", "brownout",
+                            "capest", "all"),
                    default="all", help="which operations family to run")
     p.add_argument("--live", action="store_true",
                    help="also run the live-cluster validation cells "
@@ -1007,6 +1058,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fast", action="store_true")
     _add_engine_options(p)
     p.set_defaults(func=_cmd_ops)
+
+    p = sub.add_parser(
+        "perf",
+        help="performance observability: online capacity estimation, "
+        "model-drift detection, and gray-failure diagnosis under a "
+        "brownout",
+    )
+    p.add_argument("--live", action="store_true",
+                   help="also run the live-cluster validation cell "
+                   "(brownout on real threads)")
+    p.add_argument("--timeline", action="store_true",
+                   help="print each instrumented run's per-interval "
+                   "timeline")
+    p.add_argument("--fast", action="store_true")
+    _add_engine_options(p)
+    p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser(
         "partition",

@@ -45,10 +45,17 @@ class LiveResource:
         self._busy_virtual = 0.0
         self._busy_since: Optional[float] = None
         self.completions = 0
+        # Unscaled service demand of completed services: the delta ratio
+        # work_done / busy_time over a window recovers the effective rate
+        # multiplier, mix-independently (mirrors the simulator's
+        # ResourceStats.work_done, so the capacity estimator watches live
+        # and simulated resources interchangeably).
+        self.work_done = 0.0
 
     def serve(self, virtual_duration: float) -> None:
         """Occupy the resource for *virtual_duration* virtual seconds of
         sampled work (scaled down by the capacity ``rate``)."""
+        demand = virtual_duration
         virtual_duration = virtual_duration / self.rate
         if virtual_duration <= 0.0:
             return
@@ -62,6 +69,7 @@ class LiveResource:
                 self._busy_virtual += ended - started
                 self._busy_since = None
                 self.completions += 1
+                self.work_done += demand
 
     def busy_time_now(self) -> float:
         """Cumulative busy time in virtual seconds, including any

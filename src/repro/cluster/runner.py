@@ -39,7 +39,9 @@ from ..core.params import ReplicationConfig
 from ..core.results import OperatingPoint
 from ..core.rng import DEFAULT_SEED
 from ..sidb.certifier_api import resolve_certifier_spec
-from ..simulator.faults import CRASH, ReplicaFault, validate_faults
+from ..simulator.faults import (
+    BROWNOUT, CRASH, ReplicaFault, scale_replica_rates, validate_faults,
+)
 from ..simulator.runner import MULTI_MASTER, SINGLE_MASTER
 from ..simulator.sampling import DISTRIBUTIONS, EXPONENTIAL, WorkloadSampler
 from ..simulator.stats import MetricsCollector
@@ -268,6 +270,20 @@ def _fault_process(
         replica.crash()
         if recorder is not None:
             recorder(cluster.clock.now(), CRASH, replica.name)
+        return
+    if fault.kind == BROWNOUT:
+        # Gray failure: the replica keeps serving, but every service
+        # started while the brownout is active runs at `severity` times
+        # the configured speed.  Membership never changes; only the
+        # capacity estimator can see this.
+        scale_replica_rates(replica, fault.severity)
+        if recorder is not None:
+            recorder(cluster.clock.now(), BROWNOUT, replica.name)
+        drivers.stop.wait(fault.downtime * scale)
+        # Restore even when the run is over so quiesce drains at speed.
+        scale_replica_rates(replica, 1.0 / fault.severity)
+        if recorder is not None:
+            recorder(cluster.clock.now(), "brownout-end", replica.name)
         return
     replica.available = False
     if recorder is not None:

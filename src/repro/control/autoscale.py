@@ -46,6 +46,12 @@ from ..simulator.systems import (
 from ..telemetry import Telemetry, active_config, render_events
 from ..workloads.spec import WorkloadSpec
 from .controller import ControlObservation, make_controller
+from .estimator import (
+    ESTIMATED,
+    ModelDriftMonitor,
+    PerfMonitor,
+    resolve_capacity_source,
+)
 from .slo import BurnRate, SLOMonitor, max_burn
 from .trace import LoadTrace
 
@@ -123,6 +129,10 @@ class AutoscaleResult:
     #: telemetry-enabled; ``None`` otherwise (the default keeps results
     #: from older cached runs loading unchanged).
     telemetry: object = None
+    #: :class:`repro.telemetry.perf.PerfReport` when the run engaged the
+    #: online capacity estimator (telemetry on, or
+    #: ``capacity_source="estimated"``); ``None`` otherwise.
+    perf: object = None
 
     @property
     def slo_violation_fraction(self) -> float:
@@ -366,6 +376,7 @@ def _control_tick(
     telemetry=None,
     slo_monitor: Optional[SLOMonitor] = None,
     interval_aborts: int = 0,
+    perf: Optional[PerfMonitor] = None,
 ) -> None:
     """One control interval, identical for both pillars.
 
@@ -375,7 +386,10 @@ def _control_tick(
     by the caller under its own locking discipline.  With
     ``reconcile=False`` the controller only observes — an attached
     operations plan is the membership authority, so replacements and
-    rolling cycles never race autoscale joins.
+    rolling cycles never race autoscale joins.  *perf*, when attached,
+    observes the fleet each tick and (in estimated-capacity mode)
+    re-weights the LB and inflates the controller's target by the fleet
+    health factor.
     """
     commits, tput, mean, p95, violations = _interval_stats(
         chunk, control_interval, slo_response
@@ -399,8 +413,19 @@ def _control_tick(
         max_utilization=utilization,
         slo_burn=burns,
     )
+    if perf is not None:
+        perf.on_tick(
+            now, replicas(),
+            members=observation.members,
+            offered_rate=observation.offered_rate,
+            throughput=tput,
+            p95=p95,
+        )
     target = max(min_replicas,
                  min(max_replicas, controller.target(observation)))
+    if perf is not None:
+        target = max(min_replicas,
+                     min(max_replicas, perf.adjust_target(target)))
     if telemetry is not None:
         if target > observation.members:
             action = "scale-up"
@@ -504,6 +529,7 @@ def autoscale_sim(
     ops: Optional[OpsPlan] = None,
     capacities: Optional[Tuple[float, ...]] = None,
     telemetry=None,
+    capacity_source=None,
 ) -> AutoscaleResult:
     """Run one autoscaling policy on the DES simulator.
 
@@ -522,9 +548,17 @@ def autoscale_sim(
     observability layer (see :func:`repro.simulator.runner.simulate`);
     controller decisions and the operations event log land on the
     recorder alongside the transaction-level metrics.
+
+    *capacity_source* selects what the capacity-weighted LB and the
+    controller's sizing trust: ``"declared"`` (or ``None``) keeps the
+    configured multipliers; ``"estimated"`` makes both consume the
+    online estimator's live per-replica estimates — the path that
+    recovers throughput when a replica silently browns out.  The
+    estimator also engages (observe-only) on any telemetry-enabled run.
     """
     _validate(design, trace, distribution, lb_policy, warmup, duration,
               control_interval, slo_response)
+    capacity_mode = resolve_capacity_source(capacity_source)
 
     controller = make_controller(
         policy, design=design, trace=trace, slo_response=slo_response,
@@ -563,9 +597,17 @@ def autoscale_sim(
     window_end = warmup + duration
     state = _ControlState(last_attached=len(system.replicas),
                           busy=_busy_snapshot(system.replicas))
+    perf = _make_perf_monitor(
+        capacity_mode, recorder, control_interval, "simulator",
+        design=design, profile=profile, base_config=base_config,
+        state=state,
+    )
 
     monitor: Optional[HealthMonitor] = None
-    manage_membership = ops is None or not ops.active
+    # A brownout-only plan injects faults but never changes membership,
+    # so the controller keeps reconciling (that is how estimated-capacity
+    # mode scales out around a browned-out replica).
+    manage_membership = ops is None or not ops.manages_membership
     if ops is not None and ops.active:
         install_faults(
             env, system,
@@ -630,6 +672,7 @@ def autoscale_sim(
                 telemetry=recorder,
                 slo_monitor=slo_monitor,
                 interval_aborts=aborts,
+                perf=perf,
             )
             if monitor is not None and ops.detect_interval is None:
                 monitor.tick(env.now)
@@ -683,9 +726,40 @@ def autoscale_sim(
         ops_events=tuple(sorted(state.events, key=lambda e: e.time)),
         capacities=tuple(capacities) if capacities else (),
         telemetry=telemetry_result,
+        perf=perf.report() if perf is not None else None,
     )
 
 
+def _make_perf_monitor(
+    capacity_mode, recorder, control_interval: float, pillar: str,
+    *, design: str, profile, base_config, state: _ControlState,
+) -> Optional[PerfMonitor]:
+    """Build the performance observer both harnesses share.
+
+    Engaged when the run consumes estimated capacities or is telemetry-
+    enabled; ``None`` otherwise — the pre-estimator instruction stream,
+    byte for byte.  Gray-detect events reach the ops event log only in
+    estimated mode (pure observation must not change result contents
+    beyond the attached reports); the model-drift monitor needs a
+    standalone profile to predict from.
+    """
+    if capacity_mode != ESTIMATED and recorder is None:
+        return None
+    drift = None
+    if profile is not None:
+        drift = ModelDriftMonitor(design, profile, base_config)
+    event_sink = None
+    if capacity_mode == ESTIMATED:
+        def event_sink(t, kind, name):
+            state.events.append(OpsEvent(t, kind, name))
+    return PerfMonitor(
+        interval=control_interval,
+        pillar=pillar,
+        apply=capacity_mode == ESTIMATED,
+        drift=drift,
+        telemetry=recorder,
+        event_sink=event_sink,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -716,6 +790,7 @@ def autoscale_cluster(
     ops: Optional[OpsPlan] = None,
     capacities: Optional[Tuple[float, ...]] = None,
     telemetry=None,
+    capacity_source=None,
 ) -> AutoscaleResult:
     """Run one autoscaling policy on the live cluster runtime.
 
@@ -729,6 +804,8 @@ def autoscale_cluster(
     :func:`autoscale_sim`: an attached operations plan (crash faults,
     self-healing replacement, rolling restart) becomes the membership
     authority, and capacities build a heterogeneous initial fleet.
+    *capacity_source* mirrors :func:`autoscale_sim`: ``"estimated"``
+    routes and sizes on the online estimator's live capacities.
     """
     from ..cluster.clock import VirtualClock
     from ..cluster.runner import (
@@ -741,6 +818,7 @@ def autoscale_cluster(
 
     _validate(design, trace, distribution, lb_policy, warmup, duration,
               control_interval, slo_response)
+    capacity_mode = resolve_capacity_source(capacity_source)
 
     controller = make_controller(
         policy, design=design, trace=trace, slo_response=slo_response,
@@ -769,6 +847,11 @@ def autoscale_cluster(
     window_end = warmup + duration
     state = _ControlState(last_attached=len(cluster.replicas),
                           busy=_busy_snapshot(cluster.replicas))
+    perf = _make_perf_monitor(
+        capacity_mode, tel_recorder, control_interval, "cluster",
+        design=design, profile=profile, base_config=base_config,
+        state=state,
+    )
     drivers = _Drivers()
     if tel_recorder is not None:
         drivers.launch(
@@ -779,7 +862,8 @@ def autoscale_cluster(
         )
 
     monitor: Optional[HealthMonitor] = None
-    manage_membership = ops is None or not ops.active
+    # Brownout-only plans never change membership (see autoscale_sim).
+    manage_membership = ops is None or not ops.manages_membership
     if ops is not None and ops.active:
         # list.append is atomic under the GIL; events are only *read*
         # after every driver thread has joined.
@@ -852,6 +936,7 @@ def autoscale_cluster(
                 telemetry=tel_recorder,
                 slo_monitor=slo_monitor,
                 interval_aborts=aborts,
+                perf=perf,
             )
             if monitor is not None and ops.detect_interval is None:
                 monitor.tick(now)
@@ -921,4 +1006,5 @@ def autoscale_cluster(
         ops_events=tuple(sorted(state.events, key=lambda e: e.time)),
         capacities=tuple(capacities) if capacities else (),
         telemetry=telemetry_result,
+        perf=perf.report() if perf is not None else None,
     )

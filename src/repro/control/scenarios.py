@@ -98,6 +98,7 @@ def _autoscale_points(settings, spec: WorkloadSpec, trace_for,
                 control_interval=settings.autoscale_control_interval,
                 max_replicas=2 * settings.autoscale_peak_replicas,
                 telemetry=getattr(settings, "telemetry", None),
+                capacity_source=getattr(settings, "capacity_source", None),
                 profile=task,
                 tag=f"{design}:{policy.kind}",
             ))
@@ -232,6 +233,7 @@ def _live_points(settings) -> List:
             max_replicas=2 * LIVE_PEAK_REPLICAS,
             transfer_writesets=8,
             telemetry=getattr(settings, "telemetry", None),
+            capacity_source=getattr(settings, "capacity_source", None),
             profile=task,
             tag=f"live:{policy.kind}",
         ))

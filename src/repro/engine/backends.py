@@ -153,6 +153,7 @@ class AutoscaleBackend:
             ops=opts.get("ops"),
             capacities=opts.get("capacities"),
             telemetry=opts.get("telemetry"),
+            capacity_source=opts.get("capacity_source"),
         )
         if opts.get("pillar") == CLUSTER:
             return autoscale_cluster(

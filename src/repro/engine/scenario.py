@@ -263,6 +263,7 @@ def autoscale_point(
     ops: object = None,
     capacities: Optional[Tuple[float, ...]] = None,
     telemetry: object = None,
+    capacity_source: Optional[str] = None,
     profile: object = None,
     tag: str = "",
 ) -> SweepPoint:
@@ -279,7 +280,10 @@ def autoscale_point(
     :class:`repro.telemetry.TelemetryConfig`) opts the run into the
     observability layer — and, with ``audit=True``, the online invariant
     auditor; ``None`` drops out of the options, preserving every
-    pre-telemetry cache key byte-for-byte.
+    pre-telemetry cache key byte-for-byte.  *capacity_source*
+    (``"estimated"``) replaces declared replica capacities with the
+    online estimator's live values in the LB and controller; ``None``
+    (declared) drops out the same way.
     """
     options = {
         "trace": trace,
@@ -299,6 +303,8 @@ def autoscale_point(
         options["capacities"] = tuple(capacities)
     if telemetry is not None:
         options["telemetry"] = telemetry
+    if capacity_source is not None:
+        options["capacity_source"] = capacity_source
     if pillar == CLUSTER:
         options["time_scale"] = time_scale
     return SweepPoint(

@@ -54,6 +54,13 @@ class ExperimentSettings:
     #: keeps the spec out of the point options entirely, so pre-sharding
     #: cache keys are preserved byte-for-byte.
     certifier: object = None
+    #: Capacity source for autoscale points (``repro ...
+    #: --capacity-source estimated``): ``"estimated"`` routes and scales
+    #: on the online estimator's live per-replica capacities instead of
+    #: the declared ones.  ``None`` — the default, aka ``declared`` —
+    #: keeps the knob out of the point options entirely, preserving
+    #: pre-estimator cache keys byte-for-byte.
+    capacity_source: object = None
 
     @classmethod
     def fast(cls) -> "ExperimentSettings":
@@ -95,3 +102,15 @@ class ExperimentSettings:
         if spec is not None and spec.is_default:
             spec = None
         return replace(self, certifier=spec)
+
+    def with_capacity_source(self, source: object) -> "ExperimentSettings":
+        """Return a copy running autoscale points under *source*
+        (``repro ... --capacity-source estimated``).
+
+        ``declared`` — the default — normalises to ``None`` so that
+        spelling it out produces byte-identical point options (and
+        cache keys) to omitting the flag entirely.
+        """
+        from ..control.estimator import resolve_capacity_source
+
+        return replace(self, capacity_source=resolve_capacity_source(source))

@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-# The fault layer stamps crash events with its own kind constant; one
-# definition keeps summarize()'s matching and the recorder in lockstep.
-from ..simulator.faults import CRASH
+# The fault layer stamps crash/brownout events with its own kind
+# constants; one definition keeps summarize()'s matching and the
+# recorder in lockstep.
+from ..simulator.faults import BROWNOUT, CRASH
 from ..telemetry.events import TelemetryEvent
 
 #: Event kinds, in roughly the order they occur in a replacement.
@@ -27,6 +28,11 @@ DRAIN = "drain"
 REJOIN = "rejoin"
 UPGRADED = "upgraded"
 ROLLING_DONE = "rolling-complete"
+#: Gray-failure detections stamped by the online capacity estimator.
+GRAY_DETECT = "gray-detect"
+GRAY_CLEAR = "gray-clear"
+#: Stamped by the fault layer when a brownout ends.
+BROWNOUT_END = "brownout-end"
 
 
 class OpsEvent(TelemetryEvent):
@@ -92,6 +98,13 @@ class OpsSummary:
     #: :class:`~repro.ops.plan.OpsPlan` exists to expose.
     mean_detection_latency: Optional[float] = None
     mean_repair_latency: Optional[float] = None
+    #: Gray failures: brownout faults injected, how many the capacity
+    #: estimator caught, and the mean brownout-onset-to-gray-detect
+    #: latency (seconds; ``None`` when nothing was caught).  Defaults
+    #: keep summaries from older cached runs loading unchanged.
+    gray_failures: int = 0
+    gray_detected: int = 0
+    mean_gray_detection_latency: Optional[float] = None
 
     @property
     def recovery_ratio(self) -> float:
@@ -124,6 +137,19 @@ class OpsSummary:
                 f"repair; throughput recovered to "
                 f"{self.recovery_ratio:.0%} of the pre-fault "
                 f"{self.baseline_throughput:.1f} tps"
+            )
+        if self.gray_failures:
+            if self.mean_gray_detection_latency is not None:
+                latency = (
+                    f"mean detection latency "
+                    f"{self.mean_gray_detection_latency:.1f}s"
+                )
+            else:
+                latency = "UNDETECTED"
+            lines.append(
+                f"  gray failures: {self.gray_detected}/"
+                f"{self.gray_failures} brownout(s) caught by the "
+                f"capacity estimator, {latency}"
             )
         return "\n".join(lines)
 
@@ -161,10 +187,16 @@ def summarize(result) -> OpsSummary:
     repairs: List[Tuple[float, float]] = []
     detection_legs: List[float] = []
     repair_legs: List[float] = []
+    brownouts: List[Tuple[str, float]] = []
+    gray_detects: Dict[str, List[float]] = {}
     upgrades = 0
     for event in events:
         if event.kind == CRASH:
             crash_at.setdefault(event.replica, event.time)
+        elif event.kind == BROWNOUT:
+            brownouts.append((event.replica, event.time))
+        elif event.kind == GRAY_DETECT:
+            gray_detects.setdefault(event.replica, []).append(event.time)
         elif event.kind == DETECT:
             detect_at.setdefault(event.replica, event.time)
         elif event.kind == RESTORED and event.detail.startswith("replaces "):
@@ -178,6 +210,15 @@ def summarize(result) -> OpsSummary:
                     repair_legs.append(event.time - detected)
         elif event.kind == UPGRADED:
             upgrades += 1
+    # Pair each brownout onset with the first gray-detect on the same
+    # replica at or after it (each detection credits one brownout).
+    gray_latencies: List[float] = []
+    for name, onset in sorted(brownouts, key=lambda pair: pair[1]):
+        times = gray_detects.get(name, [])
+        match = next((t for t in times if t >= onset), None)
+        if match is not None:
+            times.remove(match)
+            gray_latencies.append(match - onset)
     crashes = len(repairs) + len(crash_at)
     open_windows = [(t, max(t, horizon)) for t in crash_at.values()]
 
@@ -231,5 +272,11 @@ def summarize(result) -> OpsSummary:
         ),
         mean_repair_latency=(
             sum(repair_legs) / len(repair_legs) if repair_legs else None
+        ),
+        gray_failures=len(brownouts),
+        gray_detected=len(gray_latencies),
+        mean_gray_detection_latency=(
+            sum(gray_latencies) / len(gray_latencies)
+            if gray_latencies else None
         ),
     )

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..core.errors import ConfigurationError
-from ..simulator.faults import ReplicaFault
+from ..simulator.faults import BROWNOUT, ReplicaFault
 
 
 @dataclass(frozen=True)
@@ -62,4 +62,22 @@ class OpsPlan:
         """True when the plan does anything at all."""
         return bool(
             self.faults or self.self_heal or self.rolling_start is not None
+        )
+
+    @property
+    def manages_membership(self) -> bool:
+        """True when the plan takes over membership authority.
+
+        Self-healing and rolling restarts perform joins/removals, and
+        drain/crash faults change who is serving — while any of those
+        are in play the controller must not reconcile concurrently.  A
+        *brownout-only* plan degrades speed without ever touching
+        membership, so the controller keeps reconciling (estimated-
+        capacity mode relies on that to scale out around the slow
+        replica).
+        """
+        return bool(
+            self.self_heal
+            or self.rolling_start is not None
+            or any(fault.kind != BROWNOUT for fault in self.faults)
         )

@@ -19,14 +19,22 @@ Two fault kinds share the :class:`ReplicaFault` schedule entry:
   not deferred) and it never comes back by itself.  A crashed replica can
   only rejoin as a *new* member via state transfer — the replacement
   path the self-healing operations layer (:mod:`repro.ops`) automates.
+* ``brownout`` is the gray failure: the replica stays in rotation but its
+  CPU and disk rates are multiplied by ``severity`` for ``downtime``
+  seconds — a machine silently running at partial speed.  Nothing in the
+  membership layer notices (the replica is *available* the whole time);
+  only the online capacity estimator can catch it.
 
 Overlapping drain faults on the same replica nest: the replica recovers
 only when the *last* overlapping outage ends (a per-replica down-count,
-not a boolean).  Faults scheduled past the end of the run simply never
-fire.
+not a boolean).  Overlapping brownouts compose multiplicatively and each
+restores exactly its own factor.  Faults scheduled past the end of the
+run simply never fire.
 
-Restrictions: the single-master design only supports slave faults (master
-failover needs a promotion protocol the paper does not describe).
+Restrictions: the single-master design only supports slave drain/crash
+faults (master failover needs a promotion protocol the paper does not
+describe); a brownout never changes membership, so it may target the
+master.
 """
 
 from __future__ import annotations
@@ -36,10 +44,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.errors import ConfigurationError
 
-#: Fault kinds: a recoverable outage vs a permanent loss of the replica.
+#: Fault kinds: a recoverable outage, a permanent loss of the replica, or
+#: a gray failure (the replica serves on at degraded speed).
 DRAIN = "drain"
 CRASH = "crash"
-FAULT_KINDS = (DRAIN, CRASH)
+BROWNOUT = "brownout"
+FAULT_KINDS = (DRAIN, CRASH, BROWNOUT)
 
 
 @dataclass(frozen=True)
@@ -51,11 +61,16 @@ class ReplicaFault:
     replica_index: int
     #: Simulated time at which the replica stops accepting work.
     start: float
-    #: How long the replica stays out of rotation (``drain`` kind only;
-    #: a ``crash`` is permanent and ignores this field).
+    #: How long the replica stays out of rotation (``drain``) or degraded
+    #: (``brownout``); a ``crash`` is permanent and ignores this field.
     downtime: float = 0.0
-    #: ``drain`` (recoverable outage) or ``crash`` (permanent loss).
+    #: ``drain`` (recoverable outage), ``crash`` (permanent loss), or
+    #: ``brownout`` (gray failure at reduced speed).
     kind: str = DRAIN
+    #: Resource-rate multiplier while a ``brownout`` is active: the
+    #: replica's CPU and disk run at ``severity`` times their configured
+    #: rate.  Ignored by the other kinds.
+    severity: float = 1.0
 
     def __post_init__(self) -> None:
         if self.replica_index < 0:
@@ -66,18 +81,34 @@ class ReplicaFault:
             raise ConfigurationError(
                 f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}"
             )
-        if self.kind == DRAIN and self.downtime <= 0:
+        if self.kind in (DRAIN, BROWNOUT) and self.downtime <= 0:
             raise ConfigurationError("downtime must be positive")
+        if self.kind == BROWNOUT and not 0.0 < self.severity < 1.0:
+            raise ConfigurationError(
+                "brownout severity must be in (0, 1): it is the fraction "
+                "of the replica's configured speed that survives"
+            )
 
     @property
     def end(self) -> float:
-        """Time at which a drain fault's replica rejoins the rotation."""
+        """Time at which a drain/brownout fault's replica recovers."""
         return self.start + self.downtime
 
 
 def crash_fault(replica_index: int, start: float) -> ReplicaFault:
     """A permanent crash of one replica at *start* (no self-recovery)."""
     return ReplicaFault(replica_index=replica_index, start=start, kind=CRASH)
+
+
+def brownout_fault(
+    replica_index: int, start: float, downtime: float, severity: float = 0.5
+) -> ReplicaFault:
+    """A gray failure: one replica runs at ``severity`` times its speed
+    from *start* for *downtime* seconds, while staying in rotation."""
+    return ReplicaFault(
+        replica_index=replica_index, start=start, downtime=downtime,
+        kind=BROWNOUT, severity=severity,
+    )
 
 
 def validate_faults(
@@ -91,7 +122,8 @@ def validate_faults(
                 f"fault targets replica {fault.replica_index} but the "
                 f"system has {replicas}"
             )
-        if design == "single-master" and fault.replica_index == 0:
+        if (design == "single-master" and fault.replica_index == 0
+                and fault.kind != BROWNOUT):
             raise ConfigurationError(
                 "cannot fault the master of a single-master system "
                 "(no promotion protocol); fault a slave instead"
@@ -139,15 +171,45 @@ def install_faults(
         replica = system.replicas[fault.replica_index]
         if fault.kind == CRASH:
             env.schedule(fault.start, _crash, env, replica, recorder)
+        elif fault.kind == BROWNOUT:
+            env.schedule(fault.start, _slow, env, replica,
+                         fault.severity, recorder)
+            env.schedule(fault.end, _restore, env, replica,
+                         fault.severity, recorder)
         else:
             env.schedule(fault.start, _down, env, counts, replica, recorder)
             env.schedule(fault.end, _up, env, counts, replica, recorder)
+
+
+def scale_replica_rates(replica, factor: float) -> None:
+    """Multiply a replica's CPU and disk rates by *factor*.
+
+    Multiplicative bookkeeping makes overlapping brownouts compose and
+    restore exactly: each fault undoes its own factor, so the rates end
+    the run bit-identical to how they started.  Only work submitted after
+    the change is affected (both resource disciplines scale at submit),
+    which is exactly a machine whose new requests run slow.
+    """
+    for resource in (replica.cpu, replica.disk):
+        resource.rate *= factor
 
 
 def _crash(env, replica, recorder) -> None:
     replica.crash()
     if recorder is not None:
         recorder(env.now, CRASH, replica.name)
+
+
+def _slow(env, replica, severity, recorder) -> None:
+    scale_replica_rates(replica, severity)
+    if recorder is not None:
+        recorder(env.now, BROWNOUT, replica.name)
+
+
+def _restore(env, replica, severity, recorder) -> None:
+    scale_replica_rates(replica, 1.0 / severity)
+    if recorder is not None:
+        recorder(env.now, "brownout-end", replica.name)
 
 
 def _down(env, counts, replica, recorder) -> None:

@@ -31,11 +31,19 @@ _EPSILON = 1e-12
 
 
 class ResourceStats:
-    """Shared accounting: busy time and completions."""
+    """Shared accounting: busy time, completions, and unscaled work.
+
+    ``work_done`` accumulates the *unscaled* service demand of completed
+    jobs.  Dividing a window's ``work_done`` delta by its busy-time delta
+    recovers the server's effective rate multiplier exactly, independent
+    of the transaction mix — the signal the online capacity estimator
+    needs to notice a replica that has silently slowed down.
+    """
 
     def __init__(self) -> None:
         self.busy_time = 0.0
         self.completions = 0
+        self.work_done = 0.0
 
     def snapshot(self) -> Tuple[float, int]:
         """Return (busy_time, completions) for windowed measurements."""
@@ -59,6 +67,7 @@ class ProcessorSharingResource:
         self._jobs: Dict[int, Tuple[float, Callable]] = {}
         self._remaining: Dict[int, float] = {}
         self._resume: Dict[int, Callable] = {}
+        self._demand: Dict[int, float] = {}
         self._next_job_id = 0
         self._last_sync = env.now
         self._completion: Optional[EventHandle] = None
@@ -76,6 +85,7 @@ class ProcessorSharingResource:
     def submit(self, work: float, resume: Callable) -> None:
         """Add a job needing *work* seconds of service; call *resume* when done."""
         self._sync()
+        demand = work
         work = work / self.rate
         if work <= _EPSILON:
             # Zero-cost work completes immediately (but asynchronously, to
@@ -87,6 +97,7 @@ class ProcessorSharingResource:
         self._next_job_id += 1
         self._remaining[job_id] = work
         self._resume[job_id] = resume
+        self._demand[job_id] = demand
         self._reschedule()
 
     def _sync(self) -> None:
@@ -127,6 +138,7 @@ class ProcessorSharingResource:
         resumes = []
         for job_id in finished:
             del self._remaining[job_id]
+            self.stats.work_done += self._demand.pop(job_id)
             resumes.append(self._resume.pop(job_id))
         self._reschedule()
         for resume in resumes:
@@ -142,10 +154,11 @@ class FIFOResource:
         self.name = name
         self.rate = _check_rate(rate, name)
         self.stats = ResourceStats()
-        self._queue: Deque[Tuple[float, Callable]] = deque()
+        self._queue: Deque[Tuple[float, float, Callable]] = deque()
         self._busy = False
         self._current_start = 0.0
         self._current_work = 0.0
+        self._current_demand = 0.0
 
     @property
     def queue_length(self) -> int:
@@ -154,28 +167,31 @@ class FIFOResource:
 
     def submit(self, work: float, resume: Callable) -> None:
         """Enqueue a job needing *work* seconds; call *resume* when done."""
+        demand = work
         work = work / self.rate
         if work <= _EPSILON:
             self._env.schedule(0.0, resume)
             return
         if self._busy:
-            self._queue.append((work, resume))
+            self._queue.append((work, demand, resume))
             return
-        self._begin(work, resume)
+        self._begin(work, demand, resume)
 
-    def _begin(self, work: float, resume: Callable) -> None:
+    def _begin(self, work: float, demand: float, resume: Callable) -> None:
         self._busy = True
         self._current_start = self._env.now
         self._current_work = work
+        self._current_demand = demand
         self._env.schedule(work, self._finish, resume)
 
     def _finish(self, resume: Callable) -> None:
         self.stats.busy_time += self._current_work
         self.stats.completions += 1
+        self.stats.work_done += self._current_demand
         self._busy = False
         if self._queue:
-            next_work, next_resume = self._queue.popleft()
-            self._begin(next_work, next_resume)
+            next_work, next_demand, next_resume = self._queue.popleft()
+            self._begin(next_work, next_demand, next_resume)
         resume()
 
     def busy_time_now(self) -> float:

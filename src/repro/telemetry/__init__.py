@@ -47,6 +47,16 @@ from .export import (
     write_chrome_trace,
     write_spans_jsonl,
 )
+from .perf import (
+    CapacitySnapshot,
+    ComponentSignal,
+    DriftPoint,
+    EffectiveCapacity,
+    Ewma,
+    GrayEvent,
+    PerfReport,
+    WindowedQuantile,
+)
 from .registry import (
     Counter,
     Gauge,
@@ -58,14 +68,21 @@ from .spans import Span, Tracer
 from .timeline import TimelineSnapshot, render_dashboard, render_timeline
 
 __all__ = [
+    "CapacitySnapshot",
     "CausalEdge",
     "CausalTrace",
+    "ComponentSignal",
     "Counter",
     "CriticalPathReport",
+    "DriftPoint",
+    "EffectiveCapacity",
+    "Ewma",
     "Gauge",
+    "GrayEvent",
     "Histogram",
     "MetricSample",
     "MetricsRegistry",
+    "PerfReport",
     "ReplicationHop",
     "Span",
     "Telemetry",
@@ -74,6 +91,7 @@ __all__ = [
     "TelemetryResult",
     "TimelineSnapshot",
     "Tracer",
+    "WindowedQuantile",
     "active_config",
     "causal_chrome_trace",
     "causal_traces",

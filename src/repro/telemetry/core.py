@@ -282,6 +282,30 @@ class Telemetry:
             schema.SLO_BURN_RATE, window=window, signal=signal
         ).set(burn)
 
+    # ------------------------------------------------------------------
+    # Performance observability (online capacity estimation)
+    # ------------------------------------------------------------------
+
+    def observe_capacity(self, replica: str, ratio: float) -> None:
+        """Record one replica's estimated effective-capacity ratio."""
+        self.registry.gauge(
+            schema.EFFECTIVE_CAPACITY, replica=replica
+        ).set(ratio)
+
+    def observe_model_residual(self, residual: float) -> None:
+        """Record the model-vs-observed relative throughput residual."""
+        self.registry.gauge(schema.MODEL_RESIDUAL).set(residual)
+
+    def count_drift_verdict(self) -> None:
+        """Count one control tick judged outside the crossval envelope."""
+        self.registry.counter(schema.MODEL_DRIFT).inc()
+
+    def count_gray_detection(self, replica: str) -> None:
+        """Count one gray-failure detection on *replica*."""
+        self.registry.counter(
+            schema.GRAY_DETECTIONS, replica=replica
+        ).inc()
+
     def record_event(self, event: TelemetryEvent) -> None:
         """Append one timeline event and count its kind."""
         self.events.append(event)
@@ -365,6 +389,11 @@ class Telemetry:
 
     def result(self) -> TelemetryResult:
         """Freeze everything recorded so far."""
+        # Span-ring data loss goes through the registry so every export
+        # (Prometheus included) shows it, not just the dashboard.  The
+        # delta form keeps repeated result() calls idempotent.
+        dropped = self.registry.counter(schema.SPANS_DROPPED)
+        dropped.inc(float(self.tracer.dropped) - dropped.value)
         audit = None
         if self.auditor is not None:
             audit = self.auditor.report()

@@ -99,6 +99,27 @@ SLO_BURN_RATE = "slo_burn_rate"
 #: violations mean the run broke a replication safety property.
 AUDIT_VIOLATIONS = "audit_violations"
 AUDIT_CHECKS = "audit_checks"
+#: Spans the bounded trace ring discarded after filling up.  Surfaced in
+#: every export so external scrapers see data loss, not silence.
+SPANS_DROPPED = "telemetry_spans_dropped_total"
+
+# ---------------------------------------------------------------------
+# Performance observability (online capacity estimation, PR 10)
+# ---------------------------------------------------------------------
+
+#: The online estimator's effective-capacity multiplier for one replica
+#: (gauge, labelled ``replica``); 1.0 means the machine delivers its
+#: declared speed, 0.5 means a gray failure halved it.
+EFFECTIVE_CAPACITY = "effective_capacity_ratio"
+#: Relative residual between the analytic model's predicted throughput
+#: and the observed per-tick throughput (gauge; 0 means on-model).
+MODEL_RESIDUAL = "model_throughput_residual"
+#: Control ticks on which the drift monitor declared the analytic model
+#: out of its crossval envelope.
+MODEL_DRIFT = "model_drift_verdicts_total"
+#: Gray-failure detections (estimated capacity fell below the detection
+#: threshold), labelled ``replica``.
+GRAY_DETECTIONS = "gray_failure_detections_total"
 
 # ---------------------------------------------------------------------
 # Contracts

@@ -276,3 +276,62 @@ class TestPartitionCli:
         out = capsys.readouterr().out
         assert "placement-ablation" in out
         assert "figure6" not in out
+
+
+class TestPerfCli:
+    """The performance-observability surface: the `perf` verb, the
+    `--capacity-source` engine option, and the gray-failure ops family."""
+
+    def test_perf_parses_options(self):
+        args = build_parser().parse_args(
+            ["perf", "--live", "--timeline", "--fast"]
+        )
+        assert args.command == "perf"
+        assert args.live and args.timeline and args.fast
+
+    def test_capacity_source_accepts_both_sources(self):
+        for source in ("declared", "estimated"):
+            args = build_parser().parse_args(
+                ["run", "brownout-detection", "--capacity-source", source]
+            )
+            assert args.capacity_source == source
+
+    def test_capacity_source_defaults_to_none(self):
+        args = build_parser().parse_args(["run", "brownout-detection"])
+        assert args.capacity_source is None
+
+    def test_unknown_capacity_source_exits_2_with_hint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["perf", "--capacity-source", "estimatd"]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "estimated" in err
+        assert "Traceback" not in err
+
+    def test_ops_parses_gray_failure_operations(self):
+        for operation in ("brownout", "capest"):
+            args = build_parser().parse_args(
+                ["ops", "--operation", operation, "--fast"]
+            )
+            assert args.operation == operation
+
+
+class TestTraceNotice:
+    def test_trace_reports_missing_telemetry_and_exits_0(self, capsys,
+                                                         monkeypatch):
+        """Like `repro metrics`, a trace run whose telemetry came back
+        empty prints the notice and exits 0 instead of crashing."""
+        import repro.cli as cli
+
+        class _Empty:
+            telemetry = None
+
+        monkeypatch.setattr(cli, "simulate", lambda *args, **kwargs: _Empty())
+        code = cli.main(["trace", "--pillar", "simulator",
+                         "--warmup", "1", "--duration", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no telemetry recorded (telemetry disabled?)" in out

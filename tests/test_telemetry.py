@@ -356,6 +356,30 @@ def test_prometheus_text_renders_cumulative_buckets():
     assert "lat_seconds_count 3" in text
 
 
+def test_prometheus_export_surfaces_drops_and_audit_gauges(tiny_spec):
+    """Span-ring data loss and the auditor's verdict are first-class
+    metrics: they must show up in the Prometheus export, not just the
+    dashboard footer."""
+    from repro.simulator.runner import simulate
+
+    config = _config(tiny_spec, 2)
+    run = simulate(
+        tiny_spec, config, design="multi-master", seed=13,
+        warmup=2.0, duration=8.0,
+        telemetry=TelemetryConfig(span_sample_rate=1.0, max_spans=4,
+                                  span_ring=True, audit=True),
+    )
+    assert run.telemetry.spans_dropped > 0
+    text = tel_export.prometheus_text(run.telemetry.samples)
+    assert tel_schema.SPANS_DROPPED in text
+    assert (f"{tel_schema.SPANS_DROPPED} "
+            f"{float(run.telemetry.spans_dropped):g}") in text
+    assert tel_schema.AUDIT_CHECKS in text
+    assert tel_schema.AUDIT_VIOLATIONS in text
+    assert run.telemetry.audit is not None
+    assert run.telemetry.audit.total_violations == 0
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
